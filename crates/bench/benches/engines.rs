@@ -1,0 +1,155 @@
+//! Criterion benchmarks on the reproduction's own engines, one group per
+//! paper artifact the engine regenerates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use cryo_cells::{topology, CharConfig, Characterizer};
+use cryo_device::{FinFet, IvCurve, ModelCard, Polarity, VirtualWafer};
+use cryo_hdc::{Hv128, IqEncoder};
+use cryo_netlist::{build_soc, SocConfig};
+use cryo_power::{analyze_power, ActivityProfile, PowerConfig};
+use cryo_qubit::{Calibration, KnnClassifier, QuantumDevice};
+use cryo_riscv::asm::assemble;
+use cryo_riscv::kernels::knn_source_rounds;
+use cryo_riscv::{PipelineConfig, PipelineModel};
+use cryo_spice::{transient, Circuit, Source, TranConfig, GROUND};
+use cryo_sta::{analyze, StaConfig};
+
+/// Fig. 3 engines: compact-model evaluation and measurement sweeps.
+fn bench_fig3_device(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_device");
+    let card = ModelCard::nominal(Polarity::N);
+    let dev300 = FinFet::new(&card, 300.0, 2);
+    g.bench_function("ids_eval", |b| {
+        b.iter(|| std::hint::black_box(dev300.ids(0.45, 0.6)))
+    });
+    g.bench_function("transfer_sweep_121pt", |b| {
+        b.iter(|| std::hint::black_box(IvCurve::sweep(&dev300, 0.75, 0.75, 120)))
+    });
+    let wafer = VirtualWafer::new(3);
+    g.bench_function("virtual_wafer_campaign", |b| {
+        b.iter(|| std::hint::black_box(wafer.measure_campaign(Polarity::N)))
+    });
+    g.finish();
+}
+
+/// Fig. 5 engine: SPICE transient and one full cell characterization.
+fn bench_fig5_characterization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_characterization");
+    g.sample_size(10);
+    let nc = ModelCard::nominal(Polarity::N);
+    let pc = ModelCard::nominal(Polarity::P);
+    g.bench_function("inverter_transient", |b| {
+        b.iter_batched(
+            || {
+                let mut ckt = Circuit::new();
+                let vdd = ckt.node("vdd");
+                let inp = ckt.node("in");
+                let out = ckt.node("out");
+                ckt.vsource("VDD", vdd, GROUND, Source::dc(0.7));
+                ckt.vsource("VIN", inp, GROUND, Source::ramp(0.0, 0.7, 20e-12, 20e-12));
+                ckt.finfet("MN", out, inp, GROUND, FinFet::new(&nc, 300.0, 2));
+                ckt.finfet("MP", out, inp, vdd, FinFet::new(&pc, 300.0, 3));
+                ckt.capacitor("CL", out, GROUND, 2e-15);
+                ckt
+            },
+            |ckt| transient(&ckt, &TranConfig::with_steps(250e-12, 200)).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    let engine = Characterizer::new(&nc, &pc, CharConfig::fast(300.0));
+    g.bench_function("characterize_nand2_fast_grid", |b| {
+        b.iter(|| engine.characterize_cell(&topology::nand(2, 1)).unwrap())
+    });
+    g.finish();
+}
+
+/// Table 1 engine: STA over the scaled-down SoC with a synthetic library.
+fn bench_table1_sta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_sta");
+    g.sample_size(10);
+    let nc = ModelCard::nominal(Polarity::N);
+    let pc = ModelCard::nominal(Polarity::P);
+    let design = build_soc(&SocConfig::tiny());
+    // Characterize exactly the used cells once (setup cost, not measured).
+    let used: std::collections::BTreeSet<&str> =
+        design.instances().iter().map(|i| i.cell.as_str()).collect();
+    let cells: Vec<_> = used.iter().filter_map(|n| topology::by_name(n)).collect();
+    let lib = Characterizer::new(&nc, &pc, CharConfig::fast(300.0))
+        .characterize_library("bench300", &cells)
+        .unwrap();
+    g.bench_function("sta_tiny_soc", |b| {
+        b.iter(|| analyze(&design, &lib, &StaConfig::default()).unwrap())
+    });
+    g.bench_function("fig6_power_tiny_soc", |b| {
+        let profile = ActivityProfile::with_default(0.15);
+        let cfg = PowerConfig::at(&nc, 300.0, 9.6e8);
+        b.iter(|| analyze_power(&design, &lib, &cfg, &profile, None).unwrap())
+    });
+    g.finish();
+}
+
+/// Table 2 engine: the kNN kernel on the cycle model.
+fn bench_table2_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_pipeline");
+    g.sample_size(20);
+    let centers: Vec<[f64; 4]> = (0..100).map(|i| [0.0, 0.0, 1.0, i as f64 * 0.01]).collect();
+    let meas: Vec<(f64, f64)> = (0..100).map(|i| (i as f64 * 0.01, 0.4)).collect();
+    let src = knn_source_rounds(&centers, &meas, 2);
+    g.bench_function("assemble_knn_100q", |b| b.iter(|| assemble(&src).unwrap()));
+    let program = assemble(&src).unwrap();
+    g.bench_function("simulate_knn_100q_2rounds", |b| {
+        b.iter_batched(
+            || {
+                let mut m = PipelineModel::new(PipelineConfig::default());
+                m.cpu.load_program(&program);
+                m
+            },
+            |mut m| m.run(10_000_000).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+/// Fig. 2 engines: readout generation, calibration, classification, HDC.
+fn bench_fig2_readout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_readout");
+    let device = QuantumDevice::falcon27(1);
+    g.bench_function("measurement_round_27q", |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            std::hint::black_box(device.measurement_round(round))
+        })
+    });
+    let cal = Calibration::train(&device, 128).unwrap();
+    let knn = KnnClassifier::new(cal);
+    let shots = device.measurement_round(9);
+    g.bench_function("knn_classify_27q", |b| {
+        b.iter(|| {
+            for s in &shots {
+                std::hint::black_box(knn.classify(s.qubit, s.point).unwrap());
+            }
+        })
+    });
+    let enc = IqEncoder::new(16, -3.0, 3.0, 4);
+    g.bench_function("hdc_encode_and_hamming", |b| {
+        let c0 = Hv128::new(0x1234, 0x5678);
+        b.iter(|| {
+            let m = enc.encode(0.31, -0.72);
+            std::hint::black_box(m.hamming(c0))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig3_device,
+    bench_fig5_characterization,
+    bench_table1_sta,
+    bench_table2_pipeline,
+    bench_fig2_readout
+);
+criterion_main!(benches);

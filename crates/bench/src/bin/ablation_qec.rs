@@ -1,0 +1,56 @@
+//! Extension study (paper Sec. I-C / VII: "complex quantum error correction
+//! protocols have to be executed"): the SoC classifies every physical qubit
+//! AND majority-decodes a distance-d repetition code — how much of the
+//! decoherence budget does the extra decode step consume?
+use cryo_qubit::qec::{decoder_source, RepetitionCode};
+use cryo_riscv::asm::assemble;
+use cryo_riscv::{PipelineConfig, PipelineModel};
+
+fn steady_cycles(src1: &str, src4: &str, items: usize) -> f64 {
+    let run = |src: &str| -> u64 {
+        let p = assemble(src).unwrap();
+        let mut m = PipelineModel::new(PipelineConfig::default());
+        m.cpu.load_program(&p);
+        m.run(500_000_000).unwrap().cycles
+    };
+    (run(src4) - run(src1)) as f64 / (3.0 * items as f64)
+}
+
+fn main() {
+    println!("=== Sec. VII extension: repetition-code decode on top of classification ===");
+    println!("(kNN classification cycles from Table 2; decode adds the QEC step)\n");
+    let budget_us = 110.0;
+    let clock_ghz = 1.0;
+    let knn_cycles = 60.0; // saturated kNN cycles/classification (Table 2 regime)
+    println!(
+        "{:>4} {:>9} {:>14} {:>16} {:>18}",
+        "d", "logical", "decode cyc/lq", "classify+decode", "budget left"
+    );
+    for d in [3usize, 5, 7] {
+        let code = RepetitionCode::new(d);
+        for logical in [100usize, 400] {
+            let physical = logical * d;
+            // Deterministic pseudo-random labels.
+            let labels: Vec<u8> = (0..physical)
+                .map(|i| ((i * 2654435761) >> 7) as u8 & 1)
+                .collect();
+            let src1 = decoder_source(code, &labels, 1);
+            let src4 = decoder_source(code, &labels, 4);
+            let decode_cyc = steady_cycles(&src1, &src4, logical);
+            let total_us =
+                (physical as f64 * knn_cycles + logical as f64 * decode_cyc) / (clock_ghz * 1e3);
+            println!(
+                "{d:>4} {logical:>9} {decode_cyc:>14.1} {total_us:>13.2} us {:>15.2} us",
+                budget_us - total_us
+            );
+        }
+    }
+    // Logical error suppression for context.
+    println!("\nlogical error rate at p_phys = 2 %:");
+    for d in [3usize, 5, 7] {
+        let e = RepetitionCode::new(d).logical_error_rate(0.02, 200_000, 7);
+        println!("  d = {d}: {e:.5}");
+    }
+    println!("\n(The flexible SoC runs the decoder in software — the paper's argument");
+    println!(" for a general-purpose processor inside the cryostat.)");
+}

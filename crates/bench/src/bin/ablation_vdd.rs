@@ -1,0 +1,45 @@
+//! Extension study (paper Sec. VII: "further power reduction could be
+//! achieved by ... supply voltage reduction"): characterize a representative
+//! cell subset at 10 K across supply voltages and report the delay/leakage
+//! trade.
+use cryo_cells::{topology, CharConfig, Characterizer};
+use cryo_device::{ModelCard, Polarity};
+
+fn main() {
+    let nfet = ModelCard::nominal(Polarity::N);
+    let pfet = ModelCard::nominal(Polarity::P);
+    let cells = vec![
+        topology::inverter(1),
+        topology::inverter(4),
+        topology::nand(2, 2),
+        topology::nor(2, 2),
+        topology::xor2(2),
+        topology::full_adder(1),
+    ];
+    println!("=== Sec. VII ablation: supply-voltage scaling at 10 K ===");
+    println!(
+        "{:>6} {:>14} {:>16} {:>18}",
+        "Vdd", "mean delay", "vs 0.70 V", "library leakage"
+    );
+    let mut base_delay = None;
+    for vdd in [0.70, 0.65, 0.60, 0.55, 0.50] {
+        let mut cfg = CharConfig::fast(10.0);
+        cfg.vdd = vdd;
+        let engine = Characterizer::new(&nfet, &pfet, cfg);
+        match engine.characterize_library(&format!("vdd_{vdd}"), &cells) {
+            Ok(lib) => {
+                let stats = lib.stats();
+                let base = *base_delay.get_or_insert(stats.mean_delay);
+                println!(
+                    "{vdd:>5.2}V {:>11.2} ps {:>15.2}x {:>15.3e} W",
+                    stats.mean_delay * 1e12,
+                    stats.mean_delay / base,
+                    stats.total_avg_leakage
+                );
+            }
+            Err(e) => println!("{vdd:>5.2}V characterization failed: {e}"),
+        }
+    }
+    println!("\n(The steep 10 K subthreshold swing keeps cells functional well below");
+    println!(" the nominal 0.7 V — the headroom the paper's Sec. VII points at.)");
+}

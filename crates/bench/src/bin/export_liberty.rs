@@ -1,0 +1,21 @@
+//! Exports the characterized corners as Liberty-style `.lib` text files —
+//! the artifact a downstream EDA flow would consume.
+use std::fs;
+
+use cryo_liberty::format::write_library;
+
+fn main() {
+    let flow = cryo_bench::flow_from_args();
+    fs::create_dir_all("data").expect("data dir");
+    for temp in [300.0, 10.0] {
+        let lib = flow.library(temp).expect("characterized library");
+        let text = write_library(&lib);
+        let path = format!("data/{}.lib", lib.name);
+        fs::write(&path, &text).expect("write .lib");
+        println!(
+            "wrote {path}: {} cells, {} KB of Liberty text",
+            lib.len(),
+            text.len() / 1024
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Regenerates Fig. 2: I/Q readout classification and decoherence decay.
+use cryo_core::experiments::fig2_readout;
+
+fn main() {
+    let r = fig2_readout(7).expect("fig2");
+    cryo_bench::maybe_write_json("fig2", &r);
+    println!(
+        "=== Fig. 2a: {}-qubit I/Q readout classification ===",
+        r.qubits
+    );
+    println!("calibrated centers (first 5 qubits):");
+    for (q, c) in r.centers.iter().take(5).enumerate() {
+        println!(
+            "  q{q:02}: |0> at ({:+.3}, {:+.3})  |1> at ({:+.3}, {:+.3})",
+            c[0], c[1], c[2], c[3]
+        );
+    }
+    println!("classified shots: {} (sample below)", r.shots.len());
+    for s in r.shots.iter().step_by(r.shots.len() / 10) {
+        println!(
+            "  q{:02} I={:+.3} Q={:+.3} -> {} (prepared {})",
+            s.0, s.1, s.2, s.3, s.4
+        );
+    }
+    println!(
+        "assignment fidelity: kNN {:.4}, HDC {:.4}",
+        r.knn_fidelity, r.hdc_fidelity
+    );
+    println!();
+    println!(
+        "=== Fig. 2b: decoherence decay (T2 = {:.0} us; paper: ~110 us) ===",
+        r.t2 * 1e6
+    );
+    for (t, f) in r.decay.iter().step_by(5) {
+        println!(
+            "  t={t:>6.1} us  fidelity {f:.3}  {}",
+            cryo_bench::bar(*f, 1.0, 40)
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerates Fig. 3: FinFET transfer characteristics, measurement vs
+//! calibrated compact model, at 300 K and 10 K.
+use cryo_core::experiments::fig3_transfer;
+
+fn main() {
+    let devices = fig3_transfer(7).expect("fig3");
+    cryo_bench::maybe_write_json("fig3", &devices);
+    for d in &devices {
+        println!("=== Fig. 3: {} ===", d.polarity);
+        println!("calibration RMS error: {:.3} decades", d.calibration_rms);
+        let paper_pct = if d.polarity.starts_with('n') {
+            47.0
+        } else {
+            39.0
+        };
+        println!(
+            "{}",
+            cryo_bench::compare(
+                "Vth increase at 10 K (%)",
+                paper_pct,
+                d.vth_increase_pct,
+                "%"
+            )
+        );
+        println!(
+            "  Vth: {:.3} V (300 K) -> {:.3} V (10 K)",
+            d.vth_300k, d.vth_10k
+        );
+        println!(
+            "  SS:  {:.1} mV/dec (300 K) -> {:.1} mV/dec (10 K)",
+            d.ss_300k, d.ss_10k
+        );
+        println!(
+            "  Ion(10K)/Ion(300K) = {:.3}   Ioff reduction = {:.1}x",
+            d.ion_ratio, d.ioff_reduction
+        );
+        for c in &d.corners {
+            println!("  curve T={:.0}K Vds={:.2}V: {} measured pts; model Ids at Vgs=0/0.35/0.7 = {:.2e}/{:.2e}/{:.2e} A",
+                c.temp, c.vds, c.measured.len(),
+                c.model.first().map_or(0.0, |p| p.1),
+                c.model.get(c.model.len() / 2).map_or(0.0, |p| p.1),
+                c.model.last().map_or(0.0, |p| p.1));
+        }
+        println!();
+    }
+}

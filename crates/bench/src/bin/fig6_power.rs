@@ -1,0 +1,54 @@
+//! Regenerates Fig. 6: kNN average-power breakdown at 300 K and 10 K.
+use cryo_core::experiments::fig6_power;
+
+fn main() {
+    let flow = cryo_bench::flow_from_args();
+    let r = fig6_power(&flow).expect("fig6");
+    cryo_bench::maybe_write_json("fig6", &r);
+    println!("=== Fig. 6: average power, kNN classification workload ===");
+    println!(
+        "(activity scale calibrated to the paper's 63.5 mW anchor: {:.3})",
+        r.activity_scale
+    );
+    for (c, paper) in [
+        (&r.at_300k, [63.5, 11.0, 193.0]),
+        (&r.at_10k, [57.4, 0.43, 0.05]),
+    ] {
+        println!("--- {} K at {:.0} MHz ---", c.temp, c.frequency / 1e6);
+        println!(
+            "{}",
+            cryo_bench::compare("dynamic (mW)", paper[0], c.dynamic_w * 1e3, "mW")
+        );
+        println!(
+            "{}",
+            cryo_bench::compare(
+                "logic leakage (mW)",
+                paper[1],
+                c.logic_leakage_w * 1e3,
+                "mW"
+            )
+        );
+        println!(
+            "{}",
+            cryo_bench::compare("SRAM leakage (mW)", paper[2], c.sram_leakage_w * 1e3, "mW")
+        );
+        println!(
+            "total: {:.2} mW  {}",
+            c.total() * 1e3,
+            cryo_bench::bar(c.total(), 0.27, 40)
+        );
+    }
+    println!(
+        "Dhrystone (general average): dynamic {:.1} mW @300K, {:.1} mW @10K",
+        r.dhrystone_dynamic_300k * 1e3,
+        r.dhrystone_dynamic_10k * 1e3
+    );
+    println!(
+        "fits 100 mW cooling budget: 300K = {} (paper: no), 10K = {} (paper: yes)",
+        r.fits_300k, r.fits_10k
+    );
+    println!(
+        "leakage reduction at 10 K: {:.2} % (paper: 99.76 %)",
+        r.leakage_reduction_pct
+    );
+}

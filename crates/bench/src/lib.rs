@@ -1,0 +1,96 @@
+#![warn(missing_docs)]
+//! Experiment regeneration support: shared CLI plumbing for the per-table/
+//! per-figure binaries, plus criterion benches on the engines themselves.
+//!
+//! Each binary regenerates one artifact of the paper and prints
+//! paper-vs-measured:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `fig2_readout` | Fig. 2a/b — I/Q classification + decoherence decay |
+//! | `fig3_transfer` | Fig. 3 — transfer curves, calibrated model overlay |
+//! | `fig5_celldelay` | Fig. 5 — library delay histograms at 300 K / 10 K |
+//! | `table1_timing` | Table 1 — SoC critical path at both corners |
+//! | `fig6_power` | Fig. 6 — kNN power breakdown at both corners |
+//! | `table2_cycles` | Table 2 — cycles per classification |
+//! | `fig7_scaling` | Fig. 7 — classification time vs. qubit count |
+//!
+//! All binaries accept `--fast` (reduced characterization grid and uncore,
+//! for smoke runs) and default to the paper's full configuration with disk
+//! caching under `data/`.
+
+use cryo_core::{CryoFlow, FlowConfig};
+
+/// Parse the shared CLI arguments and build the flow.
+#[must_use]
+pub fn flow_from_args() -> CryoFlow {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let cfg = if fast {
+        FlowConfig::fast("data")
+    } else {
+        let mut cfg = FlowConfig::full("data");
+        cfg.char_300k.progress = true;
+        cfg.char_10k.progress = true;
+        cfg
+    };
+    CryoFlow::new(cfg)
+}
+
+
+/// If `--json` was passed, serialize `value` to `results/<name>.json`
+/// (creating `results/` as needed) and report the path on stderr.
+pub fn maybe_write_json<T: serde::Serialize>(name: &str, value: &T) {
+    if !std::env::args().any(|a| a == "--json") {
+        return;
+    }
+    let _ = std::fs::create_dir_all("results");
+    let path = format!("results/{name}.json");
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if std::fs::write(&path, json).is_ok() {
+                eprintln!("wrote {path}");
+            }
+        }
+        Err(e) => eprintln!("json serialization failed: {e}"),
+    }
+}
+
+/// Render a simple ASCII bar of `value` against `full_scale`.
+#[must_use]
+pub fn bar(value: f64, full_scale: f64, width: usize) -> String {
+    let n = ((value / full_scale) * width as f64).round().max(0.0) as usize;
+    "#".repeat(n.min(width))
+}
+
+/// Format paper-vs-measured with a deviation tag.
+#[must_use]
+pub fn compare(label: &str, paper: f64, measured: f64, unit: &str) -> String {
+    let ratio = if paper != 0.0 {
+        measured / paper
+    } else {
+        f64::NAN
+    };
+    format!(
+        "{label:<38} paper {paper:>10.3} {unit:<8} measured {measured:>10.3} {unit:<8} (x{ratio:.2})"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(20.0, 10.0, 10), "##########", "clamped");
+    }
+
+    #[test]
+    fn compare_formats() {
+        let s = compare("critical path", 1.04, 1.09, "ns");
+        assert!(s.contains("1.040"));
+        assert!(s.contains("1.090"));
+        assert!(s.contains("x1.05"));
+    }
+}

@@ -1,0 +1,29 @@
+//! Scratch: characterize the sequential cells at both corners, fast grid.
+use cryo_cells::{topology, CharConfig, Characterizer};
+use cryo_device::{ModelCard, Polarity};
+
+fn main() {
+    for temp in [300.0, 10.0] {
+        let engine = Characterizer::new(
+            &ModelCard::nominal(Polarity::N),
+            &ModelCard::nominal(Polarity::P),
+            CharConfig::fast(temp),
+        );
+        for cell in [topology::dff(1), topology::dffr(2)] {
+            match engine.characterize_cell(&cell) {
+                Ok(c) => {
+                    let clkq = c.arcs.iter().find(|a| a.pin == "Q").unwrap();
+                    let setup = c.constraint_arcs().next().unwrap();
+                    println!(
+                        "{:>6}K {}: clk->Q {:.1} ps, setup {:.1} ps",
+                        temp,
+                        c.name,
+                        clkq.cell_rise.lookup(20e-12, 3.2e-15) * 1e12,
+                        setup.cell_rise.lookup(0.0, 0.0) * 1e12
+                    );
+                }
+                Err(e) => println!("{temp}K {}: FAILED {e}", cell.name),
+            }
+        }
+    }
+}

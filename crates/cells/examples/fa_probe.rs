@@ -1,0 +1,43 @@
+//! Scratch: FA carry-arc delay vs drive at representative loads.
+use cryo_cells::{topology, CharConfig, Characterizer};
+use cryo_device::{ModelCard, Polarity};
+
+fn main() {
+    let engine = Characterizer::new(
+        &ModelCard::nominal(Polarity::N),
+        &ModelCard::nominal(Polarity::P),
+        CharConfig::fast(300.0),
+    );
+    for d in [1u32, 2, 4] {
+        let c = engine.characterize_cell(&topology::full_adder(d)).unwrap();
+        let ci_cap = c.pin("CI").unwrap().capacitance;
+        let arc = c
+            .arcs
+            .iter()
+            .find(|a| a.related_pin == "CI" && a.pin == "CO")
+            .unwrap();
+        for load in [1e-15, 2e-15, 4e-15] {
+            println!(
+                "FAx{d}: CI cap {:.2} fF, CI->CO delay @{:.0}fF slew20ps: rise {:.1} / fall {:.1} ps",
+                ci_cap * 1e15, load * 1e15,
+                arc.cell_rise.lookup(20e-12, load) * 1e12,
+                arc.cell_fall.lookup(20e-12, load) * 1e12
+            );
+        }
+    }
+    // Also INV FO4 ratio across corners.
+    for temp in [300.0, 10.0] {
+        let e = Characterizer::new(
+            &ModelCard::nominal(Polarity::N),
+            &ModelCard::nominal(Polarity::P),
+            CharConfig::fast(temp),
+        );
+        let c = e.characterize_cell(&topology::inverter(2)).unwrap();
+        let arc = &c.arcs[0];
+        println!(
+            "INVx2 @{temp}K: delay @20ps/2.8fF rise {:.2} fall {:.2} ps",
+            arc.cell_rise.lookup(20e-12, 2.8e-15) * 1e12,
+            arc.cell_fall.lookup(20e-12, 2.8e-15) * 1e12
+        );
+    }
+}

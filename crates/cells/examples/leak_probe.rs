@@ -1,0 +1,29 @@
+use cryo_cells::{topology, CharConfig, Characterizer};
+use cryo_device::{ModelCard, Polarity};
+
+fn main() {
+    for temp in [300.0, 10.0] {
+        let e = Characterizer::new(
+            &ModelCard::nominal(Polarity::N),
+            &ModelCard::nominal(Polarity::P),
+            CharConfig::fast(temp),
+        );
+        for cell in [
+            topology::inverter(1),
+            topology::nand(2, 1),
+            topology::xor2(1),
+            topology::dff(1),
+        ] {
+            let c = e.characterize_cell(&cell).unwrap();
+            println!(
+                "{temp:>5}K {:>8}: avg leak {:.3e} W  states {:?}",
+                c.name,
+                c.average_leakage(),
+                c.leakage_states
+                    .iter()
+                    .map(|(s, w)| format!("{s}:{w:.2e}"))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Disk cache for characterized libraries.
+//!
+//! Full-grid characterization of the ~190-cell set costs minutes of CPU;
+//! the experiment binaries run it once per (model cards, configuration)
+//! pair and cache the resulting [`Library`] as JSON under a cache
+//! directory (default `data/`).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use cryo_device::ModelCard;
+use cryo_liberty::Library;
+
+use crate::charlib::CharConfig;
+use crate::{CellError, Result};
+
+/// Stable FNV-1a hash of the cache key ingredients.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Stable tag for a cell set: name count plus an FNV hash of the sorted
+/// cell names. Keying the cache on this prevents stale libraries when the
+/// cell set evolves.
+#[must_use]
+pub fn cell_set_tag(cells: &[crate::topology::CellNetlist]) -> String {
+    let mut names: Vec<&str> = cells.iter().map(|c| c.name.as_str()).collect();
+    names.sort_unstable();
+    let blob = names.join(",");
+    format!("set{}_{:08x}", names.len(), fnv1a(blob.as_bytes()) as u32)
+}
+
+/// Compute the cache key for a characterization run.
+#[must_use]
+pub fn cache_key(nfet: &ModelCard, pfet: &ModelCard, cfg: &CharConfig, cell_tag: &str) -> String {
+    let mut blob = String::new();
+    blob.push_str(&serde_json::to_string(nfet).unwrap_or_default());
+    blob.push_str(&serde_json::to_string(pfet).unwrap_or_default());
+    blob.push_str(&format!(
+        "{}|{}|{:?}|{:?}|{}|{}",
+        cfg.temp, cfg.vdd, cfg.slews, cfg.loads_x1, cfg.steps, cell_tag
+    ));
+    format!("{:016x}", fnv1a(blob.as_bytes()))
+}
+
+/// Path of the cached library for a key.
+#[must_use]
+pub fn cache_path(dir: &Path, name: &str, key: &str) -> PathBuf {
+    dir.join(format!("{name}_{key}.liblib.json"))
+}
+
+/// Load a cached library if present and parseable.
+#[must_use]
+pub fn load(dir: &Path, name: &str, key: &str) -> Option<Library> {
+    let path = cache_path(dir, name, key);
+    let text = fs::read_to_string(path).ok()?;
+    let mut lib: Library = serde_json::from_str(&text).ok()?;
+    lib.reindex();
+    Some(lib)
+}
+
+/// Store a library in the cache.
+///
+/// # Errors
+///
+/// [`CellError::Cache`] on I/O or serialization failure.
+pub fn store(dir: &Path, name: &str, key: &str, lib: &Library) -> Result<()> {
+    fs::create_dir_all(dir).map_err(|e| CellError::Cache(format!("mkdir {dir:?}: {e}")))?;
+    let path = cache_path(dir, name, key);
+    let json =
+        serde_json::to_string(lib).map_err(|e| CellError::Cache(format!("serialize: {e}")))?;
+    fs::write(&path, json).map_err(|e| CellError::Cache(format!("write {path:?}: {e}")))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryo_device::Polarity;
+
+    #[test]
+    fn key_is_stable_and_sensitive() {
+        let n = ModelCard::nominal(Polarity::N);
+        let p = ModelCard::nominal(Polarity::P);
+        let cfg300 = CharConfig::fast(300.0);
+        let cfg10 = CharConfig::fast(10.0);
+        let k1 = cache_key(&n, &p, &cfg300, "std");
+        let k2 = cache_key(&n, &p, &cfg300, "std");
+        assert_eq!(k1, k2, "same inputs, same key");
+        assert_ne!(k1, cache_key(&n, &p, &cfg10, "std"), "temp changes key");
+        assert_ne!(k1, cache_key(&n, &p, &cfg300, "other"), "tag changes key");
+        let mut n2 = n.clone();
+        n2.vth0 += 0.01;
+        assert_ne!(k1, cache_key(&n2, &p, &cfg300, "std"), "card changes key");
+    }
+
+    #[test]
+    fn cell_set_tag_tracks_the_set() {
+        use crate::topology;
+        let a = vec![topology::inverter(1), topology::nand(2, 1)];
+        let b = vec![topology::nand(2, 1), topology::inverter(1)];
+        assert_eq!(cell_set_tag(&a), cell_set_tag(&b), "order-insensitive");
+        let c = vec![topology::inverter(1)];
+        assert_ne!(cell_set_tag(&a), cell_set_tag(&c), "content-sensitive");
+        assert!(cell_set_tag(&a).starts_with("set2_"));
+    }
+
+    #[test]
+    fn store_and_load_round_trip() {
+        let dir = std::env::temp_dir().join("cryo_cells_cache_test");
+        let _ = fs::remove_dir_all(&dir);
+        let lib = Library::new("corner", 10.0, 0.7);
+        store(&dir, "corner", "deadbeef", &lib).unwrap();
+        let back = load(&dir, "corner", "deadbeef").expect("cache hit");
+        assert_eq!(back.name, "corner");
+        assert!(
+            load(&dir, "corner", "feedface").is_none(),
+            "miss on other key"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,846 @@
+//! The standard-cell characterization engine.
+//!
+//! For every cell this module reproduces the PrimeLib flow of the paper's
+//! Fig. 4: define the functionality of each cell, build stimuli for all
+//! timing arcs, run SPICE transients over a slew × load grid, and collect
+//! delays, output transitions, switching energies, per-state leakage, and
+//! pin capacitances into a [`cryo_liberty::Library`].
+
+use cryo_device::{FinFet, ModelCard};
+use cryo_liberty::{
+    ArcKind, Cell, FfSpec, Library, LogicFunction, Lut2, Pin, PowerArc, TimingArc, TimingSense,
+};
+use cryo_spice::{dc_operating_point, transient, Circuit, Source, TranConfig, GROUND};
+
+use crate::topology::CellNetlist;
+use crate::{CellError, Result};
+
+/// Characterization configuration: operating condition and measurement grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharConfig {
+    /// Junction temperature, kelvin.
+    pub temp: f64,
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Input-slew axis (20–80 % transition times), seconds.
+    pub slews: Vec<f64>,
+    /// Output-load axis for a unit-drive cell, farads; scaled linearly with
+    /// cell drive so every cell is measured over its realistic fanout range.
+    pub loads_x1: Vec<f64>,
+    /// Transient resolution (steps per analysis window).
+    pub steps: usize,
+    /// Print one progress line per cell to stderr.
+    pub progress: bool,
+}
+
+impl CharConfig {
+    /// The paper's 7 × 7 slew/load grid at temperature `temp`.
+    #[must_use]
+    pub fn full(temp: f64) -> Self {
+        Self {
+            temp,
+            vdd: 0.70,
+            slews: vec![2.5e-12, 5e-12, 10e-12, 20e-12, 40e-12, 80e-12, 160e-12],
+            loads_x1: vec![
+                0.4e-15, 0.8e-15, 1.6e-15, 3.2e-15, 6.4e-15, 12.8e-15, 25.6e-15,
+            ],
+            steps: 220,
+            progress: false,
+        }
+    }
+
+    /// A reduced 3 × 3 grid for tests and quick experiments.
+    #[must_use]
+    pub fn fast(temp: f64) -> Self {
+        Self {
+            temp,
+            vdd: 0.70,
+            slews: vec![5e-12, 20e-12, 80e-12],
+            loads_x1: vec![0.8e-15, 3.2e-15, 12.8e-15],
+            steps: 150,
+            progress: false,
+        }
+    }
+
+    /// Load axis for a cell of the given drive strength.
+    #[must_use]
+    pub fn loads_for(&self, drive: u32) -> Vec<f64> {
+        self.loads_x1.iter().map(|l| l * f64::from(drive)).collect()
+    }
+}
+
+/// The characterization engine bound to n/p model cards and a configuration.
+#[derive(Debug, Clone)]
+pub struct Characterizer {
+    nfet: ModelCard,
+    pfet: ModelCard,
+    cfg: CharConfig,
+}
+
+/// A single measured point of an arc.
+#[derive(Debug, Clone, Copy)]
+struct ArcPoint {
+    delay: f64,
+    out_slew: f64,
+    energy: f64,
+}
+
+impl Characterizer {
+    /// Bind the engine to model cards and a configuration.
+    #[must_use]
+    pub fn new(nfet: &ModelCard, pfet: &ModelCard, cfg: CharConfig) -> Self {
+        Self {
+            nfet: nfet.clone(),
+            pfet: pfet.clone(),
+            cfg,
+        }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &CharConfig {
+        &self.cfg
+    }
+
+    /// Characterize one cell into its library model.
+    ///
+    /// # Errors
+    ///
+    /// [`CellError::Spice`] when a deck fails to converge,
+    /// [`CellError::Measurement`] when a waveform never crosses its
+    /// thresholds, [`CellError::Liberty`] on malformed table assembly.
+    pub fn characterize_cell(&self, cell: &CellNetlist) -> Result<Cell> {
+        let mut arcs = Vec::new();
+        let mut power_arcs = Vec::new();
+        if cell.ff.is_some() {
+            self.characterize_sequential(cell, &mut arcs, &mut power_arcs)?;
+        } else if !cell.is_tie() {
+            self.characterize_combinational(cell, &mut arcs, &mut power_arcs)?;
+        }
+        let leakage_states = self.measure_leakage(cell)?;
+        let pins = self.build_pins(cell);
+        Ok(Cell {
+            name: cell.name.clone(),
+            area: cell.area(),
+            pins,
+            arcs,
+            power_arcs,
+            leakage_states,
+            ff: cell.ff.clone(),
+            drive: cell.drive,
+        })
+    }
+
+    /// Characterize a whole cell set into a library corner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first per-cell failure.
+    pub fn characterize_library(&self, name: &str, cells: &[CellNetlist]) -> Result<Library> {
+        let mut lib = Library::new(name, self.cfg.temp, self.cfg.vdd);
+        for (i, cell) in cells.iter().enumerate() {
+            if self.cfg.progress {
+                eprintln!(
+                    "[char {:>5.1}K] {:>3}/{} {}",
+                    self.cfg.temp,
+                    i + 1,
+                    cells.len(),
+                    cell.name
+                );
+            }
+            lib.add_cell(self.characterize_cell(cell)?);
+        }
+        Ok(lib)
+    }
+
+    // ------------------------------------------------------------------
+    // Circuit construction
+    // ------------------------------------------------------------------
+
+    /// Build the characterization deck: supplies, input sources, devices,
+    /// wire parasitics, and an optional load on `loaded_output`.
+    fn build_circuit(
+        &self,
+        cell: &CellNetlist,
+        input_sources: &[(String, Source)],
+        loaded_output: Option<(&str, f64)>,
+    ) -> (Circuit, usize) {
+        let mut ckt = Circuit::new();
+        let vdd_node = ckt.node("vdd");
+        let vdd_branch = ckt.vsource("VDD", vdd_node, GROUND, Source::dc(self.cfg.vdd));
+        for (pin, source) in input_sources {
+            let node = ckt.node(pin);
+            ckt.vsource(&format!("V{pin}"), node, GROUND, source.clone());
+        }
+        for t in &cell.transistors {
+            let card = match t.polarity {
+                cryo_device::Polarity::N => &self.nfet,
+                cryo_device::Polarity::P => &self.pfet,
+            };
+            let d = ckt.node(&t.d);
+            let g = ckt.node(&t.g);
+            let s = ckt.node(&t.s);
+            ckt.finfet(&t.name, d, g, s, FinFet::new(card, self.cfg.temp, t.nfin));
+        }
+        for node in cell.internal_nodes() {
+            let cap = cell.wire_cap(&node);
+            if cap > 0.0 {
+                let n = ckt.node(&node);
+                ckt.capacitor(&format!("CW_{node}"), n, GROUND, cap);
+            }
+        }
+        for out in &cell.outputs {
+            let cap = cell.wire_cap(out);
+            if cap > 0.0 {
+                let n = ckt.node(out);
+                ckt.capacitor(&format!("CW_{out}"), n, GROUND, cap);
+            }
+        }
+        if let Some((out, cap)) = loaded_output {
+            let n = ckt.node(out);
+            ckt.capacitor("CLOAD", n, GROUND, cap);
+        }
+        (ckt, vdd_branch)
+    }
+
+    /// Analysis window for a given input slew and load on a cell.
+    fn window(&self, slew: f64, load: f64, drive: u32) -> (f64, f64) {
+        let t0 = 20e-12;
+        // Settling estimate: load swing at a conservative drive current.
+        let drive_current = 2.5e-5 * f64::from(drive);
+        let settle = 60e-12 + 8.0 * load * self.cfg.vdd / drive_current;
+        (t0, t0 + slew + settle)
+    }
+
+    // ------------------------------------------------------------------
+    // Combinational arcs
+    // ------------------------------------------------------------------
+
+    fn characterize_combinational(
+        &self,
+        cell: &CellNetlist,
+        arcs: &mut Vec<TimingArc>,
+        power_arcs: &mut Vec<PowerArc>,
+    ) -> Result<()> {
+        for out in &cell.outputs {
+            let f = &cell.functions[out];
+            for (bit, input) in f.inputs().iter().enumerate() {
+                if !f.depends_on(bit) {
+                    continue;
+                }
+                let Some(state) = sensitizing_state(f, bit) else {
+                    continue;
+                };
+                let sense = match f.unateness(bit) {
+                    Some(true) => TimingSense::PositiveUnate,
+                    Some(false) => TimingSense::NegativeUnate,
+                    None => TimingSense::NonUnate,
+                };
+                // Local polarity at the chosen state: does the output follow
+                // or oppose this input?
+                let local_positive = f.eval(state | (1 << bit));
+                let loads = self.cfg.loads_for(cell.drive);
+                let mut rise_delay = Vec::new();
+                let mut rise_tran = Vec::new();
+                let mut rise_energy = Vec::new();
+                let mut fall_delay = Vec::new();
+                let mut fall_tran = Vec::new();
+                let mut fall_energy = Vec::new();
+                for &slew in &self.cfg.slews {
+                    for &load in &loads {
+                        // Output rise.
+                        let p = self.measure_combinational_point(
+                            cell,
+                            f,
+                            input,
+                            bit,
+                            state,
+                            local_positive,
+                            true,
+                            slew,
+                            load,
+                            out,
+                        )?;
+                        rise_delay.push(p.delay);
+                        rise_tran.push(p.out_slew);
+                        rise_energy.push(p.energy);
+                        // Output fall.
+                        let p = self.measure_combinational_point(
+                            cell,
+                            f,
+                            input,
+                            bit,
+                            state,
+                            local_positive,
+                            false,
+                            slew,
+                            load,
+                            out,
+                        )?;
+                        fall_delay.push(p.delay);
+                        fall_tran.push(p.out_slew);
+                        fall_energy.push(p.energy);
+                    }
+                }
+                let table = |vals: Vec<f64>| -> Result<Lut2> {
+                    Lut2::new(self.cfg.slews.clone(), loads.clone(), vals).map_err(CellError::from)
+                };
+                arcs.push(TimingArc {
+                    related_pin: input.clone(),
+                    pin: out.clone(),
+                    kind: ArcKind::Combinational,
+                    sense,
+                    cell_rise: table(rise_delay)?,
+                    cell_fall: table(fall_delay)?,
+                    rise_transition: table(rise_tran)?,
+                    fall_transition: table(fall_tran)?,
+                });
+                power_arcs.push(PowerArc {
+                    related_pin: input.clone(),
+                    pin: out.clone(),
+                    rise_energy: table(rise_energy)?,
+                    fall_energy: table(fall_energy)?,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Simulate one (arc, edge, slew, load) combination and extract the
+    /// measurements.
+    #[allow(clippy::too_many_arguments)]
+    fn measure_combinational_point(
+        &self,
+        cell: &CellNetlist,
+        f: &LogicFunction,
+        input: &str,
+        bit: usize,
+        state: u16,
+        local_positive: bool,
+        output_rises: bool,
+        slew: f64,
+        load: f64,
+        out: &str,
+    ) -> Result<ArcPoint> {
+        let vdd = self.cfg.vdd;
+        // Input edge direction that produces the requested output edge.
+        let input_rises = output_rises == local_positive;
+        let (t0, tstop) = self.window(slew, load, cell.drive);
+        // The measured slew axis is 20–80 %; the source ramp spans the full
+        // swing in slew / 0.6 seconds so its 20–80 % time equals `slew`.
+        let ramp_time = slew / 0.6;
+        let mut sources: Vec<(String, Source)> = Vec::new();
+        for (i, name) in f.inputs().iter().enumerate() {
+            if i == bit {
+                let (v_from, v_to) = if input_rises { (0.0, vdd) } else { (vdd, 0.0) };
+                sources.push((name.clone(), Source::ramp(v_from, v_to, t0, ramp_time)));
+            } else {
+                let level = if state & (1 << i) != 0 { vdd } else { 0.0 };
+                sources.push((name.clone(), Source::dc(level)));
+            }
+        }
+        // Side inputs of *other* outputs' functions (e.g. the unused select
+        // state) are already covered: `f.inputs()` spans the cell inputs
+        // used by this output; any remaining cell inputs idle at 0.
+        for name in &cell.inputs {
+            if !sources.iter().any(|(n, _)| n == name) {
+                sources.push((name.clone(), Source::dc(0.0)));
+            }
+        }
+        let (ckt, vdd_branch) = self.build_circuit(cell, &sources, Some((out, load)));
+        let res = transient(&ckt, &TranConfig::with_steps(tstop, self.cfg.steps)).map_err(|e| {
+            CellError::Spice {
+                cell: cell.name.clone(),
+                what: "timing transient",
+                source: e,
+            }
+        })?;
+        let in_node = ckt.find_node(input).expect("input node exists");
+        let out_node = ckt.find_node(out).expect("output node exists");
+        let vin = res.voltage(in_node);
+        let vout = res.voltage(out_node);
+        let meas_err = |what: &'static str| CellError::Measurement {
+            cell: cell.name.clone(),
+            arc: format!("{input}->{out}"),
+            what,
+        };
+        let t_in = vin
+            .cross(vdd / 2.0, input_rises, 0.0)
+            .ok_or_else(|| meas_err("input never crossed 50 %"))?;
+        let t_out = vout
+            .cross(vdd / 2.0, output_rises, t0)
+            .ok_or_else(|| meas_err("output never crossed 50 %"))?;
+        let (vs, ve) = if output_rises { (0.0, vdd) } else { (vdd, 0.0) };
+        let out_slew = vout
+            .transition_time(vs, ve, 0.2, 0.8, t0)
+            .ok_or_else(|| meas_err("output transition incomplete"))?;
+        // Supply energy over the switching window, minus the leakage
+        // baseline, minus the external load charge for rising outputs.
+        let i_vdd = res.source_current(vdd_branch);
+        let e_supply = -vdd * i_vdd.integral();
+        let i_leak0 = i_vdd.value_at(0.0);
+        let e_leak = -vdd * i_leak0 * (tstop - 0.0);
+        let e_load = if output_rises { load * vdd * vdd } else { 0.0 };
+        let energy = (e_supply - e_leak - e_load).max(0.0);
+        Ok(ArcPoint {
+            delay: t_out - t_in,
+            out_slew,
+            energy,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Sequential arcs
+    // ------------------------------------------------------------------
+
+    fn characterize_sequential(
+        &self,
+        cell: &CellNetlist,
+        arcs: &mut Vec<TimingArc>,
+        power_arcs: &mut Vec<PowerArc>,
+    ) -> Result<()> {
+        let ff = cell.ff.as_ref().expect("sequential cell");
+        let clk = ff.clocked_on.clone();
+        let q = cell.outputs[0].clone();
+        let loads = self.cfg.loads_for(cell.drive);
+        let mut rise_delay = Vec::new();
+        let mut rise_tran = Vec::new();
+        let mut rise_energy = Vec::new();
+        let mut fall_delay = Vec::new();
+        let mut fall_tran = Vec::new();
+        let mut fall_energy = Vec::new();
+        for &slew in &self.cfg.slews {
+            for &load in &loads {
+                let p = self.measure_clk_to_q(cell, ff, true, slew, load)?;
+                rise_delay.push(p.delay);
+                rise_tran.push(p.out_slew);
+                rise_energy.push(p.energy);
+                let p = self.measure_clk_to_q(cell, ff, false, slew, load)?;
+                fall_delay.push(p.delay);
+                fall_tran.push(p.out_slew);
+                fall_energy.push(p.energy);
+            }
+        }
+        let table = |vals: Vec<f64>| -> Result<Lut2> {
+            Lut2::new(self.cfg.slews.clone(), loads.clone(), vals).map_err(CellError::from)
+        };
+        arcs.push(TimingArc {
+            related_pin: clk.clone(),
+            pin: q.clone(),
+            kind: ArcKind::ClockToQ,
+            sense: TimingSense::NonUnate,
+            cell_rise: table(rise_delay)?,
+            cell_fall: table(fall_delay)?,
+            rise_transition: table(rise_tran)?,
+            fall_transition: table(fall_tran)?,
+        });
+        power_arcs.push(PowerArc {
+            related_pin: clk.clone(),
+            pin: q.clone(),
+            rise_energy: table(rise_energy)?,
+            fall_energy: table(fall_energy)?,
+        });
+        // Setup/hold at the centre of the grid, published as constants.
+        let setup = self.bisect_constraint(cell, ff, true)?;
+        let hold = self.bisect_constraint(cell, ff, false)?;
+        arcs.push(TimingArc {
+            related_pin: clk.clone(),
+            pin: ff.next_state.clone(),
+            kind: ArcKind::Setup,
+            sense: TimingSense::NonUnate,
+            cell_rise: Lut2::constant(setup),
+            cell_fall: Lut2::constant(setup),
+            rise_transition: Lut2::constant(0.0),
+            fall_transition: Lut2::constant(0.0),
+        });
+        arcs.push(TimingArc {
+            related_pin: clk,
+            pin: ff.next_state.clone(),
+            kind: ArcKind::Hold,
+            sense: TimingSense::NonUnate,
+            cell_rise: Lut2::constant(hold),
+            cell_fall: Lut2::constant(hold),
+            rise_transition: Lut2::constant(0.0),
+            fall_transition: Lut2::constant(0.0),
+        });
+        Ok(())
+    }
+
+    /// Clock-to-Q measurement.
+    ///
+    /// A priming clock pulse first captures the *opposite* value so that Q
+    /// is guaranteed to transition on the measured edge (the slave latch's
+    /// DC state is otherwise arbitrary): D = !target through edge 1, then
+    /// D switches to the target and the measured edge launches it.
+    fn measure_clk_to_q(
+        &self,
+        cell: &CellNetlist,
+        ff: &FfSpec,
+        q_rises: bool,
+        slew: f64,
+        load: f64,
+    ) -> Result<ArcPoint> {
+        let vdd = self.cfg.vdd;
+        let ramp_fast = 10e-12;
+        let t_prime = 60e-12; // priming edge
+        let t_clk_fall = t_prime + 160e-12;
+        let t_d_change = t_prime + 320e-12;
+        let t_edge = t_prime + 480e-12;
+        let ramp_time = slew / 0.6;
+        let drive_current = 2.5e-5 * f64::from(cell.drive);
+        let settle = 80e-12 + 8.0 * load * vdd / drive_current + slew;
+        let window_end = t_edge + ramp_time + settle;
+        let (d_from, d_to) = if q_rises { (0.0, vdd) } else { (vdd, 0.0) };
+        let clk = Source::Pwl(vec![
+            (0.0, 0.0),
+            (t_prime, 0.0),
+            (t_prime + ramp_fast, vdd),
+            (t_clk_fall, vdd),
+            (t_clk_fall + ramp_fast, 0.0),
+            (t_edge, 0.0),
+            (t_edge + ramp_time, vdd),
+        ]);
+        let d_src = Source::ramp(d_from, d_to, t_d_change, 20e-12);
+        let mut sources: Vec<(String, Source)> =
+            vec![(ff.clocked_on.clone(), clk), (ff.next_state.clone(), d_src)];
+        if let Some(rn) = &ff.clear {
+            sources.push((rn.clone(), Source::dc(vdd)));
+        }
+        let q = &cell.outputs[0];
+        let (ckt, vdd_branch) = self.build_circuit(cell, &sources, Some((q, load)));
+        let res = transient(
+            &ckt,
+            &TranConfig::with_steps(window_end, 2 * self.cfg.steps),
+        )
+        .map_err(|e| CellError::Spice {
+            cell: cell.name.clone(),
+            what: "clk-to-q transient",
+            source: e,
+        })?;
+        let clk_node = ckt.find_node(&ff.clocked_on).expect("clk node");
+        let q_node = ckt.find_node(q).expect("q node");
+        let vclk = res.voltage(clk_node);
+        let vq = res.voltage(q_node);
+        let meas_err = |what: &'static str| CellError::Measurement {
+            cell: cell.name.clone(),
+            arc: format!("{}->{}", ff.clocked_on, q),
+            what,
+        };
+        let t_clk = vclk
+            .cross(vdd / 2.0, true, t_edge - 10e-12)
+            .ok_or_else(|| meas_err("measured clock edge missing"))?;
+        let t_q = vq
+            .cross(vdd / 2.0, q_rises, t_edge)
+            .ok_or_else(|| meas_err("Q never crossed 50 %"))?;
+        let (vs, ve) = if q_rises { (0.0, vdd) } else { (vdd, 0.0) };
+        let out_slew = vq
+            .transition_time(vs, ve, 0.2, 0.8, t_edge)
+            .ok_or_else(|| meas_err("Q transition incomplete"))?;
+        // Energy window restricted to the measured edge (the priming pulse
+        // would otherwise pollute the integral).
+        let i_vdd = res.source_current(vdd_branch);
+        let t_base = t_edge - 40e-12;
+        let e_supply = -vdd * i_vdd.integral_between(t_base, window_end);
+        let e_leak = -vdd * i_vdd.value_at(t_base) * (window_end - t_base);
+        let e_load = if q_rises { load * vdd * vdd } else { 0.0 };
+        Ok(ArcPoint {
+            delay: t_q - t_clk,
+            out_slew,
+            energy: (e_supply - e_leak - e_load).max(0.0),
+        })
+    }
+
+    /// Bisect the setup (`setup = true`) or hold margin at the grid centre.
+    fn bisect_constraint(&self, cell: &CellNetlist, ff: &FfSpec, setup: bool) -> Result<f64> {
+        let vdd = self.cfg.vdd;
+        let slew = self.cfg.slews[self.cfg.slews.len() / 2];
+        let load = self.cfg.loads_for(cell.drive)[self.cfg.loads_x1.len() / 2];
+        let ramp_time = slew / 0.6;
+        let t_edge = 560e-12;
+        let window_end = t_edge + 460e-12;
+        let q = cell.outputs[0].clone();
+
+        // Captured correctly = Q reads the pre-edge D value at the end. A
+        // priming pulse first captures 0 so the slave's arbitrary DC state
+        // cannot fake a pass.
+        let ramp_fast = 10e-12;
+        let t_prime = 60e-12;
+        let t_clk_fall = t_prime + 160e-12;
+        let capture_ok = |offset: f64| -> Result<bool> {
+            // Setup: D rises `offset` before the edge (target Q = 1, D was 0).
+            // Hold: D rises well before the edge and falls `offset` after it
+            // (target Q = 1 still captured).
+            let d_source = if setup {
+                Source::ramp(0.0, vdd, t_edge - offset, ramp_time)
+            } else {
+                Source::Pwl(vec![
+                    (0.0, 0.0),
+                    (t_clk_fall + 60e-12, 0.0),
+                    (t_clk_fall + 80e-12, vdd),
+                    (t_edge + offset, vdd),
+                    (t_edge + offset + ramp_time, 0.0),
+                ])
+            };
+            let clk = Source::Pwl(vec![
+                (0.0, 0.0),
+                (t_prime, 0.0),
+                (t_prime + ramp_fast, vdd),
+                (t_clk_fall, vdd),
+                (t_clk_fall + ramp_fast, 0.0),
+                (t_edge, 0.0),
+                (t_edge + ramp_time, vdd),
+            ]);
+            let mut sources: Vec<(String, Source)> = vec![
+                (ff.clocked_on.clone(), clk),
+                (ff.next_state.clone(), d_source),
+            ];
+            if let Some(rn) = &ff.clear {
+                sources.push((rn.clone(), Source::dc(vdd)));
+            }
+            let (ckt, _) = self.build_circuit(cell, &sources, Some((&q, load)));
+            let res = transient(
+                &ckt,
+                &TranConfig::with_steps(window_end, 2 * self.cfg.steps),
+            )
+            .map_err(|e| CellError::Spice {
+                cell: cell.name.clone(),
+                what: "constraint transient",
+                source: e,
+            })?;
+            let q_node = ckt.find_node(&q).expect("q node");
+            Ok(res.voltage(q_node).last() > vdd / 2.0)
+        };
+
+        // Bisection over the offset; the pass region is large offsets.
+        let mut lo = 0.0;
+        let mut hi = 240e-12;
+        if !capture_ok(hi)? {
+            // Pathological cell: publish the whole window as the margin.
+            return Ok(hi);
+        }
+        for _ in 0..7 {
+            let mid = 0.5 * (lo + hi);
+            if capture_ok(mid)? {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(hi)
+    }
+
+    // ------------------------------------------------------------------
+    // Leakage and pins
+    // ------------------------------------------------------------------
+
+    /// Leakage power per static input state.
+    ///
+    /// Combinational cells use a DC operating point. Sequential cells are
+    /// settled through a clock transition first: the plain DC solve can
+    /// land on the *metastable* equilibrium of a keeper loop (both keeper
+    /// inverters half-on), which reads as milliwatt-scale crowbar current
+    /// instead of leakage.
+    fn measure_leakage(&self, cell: &CellNetlist) -> Result<Vec<(u16, f64)>> {
+        let vdd = self.cfg.vdd;
+        let mut pins: Vec<String> = cell.inputs.clone();
+        if let Some(clk) = &cell.clock {
+            pins.push(clk.clone());
+        }
+        let n = pins.len().min(5);
+        let mut out = Vec::new();
+        for state in 0..(1u16 << n) {
+            let level_of = |i: usize| if state & (1 << i) != 0 { vdd } else { 0.0 };
+            let power = if cell.ff.is_some() {
+                let clk_name = cell.clock.as_deref().unwrap_or("CLK");
+                let sources: Vec<(String, Source)> = pins
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| {
+                        if p == clk_name {
+                            // Arrive at the requested clock level through a
+                            // real transition so the latches settle.
+                            let level = level_of(i);
+                            let other = vdd - level;
+                            (
+                                p.clone(),
+                                Source::Pwl(vec![(0.0, other), (300e-12, other), (320e-12, level)]),
+                            )
+                        } else {
+                            (p.clone(), Source::dc(level_of(i)))
+                        }
+                    })
+                    .collect();
+                let (ckt, vdd_branch) = self.build_circuit(cell, &sources, None);
+                let res = transient(&ckt, &TranConfig::with_steps(1.2e-9, self.cfg.steps))
+                    .map_err(|e| CellError::Spice {
+                        cell: cell.name.clone(),
+                        what: "leakage settle transient",
+                        source: e,
+                    })?;
+                // Trapezoidal integration rings (undamped ±i alternation)
+                // after sharp edges; the window average cancels it and
+                // leaves the true DC draw.
+                let i = res.source_current(vdd_branch);
+                let (t1, t2) = (0.8e-9, 1.2e-9);
+                let i_avg = i.integral_between(t1, t2) / (t2 - t1);
+                (-i_avg * vdd).max(0.0)
+            } else {
+                let sources: Vec<(String, Source)> = pins
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (p.clone(), Source::dc(level_of(i))))
+                    .collect();
+                let (ckt, vdd_branch) = self.build_circuit(cell, &sources, None);
+                let op = dc_operating_point(&ckt).map_err(|e| CellError::Spice {
+                    cell: cell.name.clone(),
+                    what: "leakage DC",
+                    source: e,
+                })?;
+                (-op.branch_current(vdd_branch) * vdd).max(0.0)
+            };
+            out.push((state, power));
+        }
+        Ok(out)
+    }
+
+    /// Pin models: analytic input capacitance (device gates + wire) and
+    /// output functions.
+    fn build_pins(&self, cell: &CellNetlist) -> Vec<Pin> {
+        let mut pins = Vec::new();
+        let mut input_like: Vec<(&String, bool)> = cell.inputs.iter().map(|p| (p, false)).collect();
+        if let Some(clk) = &cell.clock {
+            input_like.push((clk, true));
+        }
+        for (name, is_clock) in input_like {
+            let mut cap = cell.wire_cap(name);
+            for t in &cell.transistors {
+                if &t.g == name {
+                    let card = match t.polarity {
+                        cryo_device::Polarity::N => &self.nfet,
+                        cryo_device::Polarity::P => &self.pfet,
+                    };
+                    cap += FinFet::new(card, self.cfg.temp, t.nfin).cgg();
+                }
+            }
+            let mut pin = Pin::input(name, cap);
+            pin.is_clock = is_clock;
+            pins.push(pin);
+        }
+        for out in &cell.outputs {
+            pins.push(Pin::output(out, cell.functions[out].clone()));
+        }
+        pins
+    }
+}
+
+/// Find the numerically smallest side-input assignment that sensitizes
+/// `input` (the output toggles when the input toggles). Returns the full
+/// assignment with the target input at 0.
+fn sensitizing_state(f: &LogicFunction, input: usize) -> Option<u16> {
+    let n = f.arity();
+    (0..(1u16 << n))
+        .filter(|k| k & (1 << input) == 0)
+        .find(|&k| f.eval(k) != f.eval(k | (1 << input)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology;
+    use cryo_device::Polarity;
+
+    fn engine() -> Characterizer {
+        Characterizer::new(
+            &ModelCard::nominal(Polarity::N),
+            &ModelCard::nominal(Polarity::P),
+            CharConfig::fast(300.0),
+        )
+    }
+
+    #[test]
+    fn sensitizing_state_for_nand() {
+        let f = LogicFunction::from_eval(&["A", "B"], |b| b & 3 != 3);
+        // To sensitize A, B must be 1.
+        assert_eq!(sensitizing_state(&f, 0), Some(0b10));
+        assert_eq!(sensitizing_state(&f, 1), Some(0b01));
+    }
+
+    #[test]
+    fn inverter_characterization_is_sane() {
+        let cell = engine().characterize_cell(&topology::inverter(1)).unwrap();
+        assert_eq!(cell.arcs.len(), 1);
+        let arc = &cell.arcs[0];
+        assert_eq!(arc.sense, TimingSense::NegativeUnate);
+        // Delays are positive, finite, and increase with load.
+        let d_small = arc.cell_rise.lookup(5e-12, 0.8e-15);
+        let d_large = arc.cell_rise.lookup(5e-12, 12.8e-15);
+        assert!(d_small > 0.0 && d_small < 100e-12, "d_small = {d_small:e}");
+        assert!(d_large > d_small, "{d_large:e} vs {d_small:e}");
+        // Input pin cap is sub-femtofarad but nonzero.
+        let cap = cell.pin("A").unwrap().capacitance;
+        assert!(cap > 0.1e-15 && cap < 5e-15, "cap = {cap:e}");
+        // Leakage measured for both states.
+        assert_eq!(cell.leakage_states.len(), 2);
+        assert!(cell.average_leakage() > 0.0);
+    }
+
+    #[test]
+    fn nand_has_one_arc_per_input() {
+        let cell = engine().characterize_cell(&topology::nand(2, 1)).unwrap();
+        assert_eq!(cell.arcs.len(), 2);
+        assert_eq!(cell.power_arcs.len(), 2);
+        for arc in &cell.arcs {
+            assert_eq!(arc.sense, TimingSense::NegativeUnate);
+            assert!(arc.cell_rise.lookup(5e-12, 1e-15) > 0.0);
+        }
+        // 4 leakage states for 2 inputs.
+        assert_eq!(cell.leakage_states.len(), 4);
+    }
+
+    #[test]
+    fn xor_is_non_unate() {
+        let cell = engine().characterize_cell(&topology::xor2(1)).unwrap();
+        assert!(cell.arcs.iter().all(|a| a.sense == TimingSense::NonUnate));
+    }
+
+    #[test]
+    fn cryo_library_leaks_less_but_runs_similar_speed() {
+        let cells = vec![topology::inverter(1), topology::nand(2, 1)];
+        let lib300 = Characterizer::new(
+            &ModelCard::nominal(Polarity::N),
+            &ModelCard::nominal(Polarity::P),
+            CharConfig::fast(300.0),
+        )
+        .characterize_library("t300", &cells)
+        .unwrap();
+        let lib10 = Characterizer::new(
+            &ModelCard::nominal(Polarity::N),
+            &ModelCard::nominal(Polarity::P),
+            CharConfig::fast(10.0),
+        )
+        .characterize_library("t10", &cells)
+        .unwrap();
+        let s300 = lib300.stats();
+        let s10 = lib10.stats();
+        // Fig. 5's message: delay barely moves...
+        let ratio = s10.mean_delay / s300.mean_delay;
+        assert!(
+            (0.85..1.35).contains(&ratio),
+            "mean delay ratio 10K/300K = {ratio:.3}"
+        );
+        // ...while leakage collapses.
+        assert!(
+            s300.total_avg_leakage / s10.total_avg_leakage > 50.0,
+            "leakage must collapse: {:.3e} -> {:.3e}",
+            s300.total_avg_leakage,
+            s10.total_avg_leakage
+        );
+    }
+
+    #[test]
+    fn tie_cells_characterize_without_arcs() {
+        let cell = engine().characterize_cell(&topology::tiehi()).unwrap();
+        assert!(cell.arcs.is_empty());
+        assert_eq!(cell.leakage_states.len(), 1);
+    }
+}

@@ -1,0 +1,106 @@
+#![warn(missing_docs)]
+//! ASAP7-style standard-cell topologies and SPICE-driven library
+//! characterization.
+//!
+//! This crate plays the role of the ASAP7 PDK cell netlists plus Synopsys
+//! PrimeLib in the paper's flow (Sec. IV):
+//!
+//! - [`topology`] — programmatic transistor-level netlists for the cell
+//!   families a 7-nm-class library ships: inverters/buffers, NAND/NOR/
+//!   AND/OR up to four inputs, AOI/OAI complex gates, XOR/XNOR, muxes,
+//!   majority/adder cells, flip-flops (plain and resettable), clock cells,
+//!   and tie cells — across drive strengths, 169 cells total (the paper
+//!   characterizes 200 ASAP7 cells).
+//! - [`charlib`] — the characterization engine: for every cell, every
+//!   timing arc is exercised over a slew × load grid (7×7 by default, as in
+//!   the paper) with `cryo-spice` transients; delays, output transitions,
+//!   switching energies, per-state leakage, and pin capacitances are
+//!   collected into a [`cryo_liberty::Library`].
+//! - [`cache`] — a JSON disk cache so the multi-minute characterization run
+//!   happens once per (model card, configuration) pair.
+//!
+//! # Example: characterize a two-cell mini library
+//!
+//! ```
+//! use cryo_cells::{topology, CharConfig, Characterizer};
+//! use cryo_device::{ModelCard, Polarity};
+//!
+//! let n = ModelCard::nominal(Polarity::N);
+//! let p = ModelCard::nominal(Polarity::P);
+//! let cfg = CharConfig::fast(300.0);
+//! let engine = Characterizer::new(&n, &p, cfg);
+//! let cells = vec![topology::inverter(1), topology::nand(2, 1)];
+//! let lib = engine.characterize_library("mini", &cells).unwrap();
+//! assert_eq!(lib.len(), 2);
+//! ```
+
+pub mod cache;
+pub mod charlib;
+pub mod topology;
+
+pub use charlib::{CharConfig, Characterizer};
+pub use topology::{CellNetlist, Mos};
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from cell generation and characterization.
+#[derive(Debug)]
+pub enum CellError {
+    /// The circuit simulator failed on a characterization deck.
+    Spice {
+        /// Cell being characterized.
+        cell: String,
+        /// What was being measured.
+        what: &'static str,
+        /// Underlying simulator error.
+        source: cryo_spice::SpiceError,
+    },
+    /// A waveform measurement failed (e.g. the output never crossed 50 %).
+    Measurement {
+        /// Cell being characterized.
+        cell: String,
+        /// Arc description.
+        arc: String,
+        /// What was being measured.
+        what: &'static str,
+    },
+    /// Library construction failed.
+    Liberty(cryo_liberty::LibertyError),
+    /// Disk cache I/O failed.
+    Cache(String),
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::Spice { cell, what, source } => {
+                write!(f, "spice failure characterizing {cell} ({what}): {source}")
+            }
+            CellError::Measurement { cell, arc, what } => {
+                write!(f, "measurement failure on {cell} arc {arc}: {what}")
+            }
+            CellError::Liberty(e) => write!(f, "library error: {e}"),
+            CellError::Cache(msg) => write!(f, "cache error: {msg}"),
+        }
+    }
+}
+
+impl Error for CellError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CellError::Spice { source, .. } => Some(source),
+            CellError::Liberty(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<cryo_liberty::LibertyError> for CellError {
+    fn from(e: cryo_liberty::LibertyError) -> Self {
+        CellError::Liberty(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CellError>;

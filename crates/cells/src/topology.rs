@@ -1,0 +1,997 @@
+//! Transistor-level topologies for the standard-cell families.
+//!
+//! Cells are expressed as flat FinFET netlists over named nodes. Supply
+//! nodes are `vdd`/`gnd`; primary pins use their Liberty names (`A`, `B`,
+//! `Y`, `D`, `CLK`, ...). Internal nodes carry a fanout-based wire
+//! parasitic, mirroring how the ASAP7 netlists include extracted RC.
+
+use std::collections::BTreeMap;
+
+use cryo_device::Polarity;
+use cryo_liberty::{FfSpec, LogicFunction};
+
+/// Per-terminal routing parasitic estimate, farads.
+const WIRE_CAP_PER_TERMINAL: f64 = 6.0e-17;
+/// Area per fin, square micrometres (ASAP7-class density).
+const AREA_PER_FIN: f64 = 0.0108;
+/// n-FinFET fins per unit drive.
+const NFIN_N: u32 = 2;
+/// p-FinFET fins per unit drive (wider to balance hole mobility).
+const NFIN_P: u32 = 3;
+
+/// One transistor instance inside a cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mos {
+    /// Instance name.
+    pub name: String,
+    /// Channel polarity.
+    pub polarity: Polarity,
+    /// Drain node.
+    pub d: String,
+    /// Gate node.
+    pub g: String,
+    /// Source node.
+    pub s: String,
+    /// Fin count.
+    pub nfin: u32,
+}
+
+/// A transistor-level cell netlist plus its logical view.
+#[derive(Debug, Clone)]
+pub struct CellNetlist {
+    /// Cell name, e.g. `NAND2x2`.
+    pub name: String,
+    /// Input pin names in function bit order.
+    pub inputs: Vec<String>,
+    /// Output pin names.
+    pub outputs: Vec<String>,
+    /// Clock pin, for sequential cells.
+    pub clock: Option<String>,
+    /// Transistors.
+    pub transistors: Vec<Mos>,
+    /// Logic function per output pin (registered output functions describe
+    /// the D→Q view for simulation).
+    pub functions: BTreeMap<String, LogicFunction>,
+    /// Sequential behaviour, if any.
+    pub ff: Option<FfSpec>,
+    /// Drive strength tag.
+    pub drive: u32,
+}
+
+impl CellNetlist {
+    /// Total fin count (proxy for area and leakage width).
+    #[must_use]
+    pub fn total_fins(&self) -> u32 {
+        self.transistors.iter().map(|t| t.nfin).sum()
+    }
+
+    /// Layout area estimate, square micrometres.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        AREA_PER_FIN * f64::from(self.total_fins())
+    }
+
+    /// Internal (non-pin, non-supply) node names.
+    #[must_use]
+    pub fn internal_nodes(&self) -> Vec<String> {
+        let mut nodes: Vec<String> = Vec::new();
+        for t in &self.transistors {
+            for n in [&t.d, &t.g, &t.s] {
+                if n == "vdd"
+                    || n == "gnd"
+                    || self.inputs.iter().any(|i| i == n)
+                    || self.outputs.iter().any(|o| o == n)
+                    || self.clock.as_deref() == Some(n.as_str())
+                    || nodes.contains(n)
+                {
+                    continue;
+                }
+                nodes.push(n.clone());
+            }
+        }
+        nodes
+    }
+
+    /// Wire parasitic for a node: terminals touching it × unit wire cap.
+    #[must_use]
+    pub fn wire_cap(&self, node: &str) -> f64 {
+        let touches = self
+            .transistors
+            .iter()
+            .flat_map(|t| [&t.d, &t.g, &t.s])
+            .filter(|n| n.as_str() == node)
+            .count();
+        touches as f64 * WIRE_CAP_PER_TERMINAL
+    }
+
+    /// Whether this cell has no inputs (tie cells).
+    #[must_use]
+    pub fn is_tie(&self) -> bool {
+        self.inputs.is_empty() && self.clock.is_none()
+    }
+}
+
+/// Internal builder state.
+struct Builder {
+    name: String,
+    mos: Vec<Mos>,
+    counter: usize,
+}
+
+impl Builder {
+    fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            mos: Vec::new(),
+            counter: 0,
+        }
+    }
+
+    fn fresh(&mut self, prefix: &str) -> String {
+        self.counter += 1;
+        format!("{prefix}{}", self.counter)
+    }
+
+    fn nmos(&mut self, d: &str, g: &str, s: &str, fins: u32) {
+        let name = format!("MN{}", self.mos.len());
+        self.mos.push(Mos {
+            name,
+            polarity: Polarity::N,
+            d: d.to_string(),
+            g: g.to_string(),
+            s: s.to_string(),
+            nfin: fins,
+        });
+    }
+
+    fn pmos(&mut self, d: &str, g: &str, s: &str, fins: u32) {
+        let name = format!("MP{}", self.mos.len());
+        self.mos.push(Mos {
+            name,
+            polarity: Polarity::P,
+            d: d.to_string(),
+            g: g.to_string(),
+            s: s.to_string(),
+            nfin: fins,
+        });
+    }
+
+    /// Static CMOS inverter `out = !in`.
+    fn inv(&mut self, input: &str, out: &str, drive: u32) {
+        self.nmos(out, input, "gnd", NFIN_N * drive);
+        self.pmos(out, input, "vdd", NFIN_P * drive);
+    }
+
+    /// Transmission gate between `a` and `b`; conducts when `n_gate` is high
+    /// (and `p_gate`, its complement, low).
+    fn tgate(&mut self, a: &str, b: &str, n_gate: &str, p_gate: &str, drive: u32) {
+        self.nmos(a, n_gate, b, NFIN_N * drive);
+        self.pmos(a, p_gate, b, NFIN_P * drive);
+    }
+
+    /// Series NMOS chain from `top` to gnd, gated by `gates` in order.
+    fn nmos_chain(&mut self, top: &str, gates: &[&str], fins: u32) {
+        let mut upper = top.to_string();
+        for (i, g) in gates.iter().enumerate() {
+            let lower = if i + 1 == gates.len() {
+                "gnd".to_string()
+            } else {
+                self.fresh("sn")
+            };
+            self.nmos(&upper, g, &lower, fins);
+            upper = lower;
+        }
+    }
+
+    /// Series PMOS chain from `bottom` to vdd, gated by `gates` in order.
+    fn pmos_chain(&mut self, bottom: &str, gates: &[&str], fins: u32) {
+        let mut lower = bottom.to_string();
+        for (i, g) in gates.iter().enumerate() {
+            let upper = if i + 1 == gates.len() {
+                "vdd".to_string()
+            } else {
+                self.fresh("sp")
+            };
+            self.pmos(&lower, g, &upper, fins);
+            lower = upper;
+        }
+    }
+
+    /// Parallel NMOS devices from `top` to gnd.
+    fn nmos_parallel(&mut self, top: &str, gates: &[&str], fins: u32) {
+        for g in gates {
+            self.nmos(top, g, "gnd", fins);
+        }
+    }
+
+    /// Parallel PMOS devices from `bottom` to vdd.
+    fn pmos_parallel(&mut self, bottom: &str, gates: &[&str], fins: u32) {
+        for g in gates {
+            self.pmos(bottom, g, "vdd", fins);
+        }
+    }
+}
+
+fn input_names(n: usize) -> Vec<String> {
+    ["A", "B", "C", "D", "E"]
+        .iter()
+        .take(n)
+        .map(|s| (*s).to_string())
+        .collect()
+}
+
+fn combinational(
+    b: Builder,
+    inputs: Vec<String>,
+    output: &str,
+    f: LogicFunction,
+    drive: u32,
+) -> CellNetlist {
+    let mut functions = BTreeMap::new();
+    functions.insert(output.to_string(), f);
+    CellNetlist {
+        name: b.name,
+        inputs,
+        outputs: vec![output.to_string()],
+        clock: None,
+        transistors: b.mos,
+        functions,
+        ff: None,
+        drive,
+    }
+}
+
+/// `INVx<d>`: static CMOS inverter.
+#[must_use]
+pub fn inverter(drive: u32) -> CellNetlist {
+    let mut b = Builder::new(&format!("INVx{drive}"));
+    b.inv("A", "Y", drive);
+    let f = LogicFunction::from_eval(&["A"], |bits| bits & 1 == 0);
+    combinational(b, input_names(1), "Y", f, drive)
+}
+
+/// `BUFx<d>`: two-stage buffer (weak first stage).
+#[must_use]
+pub fn buffer(drive: u32) -> CellNetlist {
+    let mut b = Builder::new(&format!("BUFx{drive}"));
+    let first = (drive / 3).max(1);
+    b.inv("A", "yb", first);
+    b.inv("yb", "Y", drive);
+    let f = LogicFunction::from_eval(&["A"], |bits| bits & 1 != 0);
+    combinational(b, input_names(1), "Y", f, drive)
+}
+
+/// `CLKBUFx<d>`: clock buffer (balanced two-stage).
+#[must_use]
+pub fn clock_buffer(drive: u32) -> CellNetlist {
+    let mut c = buffer(drive);
+    c.name = format!("CLKBUFx{drive}");
+    c
+}
+
+/// `CLKINVx<d>`: clock inverter.
+#[must_use]
+pub fn clock_inverter(drive: u32) -> CellNetlist {
+    let mut c = inverter(drive);
+    c.name = format!("CLKINVx{drive}");
+    c
+}
+
+/// `NAND<n>x<d>`: n-input NAND.
+#[must_use]
+pub fn nand(n: usize, drive: u32) -> CellNetlist {
+    assert!((2..=4).contains(&n), "NAND arity 2..=4");
+    let mut b = Builder::new(&format!("NAND{n}x{drive}"));
+    let ins = input_names(n);
+    let refs: Vec<&str> = ins.iter().map(String::as_str).collect();
+    b.nmos_chain("Y", &refs, NFIN_N * drive);
+    b.pmos_parallel("Y", &refs, NFIN_P * drive);
+    let mask = (1u16 << n) - 1;
+    let f = LogicFunction::from_eval(&refs, move |bits| bits & mask != mask);
+    combinational(b, ins, "Y", f, drive)
+}
+
+/// `NOR<n>x<d>`: n-input NOR.
+#[must_use]
+pub fn nor(n: usize, drive: u32) -> CellNetlist {
+    assert!((2..=4).contains(&n), "NOR arity 2..=4");
+    let mut b = Builder::new(&format!("NOR{n}x{drive}"));
+    let ins = input_names(n);
+    let refs: Vec<&str> = ins.iter().map(String::as_str).collect();
+    b.pmos_chain("Y", &refs, NFIN_P * drive);
+    b.nmos_parallel("Y", &refs, NFIN_N * drive);
+    let f = LogicFunction::from_eval(&refs, move |bits| bits == 0);
+    combinational(b, ins, "Y", f, drive)
+}
+
+/// `AND<n>x<d>`: NAND followed by an inverter.
+#[must_use]
+pub fn and(n: usize, drive: u32) -> CellNetlist {
+    let mut cell = nand(n, (drive / 2).max(1));
+    let mut b = Builder::new(&format!("AND{n}x{drive}"));
+    b.mos = cell.transistors.clone();
+    // Rewire the NAND output onto an internal node, then invert.
+    for t in &mut b.mos {
+        for node in [&mut t.d, &mut t.g, &mut t.s] {
+            if node == "Y" {
+                *node = "yb".to_string();
+            }
+        }
+    }
+    b.inv("yb", "Y", drive);
+    let mask = (1u16 << n) - 1;
+    let refs: Vec<&str> = cell.inputs.iter().map(String::as_str).collect();
+    let f = LogicFunction::from_eval(&refs, move |bits| bits & mask == mask);
+    cell.name = b.name.clone();
+    combinational(b, cell.inputs, "Y", f, drive)
+}
+
+/// `OR<n>x<d>`: NOR followed by an inverter.
+#[must_use]
+pub fn or(n: usize, drive: u32) -> CellNetlist {
+    let cell = nor(n, (drive / 2).max(1));
+    let mut b = Builder::new(&format!("OR{n}x{drive}"));
+    b.mos = cell.transistors.clone();
+    for t in &mut b.mos {
+        for node in [&mut t.d, &mut t.g, &mut t.s] {
+            if node == "Y" {
+                *node = "yb".to_string();
+            }
+        }
+    }
+    b.inv("yb", "Y", drive);
+    let refs: Vec<&str> = cell.inputs.iter().map(String::as_str).collect();
+    let f = LogicFunction::from_eval(&refs, move |bits| bits != 0);
+    combinational(b, cell.inputs, "Y", f, drive)
+}
+
+/// `AOI21x<d>`: `Y = !((A*B) + C)`.
+#[must_use]
+pub fn aoi21(drive: u32) -> CellNetlist {
+    let mut b = Builder::new(&format!("AOI21x{drive}"));
+    let (nf, pf) = (NFIN_N * drive, NFIN_P * drive);
+    // Pull-down: series A,B in parallel with C.
+    let mid = "sn_ab";
+    b.nmos("Y", "A", mid, nf);
+    b.nmos(mid, "B", "gnd", nf);
+    b.nmos("Y", "C", "gnd", nf);
+    // Pull-up: (A || B) in series with C.
+    let top = "sp_ab";
+    b.pmos(top, "A", "vdd", pf);
+    b.pmos(top, "B", "vdd", pf);
+    b.pmos("Y", "C", top, pf);
+    let f = LogicFunction::from_eval(&["A", "B", "C"], |bits| {
+        let (a, b_, c) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+        !((a && b_) || c)
+    });
+    combinational(b, input_names(3), "Y", f, drive)
+}
+
+/// `AOI22x<d>`: `Y = !((A*B) + (C*D))`.
+#[must_use]
+pub fn aoi22(drive: u32) -> CellNetlist {
+    let mut b = Builder::new(&format!("AOI22x{drive}"));
+    let (nf, pf) = (NFIN_N * drive, NFIN_P * drive);
+    b.nmos("Y", "A", "sab", nf);
+    b.nmos("sab", "B", "gnd", nf);
+    b.nmos("Y", "C", "scd", nf);
+    b.nmos("scd", "D", "gnd", nf);
+    b.pmos("pu1", "A", "vdd", pf);
+    b.pmos("pu1", "B", "vdd", pf);
+    b.pmos("Y", "C", "pu1", pf);
+    b.pmos("Y", "D", "pu1", pf);
+    let f = LogicFunction::from_eval(&["A", "B", "C", "D"], |bits| {
+        let (a, b_, c, d) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0);
+        !((a && b_) || (c && d))
+    });
+    combinational(b, input_names(4), "Y", f, drive)
+}
+
+/// `OAI21x<d>`: `Y = !((A+B) * C)`.
+#[must_use]
+pub fn oai21(drive: u32) -> CellNetlist {
+    let mut b = Builder::new(&format!("OAI21x{drive}"));
+    let (nf, pf) = (NFIN_N * drive, NFIN_P * drive);
+    // Pull-down: (A || B) series C.
+    b.nmos("Y", "C", "snc", nf);
+    b.nmos("snc", "A", "gnd", nf);
+    b.nmos("snc", "B", "gnd", nf);
+    // Pull-up: series A,B in parallel with C.
+    b.pmos("Y", "A", "spa", pf);
+    b.pmos("spa", "B", "vdd", pf);
+    b.pmos("Y", "C", "vdd", pf);
+    let f = LogicFunction::from_eval(&["A", "B", "C"], |bits| {
+        let (a, b_, c) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+        !((a || b_) && c)
+    });
+    combinational(b, input_names(3), "Y", f, drive)
+}
+
+/// `OAI22x<d>`: `Y = !((A+B) * (C+D))`.
+#[must_use]
+pub fn oai22(drive: u32) -> CellNetlist {
+    let mut b = Builder::new(&format!("OAI22x{drive}"));
+    let (nf, pf) = (NFIN_N * drive, NFIN_P * drive);
+    b.nmos("Y", "A", "sn1", nf);
+    b.nmos("Y", "B", "sn1", nf);
+    b.nmos("sn1", "C", "gnd", nf);
+    b.nmos("sn1", "D", "gnd", nf);
+    b.pmos("Y", "A", "sp1", pf);
+    b.pmos("sp1", "B", "vdd", pf);
+    b.pmos("Y", "C", "sp2", pf);
+    b.pmos("sp2", "D", "vdd", pf);
+    let f = LogicFunction::from_eval(&["A", "B", "C", "D"], |bits| {
+        let (a, b_, c, d) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0, bits & 8 != 0);
+        !((a || b_) && (c || d))
+    });
+    combinational(b, input_names(4), "Y", f, drive)
+}
+
+/// `AO21x<d>`: non-inverting AOI21 (adds an output inverter).
+#[must_use]
+pub fn ao21(drive: u32) -> CellNetlist {
+    let inner = aoi21((drive / 2).max(1));
+    let mut b = Builder::new(&format!("AO21x{drive}"));
+    b.mos = inner.transistors.clone();
+    for t in &mut b.mos {
+        for node in [&mut t.d, &mut t.g, &mut t.s] {
+            if node == "Y" {
+                *node = "yb".to_string();
+            }
+        }
+    }
+    b.inv("yb", "Y", drive);
+    let f = LogicFunction::from_eval(&["A", "B", "C"], |bits| {
+        let (a, b_, c) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+        (a && b_) || c
+    });
+    combinational(b, input_names(3), "Y", f, drive)
+}
+
+/// `OA21x<d>`: non-inverting OAI21.
+#[must_use]
+pub fn oa21(drive: u32) -> CellNetlist {
+    let inner = oai21((drive / 2).max(1));
+    let mut b = Builder::new(&format!("OA21x{drive}"));
+    b.mos = inner.transistors.clone();
+    for t in &mut b.mos {
+        for node in [&mut t.d, &mut t.g, &mut t.s] {
+            if node == "Y" {
+                *node = "yb".to_string();
+            }
+        }
+    }
+    b.inv("yb", "Y", drive);
+    let f = LogicFunction::from_eval(&["A", "B", "C"], |bits| {
+        let (a, b_, c) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+        (a || b_) && c
+    });
+    combinational(b, input_names(3), "Y", f, drive)
+}
+
+/// `XOR2x<d>`: transmission-gate XOR with buffered output.
+#[must_use]
+pub fn xor2(drive: u32) -> CellNetlist {
+    let mut b = Builder::new(&format!("XOR2x{drive}"));
+    let d1 = (drive / 2).max(1);
+    b.inv("A", "an", d1);
+    b.inv("B", "bn", d1);
+    // yb = !(A ^ B) via pass network, then invert for Y.
+    // When B = 1: yb follows an (TG), when B = 0: yb follows A.
+    // ybi = B ? A : !A = XNOR(A, B); invert for Y.
+    b.tgate("A", "ybi", "B", "bn", d1);
+    b.tgate("an", "ybi", "bn", "B", d1);
+    b.inv("ybi", "Y", drive);
+    let f = LogicFunction::from_eval(&["A", "B"], |bits| ((bits & 1) ^ ((bits >> 1) & 1)) != 0);
+    combinational(b, input_names(2), "Y", f, drive)
+}
+
+/// `XNOR2x<d>`: complement of [`xor2`].
+#[must_use]
+pub fn xnor2(drive: u32) -> CellNetlist {
+    let mut b = Builder::new(&format!("XNOR2x{drive}"));
+    let d1 = (drive / 2).max(1);
+    b.inv("A", "an", d1);
+    b.inv("B", "bn", d1);
+    // ybi = B ? !A : A = XOR(A, B); invert for Y.
+    b.tgate("an", "ybi", "B", "bn", d1);
+    b.tgate("A", "ybi", "bn", "B", d1);
+    b.inv("ybi", "Y", drive);
+    let f = LogicFunction::from_eval(&["A", "B"], |bits| ((bits & 1) ^ ((bits >> 1) & 1)) == 0);
+    combinational(b, input_names(2), "Y", f, drive)
+}
+
+/// `MUX2x<d>`: `Y = S ? B : A` (transmission-gate mux, buffered).
+#[must_use]
+pub fn mux2(drive: u32) -> CellNetlist {
+    let mut b = Builder::new(&format!("MUX2x{drive}"));
+    let d1 = (drive / 2).max(1);
+    b.inv("S", "sn", d1);
+    b.tgate("A", "ymi", "sn", "S", d1);
+    b.tgate("B", "ymi", "S", "sn", d1);
+    b.inv("ymi", "yb", d1);
+    b.inv("yb", "Y", drive);
+    let f = LogicFunction::from_eval(&["A", "B", "S"], |bits| {
+        let (a, b_, s) = (bits & 1 != 0, bits & 2 != 0, bits & 4 != 0);
+        if s {
+            b_
+        } else {
+            a
+        }
+    });
+    let mut cell = combinational(b, vec![], "Y", f, drive);
+    cell.inputs = vec!["A".to_string(), "B".to_string(), "S".to_string()];
+    cell
+}
+
+/// `MAJ3x<d>`: majority-of-three (carry kernel), complex-gate + inverter.
+#[must_use]
+pub fn maj3(drive: u32) -> CellNetlist {
+    let mut b = Builder::new(&format!("MAJ3x{drive}"));
+    let (nf, pf) = (NFIN_N * ((drive / 2).max(1)), NFIN_P * ((drive / 2).max(1)));
+    // yb = !MAJ: pull-down on (A*B) + C*(A+B).
+    b.nmos("yb", "A", "m1", nf);
+    b.nmos("m1", "B", "gnd", nf);
+    b.nmos("yb", "C", "m2", nf);
+    b.nmos("m2", "A", "gnd", nf);
+    b.nmos("m2", "B", "gnd", nf);
+    b.pmos("yb", "A", "m3", pf);
+    b.pmos("m3", "B", "vdd", pf);
+    b.pmos("yb", "C", "m4", pf);
+    b.pmos("m4", "A", "vdd", pf);
+    b.pmos("m4", "B", "vdd", pf);
+    b.inv("yb", "Y", drive);
+    let f = LogicFunction::from_eval(&["A", "B", "C"], |bits| bits.count_ones() >= 2);
+    combinational(b, input_names(3), "Y", f, drive)
+}
+
+/// `HAx<d>`: half adder with `S` (sum) and `CO` (carry) outputs.
+#[must_use]
+pub fn half_adder(drive: u32) -> CellNetlist {
+    let mut xor_cell = xor2(drive);
+    let mut b = Builder::new(&format!("HAx{drive}"));
+    // Sum = A ^ B reusing the XOR topology but renaming the output to S.
+    for t in &mut xor_cell.transistors {
+        for node in [&mut t.d, &mut t.g, &mut t.s] {
+            if node == "Y" {
+                *node = "S".to_string();
+            }
+        }
+    }
+    b.mos = xor_cell.transistors;
+    // Carry = A & B (NAND + INV).
+    let d1 = (drive / 2).max(1);
+    b.nmos("cb", "A", "hc1", NFIN_N * d1);
+    b.nmos("hc1", "B", "gnd", NFIN_N * d1);
+    b.pmos("cb", "A", "vdd", NFIN_P * d1);
+    b.pmos("cb", "B", "vdd", NFIN_P * d1);
+    b.inv("cb", "CO", drive);
+    let fs = LogicFunction::from_eval(&["A", "B"], |bits| ((bits & 1) ^ ((bits >> 1) & 1)) != 0);
+    let fc = LogicFunction::from_eval(&["A", "B"], |bits| bits & 3 == 3);
+    let mut functions = BTreeMap::new();
+    functions.insert("S".to_string(), fs);
+    functions.insert("CO".to_string(), fc);
+    CellNetlist {
+        name: b.name,
+        inputs: input_names(2),
+        outputs: vec!["S".to_string(), "CO".to_string()],
+        clock: None,
+        transistors: b.mos,
+        functions,
+        ff: None,
+        drive,
+    }
+}
+
+/// `FAx<d>`: full adder (`S = A^B^CI`, `CO = MAJ(A,B,CI)`).
+#[must_use]
+pub fn full_adder(drive: u32) -> CellNetlist {
+    let mut b = Builder::new(&format!("FAx{drive}"));
+    let d1 = (drive / 2).max(1);
+    // First XOR: x1 = A ^ B.
+    b.inv("A", "fan", d1);
+    b.inv("B", "fbn", d1);
+    b.tgate("fan", "fx1b", "B", "fbn", d1);
+    b.tgate("A", "fx1b", "fbn", "B", d1);
+    b.inv("fx1b", "fx1", d1);
+    // Second XOR: S = x1 ^ CI.
+    b.inv("CI", "fcn", d1);
+    b.tgate("fx1b", "fsb", "CI", "fcn", d1); // note: !x1 when CI=1 -> S = x1^CI
+    b.tgate("fx1", "fsb", "fcn", "CI", d1);
+    b.inv("fsb", "S", drive);
+    // Carry: MAJ(A, B, CI) as complex gate + inverter.
+    let (nf, pf) = (NFIN_N * d1, NFIN_P * d1);
+    b.nmos("fcob", "A", "fm1", nf);
+    b.nmos("fm1", "B", "gnd", nf);
+    b.nmos("fcob", "CI", "fm2", nf);
+    b.nmos("fm2", "A", "gnd", nf);
+    b.nmos("fm2", "B", "gnd", nf);
+    b.pmos("fcob", "A", "fm3", pf);
+    b.pmos("fm3", "B", "vdd", pf);
+    b.pmos("fcob", "CI", "fm4", pf);
+    b.pmos("fm4", "A", "vdd", pf);
+    b.pmos("fm4", "B", "vdd", pf);
+    b.inv("fcob", "CO", drive);
+    let inputs = vec!["A".to_string(), "B".to_string(), "CI".to_string()];
+    let fs = LogicFunction::from_eval(&["A", "B", "CI"], |bits| bits.count_ones() % 2 == 1);
+    let fc = LogicFunction::from_eval(&["A", "B", "CI"], |bits| bits.count_ones() >= 2);
+    let mut functions = BTreeMap::new();
+    functions.insert("S".to_string(), fs);
+    functions.insert("CO".to_string(), fc);
+    CellNetlist {
+        name: b.name,
+        inputs,
+        outputs: vec!["S".to_string(), "CO".to_string()],
+        clock: None,
+        transistors: b.mos,
+        functions,
+        ff: None,
+        drive,
+    }
+}
+
+/// Shared master–slave flip-flop skeleton; `with_reset` adds an active-low
+/// asynchronous clear (`RN`).
+fn dff_body(name: &str, drive: u32, with_reset: bool) -> CellNetlist {
+    let mut b = Builder::new(name);
+    let d1 = 1;
+    // Local clock buffering.
+    b.inv("CLK", "clkb", d1);
+    b.inv("clkb", "clki", d1);
+    // Master latch: transparent when CLK = 0.
+    b.tgate("D", "n1", "clkb", "clki", d1);
+    if with_reset {
+        // n2 = !(n1 & RN): NAND with reset.
+        b.nmos("n2", "n1", "r1", NFIN_N);
+        b.nmos("r1", "RN", "gnd", NFIN_N);
+        b.pmos("n2", "n1", "vdd", NFIN_P);
+        b.pmos("n2", "RN", "vdd", NFIN_P);
+    } else {
+        b.inv("n1", "n2", d1);
+    }
+    b.inv("n2", "n3", d1);
+    b.tgate("n3", "n1", "clki", "clkb", d1); // master keeper
+                                             // Slave latch: transparent when CLK = 1.
+    b.tgate("n2", "n4", "clki", "clkb", d1);
+    b.inv("n4", "n5", d1);
+    b.inv("n5", "n6", d1);
+    b.tgate("n6", "n4", "clkb", "clki", d1); // slave keeper
+    if with_reset {
+        // Force n4 high (Q low) asynchronously when RN = 0.
+        b.pmos("n4", "RN", "vdd", NFIN_P * 2);
+    }
+    // Output buffer: Q = !n4 = D (after a rising edge).
+    b.inv("n4", "Q", drive);
+
+    let mut inputs = vec!["D".to_string()];
+    if with_reset {
+        inputs.push("RN".to_string());
+    }
+    let q_fn = if with_reset {
+        LogicFunction::from_eval(&["D", "RN"], |bits| bits & 1 != 0 && bits & 2 != 0)
+    } else {
+        LogicFunction::from_eval(&["D"], |bits| bits & 1 != 0)
+    };
+    let mut functions = BTreeMap::new();
+    functions.insert("Q".to_string(), q_fn);
+    CellNetlist {
+        name: b.name,
+        inputs,
+        outputs: vec!["Q".to_string()],
+        clock: Some("CLK".to_string()),
+        transistors: b.mos,
+        functions,
+        ff: Some(FfSpec {
+            clocked_on: "CLK".to_string(),
+            next_state: "D".to_string(),
+            clear: with_reset.then(|| "RN".to_string()),
+        }),
+        drive,
+    }
+}
+
+/// `DFFx<d>`: rising-edge D flip-flop.
+#[must_use]
+pub fn dff(drive: u32) -> CellNetlist {
+    dff_body(&format!("DFFx{drive}"), drive, false)
+}
+
+/// `DFFRx<d>`: rising-edge D flip-flop with asynchronous active-low reset.
+#[must_use]
+pub fn dffr(drive: u32) -> CellNetlist {
+    dff_body(&format!("DFFRx{drive}"), drive, true)
+}
+
+/// `TIEHI`: constant-1 driver.
+#[must_use]
+pub fn tiehi() -> CellNetlist {
+    let mut b = Builder::new("TIEHIx1");
+    // Diode-connected NMOS holds an internal low, PMOS drives Y high.
+    b.nmos("tn", "tn", "gnd", NFIN_N);
+    b.pmos("Y", "tn", "vdd", NFIN_P);
+    let f = LogicFunction::from_eval(&[], |_| true);
+    let mut functions = BTreeMap::new();
+    functions.insert("Y".to_string(), f);
+    CellNetlist {
+        name: b.name,
+        inputs: vec![],
+        outputs: vec!["Y".to_string()],
+        clock: None,
+        transistors: b.mos,
+        functions,
+        ff: None,
+        drive: 1,
+    }
+}
+
+/// `TIELO`: constant-0 driver.
+#[must_use]
+pub fn tielo() -> CellNetlist {
+    let mut b = Builder::new("TIELOx1");
+    b.pmos("tp", "tp", "vdd", NFIN_P);
+    b.nmos("Y", "tp", "gnd", NFIN_N);
+    let f = LogicFunction::from_eval(&[], |_| false);
+    let mut functions = BTreeMap::new();
+    functions.insert("Y".to_string(), f);
+    CellNetlist {
+        name: b.name,
+        inputs: vec![],
+        outputs: vec!["Y".to_string()],
+        clock: None,
+        transistors: b.mos,
+        functions,
+        ff: None,
+        drive: 1,
+    }
+}
+
+/// `DLYx<d>`: four-stage delay buffer (weak internal stages).
+#[must_use]
+pub fn delay_cell(drive: u32) -> CellNetlist {
+    let mut b = Builder::new(&format!("DLYx{drive}"));
+    b.inv("A", "dl1", 1);
+    b.inv("dl1", "dl2", 1);
+    b.inv("dl2", "dl3", 1);
+    b.inv("dl3", "Y", drive);
+    let f = LogicFunction::from_eval(&["A"], |bits| bits & 1 != 0);
+    combinational(b, input_names(1), "Y", f, drive)
+}
+
+/// Resolve a library cell name (e.g. `"NAND3x2"`) back to its generator.
+///
+/// Returns `None` for names outside the family naming scheme. Used to
+/// characterize exactly the subset of cells a netlist instantiates.
+#[must_use]
+pub fn by_name(name: &str) -> Option<CellNetlist> {
+    let (family, drive) = name.rsplit_once('x')?;
+    let drive: u32 = drive.parse().ok()?;
+    Some(match family {
+        "INV" => inverter(drive),
+        "BUF" => buffer(drive),
+        "CLKBUF" => clock_buffer(drive),
+        "CLKINV" => clock_inverter(drive),
+        "NAND2" => nand(2, drive),
+        "NAND3" => nand(3, drive),
+        "NAND4" => nand(4, drive),
+        "NOR2" => nor(2, drive),
+        "NOR3" => nor(3, drive),
+        "NOR4" => nor(4, drive),
+        "AND2" => and(2, drive),
+        "AND3" => and(3, drive),
+        "AND4" => and(4, drive),
+        "OR2" => or(2, drive),
+        "OR3" => or(3, drive),
+        "OR4" => or(4, drive),
+        "AOI21" => aoi21(drive),
+        "AOI22" => aoi22(drive),
+        "OAI21" => oai21(drive),
+        "OAI22" => oai22(drive),
+        "AO21" => ao21(drive),
+        "OA21" => oa21(drive),
+        "XOR2" => xor2(drive),
+        "XNOR2" => xnor2(drive),
+        "MUX2" => mux2(drive),
+        "DLY" => delay_cell(drive),
+        "MAJ3" => maj3(drive),
+        "HA" => half_adder(drive),
+        "FA" => full_adder(drive),
+        "DFF" => dff(drive),
+        "DFFR" => dffr(drive),
+        "TIEHI" => tiehi(),
+        "TIELO" => tielo(),
+        _ => return None,
+    })
+}
+
+/// The full cell set characterized by this repository (ASAP7-style families
+/// and drive strengths, ~190 cells).
+#[must_use]
+pub fn standard_cell_set() -> Vec<CellNetlist> {
+    let mut cells = Vec::new();
+    for d in [1u32, 2, 3, 4, 6, 8, 12, 16] {
+        cells.push(inverter(d));
+        cells.push(buffer(d));
+    }
+    for d in [2u32, 4, 6, 8, 12, 16] {
+        cells.push(clock_buffer(d));
+    }
+    for d in [2u32, 4, 8, 16] {
+        cells.push(clock_inverter(d));
+    }
+    for arity in [2usize, 3, 4] {
+        for d in [1u32, 2, 3, 4, 6, 8, 12] {
+            cells.push(nand(arity, d));
+            cells.push(nor(arity, d));
+            cells.push(and(arity, d));
+            cells.push(or(arity, d));
+        }
+    }
+    for d in [1u32, 2, 4, 8] {
+        cells.push(aoi21(d));
+        cells.push(aoi22(d));
+        cells.push(oai21(d));
+        cells.push(oai22(d));
+        cells.push(ao21(d));
+        cells.push(oa21(d));
+        cells.push(xor2(d));
+        cells.push(xnor2(d));
+        cells.push(mux2(d));
+        cells.push(delay_cell(d));
+    }
+    for d in [1u32, 2, 4] {
+        cells.push(maj3(d));
+        cells.push(half_adder(d));
+        cells.push(full_adder(d));
+    }
+    for d in [1u32, 2, 4, 8] {
+        cells.push(dff(d));
+        cells.push(dffr(d));
+    }
+    cells.push(tiehi());
+    cells.push(tielo());
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_size_matches_paper_scale() {
+        let cells = standard_cell_set();
+        assert!(
+            (150..=230).contains(&cells.len()),
+            "paper characterizes 200 cells; we ship {}",
+            cells.len()
+        );
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let cells = standard_cell_set();
+        let mut names: Vec<&str> = cells.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate cell names");
+    }
+
+    #[test]
+    fn every_output_has_a_function() {
+        for cell in standard_cell_set() {
+            for out in &cell.outputs {
+                assert!(
+                    cell.functions.contains_key(out),
+                    "{}: output {out} lacks a function",
+                    cell.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn functions_match_input_lists() {
+        for cell in standard_cell_set() {
+            for (out, f) in &cell.functions {
+                for input in f.inputs() {
+                    assert!(
+                        cell.inputs.contains(input),
+                        "{}: function of {out} references unknown input {input}",
+                        cell.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transistor_terminals_are_wired() {
+        // Every gate node must be a pin, supply, or driven internal node;
+        // every source/drain path must eventually reach a supply or pin.
+        for cell in standard_cell_set() {
+            let mut known: Vec<&str> = vec!["vdd", "gnd"];
+            known.extend(cell.inputs.iter().map(String::as_str));
+            known.extend(cell.outputs.iter().map(String::as_str));
+            if let Some(c) = &cell.clock {
+                known.push(c);
+            }
+            let internals = cell.internal_nodes();
+            known.extend(internals.iter().map(String::as_str));
+            for t in &cell.transistors {
+                for node in [&t.d, &t.g, &t.s] {
+                    assert!(
+                        known.contains(&node.as_str()),
+                        "{}: dangling node {node}",
+                        cell.name
+                    );
+                }
+                assert!(t.nfin > 0, "{}: zero-fin device", cell.name);
+            }
+        }
+    }
+
+    #[test]
+    fn nand_function_truth_table() {
+        let c = nand(2, 1);
+        let f = &c.functions["Y"];
+        assert!(f.eval(0b00) && f.eval(0b01) && f.eval(0b10));
+        assert!(!f.eval(0b11));
+    }
+
+    #[test]
+    fn full_adder_truth_table() {
+        let c = full_adder(1);
+        let s = &c.functions["S"];
+        let co = &c.functions["CO"];
+        for bits in 0u16..8 {
+            let ones = bits.count_ones();
+            assert_eq!(s.eval(bits), ones % 2 == 1, "S at {bits:03b}");
+            assert_eq!(co.eval(bits), ones >= 2, "CO at {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn drive_scales_fins() {
+        let small = inverter(1);
+        let large = inverter(4);
+        assert_eq!(large.total_fins(), 4 * small.total_fins());
+        assert!(large.area() > small.area());
+    }
+
+    #[test]
+    fn dff_is_sequential_with_clock() {
+        let c = dff(1);
+        assert!(c.ff.is_some());
+        assert_eq!(c.clock.as_deref(), Some("CLK"));
+        assert!(!c.is_tie());
+        let r = dffr(1);
+        assert_eq!(r.ff.as_ref().unwrap().clear.as_deref(), Some("RN"));
+        assert!(r.inputs.contains(&"RN".to_string()));
+    }
+
+    #[test]
+    fn tie_cells_have_no_inputs() {
+        assert!(tiehi().is_tie());
+        assert!(tielo().is_tie());
+    }
+
+    #[test]
+    fn by_name_round_trips_the_standard_set() {
+        for cell in standard_cell_set() {
+            let back =
+                by_name(&cell.name).unwrap_or_else(|| panic!("{} not resolvable", cell.name));
+            assert_eq!(back.name, cell.name);
+            assert_eq!(back.total_fins(), cell.total_fins());
+        }
+        assert!(by_name("FROB2x1").is_none());
+        assert!(by_name("INVxQ").is_none());
+    }
+
+    #[test]
+    fn wire_cap_counts_terminals() {
+        let c = inverter(1);
+        // Node Y touches two drains.
+        let cap = c.wire_cap("Y");
+        assert!((cap - 2.0 * WIRE_CAP_PER_TERMINAL).abs() < 1e-24);
+    }
+}

@@ -1,0 +1,94 @@
+#![warn(missing_docs)]
+//! The paper's contribution, end to end: the cryogenic-SoC exploration flow.
+//!
+//! `cryo-core` wires every substrate of this workspace into the pipeline of
+//! the paper's Fig. 1:
+//!
+//! ```text
+//! measurements → transistor model → cell libraries (300 K / 10 K)
+//!      → SoC netlist → STA (Table 1) → power (Fig. 6)
+//!      → workload cycle counts (Table 2) → qubit-scaling verdict (Fig. 7)
+//! ```
+//!
+//! - [`flow::CryoFlow`] — the orchestrator: characterized-library caching,
+//!   SoC construction, timing/power signoff, workload timing, and the
+//!   calibration policy of DESIGN.md §5.
+//! - [`experiments`] — one driver per paper table/figure, returning
+//!   serializable result structs with the paper's reference values
+//!   embedded, so every regeneration binary prints paper-vs-measured.
+
+pub mod experiments;
+pub mod flow;
+
+pub use flow::{CryoFlow, FlowConfig, Workload};
+
+use std::error::Error;
+use std::fmt;
+
+/// Top-level flow errors (wrapping each stage's error type).
+#[derive(Debug)]
+pub enum CoreError {
+    /// Device modelling / calibration failed.
+    Device(cryo_device::DeviceError),
+    /// Cell characterization failed.
+    Cells(cryo_cells::CellError),
+    /// Netlist construction failed.
+    Netlist(cryo_netlist::NetlistError),
+    /// Timing analysis failed.
+    Sta(cryo_sta::StaError),
+    /// Power analysis failed.
+    Power(cryo_power::PowerError),
+    /// Workload simulation failed.
+    Riscv(cryo_riscv::RiscvError),
+    /// Qubit substrate failed.
+    Qubit(cryo_qubit::QubitError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Device(e) => write!(f, "device stage: {e}"),
+            CoreError::Cells(e) => write!(f, "characterization stage: {e}"),
+            CoreError::Netlist(e) => write!(f, "netlist stage: {e}"),
+            CoreError::Sta(e) => write!(f, "timing stage: {e}"),
+            CoreError::Power(e) => write!(f, "power stage: {e}"),
+            CoreError::Riscv(e) => write!(f, "workload stage: {e}"),
+            CoreError::Qubit(e) => write!(f, "qubit stage: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Device(e) => Some(e),
+            CoreError::Cells(e) => Some(e),
+            CoreError::Netlist(e) => Some(e),
+            CoreError::Sta(e) => Some(e),
+            CoreError::Power(e) => Some(e),
+            CoreError::Riscv(e) => Some(e),
+            CoreError::Qubit(e) => Some(e),
+        }
+    }
+}
+
+macro_rules! from_err {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for CoreError {
+            fn from(e: $ty) -> Self {
+                CoreError::$variant(e)
+            }
+        }
+    };
+}
+
+from_err!(Device, cryo_device::DeviceError);
+from_err!(Cells, cryo_cells::CellError);
+from_err!(Netlist, cryo_netlist::NetlistError);
+from_err!(Sta, cryo_sta::StaError);
+from_err!(Power, cryo_power::PowerError);
+from_err!(Riscv, cryo_riscv::RiscvError);
+from_err!(Qubit, cryo_qubit::QubitError);
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

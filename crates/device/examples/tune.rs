@@ -1,0 +1,37 @@
+//! Scratch tuning harness: prints device figures of merit at 300 K and 10 K.
+use cryo_device::{FinFet, IvCurve, ModelCard, Polarity};
+
+fn main() {
+    for pol in [Polarity::N, Polarity::P] {
+        let card = ModelCard::nominal(pol);
+        println!("=== {pol} ===");
+        for temp in [300.0, 10.0] {
+            let d = FinFet::new(&card, temp, 1);
+            let s = pol.sign();
+            let ion = d.ids(s * 0.7, s * 0.7).abs();
+            let ioff = d.ids(0.0, s * 0.7).abs();
+            let lin = IvCurve::sweep(&d, 0.05, 0.75, 150);
+            let vth_cc = lin.vgs_at_current(1e-6).unwrap_or(f64::NAN);
+            let ss = lin
+                .subthreshold_swing(ioff.max(1e-13) * 5.0, 2e-7)
+                .unwrap_or(f64::NAN);
+            println!(
+                "T={temp:5.0}K  Ion={:8.2} uA/fin  Ioff={:10.3e} A  Vth_cc={:6.4} V  SS={:5.1} mV/dec  Vth_model={:6.4}",
+                ion * 1e6, ioff, vth_cc, ss, d.vth()
+            );
+        }
+        let d300 = FinFet::new(&card, 300.0, 1);
+        let d10 = FinFet::new(&card, 10.0, 1);
+        let s = pol.sign();
+        println!(
+            "Ion(10K)/Ion(300K) = {:.3}   Ioff ratio = {:.3e}",
+            d10.ids(s * 0.7, s * 0.7) / d300.ids(s * 0.7, s * 0.7),
+            (d10.ids(0.0, s * 0.7) / d300.ids(0.0, s * 0.7)).abs()
+        );
+        let l300 = IvCurve::sweep(&d300, 0.05, 0.75, 300);
+        let l10 = IvCurve::sweep(&d10, 0.05, 0.75, 300);
+        let v300 = l300.vgs_at_current(1e-6).unwrap_or(f64::NAN);
+        let v10 = l10.vgs_at_current(1e-6).unwrap_or(f64::NAN);
+        println!("Vth_cc gain = {:.3}  ({v300:.4} -> {v10:.4})", v10 / v300);
+    }
+}

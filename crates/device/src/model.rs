@@ -1,0 +1,393 @@
+//! FinFET large-signal model evaluation.
+//!
+//! [`FinFet`] binds a [`ModelCard`] to an operating temperature and a fin
+//! count, pre-computing every temperature-dependent quantity once so that the
+//! per-bias-point evaluation inside the circuit simulator stays cheap. The
+//! drain-current formulation is a charge-based EKV-style single expression —
+//! smooth across weak/moderate/strong inversion and across the linear/
+//! saturation boundary — with the cryogenic effect structure of the paper:
+//!
+//! * Boltzmann factors evaluated at the band-tail effective temperature
+//!   (`T0`), which saturates the subthreshold swing at deep-cryogenic
+//!   temperatures;
+//! * threshold voltage increasing as the device cools (`TVTH`, `KT11`,
+//!   `KT12`);
+//! * phonon-limited mobility rising at low temperature (`UTE`) while surface
+//!   roughness and Coulomb scattering (`UA1`, `UA2`, `UD1`, `EU1`) claw the
+//!   gain back at high vertical field;
+//! * temperature-dependent velocity saturation (`AT`, `AT1`) and saturation
+//!   smoothing (`TMEXP`, `KSATIVT`).
+
+use crate::params::ModelCard;
+use crate::thermal::{cold_fraction, softplus, thermal_voltage, T_NOM};
+
+/// A FinFET evaluated at a fixed temperature, ready for bias-point queries.
+///
+/// Construction pre-computes all temperature-dependent model quantities;
+/// [`FinFet::ids`] then costs a handful of transcendental calls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinFet {
+    card: ModelCard,
+    temp: f64,
+    nfin: u32,
+    // Pre-computed temperature-dependent quantities.
+    vt: f64,
+    vth_t: f64,
+    u0_t: f64,
+    ua_t: f64,
+    ud_t: f64,
+    eu_t: f64,
+    vsat_t: f64,
+    mexp_t: f64,
+    ksativ_t: f64,
+    i_floor_t: f64,
+}
+
+impl FinFet {
+    /// Bind `card` to an operating `temp` (kelvin) with `nfin` parallel fins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nfin == 0` or `temp < 0`; use [`ModelCard::validate`] to
+    /// screen the card itself.
+    #[must_use]
+    pub fn new(card: &ModelCard, temp: f64, nfin: u32) -> Self {
+        assert!(nfin > 0, "FinFET needs at least one fin");
+        assert!(
+            temp >= 0.0 && temp.is_finite(),
+            "temperature must be >= 0 K"
+        );
+        let cf = cold_fraction(temp, card.t0);
+        let vt = thermal_voltage(temp, card.t0);
+        let teff = vt / crate::thermal::KB_OVER_Q;
+        let vth_t = card.vth0 + card.tvth * cf + card.kt11 * cf * cf + card.kt12 * cf * cf * cf;
+        let u0_t = card.u0 * (teff / T_NOM).powf(card.ute);
+        let ua_t = card.ua * (1.0 + card.ua1 * cf + card.ua2 * cf * cf).max(0.0);
+        let ud_t = card.ud * (1.0 + card.ud1 * cf).max(0.0);
+        let eu_t = (card.eu * (1.0 + card.eu1 * cf)).max(0.1);
+        let vsat_t = card.vsat * (1.0 + card.at * cf + card.at1 * cf * cf).max(0.05);
+        let mexp_t = (card.mexp * (1.0 + card.tmexp * cf)).max(1.0);
+        let ksativ_t = card.ksativ * (1.0 + card.ksativt * cf);
+        // The leakage floor tracks the band-tail density `D0` and shrinks
+        // mildly when cold (tunnelling-limited, not thermally limited).
+        let i_floor_t = card.i_floor * card.d0 * (0.25 + 0.75 * teff / T_NOM);
+        Self {
+            card: card.clone(),
+            temp,
+            nfin,
+            vt,
+            vth_t,
+            u0_t,
+            ua_t,
+            ud_t,
+            eu_t,
+            vsat_t,
+            mexp_t,
+            ksativ_t,
+            i_floor_t,
+        }
+    }
+
+    /// The model card this device was built from.
+    #[must_use]
+    pub fn card(&self) -> &ModelCard {
+        &self.card
+    }
+
+    /// Operating temperature in kelvin.
+    #[must_use]
+    pub fn temp(&self) -> f64 {
+        self.temp
+    }
+
+    /// Number of parallel fins.
+    #[must_use]
+    pub fn nfin(&self) -> u32 {
+        self.nfin
+    }
+
+    /// Temperature-adjusted threshold voltage (magnitude) at zero drain bias.
+    #[must_use]
+    pub fn vth(&self) -> f64 {
+        self.vth_t
+    }
+
+    /// Subthreshold ideality factor at the given drain bias magnitude.
+    #[must_use]
+    pub fn nfactor(&self, vds_abs: f64) -> f64 {
+        1.0 + self.card.cit + self.card.cdsc + self.card.cdscd * vds_abs
+    }
+
+    /// Drain current in amperes for source-referenced terminal voltages.
+    ///
+    /// Sign conventions match SPICE: for an n-FinFET, positive `vgs`/`vds`
+    /// produce positive drain current (into the drain). For a p-FinFET the
+    /// same function is evaluated on mirrored voltages and the current sign
+    /// is flipped, so `ids(-0.7, -0.7)` is a large negative number.
+    #[must_use]
+    pub fn ids(&self, vgs: f64, vds: f64) -> f64 {
+        let s = self.card.polarity.sign();
+        let (vg, vd) = (s * vgs, s * vds);
+        // The model core is defined for vd >= 0; for reversed terminals swap
+        // source and drain (the device is symmetric) and negate.
+        if vd >= 0.0 {
+            s * self.ids_core(vg, vd)
+        } else {
+            // Swap: gate-to-"new source" voltage is vg - vd.
+            -s * self.ids_core(vg - vd, -vd)
+        }
+    }
+
+    /// Polarity-normalised core current (`vd >= 0`), per the whole device
+    /// (all fins), always `>= 0`.
+    fn ids_core(&self, vg: f64, vd: f64) -> f64 {
+        let card = &self.card;
+        let n = self.nfactor(vd);
+        let vt = self.vt;
+        // DIBL: the barrier drops with drain bias; PDIBL2 rolls the effect
+        // off at high vd.
+        let dibl = card.eta0 * vd / (1.0 + card.pdibl2 * vd);
+        let vth = self.vth_t - dibl;
+
+        // Two fixed-point refinements of the series-resistance voltage drop.
+        // This keeps the expression explicit (and smooth for numerical
+        // Jacobians) while capturing the linear-region R_sd degradation.
+        let mut ids = self.ids_intrinsic(vg, vd, vth, n, vt);
+        for _ in 0..2 {
+            let ir_s = ids * card.rsw / self.nfin as f64;
+            let ir_d = ids * card.rdw / self.nfin as f64;
+            let vg_eff = vg - ir_s;
+            let vd_eff = (vd - ir_s - ir_d).max(0.0);
+            ids = self.ids_intrinsic(vg_eff, vd_eff, vth, n, vt);
+        }
+        ids + self.i_floor_t * self.nfin as f64 * (vd / (vd + 0.05)).max(0.0)
+    }
+
+    /// Intrinsic (resistance-free) channel current, all fins.
+    fn ids_intrinsic(&self, vg: f64, vd: f64, vth: f64, n: f64, vt: f64) -> f64 {
+        let card = &self.card;
+        // Smoothed overdrive used by the mobility and vdsat expressions.
+        let vov = n * vt * softplus((vg - vth) / (n * vt));
+        // Vertical-field mobility degradation: phonon/surface-roughness term
+        // with exponent EU plus a Coulomb term screened by carrier density.
+        let mob_den = 1.0
+            + (self.ua_t * (vov + 0.5 * vth).max(0.0)).powf(self.eu_t)
+            + self.ud_t / (1.0 + 10.0 * vov);
+        let ueff = self.u0_t / mob_den;
+        // Saturation voltage from the velocity-saturation critical field.
+        let esat_l = 2.0 * self.vsat_t * card.lg / ueff;
+        let vdsat = self.ksativ_t * vov * esat_l / (vov + esat_l) + 2.0 * vt;
+        // Smooth clamp of the drain bias (BSIM VDSEFF with MEXP).
+        let ratio = (vd / vdsat).powf(self.mexp_t);
+        let vdseff = vd / (1.0 + ratio).powf(1.0 / self.mexp_t);
+        // Charge-based EKV pair: forward (source-side) and reverse
+        // (drain-side) inversion charges.
+        let half = 2.0 * n * vt;
+        let qf = softplus((vg - vth) / half);
+        let qr = softplus((vg - vth - n * vdseff) / half);
+        let beta = ueff * card.cox * (card.weff() / card.lg) * self.nfin as f64;
+        let core = 2.0 * n * beta * vt * vt * (qf * qf - qr * qr);
+        // Channel-length modulation on the saturated part.
+        core * (1.0 + card.pclm * (vd - vdseff))
+    }
+
+    /// Transconductance `dIds/dVgs` by central difference (A/V).
+    #[must_use]
+    pub fn gm(&self, vgs: f64, vds: f64) -> f64 {
+        let h = 1e-5;
+        (self.ids(vgs + h, vds) - self.ids(vgs - h, vds)) / (2.0 * h)
+    }
+
+    /// Output conductance `dIds/dVds` by central difference (A/V).
+    #[must_use]
+    pub fn gds(&self, vgs: f64, vds: f64) -> f64 {
+        let h = 1e-5;
+        (self.ids(vgs, vds + h) - self.ids(vgs, vds - h)) / (2.0 * h)
+    }
+
+    /// Total gate input capacitance (farads) — intrinsic channel plus both
+    /// overlaps, all fins. Used as the Meyer-style constant gate load.
+    #[must_use]
+    pub fn cgg(&self) -> f64 {
+        self.card.cgg_total() * self.nfin as f64
+    }
+
+    /// Gate-source lumped capacitance (farads): half the intrinsic channel
+    /// charge plus the source overlap.
+    #[must_use]
+    pub fn cgs(&self) -> f64 {
+        (0.5 * self.card.cgg_intrinsic() + self.card.cgso) * self.nfin as f64
+    }
+
+    /// Gate-drain lumped capacitance (farads): half the intrinsic channel
+    /// charge plus the drain overlap (the Miller component).
+    #[must_use]
+    pub fn cgd(&self) -> f64 {
+        (0.5 * self.card.cgg_intrinsic() + self.card.cgdo) * self.nfin as f64
+    }
+
+    /// Drain junction capacitance to ground (farads), all fins.
+    #[must_use]
+    pub fn cdb(&self) -> f64 {
+        self.card.cjd * self.nfin as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Polarity;
+
+    fn nfet(temp: f64) -> FinFet {
+        FinFet::new(&ModelCard::nominal(Polarity::N), temp, 1)
+    }
+
+    fn pfet(temp: f64) -> FinFet {
+        FinFet::new(&ModelCard::nominal(Polarity::P), temp, 1)
+    }
+
+    #[test]
+    fn zero_bias_zero_current() {
+        let d = nfet(300.0);
+        assert_eq!(d.ids(0.0, 0.0), 0.0);
+        assert_eq!(d.ids(0.7, 0.0), 0.0);
+    }
+
+    #[test]
+    fn ids_monotone_in_vgs() {
+        let d = nfet(300.0);
+        let mut last = -1.0;
+        for i in 0..=70 {
+            let vgs = i as f64 * 0.01;
+            let ids = d.ids(vgs, 0.7);
+            assert!(ids > last, "non-monotone at vgs = {vgs}");
+            last = ids;
+        }
+    }
+
+    #[test]
+    fn ids_monotone_in_vds() {
+        let d = nfet(300.0);
+        let mut last = -1.0;
+        for i in 0..=75 {
+            let vds = i as f64 * 0.01;
+            let ids = d.ids(0.7, vds);
+            assert!(ids >= last, "non-monotone at vds = {vds}");
+            last = ids;
+        }
+    }
+
+    #[test]
+    fn on_current_magnitude_is_plausible() {
+        // 5-nm-class fins carry tens of microamps at nominal bias.
+        let ion = nfet(300.0).ids(0.7, 0.7);
+        assert!(ion > 15e-6 && ion < 150e-6, "Ion = {ion:.3e} A/fin");
+    }
+
+    #[test]
+    fn cryo_collapses_leakage_but_not_drive() {
+        let d300 = nfet(300.0);
+        let d10 = nfet(10.0);
+        let ioff300 = d300.ids(0.0, 0.7);
+        let ioff10 = d10.ids(0.0, 0.7);
+        assert!(
+            ioff300 / ioff10 > 1e3,
+            "Ioff should drop by orders of magnitude: {ioff300:.3e} -> {ioff10:.3e}"
+        );
+        let ion300 = d300.ids(0.7, 0.7);
+        let ion10 = d10.ids(0.7, 0.7);
+        let ratio = ion10 / ion300;
+        assert!(
+            (0.80..=1.15).contains(&ratio),
+            "Ion should be only slightly affected, ratio = {ratio:.3}"
+        );
+    }
+
+    #[test]
+    fn cryo_raises_vth() {
+        let d300 = nfet(300.0);
+        let d10 = nfet(10.0);
+        let increase = d10.vth() / d300.vth();
+        assert!(
+            (1.45..1.70).contains(&increase),
+            "paper reports +47 % for n-FinFET, got {increase:.3}"
+        );
+        let p_increase = pfet(10.0).vth() / pfet(300.0).vth();
+        assert!(
+            (1.40..1.65).contains(&p_increase),
+            "paper reports +39 % for p-FinFET, got {p_increase:.3}"
+        );
+    }
+
+    #[test]
+    fn pfet_sign_convention() {
+        let d = pfet(300.0);
+        let on = d.ids(-0.7, -0.7);
+        assert!(on < 0.0, "p-FinFET on-current flows out of the drain");
+        assert!(on.abs() > 5e-6);
+        assert!(d.ids(0.0, -0.7).abs() < 1e-6, "off device leaks little");
+    }
+
+    #[test]
+    fn source_drain_symmetry() {
+        // Swapping source and drain mirrors the current.
+        let d = nfet(300.0);
+        let fwd = d.ids(0.5, 0.3);
+        // With terminals swapped: vgs' = vgs - vds, vds' = -vds.
+        let rev = d.ids(0.5 - 0.3, -0.3);
+        assert!(
+            (fwd + rev).abs() < 1e-9 * (fwd.abs() + 1.0),
+            "fwd {fwd:e} rev {rev:e}"
+        );
+    }
+
+    #[test]
+    fn gm_and_gds_positive_in_on_state() {
+        let d = nfet(300.0);
+        assert!(d.gm(0.5, 0.7) > 0.0);
+        assert!(d.gds(0.7, 0.35) > 0.0);
+    }
+
+    #[test]
+    fn capacitances_scale_with_fins() {
+        let card = ModelCard::nominal(Polarity::N);
+        let one = FinFet::new(&card, 300.0, 1);
+        let three = FinFet::new(&card, 300.0, 3);
+        assert!((three.cgg() - 3.0 * one.cgg()).abs() < 1e-21);
+        assert!((three.cgs() - 3.0 * one.cgs()).abs() < 1e-21);
+        assert!((three.cgd() - 3.0 * one.cgd()).abs() < 1e-21);
+        assert!((three.cdb() - 3.0 * one.cdb()).abs() < 1e-21);
+    }
+
+    #[test]
+    fn current_scales_with_fins() {
+        let card = ModelCard::nominal(Polarity::N);
+        let one = FinFet::new(&card, 300.0, 1);
+        let four = FinFet::new(&card, 300.0, 4);
+        let r = four.ids(0.7, 0.7) / one.ids(0.7, 0.7);
+        // Series resistance per fin also scales, so the ratio is exact.
+        assert!((r - 4.0).abs() < 1e-6, "ratio = {r}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one fin")]
+    fn zero_fins_panics() {
+        let _ = FinFet::new(&ModelCard::nominal(Polarity::N), 300.0, 0);
+    }
+
+    #[test]
+    fn subthreshold_swing_tightens_when_cold() {
+        use crate::metrics::IvCurve;
+        // Extract SS from sweeps over a current window safely above the
+        // leakage floor at both temperatures.
+        let c300 = IvCurve::sweep(&nfet(300.0), 0.05, 0.7, 280);
+        let c10 = IvCurve::sweep(&nfet(10.0), 0.05, 0.7, 280);
+        let ss300 = c300.subthreshold_swing(3e-11, 3e-8).unwrap();
+        let ss10 = c10.subthreshold_swing(3e-11, 3e-8).unwrap();
+        assert!(
+            ss300 > 55.0 && ss300 < 85.0,
+            "SS(300 K) = {ss300:.1} mV/dec"
+        );
+        assert!(ss10 > 5.0 && ss10 < 25.0, "SS(10 K) = {ss10:.1} mV/dec");
+    }
+}

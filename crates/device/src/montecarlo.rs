@@ -1,0 +1,199 @@
+//! Process-variation Monte-Carlo on the compact model.
+//!
+//! Sec. III of the paper singles out transistor mismatch as a first-order
+//! challenge for cryogenic design: geometric scaling raises the mismatch
+//! between identical devices, and the threshold-voltage shift at cryogenic
+//! temperature compounds it. This module samples process-perturbed model
+//! cards (the same perturbation model the virtual wafer uses for its hidden
+//! die) and reports the statistical spread of the figures of merit at any
+//! temperature.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::IvCurve;
+use crate::model::FinFet;
+use crate::params::ModelCard;
+
+/// Relative 3-sigma process spreads applied per sampled die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    /// Work-function / threshold spread (relative on `VTH0`).
+    pub sigma_vth0: f64,
+    /// Mobility spread (relative on `U0`).
+    pub sigma_u0: f64,
+    /// Series-resistance spread (relative on `RSW`/`RDW`).
+    pub sigma_rsw: f64,
+    /// Band-tail spread (relative on `T0`) — cryogenic-specific variation.
+    pub sigma_t0: f64,
+    /// Cryo threshold-shift spread (relative on `TVTH`).
+    pub sigma_tvth: f64,
+}
+
+impl Default for VariationModel {
+    fn default() -> Self {
+        Self {
+            sigma_vth0: 0.02,
+            sigma_u0: 0.03,
+            sigma_rsw: 0.05,
+            sigma_t0: 0.04,
+            sigma_tvth: 0.03,
+        }
+    }
+}
+
+/// Statistics of a sampled figure of merit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spread {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub sigma: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+impl Spread {
+    /// Relative spread `sigma / mean`.
+    #[must_use]
+    pub fn relative(&self) -> f64 {
+        if self.mean.abs() > 0.0 {
+            self.sigma / self.mean.abs()
+        } else {
+            0.0
+        }
+    }
+}
+
+fn stats(samples: &[f64]) -> Spread {
+    let n = samples.len().max(1);
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+    Spread {
+        mean,
+        sigma: var.sqrt(),
+        n,
+    }
+}
+
+/// Sample one process-perturbed die from `nominal`.
+#[must_use]
+pub fn sample_die(nominal: &ModelCard, variation: &VariationModel, rng: &mut StdRng) -> ModelCard {
+    let mut card = nominal.clone();
+    let mut gauss = |sigma: f64| -> f64 {
+        // Box-Muller.
+        let u1: f64 = rng.gen_range(1e-12..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        1.0 + sigma / 3.0 * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    };
+    card.vth0 *= gauss(variation.sigma_vth0);
+    card.u0 *= gauss(variation.sigma_u0);
+    let r = gauss(variation.sigma_rsw);
+    card.rsw *= r;
+    card.rdw *= r;
+    card.t0 *= gauss(variation.sigma_t0);
+    card.tvth *= gauss(variation.sigma_tvth);
+    card
+}
+
+/// Monte-Carlo result at one temperature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MismatchResult {
+    /// Temperature, kelvin.
+    pub temp: f64,
+    /// Constant-current threshold voltage spread, volts.
+    pub vth: Spread,
+    /// On-current spread, amperes.
+    pub ion: Spread,
+}
+
+/// Run an `n`-die Monte-Carlo at `temp`, extracting constant-current Vth
+/// (1 µA criterion, linear region) and Ion.
+#[must_use]
+pub fn mismatch_run(
+    nominal: &ModelCard,
+    variation: &VariationModel,
+    temp: f64,
+    n: usize,
+    seed: u64,
+) -> MismatchResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut vths = Vec::with_capacity(n);
+    let mut ions = Vec::with_capacity(n);
+    for _ in 0..n {
+        let die = sample_die(nominal, variation, &mut rng);
+        let dev = FinFet::new(&die, temp, 1);
+        let curve = IvCurve::sweep(&dev, 0.05, 0.75, 160);
+        if let Some(vth) = curve.vgs_at_current(1e-6) {
+            vths.push(vth);
+        }
+        let s = die.polarity.sign();
+        ions.push(dev.ids(s * 0.7, s * 0.7).abs());
+    }
+    MismatchResult {
+        temp,
+        vth: stats(&vths),
+        ion: stats(&ions),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Polarity;
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let nominal = ModelCard::nominal(Polarity::N);
+        let var = VariationModel::default();
+        let a = mismatch_run(&nominal, &var, 300.0, 40, 5);
+        let b = mismatch_run(&nominal, &var, 300.0, 40, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spread_is_nonzero_and_mean_is_near_nominal() {
+        let nominal = ModelCard::nominal(Polarity::N);
+        let var = VariationModel::default();
+        let r = mismatch_run(&nominal, &var, 300.0, 120, 1);
+        assert!(r.vth.sigma > 0.0);
+        assert!(
+            (r.vth.mean - 0.214).abs() < 0.02,
+            "mean Vth_cc near nominal: {}",
+            r.vth.mean
+        );
+        assert!(r.ion.relative() < 0.2);
+    }
+
+    #[test]
+    fn absolute_vth_mismatch_grows_at_cryo() {
+        // The paper's Sec. III: mismatch and the Vth increase compound at
+        // cryogenic temperature (TVTH variation adds to VTH0 variation).
+        let nominal = ModelCard::nominal(Polarity::N);
+        let var = VariationModel::default();
+        let r300 = mismatch_run(&nominal, &var, 300.0, 150, 9);
+        let r10 = mismatch_run(&nominal, &var, 10.0, 150, 9);
+        assert!(
+            r10.vth.sigma > r300.vth.sigma,
+            "sigma(Vth): {:.2} mV @300K vs {:.2} mV @10K",
+            r300.vth.sigma * 1e3,
+            r10.vth.sigma * 1e3
+        );
+        assert!(r10.vth.mean > r300.vth.mean, "Vth itself rises");
+    }
+
+    #[test]
+    fn zero_variation_collapses_the_spread() {
+        let nominal = ModelCard::nominal(Polarity::N);
+        let var = VariationModel {
+            sigma_vth0: 0.0,
+            sigma_u0: 0.0,
+            sigma_rsw: 0.0,
+            sigma_t0: 0.0,
+            sigma_tvth: 0.0,
+        };
+        let r = mismatch_run(&nominal, &var, 300.0, 30, 3);
+        assert!(r.vth.sigma < 1e-6);
+        assert!(r.ion.sigma < 1e-12);
+    }
+}

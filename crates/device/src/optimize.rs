@@ -1,0 +1,248 @@
+//! Derivative-free optimisation used by the calibration stages.
+//!
+//! Compact-model extraction objective functions are noisy (the virtual wafer
+//! injects instrument noise) and non-smooth in places, so the classic
+//! Nelder–Mead simplex is the right tool — it is also what many commercial
+//! extraction suites fall back to. The implementation supports box
+//! constraints by clamping trial points into the feasible region.
+
+/// Configuration for a [`nelder_mead`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NmConfig {
+    /// Maximum number of objective evaluations.
+    pub max_evals: usize,
+    /// Convergence threshold on the simplex objective spread.
+    pub f_tol: f64,
+    /// Initial simplex scale as a fraction of each parameter's box width.
+    pub init_scale: f64,
+}
+
+impl Default for NmConfig {
+    fn default() -> Self {
+        Self {
+            max_evals: 2000,
+            f_tol: 1e-7,
+            init_scale: 0.12,
+        }
+    }
+}
+
+/// Result of a [`nelder_mead`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NmResult {
+    /// Best parameter vector found.
+    pub x: Vec<f64>,
+    /// Objective value at [`NmResult::x`].
+    pub fx: f64,
+    /// Number of objective evaluations consumed.
+    pub evals: usize,
+    /// Whether the spread criterion was met before the budget ran out.
+    pub converged: bool,
+}
+
+/// Minimise `f` over the box `bounds` starting from `x0` with the
+/// Nelder–Mead simplex.
+///
+/// `bounds[i] = (lo, hi)` clamps coordinate `i`; `x0` is clamped into the box
+/// before the initial simplex is built.
+///
+/// # Panics
+///
+/// Panics if `x0` is empty or `bounds.len() != x0.len()`.
+pub fn nelder_mead<F>(mut f: F, x0: &[f64], bounds: &[(f64, f64)], cfg: &NmConfig) -> NmResult
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    assert!(!x0.is_empty(), "need at least one parameter");
+    assert_eq!(bounds.len(), x0.len(), "one bound pair per parameter");
+    let n = x0.len();
+    let clamp = |x: &mut Vec<f64>| {
+        for (xi, &(lo, hi)) in x.iter_mut().zip(bounds) {
+            *xi = xi.clamp(lo, hi);
+        }
+    };
+
+    // Initial simplex: x0 plus one displaced vertex per dimension.
+    let mut start = x0.to_vec();
+    clamp(&mut start);
+    let mut simplex: Vec<Vec<f64>> = vec![start.clone()];
+    for i in 0..n {
+        let mut v = start.clone();
+        let width = bounds[i].1 - bounds[i].0;
+        let step = (cfg.init_scale * width).max(1e-12);
+        v[i] = if v[i] + step <= bounds[i].1 {
+            v[i] + step
+        } else {
+            v[i] - step
+        };
+        clamp(&mut v);
+        simplex.push(v);
+    }
+    let mut evals = 0usize;
+    let mut fv: Vec<f64> = simplex
+        .iter()
+        .map(|v| {
+            evals += 1;
+            f(v)
+        })
+        .collect();
+
+    let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
+    let mut converged = false;
+
+    while evals < cfg.max_evals {
+        // Order vertices by objective.
+        let mut idx: Vec<usize> = (0..=n).collect();
+        idx.sort_by(|&a, &b| fv[a].partial_cmp(&fv[b]).unwrap());
+        let reorder_s: Vec<Vec<f64>> = idx.iter().map(|&i| simplex[i].clone()).collect();
+        let reorder_f: Vec<f64> = idx.iter().map(|&i| fv[i]).collect();
+        simplex = reorder_s;
+        fv = reorder_f;
+
+        if (fv[n] - fv[0]).abs() < cfg.f_tol * (1.0 + fv[0].abs()) {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for v in simplex.iter().take(n) {
+            for (c, x) in centroid.iter_mut().zip(v) {
+                *c += x / n as f64;
+            }
+        }
+
+        let blend = |a: f64, from: &[f64]| -> Vec<f64> {
+            let mut out: Vec<f64> = centroid
+                .iter()
+                .zip(from)
+                .map(|(c, w)| c + a * (c - w))
+                .collect();
+            clamp(&mut out);
+            out
+        };
+
+        // Reflection.
+        let xr = blend(alpha, &simplex[n]);
+        evals += 1;
+        let fr = f(&xr);
+        if fr < fv[0] {
+            // Expansion.
+            let xe = blend(gamma, &simplex[n]);
+            evals += 1;
+            let fe = f(&xe);
+            if fe < fr {
+                simplex[n] = xe;
+                fv[n] = fe;
+            } else {
+                simplex[n] = xr;
+                fv[n] = fr;
+            }
+        } else if fr < fv[n - 1] {
+            simplex[n] = xr;
+            fv[n] = fr;
+        } else {
+            // Contraction (outside if the reflected point helps, else inside).
+            let (xc, fc) = if fr < fv[n] {
+                let xc = blend(rho, &simplex[n]);
+                evals += 1;
+                let fc = f(&xc);
+                (xc, fc)
+            } else {
+                let xc = blend(-rho, &simplex[n]);
+                evals += 1;
+                let fc = f(&xc);
+                (xc, fc)
+            };
+            if fc < fv[n].min(fr) {
+                simplex[n] = xc;
+                fv[n] = fc;
+            } else {
+                // Shrink toward the best vertex.
+                for i in 1..=n {
+                    let best = simplex[0].clone();
+                    for (x, b) in simplex[i].iter_mut().zip(&best) {
+                        *x = b + sigma * (*x - b);
+                    }
+                    evals += 1;
+                    fv[i] = f(&simplex[i]);
+                    if evals >= cfg.max_evals {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut best = 0;
+    for i in 1..=n {
+        if fv[i] < fv[best] {
+            best = i;
+        }
+    }
+    NmResult {
+        x: simplex[best].clone(),
+        fx: fv[best],
+        evals,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_quadratic_bowl() {
+        let f = |x: &[f64]| (x[0] - 1.5).powi(2) + (x[1] + 0.5).powi(2);
+        let r = nelder_mead(
+            f,
+            &[0.0, 0.0],
+            &[(-5.0, 5.0), (-5.0, 5.0)],
+            &NmConfig::default(),
+        );
+        assert!(r.fx < 1e-6, "fx = {}", r.fx);
+        assert!((r.x[0] - 1.5).abs() < 1e-2);
+        assert!((r.x[1] + 0.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn minimises_rosenbrock() {
+        let f = |x: &[f64]| {
+            let a = 1.0 - x[0];
+            let b = x[1] - x[0] * x[0];
+            a * a + 100.0 * b * b
+        };
+        let cfg = NmConfig {
+            max_evals: 6000,
+            ..NmConfig::default()
+        };
+        let r = nelder_mead(f, &[-1.2, 1.0], &[(-3.0, 3.0), (-3.0, 3.0)], &cfg);
+        assert!(r.fx < 1e-5, "fx = {}", r.fx);
+    }
+
+    #[test]
+    fn respects_bounds() {
+        // True minimum at x = -3, outside the box [0, 5].
+        let f = |x: &[f64]| (x[0] + 3.0).powi(2);
+        let r = nelder_mead(f, &[2.0], &[(0.0, 5.0)], &NmConfig::default());
+        assert!(r.x[0] >= 0.0 && r.x[0] < 0.05, "x = {}", r.x[0]);
+    }
+
+    #[test]
+    fn reports_eval_budget() {
+        let f = |x: &[f64]| x[0] * x[0];
+        let cfg = NmConfig {
+            max_evals: 25,
+            ..NmConfig::default()
+        };
+        let r = nelder_mead(f, &[4.0], &[(-10.0, 10.0)], &cfg);
+        assert!(r.evals <= 27, "evals = {}", r.evals);
+    }
+
+    #[test]
+    #[should_panic(expected = "one bound pair")]
+    fn mismatched_bounds_panic() {
+        let _ = nelder_mead(|x| x[0], &[0.0, 1.0], &[(0.0, 1.0)], &NmConfig::default());
+    }
+}

@@ -1,0 +1,341 @@
+//! Model-card parameters for the cryogenic-aware FinFET compact model.
+//!
+//! Parameter names follow the BSIM-CMG vocabulary used in the paper
+//! (Sec. III-A): `VTH0`/`PHIG` threshold, `CIT`/`CDSC`/`CDSCD` subthreshold
+//! coupling, `U0`/`UA`/`UD`/`EU` mobility, `RSW`/`RDW` series resistance,
+//! `ETA0`/`PDIBL2` DIBL, `VSAT`/`MEXP`/`KSATIV` velocity saturation, plus the
+//! cryogenic extension set `T0`/`D0`/`KT11`/`KT12`/`TVTH` (band tail and
+//! threshold shift) and `UA1`/`UA2`/`UD1`/`EU1`/`AT`/`AT1`/`TMEXP`/`KSATIVT`
+//! (temperature coefficients for scattering and velocity saturation).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{DeviceError, Result};
+
+/// Channel polarity of a FinFET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Polarity {
+    /// n-channel device: conducts for positive gate overdrive.
+    N,
+    /// p-channel device: conducts for negative gate overdrive.
+    P,
+}
+
+impl Polarity {
+    /// Sign convention applied to terminal voltages: `+1` for N, `-1` for P.
+    #[must_use]
+    pub fn sign(self) -> f64 {
+        match self {
+            Polarity::N => 1.0,
+            Polarity::P => -1.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Polarity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Polarity::N => write!(f, "n-FinFET"),
+            Polarity::P => write!(f, "p-FinFET"),
+        }
+    }
+}
+
+/// Complete parameter set ("modelcard") for one FinFET flavour.
+///
+/// All currents are per fin; multi-fin devices scale linearly with the fin
+/// count, exactly as the paper notes for library characterization ("the only
+/// parameter changed in the compact model is the number of fins, which acts
+/// as a current multiplier").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelCard {
+    /// Channel polarity.
+    pub polarity: Polarity,
+
+    // --- Geometry -------------------------------------------------------
+    /// Drawn gate length in metres.
+    pub lg: f64,
+    /// Fin height in metres.
+    pub hfin: f64,
+    /// Fin (body) thickness in metres.
+    pub tfin: f64,
+    /// Gate-oxide capacitance per area, F/m².
+    pub cox: f64,
+
+    // --- Room-temperature electrostatics ---------------------------------
+    /// Zero-bias threshold voltage at `T_NOM`, volts (set by the gate work
+    /// function `PHIG` during calibration).
+    pub vth0: f64,
+    /// Interface-trap contribution to the subthreshold ideality factor
+    /// (dimensionless fraction, BSIM `CIT` normalised by `Cox`).
+    pub cit: f64,
+    /// Source/drain-to-channel coupling contribution to the ideality factor
+    /// (BSIM `CDSC` normalised by `Cox`).
+    pub cdsc: f64,
+    /// Drain-bias dependence of the coupling term, 1/V (BSIM `CDSCD`).
+    pub cdscd: f64,
+    /// First-order DIBL coefficient, V/V (BSIM `ETA0`).
+    pub eta0: f64,
+    /// Second-order DIBL roll-off, 1/V (BSIM `PDIBL2`-like).
+    pub pdibl2: f64,
+
+    // --- Mobility ---------------------------------------------------------
+    /// Low-field mobility at `T_NOM`, m²/(V·s) (BSIM `U0`).
+    pub u0: f64,
+    /// Phonon/surface-roughness degradation coefficient (BSIM `UA`),
+    /// 1/V against the overdrive-based effective field proxy.
+    pub ua: f64,
+    /// Coulomb-scattering degradation coefficient (BSIM `UD`), dimensionless.
+    pub ud: f64,
+    /// Exponent of the field-degradation term (BSIM `EU`).
+    pub eu: f64,
+    /// Bulk phonon temperature exponent (BSIM `UTE`, negative: mobility
+    /// rises as the lattice cools).
+    pub ute: f64,
+
+    // --- Series resistance -------------------------------------------------
+    /// Source-side series resistance per fin, ohms (BSIM `RSW`).
+    pub rsw: f64,
+    /// Drain-side series resistance per fin, ohms (BSIM `RDW`).
+    pub rdw: f64,
+
+    // --- Velocity saturation and output conductance ------------------------
+    /// Saturation velocity at `T_NOM`, m/s (BSIM `VSAT`).
+    pub vsat: f64,
+    /// Saturation smoothing exponent (BSIM `MEXP`).
+    pub mexp: f64,
+    /// Pinch-off smoothing coefficient (BSIM `KSATIV`).
+    pub ksativ: f64,
+    /// Channel-length-modulation coefficient, 1/V (BSIM `PCLM`-like).
+    pub pclm: f64,
+
+    // --- Cryogenic extensions ----------------------------------------------
+    /// Band-tail effective-temperature floor, kelvin (`T0` in Pahwa et al.).
+    pub t0: f64,
+    /// Band-tail density prefactor (`D0`); scales the residual subthreshold
+    /// leakage floor attributed to tail states and S/D tunnelling.
+    pub d0: f64,
+    /// Linear threshold-shift coefficient vs. cold fraction, volts (`TVTH`).
+    pub tvth: f64,
+    /// First trap-related Vth temperature coefficient, volts (`KT11`).
+    pub kt11: f64,
+    /// Second (quadratic) Vth temperature coefficient, volts (`KT12`).
+    pub kt12: f64,
+    /// Linear temperature coefficient of `UA` (`UA1`).
+    pub ua1: f64,
+    /// Quadratic temperature coefficient of `UA` (`UA2`).
+    pub ua2: f64,
+    /// Linear temperature coefficient of `UD` (Coulomb scattering, `UD1`).
+    pub ud1: f64,
+    /// Linear temperature coefficient of `EU` (`EU1`).
+    pub eu1: f64,
+    /// Linear temperature coefficient of `VSAT` (`AT`).
+    pub at: f64,
+    /// Quadratic temperature coefficient of `VSAT` (`AT1`).
+    pub at1: f64,
+    /// Temperature coefficient of the saturation smoothing exponent
+    /// (`TMEXP`).
+    pub tmexp: f64,
+    /// Temperature coefficient of the pinch-off smoothing (`KSATIVT`).
+    pub ksativt: f64,
+
+    // --- Leakage floor and parasitics ---------------------------------------
+    /// Residual drain leakage floor per fin at full drain bias, amperes
+    /// (instrument floor / gate leakage / S-D tunnelling lump).
+    pub i_floor: f64,
+    /// Gate-source overlap capacitance per fin, farads (`CGSO`).
+    pub cgso: f64,
+    /// Gate-drain overlap capacitance per fin, farads (`CGDO`).
+    pub cgdo: f64,
+    /// Drain junction capacitance per fin, farads.
+    pub cjd: f64,
+}
+
+impl ModelCard {
+    /// Nominal 5-nm-class ultra-low-Vth model card of the given polarity,
+    /// pre-calibrated to the virtual wafer at 300 K and 10 K.
+    ///
+    /// These are the values [`crate::Calibrator`] converges to; they are
+    /// shipped so that the EDA layers above can run without re-fitting.
+    #[must_use]
+    pub fn nominal(polarity: Polarity) -> Self {
+        let mut card = Self {
+            polarity,
+            lg: 20e-9,
+            hfin: 45e-9,
+            tfin: 7e-9,
+            cox: 0.030,
+            vth0: 0.180,
+            cit: 0.050,
+            cdsc: 0.060,
+            cdscd: 0.020,
+            eta0: 0.040,
+            pdibl2: 0.200,
+            u0: 0.0075,
+            ua: 1.55,
+            ud: 0.35,
+            eu: 1.60,
+            ute: -0.70,
+            rsw: 900.0,
+            rdw: 900.0,
+            vsat: 8.5e4,
+            mexp: 4.0,
+            ksativ: 1.0,
+            pclm: 0.060,
+            t0: 45.0,
+            d0: 1.0,
+            tvth: 0.118,
+            kt11: 0.0,
+            kt12: 0.0,
+            ua1: 1.98,
+            ua2: 0.0,
+            ud1: 1.80,
+            eu1: 0.0,
+            at: 0.060,
+            at1: 0.0,
+            tmexp: 0.150,
+            ksativt: 0.0,
+            i_floor: 1.0e-11,
+            cgso: 1.5e-17,
+            cgdo: 1.5e-17,
+            cjd: 5.0e-17,
+        };
+        if polarity == Polarity::P {
+            // p-FinFET: higher |Vth|, lower hole mobility, and the paper's
+            // smaller relative cryogenic Vth increase (+39 % vs. +47 %).
+            card.vth0 = 0.200;
+            card.tvth = 0.1245;
+            card.u0 = 0.0060;
+            card.ua = 1.45;
+            card.ud = 0.40;
+            card.ua1 = 2.08;
+            card.vsat = 7.2e4;
+            card.rsw = 1_100.0;
+            card.rdw = 1_100.0;
+            card.i_floor = 8.0e-12;
+        }
+        card
+    }
+
+    /// Effective electrical fin width `2·HFIN + TFIN` in metres.
+    #[must_use]
+    pub fn weff(&self) -> f64 {
+        2.0 * self.hfin + self.tfin
+    }
+
+    /// Intrinsic gate capacitance per fin, `Cox · Weff · Lg`, farads.
+    #[must_use]
+    pub fn cgg_intrinsic(&self) -> f64 {
+        self.cox * self.weff() * self.lg
+    }
+
+    /// Total gate capacitance per fin (intrinsic + both overlaps), farads.
+    #[must_use]
+    pub fn cgg_total(&self) -> f64 {
+        self.cgg_intrinsic() + self.cgso + self.cgdo
+    }
+
+    /// Validate physical plausibility of the card.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidParameter`] naming the first parameter
+    /// that violates its constraint.
+    pub fn validate(&self) -> Result<()> {
+        fn check(name: &'static str, value: f64, ok: bool, constraint: &'static str) -> Result<()> {
+            if ok && value.is_finite() {
+                Ok(())
+            } else {
+                Err(DeviceError::InvalidParameter {
+                    name,
+                    value,
+                    constraint,
+                })
+            }
+        }
+        check(
+            "LG",
+            self.lg,
+            self.lg > 1e-9 && self.lg < 1e-6,
+            "1 nm < LG < 1 um",
+        )?;
+        check("HFIN", self.hfin, self.hfin > 1e-9, "HFIN > 1 nm")?;
+        check("TFIN", self.tfin, self.tfin > 1e-10, "TFIN > 0.1 nm")?;
+        check("COX", self.cox, self.cox > 0.0, "COX > 0")?;
+        check(
+            "VTH0",
+            self.vth0,
+            self.vth0 > 0.0 && self.vth0 < 1.0,
+            "0 < VTH0 < 1 V",
+        )?;
+        check("CIT", self.cit, self.cit >= 0.0, "CIT >= 0")?;
+        check("CDSC", self.cdsc, self.cdsc >= 0.0, "CDSC >= 0")?;
+        check("U0", self.u0, self.u0 > 0.0, "U0 > 0")?;
+        check("EU", self.eu, self.eu > 0.0, "EU > 0")?;
+        check("RSW", self.rsw, self.rsw >= 0.0, "RSW >= 0")?;
+        check("RDW", self.rdw, self.rdw >= 0.0, "RDW >= 0")?;
+        check("VSAT", self.vsat, self.vsat > 1e3, "VSAT > 1e3 m/s")?;
+        check("MEXP", self.mexp, self.mexp >= 1.0, "MEXP >= 1")?;
+        check("T0", self.t0, self.t0 >= 0.0, "T0 >= 0")?;
+        check("I_FLOOR", self.i_floor, self.i_floor >= 0.0, "I_FLOOR >= 0")?;
+        check("ETA0", self.eta0, self.eta0 >= 0.0, "ETA0 >= 0")?;
+        Ok(())
+    }
+}
+
+impl Default for ModelCard {
+    fn default() -> Self {
+        Self::nominal(Polarity::N)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_cards_validate() {
+        ModelCard::nominal(Polarity::N).validate().unwrap();
+        ModelCard::nominal(Polarity::P).validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_bad_vth() {
+        let mut card = ModelCard::nominal(Polarity::N);
+        card.vth0 = -0.5;
+        let err = card.validate().unwrap_err();
+        assert!(matches!(
+            err,
+            DeviceError::InvalidParameter { name: "VTH0", .. }
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_nan() {
+        let mut card = ModelCard::nominal(Polarity::N);
+        card.u0 = f64::NAN;
+        assert!(card.validate().is_err());
+    }
+
+    #[test]
+    fn polarity_signs() {
+        assert_eq!(Polarity::N.sign(), 1.0);
+        assert_eq!(Polarity::P.sign(), -1.0);
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let card = ModelCard::nominal(Polarity::N);
+        assert!((card.weff() - 97e-9).abs() < 1e-12);
+        assert!(card.cgg_intrinsic() > 0.0);
+        assert!(card.cgg_total() > card.cgg_intrinsic());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let card = ModelCard::nominal(Polarity::P);
+        let json = serde_json::to_string(&card).unwrap();
+        let back: ModelCard = serde_json::from_str(&json).unwrap();
+        assert_eq!(card, back);
+    }
+}

@@ -1,0 +1,131 @@
+//! Temperature helpers shared by the compact model and its calibration.
+//!
+//! The key cryogenic ingredient is the *effective temperature*: below a few
+//! tens of kelvin the subthreshold swing of a real FinFET stops following the
+//! Boltzmann limit `SS = n·(kT/q)·ln 10` and saturates, an effect attributed
+//! to band tails (exponential disorder of the band edges) and, at the lowest
+//! currents, source-to-drain tunnelling. Following the modelling approach of
+//! Pahwa et al. (IEEE T-ED 2021) the model evaluates all Boltzmann factors at
+//! `T_eff = sqrt(T² + T0²)` where `T0` is the band-tail parameter, so the
+//! device physics saturates smoothly instead of diverging as `T → 0`.
+
+/// Boltzmann constant over elementary charge, in volts per kelvin.
+pub const KB_OVER_Q: f64 = 8.617_333_262e-5;
+
+/// Nominal (room) temperature in kelvin used as the model reference.
+pub const T_NOM: f64 = 300.0;
+
+/// `ln(10)`, used to convert between e-folds and decades.
+pub const LN10: f64 = std::f64::consts::LN_10;
+
+/// Band-tail effective temperature `sqrt(T² + T0²)`.
+///
+/// `t0 = 0` recovers the ideal Boltzmann behaviour. The result is always at
+/// least `|t0|`, which keeps every downstream division by `kT/q` finite even
+/// at `T = 0`.
+#[must_use]
+pub fn effective_temperature(temp: f64, t0: f64) -> f64 {
+    (temp * temp + t0 * t0).sqrt()
+}
+
+/// Thermal voltage `k·T_eff/q` in volts at the band-tail effective
+/// temperature.
+#[must_use]
+pub fn thermal_voltage(temp: f64, t0: f64) -> f64 {
+    KB_OVER_Q * effective_temperature(temp, t0)
+}
+
+/// Numerically safe `ln(1 + exp(x))` (softplus).
+///
+/// Used for every smooth weak/strong-inversion interpolation in the model;
+/// accurate to double precision over the whole real line and free of
+/// overflow.
+#[must_use]
+pub fn softplus(x: f64) -> f64 {
+    if x > 36.0 {
+        // exp(-x) < 2e-16: the correction term vanishes in f64.
+        x
+    } else if x < -36.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// Derivative of [`softplus`]: the logistic function `1/(1+exp(-x))`.
+#[must_use]
+pub fn logistic(x: f64) -> f64 {
+    if x > 36.0 {
+        1.0
+    } else if x < -36.0 {
+        x.exp()
+    } else {
+        1.0 / (1.0 + (-x).exp())
+    }
+}
+
+/// Relative temperature displacement `(T_NOM - T_eff)/T_NOM`.
+///
+/// Positive when colder than nominal; the cryogenic temperature coefficients
+/// of the model card multiply powers of this quantity.
+#[must_use]
+pub fn cold_fraction(temp: f64, t0: f64) -> f64 {
+    (T_NOM - effective_temperature(temp, t0)) / T_NOM
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_temperature_saturates() {
+        assert!((effective_temperature(300.0, 0.0) - 300.0).abs() < 1e-12);
+        let t = effective_temperature(0.0, 45.0);
+        assert!((t - 45.0).abs() < 1e-12);
+        // Monotone in both arguments.
+        assert!(effective_temperature(10.0, 45.0) > 45.0);
+        assert!(effective_temperature(10.0, 45.0) < 55.0);
+    }
+
+    #[test]
+    fn softplus_limits() {
+        assert!((softplus(100.0) - 100.0).abs() < 1e-12);
+        assert!(softplus(-100.0) > 0.0);
+        assert!(softplus(-100.0) < 1e-40);
+        assert!((softplus(0.0) - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softplus_is_monotone_and_convex() {
+        let xs: Vec<f64> = (-80..80).map(|i| i as f64 * 0.5).collect();
+        for w in xs.windows(2) {
+            assert!(softplus(w[1]) > softplus(w[0]));
+        }
+        for w in xs.windows(3) {
+            let second = softplus(w[2]) - 2.0 * softplus(w[1]) + softplus(w[0]);
+            assert!(second >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn logistic_matches_softplus_derivative() {
+        let h = 1e-6;
+        for &x in &[-5.0, -1.0, 0.0, 0.3, 2.0, 8.0] {
+            let num = (softplus(x + h) - softplus(x - h)) / (2.0 * h);
+            assert!((num - logistic(x)).abs() < 1e-6, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn cold_fraction_signs() {
+        assert!(cold_fraction(10.0, 40.0) > 0.8);
+        assert!(cold_fraction(300.0, 0.0).abs() < 1e-12);
+        assert!(cold_fraction(400.0, 0.0) < 0.0);
+    }
+
+    #[test]
+    fn thermal_voltage_room_temperature() {
+        let vt = thermal_voltage(300.0, 0.0);
+        assert!((vt - 0.025852).abs() < 1e-4);
+    }
+}

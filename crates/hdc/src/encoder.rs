@@ -1,0 +1,119 @@
+//! I/Q plane encoding into hypervectors (equation (3) of the paper).
+
+use crate::hypervector::Hv128;
+use crate::item_memory::ItemMemory;
+
+/// Encodes I/Q points into hypervectors: each coordinate is quantized into
+/// an item-memory level and the two item vectors are bound:
+/// `P = x̄_P ⊕ ȳ_P`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IqEncoder {
+    items_x: ItemMemory,
+    items_y: ItemMemory,
+    /// Lower edge of the quantized range.
+    pub qmin: f64,
+    /// Levels per unit (scale factor).
+    pub qscale: f64,
+}
+
+impl IqEncoder {
+    /// Build an encoder over `levels` quantization levels covering
+    /// `[qmin, qmax]` on both axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `qmax > qmin` and `levels >= 2`.
+    #[must_use]
+    pub fn new(levels: usize, qmin: f64, qmax: f64, seed: u64) -> Self {
+        assert!(qmax > qmin && levels >= 2, "degenerate quantizer");
+        Self {
+            items_x: ItemMemory::generate_levels(levels, seed ^ 0x78_69),
+            items_y: ItemMemory::generate_levels(levels, seed ^ 0x79_69),
+            qmin,
+            qscale: levels as f64 / (qmax - qmin),
+        }
+    }
+
+    /// Quantize a coordinate to its level, clamped into range — the exact
+    /// arithmetic (truncating conversion) the RISC-V kernel performs.
+    #[must_use]
+    pub fn quantize(&self, v: f64) -> usize {
+        let raw = (v - self.qmin) * self.qscale;
+        // `fcvt.w.d` with RTZ truncates toward zero.
+        let level = raw as i64;
+        level.clamp(0, self.items_x.levels() as i64 - 1) as usize
+    }
+
+    /// Encode an I/Q point.
+    #[must_use]
+    pub fn encode(&self, x: f64, y: f64) -> Hv128 {
+        self.items_x
+            .item(self.quantize(x))
+            .bind(self.items_y.item(self.quantize(y)))
+    }
+
+    /// The item memories as kernel data tables (`[lo, hi]` per level).
+    #[must_use]
+    pub fn tables(&self) -> (Vec<[u64; 2]>, Vec<[u64; 2]>) {
+        (self.items_x.as_words(), self.items_y.as_words())
+    }
+
+    /// Number of levels.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.items_x.levels()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc() -> IqEncoder {
+        IqEncoder::new(16, -2.0, 2.0, 11)
+    }
+
+    #[test]
+    fn quantization_covers_range() {
+        let e = enc();
+        assert_eq!(e.quantize(-10.0), 0);
+        assert_eq!(e.quantize(10.0), 15);
+        assert_eq!(e.quantize(-2.0), 0);
+        let mid = e.quantize(0.0);
+        assert!((7..=8).contains(&mid), "mid level = {mid}");
+    }
+
+    #[test]
+    fn nearby_points_share_encodings() {
+        let e = enc();
+        let a = e.encode(0.50, -1.0);
+        let b = e.encode(0.52, -1.0);
+        assert_eq!(a, b, "same quantization cell");
+    }
+
+    #[test]
+    fn distant_points_decorrelate() {
+        let e = enc();
+        let a = e.encode(-1.8, -1.8);
+        let b = e.encode(1.8, 1.8);
+        assert!(a.hamming(b) > 35, "d = {}", a.hamming(b));
+    }
+
+    #[test]
+    fn encoding_is_bind_of_items() {
+        let e = enc();
+        let x = 0.7;
+        let y = -0.9;
+        let manual = e
+            .items_x
+            .item(e.quantize(x))
+            .bind(e.items_y.item(e.quantize(y)));
+        assert_eq!(e.encode(x, y), manual);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn rejects_inverted_range() {
+        let _ = IqEncoder::new(16, 2.0, -2.0, 0);
+    }
+}

@@ -1,0 +1,251 @@
+//! 128-bit binary hypervectors.
+
+use std::fmt;
+use std::ops::BitXor;
+
+use rand::Rng;
+
+/// A 128-bit binary hypervector, stored as two 64-bit words to match the
+/// RV64 kernel layout.
+///
+/// ```
+/// use cryo_hdc::Hv128;
+///
+/// let x = Hv128::new(0b1010, 0);
+/// let y = Hv128::new(0b0110, 0);
+/// // Bind is XOR; Hamming distance counts differing bits.
+/// assert_eq!(x.bind(y), Hv128::new(0b1100, 0));
+/// assert_eq!(x.hamming(y), 2);
+/// // Binding the same key preserves distances (the paper's eq. (4)).
+/// let key = Hv128::new(0xDEAD_BEEF, 0x1234);
+/// assert_eq!(x.bind(key).hamming(y.bind(key)), x.hamming(y));
+/// ```
+///
+/// Stored as two 64-bit words to match the
+/// RV64 kernel's register layout ("each 128-bit HDC operation can be split
+/// into two 64-bit instructions", Sec. V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Hv128 {
+    /// Low 64 bits.
+    pub lo: u64,
+    /// High 64 bits.
+    pub hi: u64,
+}
+
+impl Hv128 {
+    /// Dimensionality in bits.
+    pub const DIM: u32 = 128;
+
+    /// Construct from the two words.
+    #[must_use]
+    pub fn new(lo: u64, hi: u64) -> Self {
+        Self { lo, hi }
+    }
+
+    /// Uniformly random hypervector.
+    pub fn random<R: Rng>(rng: &mut R) -> Self {
+        Self {
+            lo: rng.gen(),
+            hi: rng.gen(),
+        }
+    }
+
+    /// Bind (XOR) — associative, commutative, self-inverse.
+    #[must_use]
+    pub fn bind(self, other: Self) -> Self {
+        Self {
+            lo: self.lo ^ other.lo,
+            hi: self.hi ^ other.hi,
+        }
+    }
+
+    /// Hamming distance: popcount of the XOR.
+    #[must_use]
+    pub fn hamming(self, other: Self) -> u32 {
+        (self.lo ^ other.lo).count_ones() + (self.hi ^ other.hi).count_ones()
+    }
+
+    /// Normalized similarity in `[0, 1]`: 1 = identical, 0 = complement.
+    #[must_use]
+    pub fn similarity(self, other: Self) -> f64 {
+        1.0 - f64::from(self.hamming(other)) / f64::from(Self::DIM)
+    }
+
+    /// Majority bundling of an odd number of vectors (per-bit vote).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vectors` is empty or has even length (majority would be
+    /// ambiguous).
+    #[must_use]
+    pub fn bundle(vectors: &[Self]) -> Self {
+        assert!(
+            !vectors.is_empty() && vectors.len() % 2 == 1,
+            "bundle needs an odd, non-zero count"
+        );
+        let mut out = Self::default();
+        for bit in 0..128 {
+            let ones = vectors.iter().filter(|v| v.bit(bit)).count();
+            if ones * 2 > vectors.len() {
+                out.set_bit(bit);
+            }
+        }
+        out
+    }
+
+    /// Cyclic permutation by one position (sequence encoding primitive).
+    #[must_use]
+    pub fn permute(self) -> Self {
+        let carry_lo = self.lo >> 63;
+        let carry_hi = self.hi >> 63;
+        Self {
+            lo: (self.lo << 1) | carry_hi,
+            hi: (self.hi << 1) | carry_lo,
+        }
+    }
+
+    /// Read bit `i` (0 = LSB of `lo`).
+    #[must_use]
+    pub fn bit(self, i: u32) -> bool {
+        if i < 64 {
+            (self.lo >> i) & 1 == 1
+        } else {
+            (self.hi >> (i - 64)) & 1 == 1
+        }
+    }
+
+    /// Set bit `i`.
+    pub fn set_bit(&mut self, i: u32) {
+        if i < 64 {
+            self.lo |= 1 << i;
+        } else {
+            self.hi |= 1 << (i - 64);
+        }
+    }
+
+    /// Total set bits.
+    #[must_use]
+    pub fn count_ones(self) -> u32 {
+        self.lo.count_ones() + self.hi.count_ones()
+    }
+}
+
+impl BitXor for Hv128 {
+    type Output = Self;
+
+    fn bitxor(self, rhs: Self) -> Self {
+        self.bind(rhs)
+    }
+}
+
+impl fmt::Display for Hv128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn bind_is_self_inverse() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Hv128::random(&mut rng);
+        let b = Hv128::random(&mut rng);
+        assert_eq!(a.bind(b).bind(b), a);
+        assert_eq!(a.bind(a), Hv128::default());
+    }
+
+    #[test]
+    fn bind_is_commutative_and_associative() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (a, b, c) = (
+            Hv128::random(&mut rng),
+            Hv128::random(&mut rng),
+            Hv128::random(&mut rng),
+        );
+        assert_eq!(a.bind(b), b.bind(a));
+        assert_eq!(a.bind(b).bind(c), a.bind(b.bind(c)));
+    }
+
+    #[test]
+    fn hamming_is_a_metric() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (a, b, c) = (
+            Hv128::random(&mut rng),
+            Hv128::random(&mut rng),
+            Hv128::random(&mut rng),
+        );
+        assert_eq!(a.hamming(a), 0);
+        assert_eq!(a.hamming(b), b.hamming(a));
+        assert!(a.hamming(c) <= a.hamming(b) + b.hamming(c));
+    }
+
+    #[test]
+    fn bind_preserves_hamming_distance() {
+        // d(a^x, b^x) = d(a, b): the key HDC invariant behind (4)'s rewrite.
+        let mut rng = StdRng::seed_from_u64(4);
+        let (a, b, x) = (
+            Hv128::random(&mut rng),
+            Hv128::random(&mut rng),
+            Hv128::random(&mut rng),
+        );
+        assert_eq!(a.bind(x).hamming(b.bind(x)), a.hamming(b));
+    }
+
+    #[test]
+    fn random_vectors_are_quasi_orthogonal() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let a = Hv128::random(&mut rng);
+            let b = Hv128::random(&mut rng);
+            let d = a.hamming(b);
+            assert!((35..=93).contains(&d), "expected ~64 ± tail, got {d}");
+        }
+    }
+
+    #[test]
+    fn bundle_majority() {
+        let a = Hv128::new(0b111, 0);
+        let b = Hv128::new(0b101, 0);
+        let c = Hv128::new(0b001, 0);
+        let m = Hv128::bundle(&[a, b, c]);
+        assert_eq!(m.lo, 0b101);
+        // Bundle is similar to each input.
+        assert!(m.similarity(a) > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn bundle_rejects_even() {
+        let _ = Hv128::bundle(&[Hv128::default(), Hv128::default()]);
+    }
+
+    #[test]
+    fn permute_preserves_weight_and_rotates() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = Hv128::random(&mut rng);
+        let p = a.permute();
+        assert_eq!(a.count_ones(), p.count_ones());
+        // 128 permutations return to the original.
+        let mut v = a;
+        for _ in 0..128 {
+            v = v.permute();
+        }
+        assert_eq!(v, a);
+    }
+
+    #[test]
+    fn bit_accessors() {
+        let mut v = Hv128::default();
+        v.set_bit(0);
+        v.set_bit(64);
+        v.set_bit(127);
+        assert!(v.bit(0) && v.bit(64) && v.bit(127));
+        assert!(!v.bit(1) && !v.bit(100));
+        assert_eq!(v.count_ones(), 3);
+    }
+}

@@ -1,0 +1,147 @@
+//! Item memories: the fixed random hypervectors assigned to quantization
+//! levels ("such item hypervectors are constant and generated once during
+//! the program compilation", Sec. V-B).
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::hypervector::Hv128;
+
+/// A bank of item hypervectors indexed by quantization level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemMemory {
+    items: Vec<Hv128>,
+}
+
+impl ItemMemory {
+    /// Generate `levels` random item hypervectors from a seed.
+    #[must_use]
+    pub fn generate(levels: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Self {
+            items: (0..levels).map(|_| Hv128::random(&mut rng)).collect(),
+        }
+    }
+
+    /// Generate *level* hypervectors: `levels` vectors whose pairwise
+    /// Hamming distance grows linearly with level separation (half the
+    /// dimension between the extremes). This is the standard HDC encoding
+    /// for continuous quantities — neighbouring quantization cells stay
+    /// similar, so Hamming distance tracks Euclidean distance in the I/Q
+    /// plane.
+    #[must_use]
+    pub fn generate_levels(levels: usize, seed: u64) -> Self {
+        assert!(levels >= 2, "need at least two levels");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = Hv128::random(&mut rng);
+        // A random ordering of 64 bit positions to flip progressively.
+        let mut positions: Vec<u32> = (0..128).collect();
+        for i in (1..positions.len()).rev() {
+            let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+            positions.swap(i, j);
+        }
+        let flips = &positions[..64];
+        let items = (0..levels)
+            .map(|level| {
+                let k = level * 64 / (levels - 1);
+                let mut v = base;
+                for &bit in &flips[..k] {
+                    // Flip by XOR with a single-bit mask.
+                    let mut mask = Hv128::default();
+                    mask.set_bit(bit);
+                    v = v.bind(mask);
+                }
+                v
+            })
+            .collect();
+        Self { items }
+    }
+
+    /// Number of levels.
+    #[must_use]
+    pub fn levels(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Item vector for a level, clamped into range.
+    #[must_use]
+    pub fn item(&self, level: usize) -> Hv128 {
+        self.items[level.min(self.items.len() - 1)]
+    }
+
+    /// The raw table as `[lo, hi]` word pairs — the layout the RISC-V
+    /// kernel's `.data` section uses.
+    #[must_use]
+    pub fn as_words(&self) -> Vec<[u64; 2]> {
+        self.items.iter().map(|v| [v.lo, v.hi]).collect()
+    }
+
+    /// Precompute the paper's optimization (4): a table of `class ⊕ item`
+    /// for every level, trading 2× item-table memory for one fewer XOR per
+    /// classification.
+    #[must_use]
+    pub fn prebound(&self, class: Hv128) -> Vec<Hv128> {
+        self.items.iter().map(|&v| v.bind(class)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ItemMemory::generate(16, 42);
+        let b = ItemMemory::generate(16, 42);
+        assert_eq!(a, b);
+        let c = ItemMemory::generate(16, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn item_lookup_clamps() {
+        let m = ItemMemory::generate(16, 1);
+        assert_eq!(m.item(999), m.item(15));
+        assert_eq!(m.levels(), 16);
+    }
+
+    #[test]
+    fn words_round_trip() {
+        let m = ItemMemory::generate(8, 7);
+        let words = m.as_words();
+        assert_eq!(words.len(), 8);
+        for (i, w) in words.iter().enumerate() {
+            assert_eq!(Hv128::new(w[0], w[1]), m.item(i));
+        }
+    }
+
+    #[test]
+    fn level_vectors_have_linear_distance() {
+        let m = ItemMemory::generate_levels(16, 5);
+        let d_adjacent = m.item(0).hamming(m.item(1));
+        let d_far = m.item(0).hamming(m.item(15));
+        assert_eq!(d_far, 64, "extremes differ in half the dimension");
+        assert!(d_adjacent <= 6, "neighbours stay similar: {d_adjacent}");
+        // Monotone distance growth from level 0.
+        let mut last = 0;
+        for i in 1..16 {
+            let d = m.item(0).hamming(m.item(i));
+            assert!(d >= last, "level {i}: {d} < {last}");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn prebound_table_is_equivalent() {
+        // popcount(C ⊕ x ⊕ y) == popcount((C⊕x) ⊕ y): equation (4).
+        let m = ItemMemory::generate(16, 9);
+        let class = Hv128::new(0x1234, 0x5678);
+        let pre = m.prebound(class);
+        let y = Hv128::new(0xAAAA, 0x5555);
+        for (level, pre_hv) in pre.iter().enumerate() {
+            let direct = class.bind(m.item(level)).bind(y).count_ones();
+            let opt = pre_hv.bind(y).count_ones();
+            assert_eq!(direct, opt, "level {level}");
+        }
+    }
+}

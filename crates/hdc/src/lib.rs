@@ -1,0 +1,54 @@
+#![warn(missing_docs)]
+//! Hyperdimensional computing primitives.
+//!
+//! The paper's second classifier (Sec. V-B) represents I/Q points as binary
+//! *hypervectors*: the bind operation ⊕ is a bitwise XOR, similarity is the
+//! Hamming distance, and values are encoded through an item memory of
+//! random hypervectors covering the quantized value range. This crate is
+//! the reference ("golden") implementation the RISC-V kernel is verified
+//! against bit-for-bit, plus the general algebra (bundling, permutation,
+//! level encoding) a reusable HDC library ships.
+
+pub mod encoder;
+pub mod hypervector;
+pub mod item_memory;
+
+pub use encoder::IqEncoder;
+pub use hypervector::Hv128;
+pub use item_memory::ItemMemory;
+
+/// Classify by minimum Hamming distance to a set of class hypervectors;
+/// returns the winning class index (ties resolved toward the lower index,
+/// matching the RISC-V kernel's strict-less comparison).
+#[must_use]
+pub fn nearest_class(query: Hv128, classes: &[Hv128]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = u32::MAX;
+    for (i, c) in classes.iter().enumerate() {
+        let d = query.hamming(*c);
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_class_prefers_lower_on_tie() {
+        let a = Hv128::new(0, 0);
+        let classes = [Hv128::new(1, 0), Hv128::new(2, 0)]; // both distance 1
+        assert_eq!(nearest_class(a, &classes), 0);
+    }
+
+    #[test]
+    fn nearest_class_finds_exact_match() {
+        let q = Hv128::new(0xDEAD, 0xBEEF);
+        let classes = [Hv128::new(1, 2), q, Hv128::new(3, 4)];
+        assert_eq!(nearest_class(q, &classes), 1);
+    }
+}

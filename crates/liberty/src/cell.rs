@@ -1,0 +1,331 @@
+//! Cell, pin, and arc models.
+
+use serde::{Deserialize, Serialize};
+
+use crate::function::LogicFunction;
+use crate::table::Lut2;
+
+/// Direction of a cell pin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PinDirection {
+    /// Input pin.
+    Input,
+    /// Output pin.
+    Output,
+}
+
+/// Unateness of a timing arc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TimingSense {
+    /// Output rises when the input rises.
+    PositiveUnate,
+    /// Output falls when the input rises.
+    NegativeUnate,
+    /// Both output edges can result from either input edge (e.g. XOR).
+    NonUnate,
+}
+
+/// Kind of timing arc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArcKind {
+    /// Combinational propagation input → output.
+    Combinational,
+    /// Clock-to-output arc of a sequential cell (rising-edge triggered).
+    ClockToQ,
+    /// Setup constraint: data before clock edge.
+    Setup,
+    /// Hold constraint: data after clock edge.
+    Hold,
+}
+
+/// A characterized timing arc between two pins of a cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingArc {
+    /// Input (or clock) pin the arc is timed from.
+    pub related_pin: String,
+    /// Output (or data, for constraints) pin the arc applies to.
+    pub pin: String,
+    /// Arc kind.
+    pub kind: ArcKind,
+    /// Unateness (meaningful for combinational arcs).
+    pub sense: TimingSense,
+    /// Delay to an output rise, seconds. For constraint arcs this is the
+    /// setup/hold margin for a rising data pin.
+    pub cell_rise: Lut2,
+    /// Delay to an output fall, seconds (falling-data margin for
+    /// constraints).
+    pub cell_fall: Lut2,
+    /// Output rise transition (20–80 %), seconds. Unused for constraints.
+    pub rise_transition: Lut2,
+    /// Output fall transition (20–80 %), seconds. Unused for constraints.
+    pub fall_transition: Lut2,
+}
+
+impl TimingArc {
+    /// Worst (max) delay across both output edges at a lookup point.
+    #[must_use]
+    pub fn worst_delay(&self, slew: f64, load: f64) -> f64 {
+        self.cell_rise
+            .lookup(slew, load)
+            .max(self.cell_fall.lookup(slew, load))
+    }
+}
+
+/// A characterized switching-energy arc.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerArc {
+    /// Input pin whose transition triggers the energy.
+    pub related_pin: String,
+    /// Output pin.
+    pub pin: String,
+    /// Internal energy for an output rise, joules (excludes the `C·V²/2`
+    /// charged into the external load).
+    pub rise_energy: Lut2,
+    /// Internal energy for an output fall, joules.
+    pub fall_energy: Lut2,
+}
+
+impl PowerArc {
+    /// Average internal energy per output transition at a lookup point,
+    /// joules.
+    #[must_use]
+    pub fn average_energy(&self, slew: f64, load: f64) -> f64 {
+        0.5 * (self.rise_energy.lookup(slew, load) + self.fall_energy.lookup(slew, load))
+    }
+}
+
+/// A pin of a cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pin {
+    /// Pin name (`A`, `B`, `Y`, `CLK`, ...).
+    pub name: String,
+    /// Direction.
+    pub direction: PinDirection,
+    /// Input capacitance presented to the driving net, farads (0 for
+    /// outputs).
+    pub capacitance: f64,
+    /// Logic function for outputs.
+    pub function: Option<LogicFunction>,
+    /// Whether this is a clock pin.
+    pub is_clock: bool,
+}
+
+impl Pin {
+    /// Convenience constructor for an input pin.
+    #[must_use]
+    pub fn input(name: &str, capacitance: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            direction: PinDirection::Input,
+            capacitance,
+            function: None,
+            is_clock: false,
+        }
+    }
+
+    /// Convenience constructor for an output pin with a function.
+    #[must_use]
+    pub fn output(name: &str, function: LogicFunction) -> Self {
+        Self {
+            name: name.to_string(),
+            direction: PinDirection::Output,
+            capacitance: 0.0,
+            function: Some(function),
+            is_clock: false,
+        }
+    }
+}
+
+/// Sequential behaviour of a flip-flop cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FfSpec {
+    /// Clock pin name (rising-edge triggered).
+    pub clocked_on: String,
+    /// Data pin name.
+    pub next_state: String,
+    /// Asynchronous active-low reset pin, if present.
+    pub clear: Option<String>,
+}
+
+/// One standard cell (or macro) of a library.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Cell name, e.g. `NAND2x2`.
+    pub name: String,
+    /// Layout area in square micrometres.
+    pub area: f64,
+    /// Pins in declaration order.
+    pub pins: Vec<Pin>,
+    /// Timing arcs.
+    pub arcs: Vec<TimingArc>,
+    /// Internal-power arcs.
+    pub power_arcs: Vec<PowerArc>,
+    /// Leakage power per input state: `(state bits over input pins, watts)`.
+    pub leakage_states: Vec<(u16, f64)>,
+    /// Sequential behaviour, if the cell is a flip-flop/latch.
+    pub ff: Option<FfSpec>,
+    /// Drive strength tag (the `x2` in `NAND2x2`).
+    pub drive: u32,
+}
+
+impl Cell {
+    /// Look up a pin by name.
+    #[must_use]
+    pub fn pin(&self, name: &str) -> Option<&Pin> {
+        self.pins.iter().find(|p| p.name == name)
+    }
+
+    /// Input pins in declaration order.
+    pub fn input_pins(&self) -> impl Iterator<Item = &Pin> {
+        self.pins
+            .iter()
+            .filter(|p| p.direction == PinDirection::Input)
+    }
+
+    /// Output pins in declaration order.
+    pub fn output_pins(&self) -> impl Iterator<Item = &Pin> {
+        self.pins
+            .iter()
+            .filter(|p| p.direction == PinDirection::Output)
+    }
+
+    /// Number of input pins.
+    #[must_use]
+    pub fn input_count(&self) -> usize {
+        self.input_pins().count()
+    }
+
+    /// Whether the cell is sequential.
+    #[must_use]
+    pub fn is_sequential(&self) -> bool {
+        self.ff.is_some()
+    }
+
+    /// Mean leakage across all characterized input states, watts.
+    #[must_use]
+    pub fn average_leakage(&self) -> f64 {
+        if self.leakage_states.is_empty() {
+            return 0.0;
+        }
+        self.leakage_states.iter().map(|(_, w)| w).sum::<f64>() / self.leakage_states.len() as f64
+    }
+
+    /// Worst-state leakage, watts.
+    #[must_use]
+    pub fn max_leakage(&self) -> f64 {
+        self.leakage_states
+            .iter()
+            .map(|(_, w)| *w)
+            .fold(0.0, f64::max)
+    }
+
+    /// All propagation arcs driving `pin` (combinational + clock-to-q).
+    pub fn arcs_to<'a>(&'a self, pin: &'a str) -> impl Iterator<Item = &'a TimingArc> + 'a {
+        self.arcs.iter().filter(move |a| {
+            a.pin == pin && matches!(a.kind, ArcKind::Combinational | ArcKind::ClockToQ)
+        })
+    }
+
+    /// The constraint arcs (setup/hold) of a sequential cell.
+    pub fn constraint_arcs(&self) -> impl Iterator<Item = &TimingArc> {
+        self.arcs
+            .iter()
+            .filter(|a| matches!(a.kind, ArcKind::Setup | ArcKind::Hold))
+    }
+
+    /// Total input capacitance of the cell (sum over input pins), farads.
+    #[must_use]
+    pub fn total_input_cap(&self) -> f64 {
+        self.input_pins().map(|p| p.capacitance).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv_cell() -> Cell {
+        let f = LogicFunction::from_eval(&["A"], |b| b & 1 == 0);
+        let d = Lut2::constant(5e-12);
+        let arc = TimingArc {
+            related_pin: "A".to_string(),
+            pin: "Y".to_string(),
+            kind: ArcKind::Combinational,
+            sense: TimingSense::NegativeUnate,
+            cell_rise: d.clone(),
+            cell_fall: d.clone(),
+            rise_transition: d.clone(),
+            fall_transition: d,
+        };
+        Cell {
+            name: "INVx1".to_string(),
+            area: 0.05,
+            pins: vec![Pin::input("A", 0.4e-15), Pin::output("Y", f)],
+            arcs: vec![arc],
+            power_arcs: vec![],
+            leakage_states: vec![(0, 1e-9), (1, 3e-9)],
+            ff: None,
+            drive: 1,
+        }
+    }
+
+    #[test]
+    fn pin_lookup_and_counts() {
+        let c = inv_cell();
+        assert!(c.pin("A").is_some());
+        assert!(c.pin("Z").is_none());
+        assert_eq!(c.input_count(), 1);
+        assert_eq!(c.output_pins().count(), 1);
+        assert!(!c.is_sequential());
+        assert!((c.total_input_cap() - 0.4e-15).abs() < 1e-21);
+    }
+
+    #[test]
+    fn leakage_statistics() {
+        let c = inv_cell();
+        assert!((c.average_leakage() - 2e-9).abs() < 1e-15);
+        assert!((c.max_leakage() - 3e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn arcs_to_output() {
+        let c = inv_cell();
+        assert_eq!(c.arcs_to("Y").count(), 1);
+        assert_eq!(c.arcs_to("A").count(), 0);
+        assert_eq!(c.constraint_arcs().count(), 0);
+    }
+
+    #[test]
+    fn worst_delay_picks_max_edge() {
+        let arc = TimingArc {
+            related_pin: "A".into(),
+            pin: "Y".into(),
+            kind: ArcKind::Combinational,
+            sense: TimingSense::NegativeUnate,
+            cell_rise: Lut2::constant(7e-12),
+            cell_fall: Lut2::constant(4e-12),
+            rise_transition: Lut2::constant(1e-12),
+            fall_transition: Lut2::constant(1e-12),
+        };
+        assert_eq!(arc.worst_delay(0.0, 0.0), 7e-12);
+    }
+
+    #[test]
+    fn power_arc_average() {
+        let pa = PowerArc {
+            related_pin: "A".into(),
+            pin: "Y".into(),
+            rise_energy: Lut2::constant(2e-18),
+            fall_energy: Lut2::constant(4e-18),
+        };
+        assert!((pa.average_energy(0.0, 0.0) - 3e-18).abs() < 1e-30);
+    }
+
+    #[test]
+    fn empty_leakage_is_zero() {
+        let mut c = inv_cell();
+        c.leakage_states.clear();
+        assert_eq!(c.average_leakage(), 0.0);
+        assert_eq!(c.max_leakage(), 0.0);
+    }
+}

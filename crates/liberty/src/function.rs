@@ -1,0 +1,386 @@
+//! Evaluable boolean functions for cell outputs.
+//!
+//! Liberty stores functions as expression strings; the signoff engines here
+//! additionally need to *evaluate* them (power analysis simulates the gate
+//! network). [`LogicFunction`] therefore stores both: the input ordering and
+//! a dense truth table, plus a tiny expression parser for round-tripping the
+//! Liberty `function` attribute.
+
+use serde::{Deserialize, Serialize};
+
+/// A boolean function of up to 16 inputs, stored as a truth table.
+///
+/// Bit `i` of an input assignment corresponds to `inputs()[i]`; table entry
+/// `k` holds the output for the assignment whose bits spell `k`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LogicFunction {
+    inputs: Vec<String>,
+    table: Vec<bool>,
+}
+
+impl LogicFunction {
+    /// Build from an input list and a closure evaluated on every input
+    /// assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 16 inputs are supplied.
+    #[must_use]
+    pub fn from_eval<F>(inputs: &[&str], f: F) -> Self
+    where
+        F: Fn(u16) -> bool,
+    {
+        assert!(inputs.len() <= 16, "at most 16 inputs supported");
+        let n = inputs.len();
+        let table = (0..(1u32 << n)).map(|k| f(k as u16)).collect();
+        Self {
+            inputs: inputs.iter().map(|s| (*s).to_string()).collect(),
+            table,
+        }
+    }
+
+    /// Input names in bit order.
+    #[must_use]
+    pub fn inputs(&self) -> &[String] {
+        &self.inputs
+    }
+
+    /// Number of inputs.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Evaluate on the assignment `bits` (bit `i` = input `i`).
+    #[must_use]
+    pub fn eval(&self, bits: u16) -> bool {
+        self.table[(bits as usize) & ((1 << self.inputs.len()) - 1)]
+    }
+
+    /// Evaluate with named inputs; missing names read as `false`.
+    #[must_use]
+    pub fn eval_named(&self, values: &[(&str, bool)]) -> bool {
+        let mut bits = 0u16;
+        for (i, name) in self.inputs.iter().enumerate() {
+            if values.iter().any(|(n, v)| n == name && *v) {
+                bits |= 1 << i;
+            }
+        }
+        self.eval(bits)
+    }
+
+    /// Whether toggling `input` can ever change the output (support test).
+    #[must_use]
+    pub fn depends_on(&self, input: usize) -> bool {
+        let n = self.inputs.len();
+        if input >= n {
+            return false;
+        }
+        (0..(1u16 << n))
+            .any(|k| (k & (1 << input)) == 0 && self.eval(k) != self.eval(k | (1 << input)))
+    }
+
+    /// Unateness of the output in `input`: `Some(true)` = positive unate,
+    /// `Some(false)` = negative unate, `None` = binate (non-unate).
+    #[must_use]
+    pub fn unateness(&self, input: usize) -> Option<bool> {
+        let n = self.inputs.len();
+        let mut saw_pos = false;
+        let mut saw_neg = false;
+        for k in 0..(1u16 << n) {
+            if k & (1 << input) != 0 {
+                continue;
+            }
+            let lo = self.eval(k);
+            let hi = self.eval(k | (1 << input));
+            if !lo && hi {
+                saw_pos = true;
+            }
+            if lo && !hi {
+                saw_neg = true;
+            }
+        }
+        match (saw_pos, saw_neg) {
+            (true, false) => Some(true),
+            (false, true) => Some(false),
+            _ => None,
+        }
+    }
+
+    /// Render as a sum-of-products Liberty expression string
+    /// (`"(A * !B) + (C)"` style); constant functions render as `"0"`/`"1"`.
+    #[must_use]
+    pub fn to_expression(&self) -> String {
+        let n = self.inputs.len();
+        let minterms: Vec<u16> = (0..(1u16 << n)).filter(|&k| self.eval(k)).collect();
+        if minterms.is_empty() {
+            return "0".to_string();
+        }
+        if minterms.len() == (1usize << n) {
+            return "1".to_string();
+        }
+        let terms: Vec<String> = minterms
+            .iter()
+            .map(|&k| {
+                let lits: Vec<String> = (0..n)
+                    .map(|i| {
+                        if k & (1 << i) != 0 {
+                            self.inputs[i].clone()
+                        } else {
+                            format!("!{}", self.inputs[i])
+                        }
+                    })
+                    .collect();
+                format!("({})", lits.join(" * "))
+            })
+            .collect();
+        terms.join(" + ")
+    }
+
+    /// Parse a Liberty-style expression over the given inputs.
+    ///
+    /// Supports `!`, `*` (and implicit AND via juxtaposition is **not**
+    /// supported), `+`, `^`, parentheses, and the constants `0`/`1`.
+    ///
+    /// Returns `None` on syntax errors or unknown identifiers.
+    #[must_use]
+    pub fn parse(expr: &str, inputs: &[&str]) -> Option<Self> {
+        let tokens = tokenize(expr)?;
+        let mut pos = 0usize;
+        let names: Vec<String> = inputs.iter().map(|s| (*s).to_string()).collect();
+        let ast = parse_or(&tokens, &mut pos, &names)?;
+        if pos != tokens.len() {
+            return None;
+        }
+        let f = LogicFunction::from_eval(inputs, |bits| ast.eval(bits));
+        Some(f)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Not,
+    And,
+    Or,
+    Xor,
+    LParen,
+    RParen,
+    Const(bool),
+}
+
+fn tokenize(s: &str) -> Option<Vec<Tok>> {
+    let mut out = Vec::new();
+    let mut chars = s.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' => {
+                chars.next();
+            }
+            '!' => {
+                chars.next();
+                out.push(Tok::Not);
+            }
+            '*' | '&' => {
+                chars.next();
+                out.push(Tok::And);
+            }
+            '+' | '|' => {
+                chars.next();
+                out.push(Tok::Or);
+            }
+            '^' => {
+                chars.next();
+                out.push(Tok::Xor);
+            }
+            '(' => {
+                chars.next();
+                out.push(Tok::LParen);
+            }
+            ')' => {
+                chars.next();
+                out.push(Tok::RParen);
+            }
+            '0' => {
+                chars.next();
+                out.push(Tok::Const(false));
+            }
+            '1' => {
+                chars.next();
+                out.push(Tok::Const(true));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        ident.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Ident(ident));
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+enum Ast {
+    Input(usize),
+    Const(bool),
+    Not(Box<Ast>),
+    And(Box<Ast>, Box<Ast>),
+    Or(Box<Ast>, Box<Ast>),
+    Xor(Box<Ast>, Box<Ast>),
+}
+
+impl Ast {
+    fn eval(&self, bits: u16) -> bool {
+        match self {
+            Ast::Input(i) => bits & (1 << i) != 0,
+            Ast::Const(b) => *b,
+            Ast::Not(a) => !a.eval(bits),
+            Ast::And(a, b) => a.eval(bits) && b.eval(bits),
+            Ast::Or(a, b) => a.eval(bits) || b.eval(bits),
+            Ast::Xor(a, b) => a.eval(bits) ^ b.eval(bits),
+        }
+    }
+}
+
+fn parse_or(t: &[Tok], pos: &mut usize, names: &[String]) -> Option<Ast> {
+    let mut lhs = parse_xor(t, pos, names)?;
+    while *pos < t.len() && t[*pos] == Tok::Or {
+        *pos += 1;
+        let rhs = parse_xor(t, pos, names)?;
+        lhs = Ast::Or(Box::new(lhs), Box::new(rhs));
+    }
+    Some(lhs)
+}
+
+fn parse_xor(t: &[Tok], pos: &mut usize, names: &[String]) -> Option<Ast> {
+    let mut lhs = parse_and(t, pos, names)?;
+    while *pos < t.len() && t[*pos] == Tok::Xor {
+        *pos += 1;
+        let rhs = parse_and(t, pos, names)?;
+        lhs = Ast::Xor(Box::new(lhs), Box::new(rhs));
+    }
+    Some(lhs)
+}
+
+fn parse_and(t: &[Tok], pos: &mut usize, names: &[String]) -> Option<Ast> {
+    let mut lhs = parse_unary(t, pos, names)?;
+    while *pos < t.len() && t[*pos] == Tok::And {
+        *pos += 1;
+        let rhs = parse_unary(t, pos, names)?;
+        lhs = Ast::And(Box::new(lhs), Box::new(rhs));
+    }
+    Some(lhs)
+}
+
+fn parse_unary(t: &[Tok], pos: &mut usize, names: &[String]) -> Option<Ast> {
+    match t.get(*pos)? {
+        Tok::Not => {
+            *pos += 1;
+            Some(Ast::Not(Box::new(parse_unary(t, pos, names)?)))
+        }
+        Tok::LParen => {
+            *pos += 1;
+            let inner = parse_or(t, pos, names)?;
+            if t.get(*pos)? != &Tok::RParen {
+                return None;
+            }
+            *pos += 1;
+            Some(inner)
+        }
+        Tok::Const(b) => {
+            let b = *b;
+            *pos += 1;
+            Some(Ast::Const(b))
+        }
+        Tok::Ident(name) => {
+            let idx = names.iter().position(|n| n == name)?;
+            *pos += 1;
+            Some(Ast::Input(idx))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nand2() -> LogicFunction {
+        LogicFunction::from_eval(&["A", "B"], |b| !(b & 1 != 0 && b & 2 != 0))
+    }
+
+    #[test]
+    fn truth_table_eval() {
+        let f = nand2();
+        assert!(f.eval(0b00));
+        assert!(f.eval(0b01));
+        assert!(f.eval(0b10));
+        assert!(!f.eval(0b11));
+    }
+
+    #[test]
+    fn named_eval() {
+        let f = nand2();
+        assert!(!f.eval_named(&[("A", true), ("B", true)]));
+        assert!(f.eval_named(&[("A", true)]));
+    }
+
+    #[test]
+    fn dependence_and_unateness() {
+        let f = nand2();
+        assert!(f.depends_on(0));
+        assert!(f.depends_on(1));
+        assert!(!f.depends_on(5));
+        assert_eq!(f.unateness(0), Some(false), "NAND is negative unate");
+        let xor = LogicFunction::from_eval(&["A", "B"], |b| (b.count_ones() % 2) == 1);
+        assert_eq!(xor.unateness(0), None, "XOR is binate");
+        let buf = LogicFunction::from_eval(&["A"], |b| b & 1 != 0);
+        assert_eq!(buf.unateness(0), Some(true));
+    }
+
+    #[test]
+    fn expression_round_trip() {
+        for f in [
+            nand2(),
+            LogicFunction::from_eval(&["A", "B", "C"], |b| {
+                ((b & 1 != 0) && (b & 2 != 0)) || (b & 4 != 0)
+            }),
+            LogicFunction::from_eval(&["A"], |b| b & 1 == 0),
+        ] {
+            let expr = f.to_expression();
+            let inputs: Vec<&str> = f.inputs().iter().map(String::as_str).collect();
+            let back = LogicFunction::parse(&expr, &inputs).expect("round trip parses");
+            assert_eq!(f, back, "expr = {expr}");
+        }
+    }
+
+    #[test]
+    fn parses_operators() {
+        let f = LogicFunction::parse("!(A * B) ^ C", &["A", "B", "C"]).unwrap();
+        assert!(f.eval(0b000)); // !(0)^0 = 1
+        assert!(f.eval(0b111)); // !(1*1) ^ 1 = 0 ^ 1 = 1
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(LogicFunction::parse("A +", &["A"]).is_none());
+        assert!(LogicFunction::parse("Q", &["A"]).is_none());
+        assert!(LogicFunction::parse("(A", &["A"]).is_none());
+        assert!(LogicFunction::parse("A @ B", &["A", "B"]).is_none());
+    }
+
+    #[test]
+    fn constants() {
+        let zero = LogicFunction::from_eval(&["A"], |_| false);
+        assert_eq!(zero.to_expression(), "0");
+        let one = LogicFunction::from_eval(&["A"], |_| true);
+        assert_eq!(one.to_expression(), "1");
+    }
+}

@@ -1,0 +1,251 @@
+//! Two-dimensional NLDM lookup tables.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{LibertyError, Result};
+
+/// A 2-D non-linear delay model table.
+///
+/// ```
+/// use cryo_liberty::Lut2;
+///
+/// let lut = Lut2::new(
+///     vec![1e-12, 10e-12],          // input slew axis
+///     vec![1e-15, 10e-15],          // output load axis
+///     vec![2e-12, 5e-12, 3e-12, 8e-12],
+/// )?;
+/// // Bilinear interpolation inside the grid:
+/// let d = lut.lookup(5.5e-12, 5.5e-15);
+/// assert!(d > 2e-12 && d < 8e-12);
+/// # Ok::<(), cryo_liberty::LibertyError>(())
+/// ```
+///
+/// `index1` is the input transition time (seconds) and `index2` the output
+/// load capacitance (farads), matching Liberty's
+/// `(input_net_transition, total_output_net_capacitance)` template. Lookups
+/// interpolate bilinearly inside the grid and extrapolate linearly outside
+/// it, which is how signoff STA tools treat out-of-grid slews and loads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lut2 {
+    index1: Vec<f64>,
+    index2: Vec<f64>,
+    /// Row-major: `values[i1 * index2.len() + i2]`.
+    values: Vec<f64>,
+}
+
+impl Lut2 {
+    /// Build a table.
+    ///
+    /// # Errors
+    ///
+    /// [`LibertyError::MalformedTable`] if either axis is empty or unsorted,
+    /// or the value count differs from `index1.len() * index2.len()`.
+    pub fn new(index1: Vec<f64>, index2: Vec<f64>, values: Vec<f64>) -> Result<Self> {
+        if index1.is_empty() || index2.is_empty() {
+            return Err(LibertyError::MalformedTable {
+                reason: "empty axis".to_string(),
+            });
+        }
+        for axis in [&index1, &index2] {
+            if axis.windows(2).any(|w| w[1] <= w[0]) {
+                return Err(LibertyError::MalformedTable {
+                    reason: "axis not strictly increasing".to_string(),
+                });
+            }
+        }
+        if values.len() != index1.len() * index2.len() {
+            return Err(LibertyError::MalformedTable {
+                reason: format!(
+                    "expected {} values, got {}",
+                    index1.len() * index2.len(),
+                    values.len()
+                ),
+            });
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(LibertyError::MalformedTable {
+                reason: "non-finite table value".to_string(),
+            });
+        }
+        Ok(Self {
+            index1,
+            index2,
+            values,
+        })
+    }
+
+    /// A degenerate 1×1 table holding a single value (used for arcs measured
+    /// at one condition, e.g. SRAM macro interfaces).
+    #[must_use]
+    pub fn constant(value: f64) -> Self {
+        Self {
+            index1: vec![0.0],
+            index2: vec![0.0],
+            values: vec![value],
+        }
+    }
+
+    /// Input-slew axis, seconds.
+    #[must_use]
+    pub fn index1(&self) -> &[f64] {
+        &self.index1
+    }
+
+    /// Output-load axis, farads.
+    #[must_use]
+    pub fn index2(&self) -> &[f64] {
+        &self.index2
+    }
+
+    /// Raw values, row-major over `(index1, index2)`.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Bilinear lookup at `(slew, load)` with linear extrapolation outside
+    /// the characterized grid.
+    #[must_use]
+    pub fn lookup(&self, slew: f64, load: f64) -> f64 {
+        let (i, fi) = Self::locate(&self.index1, slew);
+        let (j, fj) = Self::locate(&self.index2, load);
+        let n2 = self.index2.len();
+        let at = |a: usize, b: usize| self.values[a * n2 + b];
+        if self.index1.len() == 1 && n2 == 1 {
+            return self.values[0];
+        }
+        if self.index1.len() == 1 {
+            return at(0, j) * (1.0 - fj) + at(0, j + 1) * fj;
+        }
+        if n2 == 1 {
+            return at(i, 0) * (1.0 - fi) + at(i + 1, 0) * fi;
+        }
+        let v00 = at(i, j);
+        let v01 = at(i, j + 1);
+        let v10 = at(i + 1, j);
+        let v11 = at(i + 1, j + 1);
+        v00 * (1.0 - fi) * (1.0 - fj)
+            + v01 * (1.0 - fi) * fj
+            + v10 * fi * (1.0 - fj)
+            + v11 * fi * fj
+    }
+
+    /// Find the bracketing segment and fractional position of `x` on `axis`.
+    /// Fractions outside `[0, 1]` produce linear extrapolation.
+    fn locate(axis: &[f64], x: f64) -> (usize, f64) {
+        if axis.len() == 1 {
+            return (0, 0.0);
+        }
+        let mut i = axis.partition_point(|&a| a < x);
+        i = i.clamp(1, axis.len() - 1);
+        let (a, b) = (axis[i - 1], axis[i]);
+        ((i - 1), (x - a) / (b - a))
+    }
+
+    /// Mean of all table values (used for library-level statistics).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Maximum table value.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Scale every value by `factor`, returning a new table (used for
+    /// derating studies).
+    #[must_use]
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            index1: self.index1.clone(),
+            index2: self.index2.clone(),
+            values: self.values.iter().map(|v| v * factor).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Lut2 {
+        // delay = 1e-12 + 2e-12 * slew_norm + 3e-12 * load_norm (separable),
+        // sampled on a 3×3 grid.
+        let s = [1e-12, 2e-12, 3e-12];
+        let l = [1e-15, 2e-15, 3e-15];
+        let mut vals = Vec::new();
+        for si in s {
+            for li in l {
+                vals.push(1e-12 + 2.0 * si + 3e3 * li);
+            }
+        }
+        Lut2::new(s.to_vec(), l.to_vec(), vals).unwrap()
+    }
+
+    #[test]
+    fn exact_on_grid_points() {
+        let t = table();
+        assert!((t.lookup(2e-12, 2e-15) - (1e-12 + 4e-12 + 6e-12)).abs() < 1e-24);
+    }
+
+    #[test]
+    fn bilinear_between_points() {
+        let t = table();
+        // Linear function is reproduced exactly by bilinear interpolation.
+        let v = t.lookup(1.5e-12, 2.5e-15);
+        let expect = 1e-12 + 2.0 * 1.5e-12 + 3e3 * 2.5e-15;
+        assert!((v - expect).abs() < 1e-24);
+    }
+
+    #[test]
+    fn linear_extrapolation_outside_grid() {
+        let t = table();
+        let v = t.lookup(5e-12, 6e-15);
+        let expect = 1e-12 + 2.0 * 5e-12 + 3e3 * 6e-15;
+        assert!((v - expect).abs() < 1e-24);
+        let v_low = t.lookup(0.0, 0.0);
+        assert!((v_low - 1e-12).abs() < 1e-24);
+    }
+
+    #[test]
+    fn constant_table() {
+        let t = Lut2::constant(7e-12);
+        assert_eq!(t.lookup(1e-9, 1e-12), 7e-12);
+        assert_eq!(t.mean(), 7e-12);
+        assert_eq!(t.max(), 7e-12);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Lut2::new(vec![], vec![1.0], vec![]).is_err());
+        assert!(Lut2::new(vec![1.0, 1.0], vec![1.0], vec![0.0, 0.0]).is_err());
+        assert!(Lut2::new(vec![1.0, 2.0], vec![1.0], vec![0.0]).is_err());
+        assert!(Lut2::new(vec![1.0], vec![1.0], vec![f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn scaling() {
+        let t = table().scaled(2.0);
+        assert!((t.lookup(2e-12, 2e-15) - 2.0 * (1e-12 + 4e-12 + 6e-12)).abs() < 1e-24);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = table();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Lut2 = serde_json::from_str(&json).unwrap();
+        assert_eq!(t.index1(), back.index1());
+        assert_eq!(t.index2(), back.index2());
+        for (a, b) in t.values().iter().zip(back.values()) {
+            assert!(
+                (a - b).abs() <= 1e-15 * a.abs().max(1e-30),
+                "{a:e} vs {b:e}"
+            );
+        }
+    }
+}

@@ -1,0 +1,622 @@
+//! Gate-level construction helpers and word-level datapath generators.
+//!
+//! [`DesignBuilder`] wraps a [`Design`] with a region context (for power
+//! analysis), unique naming, and the arithmetic structures the SoC needs:
+//! ripple and carry-select adders, barrel shifters, comparators, mux trees,
+//! carry-save multiplier stages, and register banks.
+
+use crate::design::{Design, Instance, NetId};
+
+/// Incremental builder over a [`Design`].
+#[derive(Debug)]
+pub struct DesignBuilder {
+    design: Design,
+    region: String,
+    uid: usize,
+}
+
+impl DesignBuilder {
+    /// Start a new design.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Self {
+            design: Design::new(name),
+            region: "core".to_string(),
+            uid: 0,
+        }
+    }
+
+    /// Set the functional-region tag applied to subsequently created
+    /// instances.
+    pub fn set_region(&mut self, region: &str) {
+        self.region = region.to_string();
+    }
+
+    /// Finish and return the design.
+    #[must_use]
+    pub fn finish(self) -> Design {
+        self.design
+    }
+
+    /// Read access to the design under construction.
+    #[must_use]
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        self.uid += 1;
+        format!("{}_{prefix}{}", self.region, self.uid)
+    }
+
+    /// Create an internal net.
+    pub fn net(&mut self, hint: &str) -> NetId {
+        let name = self.fresh_name(hint);
+        self.design.add_net(&name)
+    }
+
+    /// Declare a primary input.
+    pub fn input(&mut self, name: &str) -> NetId {
+        let id = self.design.add_net(name);
+        self.design.primary_inputs.push(id);
+        id
+    }
+
+    /// Declare a bus of primary inputs `name[0..width]`.
+    pub fn input_bus(&mut self, name: &str, width: usize) -> Vec<NetId> {
+        (0..width)
+            .map(|i| self.input(&format!("{name}[{i}]")))
+            .collect()
+    }
+
+    /// Declare the clock input.
+    pub fn clock_input(&mut self, name: &str) -> NetId {
+        let id = self.design.add_net(name);
+        self.design.clock = Some(id);
+        id
+    }
+
+    /// Mark a net as a primary output.
+    pub fn mark_output(&mut self, net: NetId) {
+        self.design.primary_outputs.push(net);
+    }
+
+    // ------------------------------------------------------------------
+    // Single gates
+    // ------------------------------------------------------------------
+
+    /// Instantiate a combinational cell with ordered `inputs` and pin names
+    /// `A..`, output `Y`. Returns the output net.
+    pub fn gate(&mut self, cell: &str, inputs: &[NetId]) -> NetId {
+        let y = self.net("n");
+        let pin_names = ["A", "B", "C", "D", "E"];
+        let name = self.fresh_name("u");
+        let inst = Instance {
+            name,
+            cell: cell.to_string(),
+            inputs: inputs
+                .iter()
+                .enumerate()
+                .map(|(i, n)| (pin_names[i].to_string(), *n))
+                .collect(),
+            outputs: vec![("Y".to_string(), y)],
+            clock: None,
+            region: self.region.clone(),
+        };
+        self.design.add_instance(inst);
+        y
+    }
+
+    /// Inverter.
+    pub fn inv(&mut self, a: NetId, drive: u32) -> NetId {
+        self.gate(&format!("INVx{drive}"), &[a])
+    }
+
+    /// Buffer.
+    pub fn buf(&mut self, a: NetId, drive: u32) -> NetId {
+        self.gate(&format!("BUFx{drive}"), &[a])
+    }
+
+    /// Two-input NAND at drive `d`.
+    pub fn nand2(&mut self, a: NetId, b: NetId, d: u32) -> NetId {
+        self.gate(&format!("NAND2x{d}"), &[a, b])
+    }
+
+    /// Two-input NOR.
+    pub fn nor2(&mut self, a: NetId, b: NetId, d: u32) -> NetId {
+        self.gate(&format!("NOR2x{d}"), &[a, b])
+    }
+
+    /// Two-input AND.
+    pub fn and2(&mut self, a: NetId, b: NetId, d: u32) -> NetId {
+        self.gate(&format!("AND2x{d}"), &[a, b])
+    }
+
+    /// Two-input OR.
+    pub fn or2(&mut self, a: NetId, b: NetId, d: u32) -> NetId {
+        self.gate(&format!("OR2x{d}"), &[a, b])
+    }
+
+    /// Two-input XOR.
+    pub fn xor2(&mut self, a: NetId, b: NetId, d: u32) -> NetId {
+        self.gate(&format!("XOR2x{d}"), &[a, b])
+    }
+
+    /// Two-input XNOR.
+    pub fn xnor2(&mut self, a: NetId, b: NetId, d: u32) -> NetId {
+        self.gate(&format!("XNOR2x{d}"), &[a, b])
+    }
+
+    /// 2:1 mux: `sel ? b : a`.
+    pub fn mux2(&mut self, a: NetId, b: NetId, sel: NetId, d: u32) -> NetId {
+        self.gate(&format!("MUX2x{d}"), &[a, b, sel])
+    }
+
+    /// Majority of three (carry kernel).
+    pub fn maj3(&mut self, a: NetId, b: NetId, c: NetId, d: u32) -> NetId {
+        self.gate(&format!("MAJ3x{d}"), &[a, b, c])
+    }
+
+    /// Full adder; returns `(sum, carry_out)`.
+    pub fn full_adder(&mut self, a: NetId, b: NetId, ci: NetId, d: u32) -> (NetId, NetId) {
+        let s = self.net("fs");
+        let co = self.net("fc");
+        let name = self.fresh_name("fa");
+        self.design.add_instance(Instance {
+            name,
+            cell: format!("FAx{d}"),
+            inputs: vec![
+                ("A".to_string(), a),
+                ("B".to_string(), b),
+                ("CI".to_string(), ci),
+            ],
+            outputs: vec![("S".to_string(), s), ("CO".to_string(), co)],
+            clock: None,
+            region: self.region.clone(),
+        });
+        (s, co)
+    }
+
+    /// D flip-flop; returns Q.
+    pub fn dff(&mut self, d_in: NetId, clk: NetId, drive: u32) -> NetId {
+        let q = self.net("q");
+        let name = self.fresh_name("ff");
+        self.design.add_instance(Instance {
+            name,
+            cell: format!("DFFx{drive}"),
+            inputs: vec![("D".to_string(), d_in)],
+            outputs: vec![("Q".to_string(), q)],
+            clock: Some(clk),
+            region: self.region.clone(),
+        });
+        q
+    }
+
+    /// Resettable D flip-flop (active-low `rn`); returns Q.
+    pub fn dffr(&mut self, d_in: NetId, rn: NetId, clk: NetId, drive: u32) -> NetId {
+        let q = self.net("q");
+        let name = self.fresh_name("ff");
+        self.design.add_instance(Instance {
+            name,
+            cell: format!("DFFRx{drive}"),
+            inputs: vec![("D".to_string(), d_in), ("RN".to_string(), rn)],
+            outputs: vec![("Q".to_string(), q)],
+            clock: Some(clk),
+            region: self.region.clone(),
+        });
+        q
+    }
+
+    /// Clock buffer (kept distinct for clock-tree power accounting).
+    pub fn clkbuf(&mut self, a: NetId, drive: u32) -> NetId {
+        self.gate(&format!("CLKBUFx{drive}"), &[a])
+    }
+
+    /// Constant-1 net from a tie cell.
+    pub fn tie_hi(&mut self) -> NetId {
+        self.gate("TIEHIx1", &[])
+    }
+
+    /// Constant-0 net from a tie cell.
+    pub fn tie_lo(&mut self) -> NetId {
+        self.gate("TIELOx1", &[])
+    }
+
+    // ------------------------------------------------------------------
+    // Word-level datapath
+    // ------------------------------------------------------------------
+
+    /// Bitwise unary map over a word.
+    pub fn inv_word(&mut self, a: &[NetId], d: u32) -> Vec<NetId> {
+        a.iter().map(|&x| self.inv(x, d)).collect()
+    }
+
+    /// Bitwise XOR of two words.
+    pub fn xor_word(&mut self, a: &[NetId], b: &[NetId], d: u32) -> Vec<NetId> {
+        a.iter().zip(b).map(|(&x, &y)| self.xor2(x, y, d)).collect()
+    }
+
+    /// Bitwise AND of two words.
+    pub fn and_word(&mut self, a: &[NetId], b: &[NetId], d: u32) -> Vec<NetId> {
+        a.iter().zip(b).map(|(&x, &y)| self.and2(x, y, d)).collect()
+    }
+
+    /// Bitwise OR of two words.
+    pub fn or_word(&mut self, a: &[NetId], b: &[NetId], d: u32) -> Vec<NetId> {
+        a.iter().zip(b).map(|(&x, &y)| self.or2(x, y, d)).collect()
+    }
+
+    /// Word-wide 2:1 mux.
+    pub fn mux2_word(&mut self, a: &[NetId], b: &[NetId], sel: NetId, d: u32) -> Vec<NetId> {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.mux2(x, y, sel, d))
+            .collect()
+    }
+
+    /// Ripple-carry adder; returns `(sum, carry_out)`.
+    ///
+    /// The carry chain of this structure is the longest combinational path
+    /// of the SoC's ALU — exactly the kind of path that sets the paper's
+    /// 1.04 ns critical delay.
+    pub fn ripple_adder(&mut self, a: &[NetId], b: &[NetId], cin: NetId) -> (Vec<NetId>, NetId) {
+        assert_eq!(a.len(), b.len(), "operand width mismatch");
+        let mut carry = cin;
+        let mut sum = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let (s, co) = self.full_adder(x, y, carry, 1);
+            sum.push(s);
+            carry = co;
+        }
+        (sum, carry)
+    }
+
+    /// Half-split carry-select adder: two half-width ripple blocks plus a
+    /// mux level. This is the structure a synthesis tool infers for the
+    /// SoC's main ALU at a ~1 ns constraint — its 32-stage carry chain is
+    /// the intended critical path of the design.
+    pub fn half_select_adder(
+        &mut self,
+        a: &[NetId],
+        b: &[NetId],
+        cin: NetId,
+    ) -> (Vec<NetId>, NetId) {
+        assert_eq!(a.len(), b.len(), "operand width mismatch");
+        let w = a.len();
+        if w <= 8 {
+            return self.ripple_adder(a, b, cin);
+        }
+        let half = w / 2;
+        let (lo_sum, lo_carry) = self.ripple_adder(&a[..half], &b[..half], cin);
+        let zero = self.tie_lo();
+        let one = self.tie_hi();
+        let (hi0_sum, hi0_c) = self.ripple_adder(&a[half..], &b[half..], zero);
+        let (hi1_sum, hi1_c) = self.ripple_adder(&a[half..], &b[half..], one);
+        let hi_sum = self.mux2_word(&hi0_sum, &hi1_sum, lo_carry, 2);
+        let cout = self.mux2(hi0_c, hi1_c, lo_carry, 2);
+        let mut sum = lo_sum;
+        sum.extend(hi_sum);
+        (sum, cout)
+    }
+
+    /// Block carry-select adder (16-bit blocks): each block computes both
+    /// carry assumptions, a mux chain selects. ~4× shorter carry depth than
+    /// ripple; used where the SoC must *not* set the critical path
+    /// (multiplier accumulate, FPU significand add, branch target).
+    pub fn carry_select_adder(
+        &mut self,
+        a: &[NetId],
+        b: &[NetId],
+        cin: NetId,
+    ) -> (Vec<NetId>, NetId) {
+        self.carry_select_adder_blocks(a, b, cin, 16)
+    }
+
+    /// [`DesignBuilder::carry_select_adder`] with an explicit block size —
+    /// the knob that sets the adder's carry depth (and with it the SoC's
+    /// critical path, as a synthesis timing constraint would).
+    pub fn carry_select_adder_blocks(
+        &mut self,
+        a: &[NetId],
+        b: &[NetId],
+        cin: NetId,
+        block: usize,
+    ) -> (Vec<NetId>, NetId) {
+        assert_eq!(a.len(), b.len(), "operand width mismatch");
+        assert!(block >= 2, "degenerate block size");
+        let w = a.len();
+        let block_cap = block;
+        if w <= block_cap {
+            return self.ripple_adder(a, b, cin);
+        }
+        let zero = self.tie_lo();
+        let one = self.tie_hi();
+        let (mut sum, mut carry) = self.ripple_adder(&a[..block_cap], &b[..block_cap], cin);
+        let mut lo = block_cap;
+        while lo < w {
+            let hi = (lo + block_cap).min(w);
+            let (s0, c0) = self.ripple_adder(&a[lo..hi], &b[lo..hi], zero);
+            let (s1, c1) = self.ripple_adder(&a[lo..hi], &b[lo..hi], one);
+            sum.extend(self.mux2_word(&s0, &s1, carry, 2));
+            carry = self.mux2(c0, c1, carry, 2);
+            lo = hi;
+        }
+        (sum, carry)
+    }
+
+    /// Incrementer: `a + cin` via an AND carry chain (`c_{i+1} = a_i · c_i`,
+    /// `s_i = a_i ⊕ c_i`), carry-selected in 16-bit blocks so PC + 4 stays
+    /// far off the critical path.
+    pub fn incrementer(&mut self, a: &[NetId], cin: NetId) -> (Vec<NetId>, NetId) {
+        const BLOCK: usize = 16;
+        let mut sum = Vec::with_capacity(a.len());
+        let mut carry = cin;
+        for block in a.chunks(BLOCK) {
+            // Assume block carry-in = 1; with carry-in 0 the block passes
+            // through unchanged and produces no carry.
+            let one = if sum.is_empty() { carry } else { self.tie_hi() };
+            let mut c1 = one;
+            let mut s1 = Vec::with_capacity(block.len());
+            for &bit in block {
+                s1.push(self.xor2(bit, c1, 1));
+                c1 = self.and2(bit, c1, 1);
+            }
+            if sum.is_empty() {
+                // First block uses the real carry directly.
+                sum.extend(s1);
+                carry = c1;
+            } else {
+                sum.extend(self.mux2_word(block, &s1, carry, 1));
+                carry = self.and2(carry, c1, 2);
+            }
+        }
+        (sum, carry)
+    }
+
+    /// Equality comparator over two words (XNOR reduce-AND tree).
+    pub fn equal_word(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
+        let bits = self.xnor_word_internal(a, b);
+        self.reduce_and(&bits)
+    }
+
+    fn xnor_word_internal(&mut self, a: &[NetId], b: &[NetId]) -> Vec<NetId> {
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| self.xnor2(x, y, 1))
+            .collect()
+    }
+
+    /// Balanced AND-reduction tree.
+    pub fn reduce_and(&mut self, nets: &[NetId]) -> NetId {
+        self.reduce(nets, |s, a, b| s.and2(a, b, 2))
+    }
+
+    /// Balanced OR-reduction tree.
+    pub fn reduce_or(&mut self, nets: &[NetId]) -> NetId {
+        self.reduce(nets, |s, a, b| s.or2(a, b, 2))
+    }
+
+    fn reduce<F>(&mut self, nets: &[NetId], mut op: F) -> NetId
+    where
+        F: FnMut(&mut Self, NetId, NetId) -> NetId,
+    {
+        assert!(!nets.is_empty(), "reduction over empty set");
+        let mut level: Vec<NetId> = nets.to_vec();
+        while level.len() > 1 {
+            let mut next = Vec::with_capacity(level.len().div_ceil(2));
+            for pair in level.chunks(2) {
+                if pair.len() == 2 {
+                    next.push(op(self, pair[0], pair[1]));
+                } else {
+                    next.push(pair[0]);
+                }
+            }
+            level = next;
+        }
+        level[0]
+    }
+
+    /// Logarithmic barrel shifter (right shift by `shamt`, zero fill).
+    /// `log2(width)` mux levels.
+    pub fn barrel_shifter(&mut self, a: &[NetId], shamt: &[NetId]) -> Vec<NetId> {
+        let zero = self.tie_lo();
+        let mut word: Vec<NetId> = a.to_vec();
+        for (stage, &s_bit) in shamt.iter().enumerate() {
+            let shift = 1usize << stage;
+            let mut next = Vec::with_capacity(word.len());
+            for i in 0..word.len() {
+                let shifted = if i + shift < word.len() {
+                    word[i + shift]
+                } else {
+                    zero
+                };
+                next.push(self.mux2(word[i], shifted, s_bit, 1));
+            }
+            word = next;
+        }
+        word
+    }
+
+    /// One carry-save (3:2 compressor) row over three words; returns
+    /// `(sums, carries)` with carries already left-shifted conceptually.
+    pub fn csa_row(&mut self, a: &[NetId], b: &[NetId], c: &[NetId]) -> (Vec<NetId>, Vec<NetId>) {
+        let mut sums = Vec::with_capacity(a.len());
+        let mut carries = Vec::with_capacity(a.len());
+        for i in 0..a.len() {
+            let (s, co) = self.full_adder(a[i], b[i], c[i], 1);
+            sums.push(s);
+            carries.push(co);
+        }
+        (sums, carries)
+    }
+
+    /// Register a word behind DFFs; returns the Q word.
+    pub fn register_word(&mut self, d: &[NetId], clk: NetId) -> Vec<NetId> {
+        d.iter().map(|&x| self.dff(x, clk, 1)).collect()
+    }
+
+    /// Drive an already-created net `dst` from `src` through a buffer
+    /// instance (closes forward-declared nets such as feedback paths).
+    pub fn alias_with_buffer(&mut self, src: NetId, dst: NetId) {
+        let name = self.fresh_name("alias");
+        self.design.add_instance(Instance {
+            name,
+            cell: "BUFx2".to_string(),
+            inputs: vec![("A".to_string(), src)],
+            outputs: vec![("Y".to_string(), dst)],
+            clock: None,
+            region: self.region.clone(),
+        });
+    }
+
+    /// Alias of [`DesignBuilder::register_word`] (reads better at word
+    /// granularity in the SoC generator).
+    pub fn register_words(&mut self, d: &[NetId], clk: NetId) -> Vec<NetId> {
+        self.register_word(d, clk)
+    }
+
+    /// Add a pre-built macro instance.
+    pub fn add_macro_instance(&mut self, m: crate::design::MacroInstance) {
+        self.design.add_macro(m);
+    }
+
+    /// Partial-product row: `a AND b_bit` for every bit of `a`.
+    pub fn ppgen(&mut self, a: &[NetId], b_bit: NetId) -> Vec<NetId> {
+        a.iter().map(|&x| self.and2(x, b_bit, 1)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ripple_adder_structure() {
+        let mut b = DesignBuilder::new("t");
+        let a = b.input_bus("a", 8);
+        let bb = b.input_bus("b", 8);
+        let cin = b.input("cin");
+        let (sum, _cout) = b.ripple_adder(&a, &bb, cin);
+        assert_eq!(sum.len(), 8);
+        // 8 FA cells.
+        let fas = b
+            .design()
+            .instances()
+            .iter()
+            .filter(|i| i.cell.starts_with("FAx"))
+            .count();
+        assert_eq!(fas, 8);
+    }
+
+    #[test]
+    fn half_select_halves_depth() {
+        let mut b = DesignBuilder::new("t");
+        let a = b.input_bus("a", 16);
+        let bb = b.input_bus("b", 16);
+        let cin = b.input("cin");
+        let (sum, _) = b.half_select_adder(&a, &bb, cin);
+        assert_eq!(sum.len(), 16);
+        // Three ripple blocks -> 8 + 8 + 8 FAs plus muxes.
+        let fas = b
+            .design()
+            .instances()
+            .iter()
+            .filter(|i| i.cell.starts_with("FAx"))
+            .count();
+        assert_eq!(fas, 24);
+        let muxes = b
+            .design()
+            .instances()
+            .iter()
+            .filter(|i| i.cell.starts_with("MUX2"))
+            .count();
+        assert_eq!(muxes, 9);
+    }
+
+    #[test]
+    fn block_select_uses_16_bit_blocks() {
+        let mut b = DesignBuilder::new("t");
+        let a = b.input_bus("a", 64);
+        let bb = b.input_bus("b", 64);
+        let cin = b.input("cin");
+        let (sum, _) = b.carry_select_adder(&a, &bb, cin);
+        assert_eq!(sum.len(), 64);
+        // 16 + 3 × (16 + 16) FAs.
+        let fas = b
+            .design()
+            .instances()
+            .iter()
+            .filter(|i| i.cell.starts_with("FAx"))
+            .count();
+        assert_eq!(fas, 16 + 3 * 32);
+    }
+
+    #[test]
+    fn incrementer_structure() {
+        let mut b = DesignBuilder::new("t");
+        let a = b.input_bus("a", 8);
+        let one = b.tie_hi();
+        let (sum, _carry) = b.incrementer(&a, one);
+        assert_eq!(sum.len(), 8);
+        let ands = b
+            .design()
+            .instances()
+            .iter()
+            .filter(|i| i.cell.starts_with("AND2"))
+            .count();
+        assert_eq!(ands, 8);
+    }
+
+    #[test]
+    fn barrel_shifter_level_count() {
+        let mut b = DesignBuilder::new("t");
+        let a = b.input_bus("a", 16);
+        let sh = b.input_bus("sh", 4);
+        let out = b.barrel_shifter(&a, &sh);
+        assert_eq!(out.len(), 16);
+        let muxes = b
+            .design()
+            .instances()
+            .iter()
+            .filter(|i| i.cell.starts_with("MUX2"))
+            .count();
+        assert_eq!(muxes, 64); // 4 levels × 16 bits
+    }
+
+    #[test]
+    fn reduction_tree_sizes() {
+        let mut b = DesignBuilder::new("t");
+        let nets = b.input_bus("x", 9);
+        let _ = b.reduce_and(&nets);
+        let ands = b
+            .design()
+            .instances()
+            .iter()
+            .filter(|i| i.cell.starts_with("AND2"))
+            .count();
+        assert_eq!(ands, 8, "n-1 nodes for n leaves");
+    }
+
+    #[test]
+    fn regions_tag_instances() {
+        let mut b = DesignBuilder::new("t");
+        b.set_region("alu");
+        let x = b.input("x");
+        let _ = b.inv(x, 1);
+        assert_eq!(b.design().instances()[0].region, "alu");
+    }
+
+    #[test]
+    fn register_word_uses_clock() {
+        let mut b = DesignBuilder::new("t");
+        let clk = b.clock_input("clk");
+        let d = b.input_bus("d", 4);
+        let q = b.register_word(&d, clk);
+        assert_eq!(q.len(), 4);
+        assert!(b
+            .design()
+            .instances()
+            .iter()
+            .all(|i| !i.cell.starts_with("DFF") || i.clock == Some(clk)));
+    }
+}

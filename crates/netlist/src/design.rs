@@ -1,0 +1,335 @@
+//! The gate-level design container.
+
+use std::collections::HashMap;
+
+use cryo_liberty::Library;
+
+use crate::sram::SramMacro;
+use crate::{NetlistError, Result};
+
+/// Identifier of a net within a [`Design`].
+pub type NetId = usize;
+
+/// A standard-cell instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Instance name (hierarchical path, flattened).
+    pub name: String,
+    /// Library cell name, e.g. `NAND2x2`.
+    pub cell: String,
+    /// Input pin connections `(pin, net)`, in the cell's function bit order.
+    pub inputs: Vec<(String, NetId)>,
+    /// Output pin connections `(pin, net)`.
+    pub outputs: Vec<(String, NetId)>,
+    /// Clock connection for sequential cells.
+    pub clock: Option<NetId>,
+    /// Functional-block tag used by activity-based power analysis.
+    pub region: String,
+}
+
+/// An SRAM macro instance (cache array, register file).
+#[derive(Debug, Clone)]
+pub struct MacroInstance {
+    /// Instance name.
+    pub name: String,
+    /// The macro's electrical model.
+    pub spec: SramMacro,
+    /// Clock net.
+    pub clock: NetId,
+    /// Address/data/control input nets (timing endpoints).
+    pub inputs: Vec<NetId>,
+    /// Data output nets (timing startpoints).
+    pub outputs: Vec<NetId>,
+    /// Functional-block tag.
+    pub region: String,
+}
+
+/// A flat gate-level design.
+#[derive(Debug, Clone, Default)]
+pub struct Design {
+    /// Design name.
+    pub name: String,
+    net_names: Vec<String>,
+    instances: Vec<Instance>,
+    macros: Vec<MacroInstance>,
+    /// Primary inputs.
+    pub primary_inputs: Vec<NetId>,
+    /// Primary outputs.
+    pub primary_outputs: Vec<NetId>,
+    /// The clock net, if the design is sequential.
+    pub clock: Option<NetId>,
+}
+
+impl Design {
+    /// Create an empty design.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// Register a new net and return its id.
+    pub fn add_net(&mut self, name: &str) -> NetId {
+        self.net_names.push(name.to_string());
+        self.net_names.len() - 1
+    }
+
+    /// Name of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range id.
+    #[must_use]
+    pub fn net_name(&self, id: NetId) -> &str {
+        &self.net_names[id]
+    }
+
+    /// Number of nets.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Add a cell instance.
+    pub fn add_instance(&mut self, inst: Instance) {
+        self.instances.push(inst);
+    }
+
+    /// Add a macro instance.
+    pub fn add_macro(&mut self, m: MacroInstance) {
+        self.macros.push(m);
+    }
+
+    /// Cell instances.
+    #[must_use]
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Macro instances.
+    #[must_use]
+    pub fn macros(&self) -> &[MacroInstance] {
+        &self.macros
+    }
+
+    /// Total standard-cell instance count.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.instances.len()
+    }
+
+
+    /// Rewire one input pin of an instance onto a different net (used by
+    /// netlist optimization passes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance index or pin name is unknown.
+    pub fn rewire_input(&mut self, instance: usize, pin: &str, new_net: NetId) {
+        let inst = &mut self.instances[instance];
+        let slot = inst
+            .inputs
+            .iter_mut()
+            .find(|(p, _)| p == pin)
+            .unwrap_or_else(|| panic!("{} has no input pin {pin}", inst.name));
+        slot.1 = new_net;
+    }
+
+    /// Estimated wire capacitance of a net from its fanout (placement
+    /// parasitic model: base routing plus per-sink stubs), farads.
+    #[must_use]
+    pub fn wire_cap(&self, fanout: usize) -> f64 {
+        0.06e-15 + 0.11e-15 * fanout as f64
+    }
+
+    /// Build the net → (driver instance, loads) connectivity index.
+    ///
+    /// Index entries: `drivers[net]` = instance indices driving the net
+    /// (macro outputs are encoded as `usize::MAX - macro_index`), and
+    /// `loads[net]` = instance indices loading it.
+    #[must_use]
+    pub fn connectivity(&self) -> Connectivity {
+        let mut drivers: Vec<Vec<DriverRef>> = vec![Vec::new(); self.net_count()];
+        let mut loads: Vec<Vec<LoadRef>> = vec![Vec::new(); self.net_count()];
+        for (i, inst) in self.instances.iter().enumerate() {
+            for (pin, net) in &inst.outputs {
+                drivers[*net].push(DriverRef::Cell {
+                    instance: i,
+                    pin: pin.clone(),
+                });
+            }
+            for (pin, net) in &inst.inputs {
+                loads[*net].push(LoadRef::Cell {
+                    instance: i,
+                    pin: pin.clone(),
+                });
+            }
+            if let Some(clk) = inst.clock {
+                loads[clk].push(LoadRef::Cell {
+                    instance: i,
+                    pin: "CLK".to_string(),
+                });
+            }
+        }
+        for (m, mac) in self.macros.iter().enumerate() {
+            for net in &mac.outputs {
+                drivers[*net].push(DriverRef::Macro { index: m });
+            }
+            for net in &mac.inputs {
+                loads[*net].push(LoadRef::Macro { index: m });
+            }
+            loads[mac.clock].push(LoadRef::Macro { index: m });
+        }
+        Connectivity { drivers, loads }
+    }
+
+    /// Check every instance maps to a library cell, every internal net has
+    /// exactly one driver, and inputs drive nothing twice.
+    ///
+    /// # Errors
+    ///
+    /// The first violated rule as a [`NetlistError`].
+    pub fn check(&self, lib: &Library) -> Result<()> {
+        for inst in &self.instances {
+            if lib.cell(&inst.cell).is_err() {
+                return Err(NetlistError::UnmappedCell {
+                    instance: inst.name.clone(),
+                    cell: inst.cell.clone(),
+                });
+            }
+        }
+        let conn = self.connectivity();
+        for net in 0..self.net_count() {
+            let n_drivers = conn.drivers[net].len()
+                + usize::from(self.primary_inputs.contains(&net))
+                + usize::from(self.clock == Some(net));
+            if n_drivers != 1 && !(n_drivers == 0 && conn.loads[net].is_empty()) {
+                return Err(NetlistError::DriverConflict {
+                    net: self.net_name(net).to_string(),
+                    drivers: n_drivers,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-region instance counts (reporting).
+    #[must_use]
+    pub fn region_histogram(&self) -> HashMap<String, usize> {
+        let mut h = HashMap::new();
+        for inst in &self.instances {
+            *h.entry(inst.region.clone()).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// Total cell area by summing library cell areas, square micrometres.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::UnmappedCell`] for instances missing in `lib`.
+    pub fn total_area(&self, lib: &Library) -> Result<f64> {
+        let mut area = 0.0;
+        for inst in &self.instances {
+            let cell = lib
+                .cell(&inst.cell)
+                .map_err(|_| NetlistError::UnmappedCell {
+                    instance: inst.name.clone(),
+                    cell: inst.cell.clone(),
+                })?;
+            area += cell.area;
+        }
+        Ok(area)
+    }
+}
+
+/// A driver of a net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverRef {
+    /// Driven by a cell instance output pin.
+    Cell {
+        /// Index into [`Design::instances`].
+        instance: usize,
+        /// Output pin name.
+        pin: String,
+    },
+    /// Driven by a macro data output.
+    Macro {
+        /// Index into [`Design::macros`].
+        index: usize,
+    },
+}
+
+/// A load on a net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadRef {
+    /// Loads a cell instance input pin.
+    Cell {
+        /// Index into [`Design::instances`].
+        instance: usize,
+        /// Input pin name.
+        pin: String,
+    },
+    /// Loads a macro input.
+    Macro {
+        /// Index into [`Design::macros`].
+        index: usize,
+    },
+}
+
+/// Net connectivity index.
+#[derive(Debug, Clone)]
+pub struct Connectivity {
+    /// Per-net driver list.
+    pub drivers: Vec<Vec<DriverRef>>,
+    /// Per-net load list.
+    pub loads: Vec<Vec<LoadRef>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_design() -> Design {
+        let mut d = Design::new("tiny");
+        let a = d.add_net("a");
+        let b = d.add_net("b");
+        let y = d.add_net("y");
+        d.primary_inputs = vec![a, b];
+        d.primary_outputs = vec![y];
+        d.add_instance(Instance {
+            name: "u1".into(),
+            cell: "NAND2x1".into(),
+            inputs: vec![("A".into(), a), ("B".into(), b)],
+            outputs: vec![("Y".into(), y)],
+            clock: None,
+            region: "core".into(),
+        });
+        d
+    }
+
+    #[test]
+    fn connectivity_index() {
+        let d = tiny_design();
+        let c = d.connectivity();
+        assert_eq!(c.drivers[2].len(), 1);
+        assert_eq!(c.loads[0].len(), 1);
+        assert_eq!(c.loads[2].len(), 0);
+    }
+
+    #[test]
+    fn wire_cap_grows_with_fanout() {
+        let d = tiny_design();
+        assert!(d.wire_cap(4) > d.wire_cap(1));
+        assert!(d.wire_cap(0) > 0.0);
+    }
+
+    #[test]
+    fn region_histogram_counts() {
+        let d = tiny_design();
+        let h = d.region_histogram();
+        assert_eq!(h["core"], 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! Post-synthesis netlist optimization: fanout legalization.
+//!
+//! Physical-design flows cap net fanout by inserting buffer trees; the SoC
+//! generator mostly designs within bounds, but generated or imported
+//! netlists may not. [`fix_fanout`] rewires any over-loaded net through a
+//! balanced tree of buffers so that no net drives more than `max_fanout`
+//! sinks.
+
+use crate::design::{Design, Instance, LoadRef, NetId};
+
+/// Statistics from a [`fix_fanout`] pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FanoutFixStats {
+    /// Nets whose fanout exceeded the cap.
+    pub nets_fixed: usize,
+    /// Buffers inserted.
+    pub buffers_added: usize,
+}
+
+/// Cap every net's fanout at `max_fanout` by inserting `BUFx{drive}`
+/// trees. Clock nets and macro pins are left untouched (clock trees are
+/// built explicitly; macros model their own drivers).
+///
+/// Returns the pass statistics.
+///
+/// # Panics
+///
+/// Panics if `max_fanout < 2`.
+pub fn fix_fanout(design: &mut Design, max_fanout: usize, drive: u32) -> FanoutFixStats {
+    assert!(max_fanout >= 2, "fanout cap must allow a tree");
+    let mut stats = FanoutFixStats::default();
+    let mut uid = 0usize;
+    loop {
+        let conn = design.connectivity();
+        // Find one over-loaded data net (excluding clock).
+        let mut target: Option<(NetId, Vec<(usize, String)>)> = None;
+        for net in 0..design.net_count() {
+            if design.clock == Some(net) {
+                continue;
+            }
+            let cell_loads: Vec<(usize, String)> = conn.loads[net]
+                .iter()
+                .filter_map(|l| match l {
+                    LoadRef::Cell { instance, pin } if pin != "CLK" => {
+                        Some((*instance, pin.clone()))
+                    }
+                    _ => None,
+                })
+                .collect();
+            if cell_loads.len() > max_fanout {
+                target = Some((net, cell_loads));
+                break;
+            }
+        }
+        let Some((net, loads)) = target else {
+            return stats;
+        };
+        stats.nets_fixed += 1;
+        // Split the sinks into groups; each group hangs off a new buffer.
+        for group in loads.chunks(max_fanout) {
+            uid += 1;
+            let buf_out = design.add_net(&format!("fo_fix_{uid}"));
+            let inst = Instance {
+                name: format!("fo_buf_{uid}"),
+                cell: format!("BUFx{drive}"),
+                inputs: vec![("A".to_string(), net)],
+                outputs: vec![("Y".to_string(), buf_out)],
+                clock: None,
+                region: "fanout_fix".to_string(),
+            };
+            design.add_instance(inst);
+            stats.buffers_added += 1;
+            for (inst_idx, pin) in group {
+                design.rewire_input(*inst_idx, pin, buf_out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DesignBuilder;
+
+    fn max_data_fanout(design: &Design) -> usize {
+        let conn = design.connectivity();
+        (0..design.net_count())
+            .filter(|&n| design.clock != Some(n))
+            .map(|n| {
+                conn.loads[n]
+                    .iter()
+                    .filter(|l| matches!(l, LoadRef::Cell { pin, .. } if pin != "CLK"))
+                    .count()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn fanout_heavy_design(sinks: usize) -> Design {
+        let mut b = DesignBuilder::new("heavy");
+        let a = b.input("a");
+        let src = b.inv(a, 2);
+        for _ in 0..sinks {
+            let y = b.inv(src, 1);
+            b.mark_output(y);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn caps_every_net() {
+        let mut d = fanout_heavy_design(64);
+        assert!(max_data_fanout(&d) >= 64);
+        let stats = fix_fanout(&mut d, 8, 4);
+        assert!(stats.buffers_added >= 8, "stats: {stats:?}");
+        assert!(
+            max_data_fanout(&d) <= 8,
+            "worst fanout after fix: {}",
+            max_data_fanout(&d)
+        );
+    }
+
+    #[test]
+    fn recursion_handles_buffer_nets_too() {
+        // 100 sinks at cap 4: first level makes 25 buffers hanging off the
+        // source — itself over the cap — so the pass must recurse.
+        let mut d = fanout_heavy_design(100);
+        fix_fanout(&mut d, 4, 2);
+        assert!(max_data_fanout(&d) <= 4);
+    }
+
+    #[test]
+    fn clean_design_is_untouched() {
+        let mut d = fanout_heavy_design(3);
+        let cells_before = d.cell_count();
+        let stats = fix_fanout(&mut d, 8, 2);
+        assert_eq!(stats, FanoutFixStats::default());
+        assert_eq!(d.cell_count(), cells_before);
+    }
+
+    #[test]
+    fn functionality_preserving_wiring() {
+        // Every original sink still transitively connects to the source.
+        let mut d = fanout_heavy_design(20);
+        fix_fanout(&mut d, 4, 2);
+        let conn = d.connectivity();
+        // All inserted buffers are BUFx2 in the fanout_fix region.
+        for inst in d.instances().iter().filter(|i| i.region == "fanout_fix") {
+            assert_eq!(inst.cell, "BUFx2");
+            assert_eq!(inst.inputs.len(), 1);
+        }
+        // No net lost its driver.
+        for net in 0..d.net_count() {
+            let drivers = conn.drivers[net].len() + usize::from(d.primary_inputs.contains(&net));
+            if !conn.loads[net].is_empty() {
+                assert!(drivers >= 1, "net {} lost its driver", d.net_name(net));
+            }
+        }
+    }
+}

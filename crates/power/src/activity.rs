@@ -1,0 +1,321 @@
+//! Switching-activity sources: gate-level toggle simulation and
+//! region-based activity profiles.
+
+use std::collections::HashMap;
+
+use cryo_liberty::Library;
+use cryo_netlist::design::{Design, DriverRef};
+
+use crate::{PowerError, Result};
+
+/// Per-net toggle counts from a logic simulation.
+#[derive(Debug, Clone)]
+pub struct ToggleCounts {
+    /// Toggles per net over the simulated window.
+    pub toggles: Vec<u64>,
+    /// Number of clock cycles simulated.
+    pub cycles: u64,
+}
+
+impl ToggleCounts {
+    /// Average toggles per cycle for a net.
+    #[must_use]
+    pub fn activity(&self, net: usize) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.toggles[net] as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean activity across all nets.
+    #[must_use]
+    pub fn mean_activity(&self) -> f64 {
+        if self.toggles.is_empty() || self.cycles == 0 {
+            return 0.0;
+        }
+        self.toggles.iter().sum::<u64>() as f64 / (self.toggles.len() as f64 * self.cycles as f64)
+    }
+}
+
+/// Cycle-based gate-level logic simulation counting net toggles.
+///
+/// Per cycle: primary inputs take the next vector, combinational logic
+/// settles (topological evaluation), flip-flops then capture their `D`
+/// values. Toggles are counted on every net, including flip-flop outputs
+/// and a double count on the clock nets (rise + fall per cycle).
+///
+/// # Errors
+///
+/// - [`PowerError::VectorWidth`] if vectors do not match the primary inputs.
+/// - [`PowerError::UnmappedCell`] / [`PowerError::MissingFunction`] for
+///   library holes.
+pub fn simulate_toggles(
+    design: &Design,
+    lib: &Library,
+    vectors: &[Vec<bool>],
+) -> Result<ToggleCounts> {
+    let n_nets = design.net_count();
+    let n_pi = design.primary_inputs.len();
+    for v in vectors {
+        if v.len() != n_pi {
+            return Err(PowerError::VectorWidth {
+                expected: n_pi,
+                got: v.len(),
+            });
+        }
+    }
+    let conn = design.connectivity();
+
+    // Topological order of combinational instances (registers break cycles).
+    let mut is_seq = vec![false; design.instances().len()];
+    for (i, inst) in design.instances().iter().enumerate() {
+        let cell = lib.cell(&inst.cell).map_err(|_| PowerError::UnmappedCell {
+            instance: inst.name.clone(),
+            cell: inst.cell.clone(),
+        })?;
+        is_seq[i] = cell.is_sequential();
+    }
+    let comb_driver_of = |net: usize| -> Option<usize> {
+        conn.drivers[net].iter().find_map(|d| match d {
+            DriverRef::Cell { instance, .. } if !is_seq[*instance] => Some(*instance),
+            _ => None,
+        })
+    };
+    let n_inst = design.instances().len();
+    let mut indegree = vec![0usize; n_inst];
+    let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); n_inst];
+    for (i, inst) in design.instances().iter().enumerate() {
+        if is_seq[i] {
+            continue;
+        }
+        for (_, net) in &inst.inputs {
+            if let Some(src) = comb_driver_of(*net) {
+                indegree[i] += 1;
+                fanout[src].push(i);
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..n_inst)
+        .filter(|&i| !is_seq[i] && indegree[i] == 0)
+        .collect();
+    let mut head = 0;
+    while head < order.len() {
+        let i = order[head];
+        head += 1;
+        for &nx in &fanout[i] {
+            indegree[nx] -= 1;
+            if indegree[nx] == 0 {
+                order.push(nx);
+            }
+        }
+    }
+
+    let mut values = vec![false; n_nets];
+    let mut ff_state: HashMap<usize, bool> = HashMap::new();
+    let mut toggles = vec![0u64; n_nets];
+
+    let eval_inst = |i: usize, values: &[bool], lib: &Library| -> Result<Vec<(usize, bool)>> {
+        let inst = &design.instances()[i];
+        let cell = lib.cell(&inst.cell).expect("checked earlier");
+        let mut outs = Vec::new();
+        for (pin, net) in &inst.outputs {
+            let f = cell
+                .pin(pin)
+                .and_then(|p| p.function.clone())
+                .ok_or_else(|| PowerError::MissingFunction {
+                    instance: inst.name.clone(),
+                    pin: pin.clone(),
+                })?;
+            let mut bits = 0u16;
+            for (bi, fname) in f.inputs().iter().enumerate() {
+                if let Some((_, in_net)) = inst.inputs.iter().find(|(p, _)| p == fname) {
+                    if values[*in_net] {
+                        bits |= 1 << bi;
+                    }
+                }
+            }
+            outs.push((*net, f.eval(bits)));
+        }
+        Ok(outs)
+    };
+
+    for vector in vectors {
+        // Apply inputs.
+        for (k, &pi) in design.primary_inputs.iter().enumerate() {
+            if values[pi] != vector[k] {
+                toggles[pi] += 1;
+                values[pi] = vector[k];
+            }
+        }
+        // Clock toggles twice per cycle.
+        if let Some(clk) = design.clock {
+            toggles[clk] += 2;
+        }
+        // Settle combinational logic.
+        for &i in &order {
+            for (net, v) in eval_inst(i, &values, lib)? {
+                if values[net] != v {
+                    toggles[net] += 1;
+                    values[net] = v;
+                }
+            }
+        }
+        // Macro outputs: pseudo-random data pattern toggling half the bits
+        // per access keeps downstream logic active (macro contents are not
+        // logically modelled).
+        // (Deterministic: flip alternating outputs every cycle.)
+        for (mi, m) in design.macros().iter().enumerate() {
+            for (k, &net) in m.outputs.iter().enumerate() {
+                if (k + mi) % 2 == 0 {
+                    values[net] = !values[net];
+                    toggles[net] += 1;
+                }
+            }
+        }
+        // Register capture at the clock edge.
+        let mut captured: Vec<(usize, bool)> = Vec::new();
+        for (i, inst) in design.instances().iter().enumerate() {
+            if !is_seq[i] {
+                continue;
+            }
+            let cell = lib.cell(&inst.cell).expect("checked earlier");
+            let ff = cell.ff.as_ref().expect("sequential cell has ff view");
+            let d_val = inst
+                .inputs
+                .iter()
+                .find(|(p, _)| *p == ff.next_state)
+                .is_some_and(|(_, n)| values[*n]);
+            // Active-low clear forces zero.
+            let cleared = ff.clear.as_ref().is_some_and(|rn| {
+                inst.inputs
+                    .iter()
+                    .find(|(p, _)| p == rn)
+                    .is_some_and(|(_, n)| !values[*n])
+            });
+            let q = ff_state.entry(i).or_insert(false);
+            let new_q = if cleared { false } else { d_val };
+            if *q != new_q {
+                *q = new_q;
+                for (_, net) in &inst.outputs {
+                    captured.push((*net, new_q));
+                }
+            }
+        }
+        for (net, v) in captured {
+            if values[net] != v {
+                toggles[net] += 1;
+                values[net] = v;
+            }
+        }
+        // Re-settle after the edge so downstream logic sees new Q values.
+        for &i in &order {
+            for (net, v) in eval_inst(i, &values, lib)? {
+                if values[net] != v {
+                    toggles[net] += 1;
+                    values[net] = v;
+                }
+            }
+        }
+    }
+
+    Ok(ToggleCounts {
+        toggles,
+        cycles: vectors.len() as u64,
+    })
+}
+
+/// Per-region switching activity for the scalable power path.
+///
+/// `alpha(region)` is the average toggles-per-cycle of a net inside the
+/// region; `sram_reads_per_cycle(macro)` counts accesses. The `cryo-core`
+/// flow fills these from the RISC-V pipeline model's per-block utilization
+/// for a workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityProfile {
+    region_alpha: HashMap<String, f64>,
+    macro_access: HashMap<String, f64>,
+    /// Activity applied to regions not explicitly listed.
+    pub default_alpha: f64,
+}
+
+impl ActivityProfile {
+    /// Empty profile with a default activity.
+    #[must_use]
+    pub fn with_default(default_alpha: f64) -> Self {
+        Self {
+            region_alpha: HashMap::new(),
+            macro_access: HashMap::new(),
+            default_alpha,
+        }
+    }
+
+    /// Set a region's toggles-per-cycle.
+    pub fn set_region(&mut self, region: &str, alpha: f64) -> &mut Self {
+        self.region_alpha.insert(region.to_string(), alpha);
+        self
+    }
+
+    /// Set a macro's accesses-per-cycle.
+    pub fn set_macro_access(&mut self, name: &str, per_cycle: f64) -> &mut Self {
+        self.macro_access.insert(name.to_string(), per_cycle);
+        self
+    }
+
+    /// Activity for a region.
+    #[must_use]
+    pub fn alpha(&self, region: &str) -> f64 {
+        // The clock network toggles every cycle regardless of workload.
+        if region == "clock" {
+            return *self.region_alpha.get(region).unwrap_or(&2.0);
+        }
+        *self.region_alpha.get(region).unwrap_or(&self.default_alpha)
+    }
+
+    /// Accesses-per-cycle for a macro (by name prefix match).
+    #[must_use]
+    pub fn macro_accesses(&self, name: &str) -> f64 {
+        for (k, v) in &self.macro_access {
+            if name.starts_with(k.as_str()) {
+                return *v;
+            }
+        }
+        0.0
+    }
+
+    /// Scale every explicit region activity by `factor` (calibration knob).
+    pub fn scale(&mut self, factor: f64) {
+        for v in self.region_alpha.values_mut() {
+            if v.is_finite() {
+                *v *= factor;
+            }
+        }
+        self.default_alpha *= factor;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_defaults_and_overrides() {
+        let mut p = ActivityProfile::with_default(0.1);
+        p.set_region("alu", 0.4);
+        p.set_macro_access("l1d", 0.3);
+        assert_eq!(p.alpha("alu"), 0.4);
+        assert_eq!(p.alpha("random"), 0.1);
+        assert_eq!(p.alpha("clock"), 2.0);
+        assert_eq!(p.macro_accesses("l1d_data"), 0.3);
+        assert_eq!(p.macro_accesses("l2_bank0"), 0.0);
+    }
+
+    #[test]
+    fn scaling_preserves_structure() {
+        let mut p = ActivityProfile::with_default(0.1);
+        p.set_region("alu", 0.4);
+        p.scale(0.5);
+        assert!((p.alpha("alu") - 0.2).abs() < 1e-12);
+        assert!((p.default_alpha - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,348 @@
+//! Average-power computation (the Fig. 6 breakdown).
+
+use std::collections::HashMap;
+
+use cryo_device::ModelCard;
+use cryo_liberty::Library;
+use cryo_netlist::design::{Design, LoadRef};
+
+use crate::activity::{ActivityProfile, ToggleCounts};
+use crate::{PowerError, Result};
+
+/// Power-analysis configuration.
+#[derive(Debug, Clone)]
+pub struct PowerConfig {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Clock frequency, hertz.
+    pub frequency: f64,
+    /// n-FinFET card used for SRAM macro leakage at the corner temperature.
+    pub nfet: ModelCard,
+    /// Operating temperature, kelvin (should match the library corner).
+    pub temperature: f64,
+    /// Representative input slew for energy lookups, seconds.
+    pub typical_slew: f64,
+    /// Fraction of a flip-flop's clk→Q internal energy burned every cycle by
+    /// internal clock loading even when Q does not switch.
+    pub dff_clock_energy_factor: f64,
+}
+
+impl PowerConfig {
+    /// Defaults at a given corner.
+    #[must_use]
+    pub fn at(nfet: &ModelCard, temperature: f64, frequency: f64) -> Self {
+        Self {
+            vdd: 0.7,
+            frequency,
+            nfet: nfet.clone(),
+            temperature,
+            typical_slew: 20e-12,
+            dff_clock_energy_factor: 0.30,
+        }
+    }
+}
+
+/// The Fig. 6 power breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerReport {
+    /// Corner name.
+    pub corner: String,
+    /// Dynamic (switching + internal + clock + SRAM access) power, watts.
+    pub dynamic_w: f64,
+    /// Standard-cell leakage, watts.
+    pub logic_leakage_w: f64,
+    /// SRAM macro leakage, watts.
+    pub sram_leakage_w: f64,
+    /// Dynamic power per region, watts.
+    pub per_region_dynamic: HashMap<String, f64>,
+}
+
+impl PowerReport {
+    /// Total average power, watts.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.dynamic_w + self.logic_leakage_w + self.sram_leakage_w
+    }
+
+    /// Whether the SoC fits the cryostat's cooling capacity.
+    #[must_use]
+    pub fn fits_budget(&self, budget_w: f64) -> bool {
+        self.total() <= budget_w
+    }
+
+    /// Render a Voltus-flavoured summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "Corner {}: dynamic {:.2} mW + logic leakage {:.3} mW + SRAM leakage {:.3} mW = {:.2} mW",
+            self.corner,
+            self.dynamic_w * 1e3,
+            self.logic_leakage_w * 1e3,
+            self.sram_leakage_w * 1e3,
+            self.total() * 1e3
+        )
+    }
+}
+
+/// Compute the average power of `design` at a library corner under either a
+/// region [`ActivityProfile`] or measured [`ToggleCounts`].
+///
+/// # Errors
+///
+/// [`PowerError::UnmappedCell`] for instances missing from the library.
+pub fn analyze_power(
+    design: &Design,
+    lib: &Library,
+    cfg: &PowerConfig,
+    profile: &ActivityProfile,
+    measured: Option<&ToggleCounts>,
+) -> Result<PowerReport> {
+    let conn = design.connectivity();
+    // Net loads (same model as STA).
+    let mut net_load = vec![0.0f64; design.net_count()];
+    for net in 0..design.net_count() {
+        let mut cap = 0.0;
+        for load in &conn.loads[net] {
+            match load {
+                LoadRef::Cell { instance, pin } => {
+                    let inst = &design.instances()[*instance];
+                    let cell = lib.cell(&inst.cell).map_err(|_| PowerError::UnmappedCell {
+                        instance: inst.name.clone(),
+                        cell: inst.cell.clone(),
+                    })?;
+                    cap += cell.pin(pin).map_or(0.0, |p| p.capacitance);
+                }
+                LoadRef::Macro { .. } => cap += 2.0e-15,
+            }
+        }
+        cap += design.wire_cap(conn.loads[net].len());
+        net_load[net] = cap;
+    }
+
+    let mut dynamic = 0.0;
+    let mut logic_leak = 0.0;
+    let mut per_region: HashMap<String, f64> = HashMap::new();
+    for inst in design.instances() {
+        let cell = lib.cell(&inst.cell).map_err(|_| PowerError::UnmappedCell {
+            instance: inst.name.clone(),
+            cell: inst.cell.clone(),
+        })?;
+        logic_leak += cell.average_leakage();
+
+        let mut inst_dyn = 0.0;
+        for (pin, net) in &inst.outputs {
+            let load = net_load[*net];
+            // Activity: measured toggles if available, else region profile.
+            let alpha = measured.map_or_else(|| profile.alpha(&inst.region), |t| t.activity(*net));
+            // Internal energy: mean power arc at the lookup point.
+            let e_int: f64 = cell
+                .power_arcs
+                .iter()
+                .filter(|p| p.pin == *pin)
+                .map(|p| p.average_energy(cfg.typical_slew, load))
+                .sum::<f64>()
+                / cell
+                    .power_arcs
+                    .iter()
+                    .filter(|p| p.pin == *pin)
+                    .count()
+                    .max(1) as f64;
+            // Load energy: half CV² per transition on average.
+            let e_load = 0.5 * load * cfg.vdd * cfg.vdd;
+            inst_dyn += alpha * cfg.frequency * (e_int + e_load);
+        }
+        // Sequential cells burn internal clock power every cycle — derated
+        // by the region's activity to model the integrated clock gating a
+        // synthesis flow inserts on idle banks (20 % of the tree is assumed
+        // ungatable).
+        if cell.is_sequential() {
+            let e_clkq: f64 = cell
+                .power_arcs
+                .iter()
+                .map(|p| p.average_energy(cfg.typical_slew, 1e-15))
+                .sum::<f64>()
+                / cell.power_arcs.len().max(1) as f64;
+            let alpha = measured
+                .map_or_else(|| profile.alpha(&inst.region), |t| t.mean_activity());
+            let gating = 0.2 + 0.8 * (alpha * 4.0).min(1.0);
+            inst_dyn += cfg.dff_clock_energy_factor * e_clkq * cfg.frequency * gating;
+        }
+        dynamic += inst_dyn;
+        *per_region.entry(inst.region.clone()).or_insert(0.0) += inst_dyn;
+    }
+
+    // SRAM macros: leakage from the device model, access energy from the
+    // macro model.
+    let mut sram_leak = 0.0;
+    for m in design.macros() {
+        sram_leak += m.spec.leakage(&cfg.nfet, cfg.temperature, cfg.vdd);
+        let accesses = profile.macro_accesses(&m.name);
+        let p_access = accesses * cfg.frequency * m.spec.access_energy(cfg.vdd);
+        dynamic += p_access;
+        *per_region.entry(m.region.clone()).or_insert(0.0) += p_access;
+    }
+
+    Ok(PowerReport {
+        corner: lib.name.clone(),
+        dynamic_w: dynamic,
+        logic_leakage_w: logic_leak,
+        sram_leakage_w: sram_leak,
+        per_region_dynamic: per_region,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::simulate_toggles;
+    use cryo_device::Polarity;
+    use cryo_liberty::{ArcKind, Cell, LogicFunction, Lut2, Pin, PowerArc, TimingArc, TimingSense};
+    use cryo_netlist::DesignBuilder;
+
+    fn synth_lib() -> Library {
+        let mut lib = Library::new("p", 300.0, 0.7);
+        for (name, invert) in [("INVx1", true), ("BUFx2", false)] {
+            let f = LogicFunction::from_eval(&["A"], move |b| (b & 1 != 0) != invert);
+            lib.add_cell(Cell {
+                name: name.to_string(),
+                area: 0.05,
+                pins: vec![Pin::input("A", 1e-15), Pin::output("Y", f)],
+                arcs: vec![TimingArc {
+                    related_pin: "A".into(),
+                    pin: "Y".into(),
+                    kind: ArcKind::Combinational,
+                    sense: TimingSense::NegativeUnate,
+                    cell_rise: Lut2::constant(10e-12),
+                    cell_fall: Lut2::constant(10e-12),
+                    rise_transition: Lut2::constant(5e-12),
+                    fall_transition: Lut2::constant(5e-12),
+                }],
+                power_arcs: vec![PowerArc {
+                    related_pin: "A".into(),
+                    pin: "Y".into(),
+                    rise_energy: Lut2::constant(2e-15),
+                    fall_energy: Lut2::constant(2e-15),
+                }],
+                leakage_states: vec![(0, 5e-9), (1, 7e-9)],
+                ff: None,
+                drive: 1,
+            });
+        }
+        let nand = LogicFunction::from_eval(&["A", "B"], |b| b & 3 != 3);
+        lib.add_cell(Cell {
+            name: "NAND2x1".into(),
+            area: 0.06,
+            pins: vec![
+                Pin::input("A", 1e-15),
+                Pin::input("B", 1e-15),
+                Pin::output("Y", nand),
+            ],
+            arcs: vec![],
+            power_arcs: vec![PowerArc {
+                related_pin: "A".into(),
+                pin: "Y".into(),
+                rise_energy: Lut2::constant(3e-15),
+                fall_energy: Lut2::constant(3e-15),
+            }],
+            leakage_states: vec![(0, 6e-9)],
+            ff: None,
+            drive: 1,
+        });
+        lib
+    }
+
+    fn chain_design() -> Design {
+        let mut b = DesignBuilder::new("c");
+        let mut x = b.input("in");
+        for _ in 0..3 {
+            x = b.inv(x, 1);
+        }
+        b.mark_output(x);
+        b.finish()
+    }
+
+    #[test]
+    fn toggle_simulation_counts_chain() {
+        let lib = synth_lib();
+        let d = chain_design();
+        // Alternate the input: every net toggles every cycle.
+        let vectors: Vec<Vec<bool>> = (0..10).map(|i| vec![i % 2 == 1]).collect();
+        let t = simulate_toggles(&d, &lib, &vectors).unwrap();
+        // After warmup, each inverter output toggles once per cycle.
+        for inst in d.instances() {
+            let (_, net) = inst.outputs[0];
+            assert!(
+                t.activity(net) > 0.8,
+                "net {} activity {}",
+                d.net_name(net),
+                t.activity(net)
+            );
+        }
+    }
+
+    #[test]
+    fn constant_input_means_no_toggles() {
+        let lib = synth_lib();
+        let d = chain_design();
+        let vectors: Vec<Vec<bool>> = (0..10).map(|_| vec![true]).collect();
+        let t = simulate_toggles(&d, &lib, &vectors).unwrap();
+        let total_after_first: u64 = t.toggles.iter().sum();
+        // Only the very first application can toggle nets.
+        assert!(total_after_first <= d.net_count() as u64);
+    }
+
+    #[test]
+    fn power_scales_with_activity_and_frequency() {
+        let lib = synth_lib();
+        let d = chain_design();
+        let cfg1 = PowerConfig::at(&ModelCard::nominal(Polarity::N), 300.0, 1e9);
+        let lo = ActivityProfile::with_default(0.1);
+        let hi = ActivityProfile::with_default(0.4);
+        let p_lo = analyze_power(&d, &lib, &cfg1, &lo, None).unwrap();
+        let p_hi = analyze_power(&d, &lib, &cfg1, &hi, None).unwrap();
+        assert!((p_hi.dynamic_w / p_lo.dynamic_w - 4.0).abs() < 0.01);
+        let cfg2 = PowerConfig::at(&ModelCard::nominal(Polarity::N), 300.0, 2e9);
+        let p_2g = analyze_power(&d, &lib, &cfg2, &lo, None).unwrap();
+        assert!((p_2g.dynamic_w / p_lo.dynamic_w - 2.0).abs() < 0.01);
+        // Leakage is activity-independent.
+        assert_eq!(p_lo.logic_leakage_w, p_hi.logic_leakage_w);
+    }
+
+    #[test]
+    fn measured_toggles_drive_power() {
+        let lib = synth_lib();
+        let d = chain_design();
+        let cfg = PowerConfig::at(&ModelCard::nominal(Polarity::N), 300.0, 1e9);
+        let busy: Vec<Vec<bool>> = (0..32).map(|i| vec![i % 2 == 0]).collect();
+        let idle: Vec<Vec<bool>> = (0..32).map(|_| vec![false]).collect();
+        let t_busy = simulate_toggles(&d, &lib, &busy).unwrap();
+        let t_idle = simulate_toggles(&d, &lib, &idle).unwrap();
+        let profile = ActivityProfile::with_default(0.0);
+        let p_busy = analyze_power(&d, &lib, &cfg, &profile, Some(&t_busy)).unwrap();
+        let p_idle = analyze_power(&d, &lib, &cfg, &profile, Some(&t_idle)).unwrap();
+        assert!(p_busy.dynamic_w > 10.0 * p_idle.dynamic_w.max(1e-12));
+    }
+
+    #[test]
+    fn report_totals_and_budget() {
+        let r = PowerReport {
+            corner: "c".into(),
+            dynamic_w: 0.057,
+            logic_leakage_w: 0.0001,
+            sram_leakage_w: 0.0004,
+            per_region_dynamic: HashMap::new(),
+        };
+        assert!((r.total() - 0.0575).abs() < 1e-9);
+        assert!(r.fits_budget(0.1), "paper: 10 K SoC fits 100 mW");
+        assert!(!r.fits_budget(0.05));
+        assert!(r.summary().contains("mW"));
+    }
+
+    #[test]
+    fn vector_width_checked() {
+        let lib = synth_lib();
+        let d = chain_design();
+        let err = simulate_toggles(&d, &lib, &[vec![true, false]]).unwrap_err();
+        assert!(matches!(err, PowerError::VectorWidth { .. }));
+    }
+}

@@ -1,0 +1,77 @@
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // net ids are the natural index domain
+//! Activity-driven power analysis for gate-level designs.
+//!
+//! `cryo-power` plays Cadence Voltus's role in the paper's flow (Sec. VI-B):
+//! it combines a gate-level netlist, a characterized library corner, and
+//! switching activity into the average-power breakdown of Fig. 6 — dynamic
+//! power, logic leakage, and SRAM leakage.
+//!
+//! Two activity sources are supported, mirroring the paper's methodology:
+//!
+//! - [`activity::simulate_toggles`] — an event-style gate-level logic
+//!   simulation that counts real per-net toggles for a vector set (what the
+//!   paper does with its gate-level netlist simulations). Used directly on
+//!   small designs.
+//! - [`activity::ActivityProfile`] — per-functional-region toggle rates, the
+//!   scalable path for the full SoC: the `cryo-riscv` cycle model reports
+//!   how busy each block is for a workload, and those utilizations become
+//!   region activities here.
+
+pub mod activity;
+pub mod analysis;
+pub mod thermal;
+
+pub use activity::{simulate_toggles, ActivityProfile, ToggleCounts};
+pub use analysis::{analyze_power, PowerConfig, PowerReport};
+pub use thermal::ThermalModel;
+
+use std::error::Error;
+use std::fmt;
+
+/// Power-analysis errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerError {
+    /// An instance references a cell missing from the library.
+    UnmappedCell {
+        /// Instance name.
+        instance: String,
+        /// Cell name.
+        cell: String,
+    },
+    /// The logic simulator hit an instance whose cell lacks a function.
+    MissingFunction {
+        /// Instance name.
+        instance: String,
+        /// Output pin.
+        pin: String,
+    },
+    /// The vector set disagrees with the design's primary input count.
+    VectorWidth {
+        /// Expected width.
+        expected: usize,
+        /// Provided width.
+        got: usize,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::UnmappedCell { instance, cell } => {
+                write!(f, "instance {instance}: cell {cell} not in library")
+            }
+            PowerError::MissingFunction { instance, pin } => {
+                write!(f, "instance {instance} output {pin} has no logic function")
+            }
+            PowerError::VectorWidth { expected, got } => {
+                write!(f, "stimulus width {got} != {expected} primary inputs")
+            }
+        }
+    }
+}
+
+impl Error for PowerError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PowerError>;

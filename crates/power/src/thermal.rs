@@ -1,0 +1,189 @@
+//! Cryostat thermal budgeting: duty-cycled bursts against a slow thermal
+//! path.
+//!
+//! Sec. VII of the paper observes that "heat transfer is comparatively
+//! slow, creating the potential for short but high-power processing bursts
+//! followed by a low-power idle phase without impacting the qubits". This
+//! module models that trade: a first-order thermal RC between the SoC and
+//! the cold stage, driven by a periodic burst/idle power profile.
+
+/// First-order thermal model of the SoC's mounting on the cold stage.
+///
+/// ```
+/// use cryo_power::ThermalModel;
+///
+/// let m = ThermalModel::cryostat_10k();
+/// // 100 mW of steady dissipation lifts the die 4 K above the stage.
+/// assert!((m.steady_state(0.1) - 14.0).abs() < 1e-9);
+/// // Fast 10 % duty bursts ride near the average-power temperature.
+/// let peak = m.periodic_peak(0.5, 0.01, 0.1, m.tau() / 50.0);
+/// assert!(peak < m.steady_state(0.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThermalModel {
+    /// Thermal resistance die → cold stage, kelvin per watt.
+    pub r_th: f64,
+    /// Thermal capacitance of the die + carrier, joules per kelvin.
+    pub c_th: f64,
+    /// Cold-stage temperature, kelvin.
+    pub t_stage: f64,
+}
+
+impl ThermalModel {
+    /// A plausible 10 K mounting: tens of K/W to the stage, a small die.
+    #[must_use]
+    pub fn cryostat_10k() -> Self {
+        Self {
+            r_th: 40.0,
+            c_th: 2.0e-3,
+            t_stage: 10.0,
+        }
+    }
+
+    /// Thermal time constant `R·C`, seconds.
+    #[must_use]
+    pub fn tau(&self) -> f64 {
+        self.r_th * self.c_th
+    }
+
+    /// Steady-state die temperature at constant dissipation `power` watts.
+    #[must_use]
+    pub fn steady_state(&self, power: f64) -> f64 {
+        self.t_stage + self.r_th * power
+    }
+
+    /// Peak die temperature under a periodic burst profile once the cycle
+    /// has settled: `burst_w` for `duty·period`, `idle_w` for the rest.
+    ///
+    /// Uses the periodic steady state of the first-order RC.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < duty <= 1` and `period > 0`.
+    #[must_use]
+    pub fn periodic_peak(&self, burst_w: f64, idle_w: f64, duty: f64, period: f64) -> f64 {
+        assert!(duty > 0.0 && duty <= 1.0, "duty in (0, 1]");
+        assert!(period > 0.0, "positive period");
+        let tau = self.tau();
+        let t_on = duty * period;
+        let t_off = period - t_on;
+        let t_hot = self.steady_state(burst_w);
+        let t_cold = self.steady_state(idle_w);
+        // Periodic steady state: T rises toward t_hot for t_on, decays
+        // toward t_cold for t_off; solve the fixed point of one cycle.
+        let a_on = (-t_on / tau).exp();
+        let a_off = (-t_off / tau).exp();
+        // T_peak = t_hot + (T_valley - t_hot)·a_on
+        // T_valley = t_cold + (T_peak - t_cold)·a_off
+
+        (t_hot * (1.0 - a_on) + a_on * (t_cold * (1.0 - a_off))) / (1.0 - a_on * a_off)
+    }
+
+    /// Average die temperature under the same periodic profile.
+    #[must_use]
+    pub fn periodic_average(&self, burst_w: f64, idle_w: f64, duty: f64) -> f64 {
+        let avg_power = duty * burst_w + (1.0 - duty) * idle_w;
+        self.steady_state(avg_power)
+    }
+
+    /// Largest burst power (watts) that keeps the *peak* die temperature at
+    /// or below `t_limit` for the given idle power, duty, and period —
+    /// bisected over the monotone `periodic_peak`.
+    #[must_use]
+    pub fn max_burst_power(&self, idle_w: f64, duty: f64, period: f64, t_limit: f64) -> f64 {
+        if self.periodic_peak(idle_w, idle_w, duty, period) > t_limit {
+            return 0.0;
+        }
+        let mut lo = idle_w;
+        let mut hi = idle_w + (t_limit - self.t_stage) / self.r_th * 10.0 + 1.0;
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if self.periodic_peak(mid, idle_w, duty, period) <= t_limit {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ThermalModel {
+        ThermalModel::cryostat_10k()
+    }
+
+    #[test]
+    fn steady_state_is_linear_in_power() {
+        let m = model();
+        assert_eq!(m.steady_state(0.0), 10.0);
+        assert!((m.steady_state(0.1) - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_duty_equals_steady_state() {
+        let m = model();
+        let t = m.periodic_peak(0.1, 0.01, 1.0, 1e-3);
+        assert!((t - m.steady_state(0.1)).abs() < 0.2, "t = {t}");
+    }
+
+    #[test]
+    fn short_bursts_stay_cooler_than_steady_bursts() {
+        let m = model();
+        // Same burst power; a fast 10 % duty cycle rides near the *average*
+        // power temperature, far below the burst steady state.
+        let period = m.tau() / 50.0;
+        let peak = m.periodic_peak(0.5, 0.01, 0.1, period);
+        assert!(peak < m.steady_state(0.5) * 0.5, "peak = {peak}");
+        let avg = m.periodic_average(0.5, 0.01, 0.1);
+        assert!(
+            (peak - avg).abs() < 1.0,
+            "fast cycling ≈ average: {peak} vs {avg}"
+        );
+    }
+
+    #[test]
+    fn slow_bursts_approach_burst_steady_state() {
+        let m = model();
+        let period = m.tau() * 100.0;
+        let peak = m.periodic_peak(0.5, 0.01, 0.5, period);
+        assert!(
+            (peak - m.steady_state(0.5)).abs() < 0.5,
+            "slow cycle saturates: {peak}"
+        );
+    }
+
+    #[test]
+    fn peak_is_monotone_in_burst_power() {
+        let m = model();
+        let period = m.tau();
+        let p1 = m.periodic_peak(0.1, 0.01, 0.3, period);
+        let p2 = m.periodic_peak(0.2, 0.01, 0.3, period);
+        assert!(p2 > p1);
+    }
+
+    #[test]
+    fn max_burst_power_respects_the_limit() {
+        let m = model();
+        let period = m.tau() / 10.0;
+        let limit = 14.0; // 100 mW steady-state equivalent
+        let burst = m.max_burst_power(0.005, 0.2, period, limit);
+        assert!(
+            burst > 0.1,
+            "fast duty-cycling buys real burst headroom: {burst}"
+        );
+        let peak = m.periodic_peak(burst, 0.005, 0.2, period);
+        assert!(peak <= limit + 1e-6);
+        // And exceeding it violates the limit.
+        assert!(m.periodic_peak(burst * 1.2, 0.005, 0.2, period) > limit);
+    }
+
+    #[test]
+    fn impossible_limits_return_zero() {
+        let m = model();
+        assert_eq!(m.max_burst_power(0.5, 0.5, 1e-3, 10.5), 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! The calibration phase: learn per-qubit I/Q centers from prepared shots.
+//!
+//! "The measurement classifier is trained by the data obtained through
+//! preparing and measuring each qubit individually in the |0⟩ and |1⟩
+//! basis state" (Sec. II). Calibration here is exactly that: the mean I/Q
+//! point per (qubit, state), which both classifiers then consume.
+
+use crate::device::{IqPoint, QuantumDevice, Shot};
+use crate::{QubitError, Result};
+
+/// Learned readout centers for every qubit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    centers: Vec<(IqPoint, IqPoint)>,
+}
+
+impl Calibration {
+    /// Run the calibration campaign on a device: `shots_per_state` prepared
+    /// readouts of |0⟩ and |1⟩ per qubit.
+    ///
+    /// # Errors
+    ///
+    /// [`QubitError::EmptyCalibration`] when `shots_per_state == 0`.
+    pub fn train(device: &QuantumDevice, shots_per_state: usize) -> Result<Self> {
+        if shots_per_state == 0 {
+            return Err(QubitError::EmptyCalibration);
+        }
+        let mut centers = Vec::with_capacity(device.len());
+        for qubit in 0..device.len() {
+            let c0 = mean(&device.readout(qubit, 0, shots_per_state)?);
+            let c1 = mean(&device.readout(qubit, 1, shots_per_state)?);
+            centers.push((c0, c1));
+        }
+        Ok(Self { centers })
+    }
+
+    /// Build directly from known centers (testing / synthetic sweeps).
+    #[must_use]
+    pub fn from_centers(centers: Vec<(IqPoint, IqPoint)>) -> Self {
+        Self { centers }
+    }
+
+    /// Number of calibrated qubits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Whether no qubits are calibrated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.centers.is_empty()
+    }
+
+    /// Centers `(c0, c1)` of a qubit.
+    ///
+    /// # Errors
+    ///
+    /// [`QubitError::QubitOutOfRange`].
+    pub fn centers(&self, qubit: usize) -> Result<(IqPoint, IqPoint)> {
+        self.centers
+            .get(qubit)
+            .copied()
+            .ok_or(QubitError::QubitOutOfRange {
+                qubit,
+                count: self.centers.len(),
+            })
+    }
+
+    /// The centers flattened into the RISC-V kNN kernel's table layout:
+    /// `[xc0, yc0, xc1, yc1]` per qubit.
+    #[must_use]
+    pub fn knn_table(&self) -> Vec<[f64; 4]> {
+        self.centers
+            .iter()
+            .map(|(c0, c1)| [c0.i, c0.q, c1.i, c1.q])
+            .collect()
+    }
+
+    /// Assignment fidelity of a classifier over labelled shots: fraction
+    /// classified as prepared.
+    #[must_use]
+    pub fn assignment_fidelity<F>(&self, shots: &[Shot], classify: F) -> f64
+    where
+        F: Fn(usize, IqPoint) -> u8,
+    {
+        if shots.is_empty() {
+            return 0.0;
+        }
+        let correct = shots
+            .iter()
+            .filter(|s| classify(s.qubit, s.point) == s.prepared)
+            .count();
+        correct as f64 / shots.len() as f64
+    }
+}
+
+fn mean(shots: &[Shot]) -> IqPoint {
+    let n = shots.len().max(1) as f64;
+    IqPoint::new(
+        shots.iter().map(|s| s.point.i).sum::<f64>() / n,
+        shots.iter().map(|s| s.point.q).sum::<f64>() / n,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_recovers_true_centers() {
+        let d = QuantumDevice::new(5, 21);
+        let cal = Calibration::train(&d, 300).unwrap();
+        assert_eq!(cal.len(), 5);
+        for q in 0..5 {
+            let (c0, c1) = cal.centers(q).unwrap();
+            let t0 = d.true_center(q, 0).unwrap();
+            assert!(c0.dist2(t0).sqrt() < 0.1, "qubit {q} c0 off");
+            // c1 is biased slightly toward c0 by relaxation but stays close.
+            let t1 = d.true_center(q, 1).unwrap();
+            assert!(c1.dist2(t1).sqrt() < 0.2, "qubit {q} c1 off");
+        }
+    }
+
+    #[test]
+    fn zero_shots_is_an_error() {
+        let d = QuantumDevice::new(2, 1);
+        assert!(matches!(
+            Calibration::train(&d, 0),
+            Err(QubitError::EmptyCalibration)
+        ));
+    }
+
+    #[test]
+    fn knn_table_layout() {
+        let cal = Calibration::from_centers(vec![(IqPoint::new(1.0, 2.0), IqPoint::new(3.0, 4.0))]);
+        assert_eq!(cal.knn_table(), vec![[1.0, 2.0, 3.0, 4.0]]);
+    }
+
+    #[test]
+    fn fidelity_of_perfect_oracle_is_one() {
+        let d = QuantumDevice::new(3, 2);
+        let cal = Calibration::train(&d, 50).unwrap();
+        let mut shots = d.readout(0, 0, 20).unwrap();
+        shots.extend(d.readout(0, 1, 20).unwrap());
+        let f = cal.assignment_fidelity(&shots, |_, _| 0);
+        assert!((f - 0.5).abs() < 1e-9, "half the shots are |0>");
+        let oracle = cal.assignment_fidelity(&shots, |q, p| {
+            let (c0, c1) = cal.centers(q).unwrap();
+            u8::from(p.dist2(c1) < p.dist2(c0))
+        });
+        assert!(oracle > 0.9, "distance classifier is accurate: {oracle}");
+    }
+}

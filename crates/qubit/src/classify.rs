@@ -1,0 +1,172 @@
+//! Golden (reference) classifiers, bit-compatible with the RISC-V kernels.
+
+use cryo_hdc::{Hv128, IqEncoder};
+
+use crate::calibration::Calibration;
+use crate::device::IqPoint;
+use crate::Result;
+
+/// The paper's kNN classifier: nearest calibration center by squared
+/// Euclidean distance (sqrt elided — comparing radicands, Sec. V-B).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnnClassifier {
+    calibration: Calibration,
+}
+
+impl KnnClassifier {
+    /// Wrap a calibration.
+    #[must_use]
+    pub fn new(calibration: Calibration) -> Self {
+        Self { calibration }
+    }
+
+    /// The underlying calibration.
+    #[must_use]
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// Classify one measurement of `qubit`.
+    ///
+    /// Tie behaviour matches the kernel's `flt.d` (strict less): equidistant
+    /// points read 0.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::QubitError::QubitOutOfRange`].
+    pub fn classify(&self, qubit: usize, point: IqPoint) -> Result<u8> {
+        let (c0, c1) = self.calibration.centers(qubit)?;
+        Ok(u8::from(point.dist2(c1) < point.dist2(c0)))
+    }
+}
+
+/// The paper's HDC classifier: encode the measurement into a hypervector
+/// and pick the class hypervector at the smaller Hamming distance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HdcClassifier {
+    encoder: IqEncoder,
+    /// Per-qubit class hypervectors `(C0, C1)` — the calibration centers
+    /// encoded through equation (3).
+    classes: Vec<(Hv128, Hv128)>,
+}
+
+impl HdcClassifier {
+    /// Build from a calibration and an encoder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates center lookups (never fails for a self-consistent
+    /// calibration).
+    pub fn new(calibration: &Calibration, encoder: IqEncoder) -> Result<Self> {
+        let mut classes = Vec::with_capacity(calibration.len());
+        for q in 0..calibration.len() {
+            let (c0, c1) = calibration.centers(q)?;
+            classes.push((encoder.encode(c0.i, c0.q), encoder.encode(c1.i, c1.q)));
+        }
+        Ok(Self { encoder, classes })
+    }
+
+    /// The encoder in use.
+    #[must_use]
+    pub fn encoder(&self) -> &IqEncoder {
+        &self.encoder
+    }
+
+    /// Per-qubit class hypervectors in the RISC-V kernel's table layout:
+    /// `[c0_lo, c0_hi, c1_lo, c1_hi]`.
+    #[must_use]
+    pub fn center_table(&self) -> Vec<[u64; 4]> {
+        self.classes
+            .iter()
+            .map(|(c0, c1)| [c0.lo, c0.hi, c1.lo, c1.hi])
+            .collect()
+    }
+
+    /// Classify one measurement of `qubit`.
+    ///
+    /// Tie behaviour matches the kernel's `slt` (strict less): equal
+    /// distances read 0.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::QubitError::QubitOutOfRange`].
+    pub fn classify(&self, qubit: usize, point: IqPoint) -> Result<u8> {
+        let (c0, c1) = *self
+            .classes
+            .get(qubit)
+            .ok_or(crate::QubitError::QubitOutOfRange {
+                qubit,
+                count: self.classes.len(),
+            })?;
+        let m = self.encoder.encode(point.i, point.q);
+        Ok(u8::from(m.hamming(c1) < m.hamming(c0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::QuantumDevice;
+
+    fn setup() -> (QuantumDevice, Calibration) {
+        let d = QuantumDevice::new(6, 33);
+        let cal = Calibration::train(&d, 200).unwrap();
+        (d, cal)
+    }
+
+    #[test]
+    fn knn_accuracy_is_high() {
+        let (d, cal) = setup();
+        let knn = KnnClassifier::new(cal.clone());
+        let mut shots = Vec::new();
+        for q in 0..d.len() {
+            shots.extend(d.readout(q, 0, 100).unwrap());
+            shots.extend(d.readout(q, 1, 100).unwrap());
+        }
+        let fidelity = cal.assignment_fidelity(&shots, |q, p| knn.classify(q, p).unwrap());
+        assert!(fidelity > 0.95, "kNN fidelity = {fidelity}");
+    }
+
+    #[test]
+    fn hdc_accuracy_is_close_to_knn() {
+        let (d, cal) = setup();
+        let knn = KnnClassifier::new(cal.clone());
+        let encoder = IqEncoder::new(16, -3.0, 3.0, 7);
+        let hdc = HdcClassifier::new(&cal, encoder).unwrap();
+        let mut shots = Vec::new();
+        for q in 0..d.len() {
+            shots.extend(d.readout(q, 0, 100).unwrap());
+            shots.extend(d.readout(q, 1, 100).unwrap());
+        }
+        let f_knn = cal.assignment_fidelity(&shots, |q, p| knn.classify(q, p).unwrap());
+        let f_hdc = cal.assignment_fidelity(&shots, |q, p| hdc.classify(q, p).unwrap());
+        assert!(f_hdc > 0.85, "HDC fidelity = {f_hdc}");
+        assert!(f_knn >= f_hdc - 0.02, "kNN should not trail HDC by much");
+    }
+
+    #[test]
+    fn knn_tie_reads_zero() {
+        let cal =
+            Calibration::from_centers(vec![(IqPoint::new(-1.0, 0.0), IqPoint::new(1.0, 0.0))]);
+        let knn = KnnClassifier::new(cal);
+        assert_eq!(knn.classify(0, IqPoint::new(0.0, 5.0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let (_, cal) = setup();
+        let knn = KnnClassifier::new(cal.clone());
+        assert!(knn.classify(99, IqPoint::default()).is_err());
+        let hdc = HdcClassifier::new(&cal, IqEncoder::new(16, -3.0, 3.0, 7)).unwrap();
+        assert!(hdc.classify(99, IqPoint::default()).is_err());
+    }
+
+    #[test]
+    fn center_table_matches_classes() {
+        let (_, cal) = setup();
+        let hdc = HdcClassifier::new(&cal, IqEncoder::new(16, -3.0, 3.0, 7)).unwrap();
+        let t = hdc.center_table();
+        assert_eq!(t.len(), cal.len());
+        assert_eq!(Hv128::new(t[0][0], t[0][1]), hdc.classes[0].0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Decoherence decay and the classification time budget (Fig. 2b / Fig. 7).
+
+/// State fidelity after `t` seconds: `exp(-t / t2)` (Fig. 2b; the paper's
+/// Falcon processor decoheres with T2 ≈ 110 µs).
+#[must_use]
+pub fn state_fidelity(t: f64, t2: f64) -> f64 {
+    (-t / t2).exp()
+}
+
+/// Time to classify all `n` qubits at `cycles_per_classification` and
+/// `frequency` hertz (Fig. 7's y-axis).
+#[must_use]
+pub fn classification_time(n: usize, cycles_per_classification: f64, frequency: f64) -> f64 {
+    n as f64 * cycles_per_classification / frequency
+}
+
+/// The largest qubit count whose classification fits within `budget`
+/// seconds — the crossover the paper places near 1500 qubits for kNN at
+/// 1 GHz against the 110 µs decoherence time.
+///
+/// `cycles_of(n)` supplies the (possibly qubit-count-dependent, due to
+/// cache misses) cycles per classification.
+#[must_use]
+pub fn max_qubits_within_budget<F>(budget: f64, frequency: f64, cycles_of: F) -> usize
+where
+    F: Fn(usize) -> f64,
+{
+    // Exponential probe then binary search on the monotone total time.
+    let fits =
+        |n: usize| -> bool { n == 0 || classification_time(n, cycles_of(n), frequency) <= budget };
+    if !fits(1) {
+        return 0;
+    }
+    let mut hi = 1usize;
+    while fits(hi * 2) {
+        hi *= 2;
+        if hi > 1 << 24 {
+            return hi;
+        }
+    }
+    let mut lo = hi;
+    hi *= 2;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if fits(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fidelity_decays_exponentially() {
+        let t2 = 110e-6;
+        assert!((state_fidelity(0.0, t2) - 1.0).abs() < 1e-12);
+        assert!((state_fidelity(t2, t2) - (-1.0f64).exp()).abs() < 1e-12);
+        assert!(state_fidelity(50e-6, t2) > state_fidelity(100e-6, t2));
+    }
+
+    #[test]
+    fn classification_time_scales_linearly() {
+        let t = classification_time(1000, 50.0, 1e9);
+        assert!((t - 50e-6).abs() < 1e-12);
+        assert!(classification_time(2000, 50.0, 1e9) > t);
+    }
+
+    #[test]
+    fn crossover_near_paper_value() {
+        // Constant ~70 cycles at 1 GHz against 110 µs → ~1571 qubits.
+        let n = max_qubits_within_budget(110e-6, 1e9, |_| 70.0);
+        assert!((1500..1650).contains(&n), "n = {n}");
+    }
+
+    #[test]
+    fn cache_growth_reduces_the_crossover() {
+        let flat = max_qubits_within_budget(110e-6, 1e9, |_| 40.0);
+        let growing = max_qubits_within_budget(110e-6, 1e9, |n| 40.0 + (n as f64 / 400.0) * 10.0);
+        assert!(growing < flat);
+    }
+
+    #[test]
+    fn zero_budget_means_zero_qubits() {
+        assert_eq!(max_qubits_within_budget(0.0, 1e9, |_| 50.0), 0);
+    }
+}

@@ -1,0 +1,347 @@
+//! The virtual quantum device: per-qubit dispersive-readout model.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{QubitError, Result};
+
+/// A point in the readout I/Q plane (arbitrary units, as in Fig. 2a).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IqPoint {
+    /// In-phase component.
+    pub i: f64,
+    /// Quadrature component.
+    pub q: f64,
+}
+
+impl IqPoint {
+    /// Construct a point.
+    #[must_use]
+    pub fn new(i: f64, q: f64) -> Self {
+        Self { i, q }
+    }
+
+    /// Squared Euclidean distance (the paper's radicand — the square root
+    /// is never taken).
+    #[must_use]
+    pub fn dist2(self, other: Self) -> f64 {
+        let di = self.i - other.i;
+        let dq = self.q - other.q;
+        di * di + dq * dq
+    }
+}
+
+/// One readout shot: the measured I/Q value and the state that was
+/// prepared (ground truth for accuracy studies).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Shot {
+    /// Qubit index.
+    pub qubit: usize,
+    /// Prepared basis state (0 or 1).
+    pub prepared: u8,
+    /// Measured I/Q point.
+    pub point: IqPoint,
+}
+
+/// Per-qubit readout parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct QubitReadout {
+    c0: IqPoint,
+    c1: IqPoint,
+    /// Gaussian blob sigma.
+    sigma: f64,
+    /// Probability that a prepared |1⟩ relaxes mid-readout (appears along
+    /// the c1→c0 chord).
+    relax: f64,
+}
+
+/// An `n`-qubit readout model with seeded shot generation.
+#[derive(Debug, Clone)]
+pub struct QuantumDevice {
+    qubits: Vec<QubitReadout>,
+    seed: u64,
+    /// State decoherence time constant, seconds (Fig. 2b; ≈110 µs on the
+    /// paper's IBM Falcon).
+    pub t2: f64,
+}
+
+impl QuantumDevice {
+    /// The paper's 27-qubit IBM-Falcon-class device.
+    #[must_use]
+    pub fn falcon27(seed: u64) -> Self {
+        Self::new(27, seed)
+    }
+
+    /// Build an `n`-qubit device; readout geometry varies per qubit as on
+    /// real hardware (Fig. 2a shows 27 distinct center pairs).
+    #[must_use]
+    pub fn new(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA1C_0027);
+        let qubits = (0..n)
+            .map(|_| {
+                // Centers scattered over roughly [-1.5, 1.5]² with a
+                // separation comfortably above the blob sigma.
+                let c0 = IqPoint::new(rng.gen_range(-1.4..1.4), rng.gen_range(-1.4..1.4));
+                let angle: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                let sep: f64 = rng.gen_range(0.8..1.5);
+                let c1 = IqPoint::new(c0.i + sep * angle.cos(), c0.q + sep * angle.sin());
+                QubitReadout {
+                    c0,
+                    c1,
+                    sigma: rng.gen_range(0.10..0.18),
+                    relax: rng.gen_range(0.01..0.04),
+                }
+            })
+            .collect();
+        Self {
+            qubits,
+            seed,
+            t2: 110e-6,
+        }
+    }
+
+    /// Number of qubits.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.qubits.len()
+    }
+
+    /// Whether the device has no qubits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.qubits.is_empty()
+    }
+
+    /// True (noise-free) center of a qubit's state blob.
+    ///
+    /// # Errors
+    ///
+    /// [`QubitError::QubitOutOfRange`].
+    pub fn true_center(&self, qubit: usize, state: u8) -> Result<IqPoint> {
+        let q = self.qubits.get(qubit).ok_or(QubitError::QubitOutOfRange {
+            qubit,
+            count: self.qubits.len(),
+        })?;
+        Ok(if state == 0 { q.c0 } else { q.c1 })
+    }
+
+    /// Generate `shots` readout shots of `qubit` prepared in `state`.
+    ///
+    /// # Errors
+    ///
+    /// [`QubitError::QubitOutOfRange`].
+    pub fn readout(&self, qubit: usize, state: u8, shots: usize) -> Result<Vec<Shot>> {
+        let q = *self.qubits.get(qubit).ok_or(QubitError::QubitOutOfRange {
+            qubit,
+            count: self.qubits.len(),
+        })?;
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                ^ (qubit as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (u64::from(state) << 60)
+                ^ (shots as u64).rotate_left(17),
+        );
+        let mut out = Vec::with_capacity(shots);
+        for _ in 0..shots {
+            let center = if state == 0 { q.c0 } else { q.c1 };
+            // Box-Muller Gaussian noise.
+            let (u1, u2): (f64, f64) = (rng.gen_range(1e-12..1.0), rng.gen_range(0.0..1.0));
+            let r = (-2.0 * u1.ln()).sqrt() * q.sigma;
+            let theta = std::f64::consts::TAU * u2;
+            let mut point = IqPoint::new(center.i + r * theta.cos(), center.q + r * theta.sin());
+            // Relaxation during readout drags some |1⟩ shots toward c0.
+            if state == 1 && rng.gen::<f64>() < q.relax {
+                let f: f64 = rng.gen();
+                point = IqPoint::new(
+                    q.c0.i + f * (q.c1.i - q.c0.i),
+                    q.c0.q + f * (q.c1.q - q.c0.q),
+                );
+            }
+            out.push(Shot {
+                qubit,
+                prepared: state,
+                point,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Readout with an explicit integration window (the paper's boxcar
+    /// integrator, Sec. II): longer integration averages down the amplifier
+    /// noise (`sigma ∝ 1/sqrt(t)`) but exposes the qubit to more relaxation
+    /// (`p_relax ∝ t`). `window` is relative to the nominal window (1.0
+    /// reproduces [`QuantumDevice::readout`]).
+    ///
+    /// # Errors
+    ///
+    /// [`QubitError::QubitOutOfRange`]; also if `window` is not positive.
+    pub fn readout_windowed(
+        &self,
+        qubit: usize,
+        state: u8,
+        shots: usize,
+        window: f64,
+    ) -> Result<Vec<Shot>> {
+        if window <= 0.0 || !window.is_finite() {
+            return Err(QubitError::InvalidWindow { window });
+        }
+        let q = *self.qubits.get(qubit).ok_or(QubitError::QubitOutOfRange {
+            qubit,
+            count: self.qubits.len(),
+        })?;
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                ^ (qubit as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ (u64::from(state) << 60)
+                ^ ((window * 4096.0) as u64).rotate_left(23)
+                ^ (shots as u64).rotate_left(17),
+        );
+        let sigma = q.sigma / window.sqrt();
+        let relax = (q.relax * window).min(0.9);
+        let mut out = Vec::with_capacity(shots);
+        for _ in 0..shots {
+            let center = if state == 0 { q.c0 } else { q.c1 };
+            let (u1, u2): (f64, f64) = (rng.gen_range(1e-12..1.0), rng.gen_range(0.0..1.0));
+            let r = (-2.0 * u1.ln()).sqrt() * sigma;
+            let theta = std::f64::consts::TAU * u2;
+            let mut point = IqPoint::new(center.i + r * theta.cos(), center.q + r * theta.sin());
+            if state == 1 && rng.gen::<f64>() < relax {
+                let f: f64 = rng.gen();
+                point = IqPoint::new(
+                    q.c0.i + f * (q.c1.i - q.c0.i),
+                    q.c0.q + f * (q.c1.q - q.c0.q),
+                );
+            }
+            out.push(Shot {
+                qubit,
+                prepared: state,
+                point,
+            });
+        }
+        Ok(out)
+    }
+
+    /// One labelled measurement per qubit (a "readout round"): qubit `i`'s
+    /// prepared state alternates pseudo-randomly with the round index.
+    ///
+    /// # Panics
+    ///
+    /// Never (internal qubit indices are in range).
+    #[must_use]
+    pub fn measurement_round(&self, round: u64) -> Vec<Shot> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ round.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        (0..self.len())
+            .map(|qubit| {
+                let state = u8::from(rng.gen::<bool>());
+                let mut s = self.readout(qubit, state, 1).expect("qubit in range")[0];
+                // Per-round jitter so repeated rounds differ slightly.
+                let jit: f64 = rng.gen_range(-1e-9..1e-9);
+                s.point.i += jit;
+                s
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn falcon_has_27_qubits() {
+        let d = QuantumDevice::falcon27(1);
+        assert_eq!(d.len(), 27);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn shots_are_deterministic_per_seed() {
+        let d = QuantumDevice::new(4, 9);
+        let a = d.readout(2, 1, 16).unwrap();
+        let b = d.readout(2, 1, 16).unwrap();
+        assert_eq!(a, b);
+        let d2 = QuantumDevice::new(4, 10);
+        let c = d2.readout(2, 1, 16).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn blobs_cluster_near_true_centers() {
+        let d = QuantumDevice::new(3, 5);
+        for state in [0u8, 1] {
+            let shots = d.readout(1, state, 400).unwrap();
+            let c = d.true_center(1, state).unwrap();
+            let mean_i = shots.iter().map(|s| s.point.i).sum::<f64>() / 400.0;
+            let mean_q = shots.iter().map(|s| s.point.q).sum::<f64>() / 400.0;
+            let err = IqPoint::new(mean_i, mean_q).dist2(c).sqrt();
+            assert!(err < 0.12, "state {state} mean error {err}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_reported() {
+        let d = QuantumDevice::new(2, 1);
+        assert!(matches!(
+            d.readout(5, 0, 1),
+            Err(QubitError::QubitOutOfRange { qubit: 5, count: 2 })
+        ));
+        assert!(d.true_center(3, 0).is_err());
+    }
+
+
+    #[test]
+    fn readout_window_trades_noise_for_relaxation() {
+        // Short windows: noisy blobs. Long windows: heavy relaxation tail.
+        // Classified fidelity of prepared |1> peaks at an interior window.
+        let d = QuantumDevice::new(1, 77);
+        let c0 = d.true_center(0, 0).unwrap();
+        let c1 = d.true_center(0, 1).unwrap();
+        let fidelity_at = |w: f64| -> f64 {
+            let shots = d.readout_windowed(0, 1, 600, w).unwrap();
+            let ok = shots
+                .iter()
+                .filter(|s| s.point.dist2(c1) < s.point.dist2(c0))
+                .count();
+            ok as f64 / 600.0
+        };
+        let short = fidelity_at(0.05);
+        let mid = fidelity_at(1.0);
+        let long = fidelity_at(25.0);
+        assert!(mid > short, "integration beats noise: {mid} vs {short}");
+        assert!(mid > long, "relaxation punishes long windows: {mid} vs {long}");
+    }
+
+    #[test]
+    fn unit_window_matches_nominal_statistics() {
+        let d = QuantumDevice::new(2, 9);
+        let a = d.readout_windowed(1, 0, 200, 1.0).unwrap();
+        let c = d.true_center(1, 0).unwrap();
+        let mean_i = a.iter().map(|s| s.point.i).sum::<f64>() / 200.0;
+        assert!((mean_i - c.i).abs() < 0.1);
+    }
+
+    #[test]
+    fn invalid_window_is_rejected() {
+        let d = QuantumDevice::new(1, 1);
+        assert!(d.readout_windowed(0, 0, 1, 0.0).is_err());
+        assert!(d.readout_windowed(0, 0, 1, -1.0).is_err());
+    }
+
+    #[test]
+    fn measurement_rounds_vary() {
+        let d = QuantumDevice::new(8, 3);
+        let r1 = d.measurement_round(1);
+        let r2 = d.measurement_round(2);
+        assert_eq!(r1.len(), 8);
+        assert_ne!(
+            r1.iter().map(|s| s.prepared).collect::<Vec<_>>(),
+            r2.iter().map(|s| s.prepared).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn default_t2_matches_paper() {
+        let d = QuantumDevice::falcon27(0);
+        assert!((d.t2 - 110e-6).abs() < 1e-9);
+    }
+}

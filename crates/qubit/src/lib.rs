@@ -1,0 +1,71 @@
+#![warn(missing_docs)]
+//! Superconducting-qubit readout substrate: I/Q measurement model,
+//! calibration, golden classifiers, and decoherence budgets.
+//!
+//! This crate substitutes for the paper's IBM Falcon measurement data
+//! (Sec. II, Fig. 2): dispersive readout of transmon qubits produces one
+//! complex number per shot in the I/Q plane, clustered around a
+//! per-qubit center for each basis state, blurred by amplifier noise, with
+//! a relaxation tail (|1⟩ decaying mid-readout toward the |0⟩ blob).
+//!
+//! - [`device::QuantumDevice`] — per-qubit readout parameters and seeded
+//!   shot generation (calibration and measurement campaigns).
+//! - [`calibration::Calibration`] — the paper's calibration step: mean I/Q
+//!   centers per qubit per state, plus assignment-fidelity estimation.
+//! - [`classify`] — golden kNN and HDC classifiers, bit-compatible with
+//!   the RISC-V kernels in `cryo-riscv`.
+//! - [`decoherence`] — `exp(-t/T2)` state-fidelity decay (Fig. 2b) and the
+//!   classification time budget analysis behind Fig. 7.
+
+pub mod calibration;
+pub mod classify;
+pub mod decoherence;
+pub mod device;
+pub mod qec;
+
+pub use calibration::Calibration;
+pub use classify::{HdcClassifier, KnnClassifier};
+pub use decoherence::{classification_time, max_qubits_within_budget, state_fidelity};
+pub use device::{IqPoint, QuantumDevice, Shot};
+pub use qec::RepetitionCode;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from readout modelling and classification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QubitError {
+    /// A per-qubit operation referenced a qubit outside the device.
+    QubitOutOfRange {
+        /// Requested qubit.
+        qubit: usize,
+        /// Device size.
+        count: usize,
+    },
+    /// Calibration was attempted with no shots.
+    EmptyCalibration,
+    /// A readout integration window must be positive.
+    InvalidWindow {
+        /// The rejected window (relative to nominal).
+        window: f64,
+    },
+}
+
+impl fmt::Display for QubitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QubitError::QubitOutOfRange { qubit, count } => {
+                write!(f, "qubit {qubit} out of range (device has {count})")
+            }
+            QubitError::EmptyCalibration => write!(f, "calibration needs at least one shot"),
+            QubitError::InvalidWindow { window } => {
+                write!(f, "readout window must be positive, got {window}")
+            }
+        }
+    }
+}
+
+impl Error for QubitError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, QubitError>;

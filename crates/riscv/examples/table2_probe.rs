@@ -1,0 +1,57 @@
+//! Scratch: steady-state cycles per classification for kNN and HDC.
+use cryo_riscv::asm::assemble;
+use cryo_riscv::kernels::{hdc_source_rounds, knn_source_rounds, HDC_LEVELS};
+use cryo_riscv::pipeline::{PipelineConfig, PipelineModel};
+
+fn cycles_of(src: &str, cpop: bool) -> u64 {
+    let p = assemble(src).unwrap();
+    let mut m = PipelineModel::new(PipelineConfig {
+        enable_cpop: cpop,
+        ..PipelineConfig::default()
+    });
+    m.cpu.load_program(&p);
+    m.run(200_000_000).unwrap().cycles
+}
+
+fn main() {
+    for &n in &[20usize, 400, 1200] {
+        let centers: Vec<[f64; 4]> = (0..n)
+            .map(|i| {
+                let t = i as f64 * 0.37;
+                [t.sin(), t.cos(), t.sin() + 1.0, t.cos() + 1.0]
+            })
+            .collect();
+        let meas: Vec<(f64, f64)> = (0..n).map(|i| ((i as f64 * 0.11).sin(), 0.4)).collect();
+        let c1 = cycles_of(&knn_source_rounds(&centers, &meas, 1), false);
+        let c5 = cycles_of(&knn_source_rounds(&centers, &meas, 5), false);
+        println!(
+            "kNN n={n:4}: {:6.1} cycles/classification (steady)",
+            (c5 - c1) as f64 / (4 * n) as f64
+        );
+
+        let mut seed = 99u64;
+        let mut rnd = || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let items: Vec<[u64; 2]> = (0..HDC_LEVELS).map(|_| [rnd(), rnd()]).collect();
+        let items_y: Vec<[u64; 2]> = (0..HDC_LEVELS).map(|_| [rnd(), rnd()]).collect();
+        let centers_h: Vec<[u64; 4]> = (0..n).map(|_| [rnd(), rnd(), rnd(), rnd()]).collect();
+        for cpop in [false, true] {
+            let h1 = cycles_of(
+                &hdc_source_rounds(&items, &items_y, &centers_h, &meas, -1.0, 8.0, cpop, 1),
+                cpop,
+            );
+            let h5 = cycles_of(
+                &hdc_source_rounds(&items, &items_y, &centers_h, &meas, -1.0, 8.0, cpop, 5),
+                cpop,
+            );
+            println!(
+                "HDC n={n:4} cpop={cpop:5}: {:6.1} cycles/classification (steady)",
+                (h5 - h1) as f64 / (4 * n) as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,979 @@
+//! A small two-pass RISC-V assembler.
+//!
+//! Supports the subset the classification kernels need: labels, `.text` /
+//! `.data` sections, `.dword`/`.word`/`.byte`/`.zero`/`.align` data
+//! directives, ABI register names, and the common pseudo-instructions
+//! (`li`, `la`, `mv`, `not`, `neg`, `j`, `ret`, `nop`, `fmv.d`).
+
+use std::collections::HashMap;
+
+use crate::isa::{self, AluOp, BranchCond, FpCmp, FpOp, FpWidth, Inst, MemWidth};
+use crate::{Result, RiscvError};
+
+/// Default text base address.
+pub const TEXT_BASE: u64 = 0x1000;
+
+/// An assembled program image.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Encoded instruction words.
+    pub text: Vec<u32>,
+    /// Initialized data image.
+    pub data: Vec<u8>,
+    /// Address of the first instruction.
+    pub text_base: u64,
+    /// Address of the data image.
+    pub data_base: u64,
+    /// Resolved label addresses.
+    pub labels: HashMap<String, u64>,
+}
+
+impl Program {
+    /// Address of a label.
+    #[must_use]
+    pub fn label(&self, name: &str) -> Option<u64> {
+        self.labels.get(name).copied()
+    }
+
+    /// Total instruction count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Whether the program has no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+}
+
+fn reg(name: &str, line: usize) -> Result<u8> {
+    let name = name.trim().trim_end_matches(',');
+    let abi = [
+        ("zero", 0),
+        ("ra", 1),
+        ("sp", 2),
+        ("gp", 3),
+        ("tp", 4),
+        ("t0", 5),
+        ("t1", 6),
+        ("t2", 7),
+        ("s0", 8),
+        ("fp", 8),
+        ("s1", 9),
+        ("a0", 10),
+        ("a1", 11),
+        ("a2", 12),
+        ("a3", 13),
+        ("a4", 14),
+        ("a5", 15),
+        ("a6", 16),
+        ("a7", 17),
+        ("s2", 18),
+        ("s3", 19),
+        ("s4", 20),
+        ("s5", 21),
+        ("s6", 22),
+        ("s7", 23),
+        ("s8", 24),
+        ("s9", 25),
+        ("s10", 26),
+        ("s11", 27),
+        ("t3", 28),
+        ("t4", 29),
+        ("t5", 30),
+        ("t6", 31),
+    ];
+    for (n, v) in abi {
+        if n == name {
+            return Ok(v);
+        }
+    }
+    if let Some(num) = name.strip_prefix('x').and_then(|s| s.parse::<u8>().ok()) {
+        if num < 32 {
+            return Ok(num);
+        }
+    }
+    if let Some(num) = name.strip_prefix('f').and_then(|s| s.parse::<u8>().ok()) {
+        // FP registers f0..f31 (also accept fa0.. style below).
+        if num < 32 {
+            return Ok(num);
+        }
+    }
+    let fabi = [
+        ("ft0", 0),
+        ("ft1", 1),
+        ("ft2", 2),
+        ("ft3", 3),
+        ("ft4", 4),
+        ("ft5", 5),
+        ("ft6", 6),
+        ("ft7", 7),
+        ("fs0", 8),
+        ("fs1", 9),
+        ("fa0", 10),
+        ("fa1", 11),
+        ("fa2", 12),
+        ("fa3", 13),
+        ("fa4", 14),
+        ("fa5", 15),
+        ("fa6", 16),
+        ("fa7", 17),
+    ];
+    for (n, v) in fabi {
+        if n == name {
+            return Ok(v);
+        }
+    }
+    Err(RiscvError::Asm {
+        line,
+        reason: format!("unknown register {name}"),
+    })
+}
+
+fn parse_imm(tok: &str, labels: &HashMap<String, u64>, line: usize) -> Result<i64> {
+    let tok = tok.trim().trim_end_matches(',');
+    let (neg, body) = if let Some(rest) = tok.strip_prefix('-') {
+        (true, rest)
+    } else {
+        (false, tok)
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok().map(|v| v as i64)
+    } else if body.chars().all(|c| c.is_ascii_digit()) && !body.is_empty() {
+        body.parse::<i64>().ok()
+    } else {
+        labels.get(body).map(|&a| a as i64)
+    };
+    let mut value = value.ok_or_else(|| RiscvError::Asm {
+        line,
+        reason: format!("bad immediate or unknown label: {tok}"),
+    })?;
+    if neg {
+        value = -value;
+    }
+    Ok(value)
+}
+
+/// `8(a0)` → (offset, base register).
+fn parse_mem(tok: &str, labels: &HashMap<String, u64>, line: usize) -> Result<(i64, u8)> {
+    let tok = tok.trim();
+    let open = tok.find('(').ok_or_else(|| RiscvError::Asm {
+        line,
+        reason: format!("expected offset(reg), got {tok}"),
+    })?;
+    let close = tok.rfind(')').ok_or_else(|| RiscvError::Asm {
+        line,
+        reason: "missing closing paren".to_string(),
+    })?;
+    let off_str = &tok[..open];
+    let offset = if off_str.is_empty() {
+        0
+    } else {
+        parse_imm(off_str, labels, line)?
+    };
+    let base = reg(&tok[open + 1..close], line)?;
+    Ok((offset, base))
+}
+
+#[derive(Debug, Clone)]
+enum Line {
+    Inst { mnemonic: String, args: Vec<String> },
+    Label(String),
+    Directive { name: String, args: Vec<String> },
+}
+
+fn tokenize_line(raw: &str) -> Vec<Line> {
+    let mut out = Vec::new();
+    let code = raw.split(&['#', ';'][..]).next().unwrap_or("").trim();
+    if code.is_empty() {
+        return out;
+    }
+    let mut rest = code;
+    // Leading labels.
+    while let Some(colon) = rest.find(':') {
+        let (head, tail) = rest.split_at(colon);
+        if head.contains(char::is_whitespace) {
+            break;
+        }
+        out.push(Line::Label(head.trim().to_string()));
+        rest = tail[1..].trim();
+        if rest.is_empty() {
+            return out;
+        }
+    }
+    let mut parts = rest.split_whitespace();
+    let Some(head) = parts.next() else {
+        return out;
+    };
+    let args_str: String = parts.collect::<Vec<_>>().join(" ");
+    let args: Vec<String> = args_str
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if let Some(dname) = head.strip_prefix('.') {
+        out.push(Line::Directive {
+            name: dname.to_string(),
+            args,
+        });
+    } else {
+        out.push(Line::Inst {
+            mnemonic: head.to_lowercase(),
+            args,
+        });
+    }
+    out
+}
+
+/// Number of instruction words a (possibly pseudo) mnemonic expands to.
+fn expansion_len(mnemonic: &str, args: &[String]) -> usize {
+    match mnemonic {
+        "li" => {
+            // li expands to up to lui+addi (or a single addi for small).
+            let imm = args
+                .get(1)
+                .and_then(|a| {
+                    let a = a.trim();
+                    if let Some(h) = a.strip_prefix("0x") {
+                        u64::from_str_radix(h, 16).ok().map(|v| v as i64)
+                    } else {
+                        a.parse::<i64>().ok()
+                    }
+                })
+                .unwrap_or(0);
+            if (-2048..2048).contains(&imm) {
+                1
+            } else {
+                2
+            }
+        }
+        "la" => 2,
+        "call" => 1,
+        _ => 1,
+    }
+}
+
+/// Assemble source text into a [`Program`].
+///
+/// # Errors
+///
+/// [`RiscvError::Asm`] with the offending line and reason.
+pub fn assemble(source: &str) -> Result<Program> {
+    let mut labels: HashMap<String, u64> = HashMap::new();
+    #[derive(PartialEq, Clone, Copy)]
+    enum Section {
+        Text,
+        Data,
+    }
+
+    // Pass 1: layout.
+    let mut pc = TEXT_BASE;
+    let mut text_words = 0usize;
+    {
+        let mut section = Section::Text;
+        for raw in source.lines() {
+            for item in tokenize_line(raw) {
+                match item {
+                    Line::Label(name) => {
+                        // Pass 1 only counts; real addresses come from the
+                        // second sweep below.
+                        labels.insert(name, pc);
+                    }
+                    Line::Directive { name, args } => match (section, name.as_str()) {
+                        (_, "text") => section = Section::Text,
+                        (_, "data") if section == Section::Text => {
+                            // Data starts aligned after text; compute later,
+                            // here just switch with a provisional pc.
+                            section = Section::Data;
+                        }
+                        (Section::Data, "dword") => pc += 8 * args.len() as u64,
+                        (Section::Data, "word") => pc += 4 * args.len() as u64,
+                        (Section::Data, "byte") => pc += args.len() as u64,
+                        (Section::Data, "zero") => {
+                            pc += args
+                                .first()
+                                .and_then(|a| a.parse::<u64>().ok())
+                                .unwrap_or(0);
+                        }
+                        (_, "align") => {
+                            let a = args
+                                .first()
+                                .and_then(|s| s.parse::<u32>().ok())
+                                .unwrap_or(3);
+                            let m = 1u64 << a;
+                            pc = (pc + m - 1) & !(m - 1);
+                        }
+                        _ => {}
+                    },
+                    Line::Inst { mnemonic, args } => {
+                        let n = expansion_len(&mnemonic, &args);
+                        pc += 4 * n as u64;
+                        text_words += n;
+                    }
+                }
+            }
+        }
+    }
+    // Re-run pass 1 with the real data base (after text, 64-byte aligned) so
+    // data labels are correct. Simplest: do layout in two sweeps — first
+    // count text words (done), then assign addresses.
+    let data_base = (TEXT_BASE + 4 * text_words as u64 + 63) & !63;
+    labels.clear();
+    {
+        let mut section = Section::Text;
+        let mut tpc = TEXT_BASE;
+        let mut dpc = data_base;
+        for raw in source.lines() {
+            for item in tokenize_line(raw) {
+                match item {
+                    Line::Label(name) => {
+                        let addr = if section == Section::Text { tpc } else { dpc };
+                        labels.insert(name, addr);
+                    }
+                    Line::Directive { name, args } => match name.as_str() {
+                        "text" => section = Section::Text,
+                        "data" => section = Section::Data,
+                        "dword" => dpc += 8 * args.len() as u64,
+                        "word" => dpc += 4 * args.len() as u64,
+                        "byte" => dpc += args.len() as u64,
+                        "zero" => {
+                            dpc += args
+                                .first()
+                                .and_then(|a| a.parse::<u64>().ok())
+                                .unwrap_or(0);
+                        }
+                        "align" => {
+                            let a = args
+                                .first()
+                                .and_then(|s| s.parse::<u32>().ok())
+                                .unwrap_or(3);
+                            let m = 1u64 << a;
+                            if section == Section::Data {
+                                dpc = (dpc + m - 1) & !(m - 1);
+                            }
+                        }
+                        _ => {}
+                    },
+                    Line::Inst { mnemonic, args } => {
+                        tpc += 4 * expansion_len(&mnemonic, &args) as u64;
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 2: emit.
+    let mut text: Vec<u32> = Vec::with_capacity(text_words);
+    let mut data: Vec<u8> = Vec::new();
+    let mut section = Section::Text;
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        for item in tokenize_line(raw) {
+            match item {
+                Line::Label(_) => {}
+                Line::Directive { name, args } => match name.as_str() {
+                    "text" => section = Section::Text,
+                    "data" => section = Section::Data,
+                    "dword" => {
+                        for a in &args {
+                            let v = parse_imm(a, &labels, line)?;
+                            data.extend_from_slice(&(v as u64).to_le_bytes());
+                        }
+                    }
+                    "word" => {
+                        for a in &args {
+                            let v = parse_imm(a, &labels, line)?;
+                            data.extend_from_slice(&(v as u32).to_le_bytes());
+                        }
+                    }
+                    "byte" => {
+                        for a in &args {
+                            let v = parse_imm(a, &labels, line)?;
+                            data.push(v as u8);
+                        }
+                    }
+                    "zero" => {
+                        let n = args
+                            .first()
+                            .and_then(|a| a.parse::<usize>().ok())
+                            .unwrap_or(0);
+                        data.extend(std::iter::repeat_n(0u8, n));
+                    }
+                    "align" => {
+                        if section == Section::Data {
+                            let a = args
+                                .first()
+                                .and_then(|s| s.parse::<u32>().ok())
+                                .unwrap_or(3);
+                            let m = 1usize << a;
+                            while !(data_base as usize + data.len()).is_multiple_of(m) {
+                                data.push(0);
+                            }
+                        }
+                    }
+                    "global" | "globl" | "section" => {}
+                    other => {
+                        return Err(RiscvError::Asm {
+                            line,
+                            reason: format!("unknown directive .{other}"),
+                        })
+                    }
+                },
+                Line::Inst { mnemonic, args } => {
+                    let pc_here = TEXT_BASE + 4 * text.len() as u64;
+                    let insts = lower(&mnemonic, &args, pc_here, &labels, line)?;
+                    for inst in insts {
+                        text.push(isa::encode(&inst));
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(Program {
+        text,
+        data,
+        text_base: TEXT_BASE,
+        data_base,
+        labels,
+    })
+}
+
+/// Lower one (possibly pseudo) mnemonic into concrete instructions.
+fn lower(
+    mnemonic: &str,
+    args: &[String],
+    pc: u64,
+    labels: &HashMap<String, u64>,
+    line: usize,
+) -> Result<Vec<Inst>> {
+    let err = |reason: String| RiscvError::Asm { line, reason };
+    let need = |n: usize| -> Result<()> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(RiscvError::Asm {
+                line,
+                reason: format!("{mnemonic} expects {n} operands, got {}", args.len()),
+            })
+        }
+    };
+    let branch_target = |tok: &str| -> Result<i64> {
+        let addr = parse_imm(tok, labels, line)?;
+        Ok(addr - pc as i64)
+    };
+
+    let alu_imm = |op: AluOp| -> Result<Vec<Inst>> {
+        need(3)?;
+        Ok(vec![Inst::OpImm {
+            op,
+            rd: reg(&args[0], line)?,
+            rs1: reg(&args[1], line)?,
+            imm: parse_imm(&args[2], labels, line)?,
+        }])
+    };
+    let alu_reg = |op: AluOp| -> Result<Vec<Inst>> {
+        need(3)?;
+        Ok(vec![Inst::Op {
+            op,
+            rd: reg(&args[0], line)?,
+            rs1: reg(&args[1], line)?,
+            rs2: reg(&args[2], line)?,
+        }])
+    };
+    let branch = |cond: BranchCond| -> Result<Vec<Inst>> {
+        need(3)?;
+        Ok(vec![Inst::Branch {
+            cond,
+            rs1: reg(&args[0], line)?,
+            rs2: reg(&args[1], line)?,
+            offset: branch_target(&args[2])?,
+        }])
+    };
+    let load = |width: MemWidth| -> Result<Vec<Inst>> {
+        need(2)?;
+        let (offset, rs1) = parse_mem(&args[1], labels, line)?;
+        Ok(vec![Inst::Load {
+            width,
+            rd: reg(&args[0], line)?,
+            rs1,
+            offset,
+        }])
+    };
+    let store = |width: MemWidth| -> Result<Vec<Inst>> {
+        need(2)?;
+        let (offset, rs1) = parse_mem(&args[1], labels, line)?;
+        Ok(vec![Inst::Store {
+            width,
+            rs2: reg(&args[0], line)?,
+            rs1,
+            offset,
+        }])
+    };
+    let fp_arith = |op: FpOp, width: FpWidth| -> Result<Vec<Inst>> {
+        need(3)?;
+        Ok(vec![Inst::FpArith {
+            op,
+            width,
+            frd: reg(&args[0], line)?,
+            frs1: reg(&args[1], line)?,
+            frs2: reg(&args[2], line)?,
+        }])
+    };
+    let fp_cmp = |cmp: FpCmp, width: FpWidth| -> Result<Vec<Inst>> {
+        need(3)?;
+        Ok(vec![Inst::FpCompare {
+            cmp,
+            width,
+            rd: reg(&args[0], line)?,
+            frs1: reg(&args[1], line)?,
+            frs2: reg(&args[2], line)?,
+        }])
+    };
+
+    match mnemonic {
+        "lui" => {
+            need(2)?;
+            Ok(vec![Inst::Lui {
+                rd: reg(&args[0], line)?,
+                imm: parse_imm(&args[1], labels, line)? << 12,
+            }])
+        }
+        "auipc" => {
+            need(2)?;
+            Ok(vec![Inst::Auipc {
+                rd: reg(&args[0], line)?,
+                imm: parse_imm(&args[1], labels, line)? << 12,
+            }])
+        }
+        "jal" => {
+            if args.len() == 1 {
+                Ok(vec![Inst::Jal {
+                    rd: 1,
+                    offset: branch_target(&args[0])?,
+                }])
+            } else {
+                need(2)?;
+                Ok(vec![Inst::Jal {
+                    rd: reg(&args[0], line)?,
+                    offset: branch_target(&args[1])?,
+                }])
+            }
+        }
+        "jalr" => {
+            need(2)?;
+            let (offset, rs1) = parse_mem(&args[1], labels, line)?;
+            Ok(vec![Inst::Jalr {
+                rd: reg(&args[0], line)?,
+                rs1,
+                offset,
+            }])
+        }
+        "j" => {
+            need(1)?;
+            Ok(vec![Inst::Jal {
+                rd: 0,
+                offset: branch_target(&args[0])?,
+            }])
+        }
+        "call" => {
+            need(1)?;
+            Ok(vec![Inst::Jal {
+                rd: 1,
+                offset: branch_target(&args[0])?,
+            }])
+        }
+        "ret" => Ok(vec![Inst::Jalr {
+            rd: 0,
+            rs1: 1,
+            offset: 0,
+        }]),
+        "nop" => Ok(vec![Inst::OpImm {
+            op: AluOp::Add,
+            rd: 0,
+            rs1: 0,
+            imm: 0,
+        }]),
+        "beq" => branch(BranchCond::Eq),
+        "bne" => branch(BranchCond::Ne),
+        "blt" => branch(BranchCond::Lt),
+        "bge" => branch(BranchCond::Ge),
+        "bltu" => branch(BranchCond::Ltu),
+        "bgeu" => branch(BranchCond::Geu),
+        "beqz" => {
+            need(2)?;
+            Ok(vec![Inst::Branch {
+                cond: BranchCond::Eq,
+                rs1: reg(&args[0], line)?,
+                rs2: 0,
+                offset: branch_target(&args[1])?,
+            }])
+        }
+        "bnez" => {
+            need(2)?;
+            Ok(vec![Inst::Branch {
+                cond: BranchCond::Ne,
+                rs1: reg(&args[0], line)?,
+                rs2: 0,
+                offset: branch_target(&args[1])?,
+            }])
+        }
+        "lb" => load(MemWidth::B),
+        "lh" => load(MemWidth::H),
+        "lw" => load(MemWidth::W),
+        "ld" => load(MemWidth::D),
+        "lbu" => load(MemWidth::Bu),
+        "lhu" => load(MemWidth::Hu),
+        "lwu" => load(MemWidth::Wu),
+        "sb" => store(MemWidth::B),
+        "sh" => store(MemWidth::H),
+        "sw" => store(MemWidth::W),
+        "sd" => store(MemWidth::D),
+        "addi" => alu_imm(AluOp::Add),
+        "slti" => alu_imm(AluOp::Slt),
+        "sltiu" => alu_imm(AluOp::Sltu),
+        "xori" => alu_imm(AluOp::Xor),
+        "ori" => alu_imm(AluOp::Or),
+        "andi" => alu_imm(AluOp::And),
+        "slli" => alu_imm(AluOp::Sll),
+        "srli" => alu_imm(AluOp::Srl),
+        "srai" => alu_imm(AluOp::Sra),
+        "addiw" => {
+            need(3)?;
+            Ok(vec![Inst::OpImmW {
+                op: AluOp::Add,
+                rd: reg(&args[0], line)?,
+                rs1: reg(&args[1], line)?,
+                imm: parse_imm(&args[2], labels, line)?,
+            }])
+        }
+        "slliw" => {
+            need(3)?;
+            Ok(vec![Inst::OpImmW {
+                op: AluOp::Sll,
+                rd: reg(&args[0], line)?,
+                rs1: reg(&args[1], line)?,
+                imm: parse_imm(&args[2], labels, line)?,
+            }])
+        }
+        "srliw" => {
+            need(3)?;
+            Ok(vec![Inst::OpImmW {
+                op: AluOp::Srl,
+                rd: reg(&args[0], line)?,
+                rs1: reg(&args[1], line)?,
+                imm: parse_imm(&args[2], labels, line)?,
+            }])
+        }
+        "add" => alu_reg(AluOp::Add),
+        "sub" => alu_reg(AluOp::Sub),
+        "sll" => alu_reg(AluOp::Sll),
+        "slt" => alu_reg(AluOp::Slt),
+        "sltu" => alu_reg(AluOp::Sltu),
+        "xor" => alu_reg(AluOp::Xor),
+        "srl" => alu_reg(AluOp::Srl),
+        "sra" => alu_reg(AluOp::Sra),
+        "or" => alu_reg(AluOp::Or),
+        "and" => alu_reg(AluOp::And),
+        "mul" => alu_reg(AluOp::Mul),
+        "mulh" => alu_reg(AluOp::Mulh),
+        "mulhu" => alu_reg(AluOp::Mulhu),
+        "div" => alu_reg(AluOp::Div),
+        "divu" => alu_reg(AluOp::Divu),
+        "rem" => alu_reg(AluOp::Rem),
+        "remu" => alu_reg(AluOp::Remu),
+        "cpop" => {
+            need(2)?;
+            Ok(vec![Inst::Cpop {
+                rd: reg(&args[0], line)?,
+                rs1: reg(&args[1], line)?,
+            }])
+        }
+        "mv" => {
+            need(2)?;
+            Ok(vec![Inst::OpImm {
+                op: AluOp::Add,
+                rd: reg(&args[0], line)?,
+                rs1: reg(&args[1], line)?,
+                imm: 0,
+            }])
+        }
+        "not" => {
+            need(2)?;
+            Ok(vec![Inst::OpImm {
+                op: AluOp::Xor,
+                rd: reg(&args[0], line)?,
+                rs1: reg(&args[1], line)?,
+                imm: -1,
+            }])
+        }
+        "neg" => {
+            need(2)?;
+            Ok(vec![Inst::Op {
+                op: AluOp::Sub,
+                rd: reg(&args[0], line)?,
+                rs1: 0,
+                rs2: reg(&args[1], line)?,
+            }])
+        }
+        "seqz" => {
+            need(2)?;
+            Ok(vec![Inst::OpImm {
+                op: AluOp::Sltu,
+                rd: reg(&args[0], line)?,
+                rs1: reg(&args[1], line)?,
+                imm: 1,
+            }])
+        }
+        "snez" => {
+            need(2)?;
+            Ok(vec![Inst::Op {
+                op: AluOp::Sltu,
+                rd: reg(&args[0], line)?,
+                rs1: 0,
+                rs2: reg(&args[1], line)?,
+            }])
+        }
+        "li" => {
+            need(2)?;
+            let rd = reg(&args[0], line)?;
+            let imm = parse_imm(&args[1], labels, line)?;
+            if (-2048..2048).contains(&imm) {
+                Ok(vec![Inst::OpImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1: 0,
+                    imm,
+                }])
+            } else {
+                let hi = (imm + 0x800) >> 12;
+                let lo = imm - (hi << 12);
+                Ok(vec![
+                    Inst::Lui { rd, imm: hi << 12 },
+                    Inst::OpImm {
+                        op: AluOp::Add,
+                        rd,
+                        rs1: rd,
+                        imm: lo,
+                    },
+                ])
+            }
+        }
+        "la" => {
+            need(2)?;
+            let rd = reg(&args[0], line)?;
+            let addr = parse_imm(&args[1], labels, line)?;
+            let hi = (addr + 0x800) >> 12;
+            let lo = addr - (hi << 12);
+            Ok(vec![
+                Inst::Lui { rd, imm: hi << 12 },
+                Inst::OpImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1: rd,
+                    imm: lo,
+                },
+            ])
+        }
+        "ecall" => Ok(vec![Inst::Ecall]),
+        "fence" => Ok(vec![Inst::Fence]),
+        "fld" => {
+            need(2)?;
+            let (offset, rs1) = parse_mem(&args[1], labels, line)?;
+            Ok(vec![Inst::FLoad {
+                width: FpWidth::D,
+                frd: reg(&args[0], line)?,
+                rs1,
+                offset,
+            }])
+        }
+        "flw" => {
+            need(2)?;
+            let (offset, rs1) = parse_mem(&args[1], labels, line)?;
+            Ok(vec![Inst::FLoad {
+                width: FpWidth::S,
+                frd: reg(&args[0], line)?,
+                rs1,
+                offset,
+            }])
+        }
+        "fsd" => {
+            need(2)?;
+            let (offset, rs1) = parse_mem(&args[1], labels, line)?;
+            Ok(vec![Inst::FStore {
+                width: FpWidth::D,
+                frs2: reg(&args[0], line)?,
+                rs1,
+                offset,
+            }])
+        }
+        "fadd.d" => fp_arith(FpOp::Add, FpWidth::D),
+        "fsub.d" => fp_arith(FpOp::Sub, FpWidth::D),
+        "fmul.d" => fp_arith(FpOp::Mul, FpWidth::D),
+        "fdiv.d" => fp_arith(FpOp::Div, FpWidth::D),
+        "fadd.s" => fp_arith(FpOp::Add, FpWidth::S),
+        "fsub.s" => fp_arith(FpOp::Sub, FpWidth::S),
+        "fmul.s" => fp_arith(FpOp::Mul, FpWidth::S),
+        "feq.d" => fp_cmp(FpCmp::Eq, FpWidth::D),
+        "flt.d" => fp_cmp(FpCmp::Lt, FpWidth::D),
+        "fle.d" => fp_cmp(FpCmp::Le, FpWidth::D),
+        "fmv.d" => {
+            need(2)?;
+            let frd = reg(&args[0], line)?;
+            let frs = reg(&args[1], line)?;
+            Ok(vec![Inst::FSgnj {
+                variant: 0,
+                width: FpWidth::D,
+                frd,
+                frs1: frs,
+                frs2: frs,
+            }])
+        }
+        "fcvt.w.d" => {
+            need(2)?;
+            Ok(vec![Inst::FcvtWD {
+                rd: reg(&args[0], line)?,
+                frs1: reg(&args[1], line)?,
+            }])
+        }
+        "fcvt.l.d" => {
+            need(2)?;
+            Ok(vec![Inst::FcvtLD {
+                rd: reg(&args[0], line)?,
+                frs1: reg(&args[1], line)?,
+            }])
+        }
+        "fcvt.d.w" => {
+            need(2)?;
+            Ok(vec![Inst::FcvtDW {
+                frd: reg(&args[0], line)?,
+                rs1: reg(&args[1], line)?,
+            }])
+        }
+        "fcvt.d.l" => {
+            need(2)?;
+            Ok(vec![Inst::FcvtDL {
+                frd: reg(&args[0], line)?,
+                rs1: reg(&args[1], line)?,
+            }])
+        }
+        "fmv.x.d" => {
+            need(2)?;
+            Ok(vec![Inst::FmvXD {
+                rd: reg(&args[0], line)?,
+                frs1: reg(&args[1], line)?,
+            }])
+        }
+        "fmv.d.x" => {
+            need(2)?;
+            Ok(vec![Inst::FmvDX {
+                frd: reg(&args[0], line)?,
+                rs1: reg(&args[1], line)?,
+            }])
+        }
+        other => Err(err(format!("unknown mnemonic {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_basic_arithmetic() {
+        let p = assemble("addi a0, zero, 5\nadd a1, a0, a0\necall").unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn li_expands_based_on_magnitude() {
+        let small = assemble("li a0, 100\necall").unwrap();
+        assert_eq!(small.len(), 2);
+        let big = assemble("li a0, 0x12345\necall").unwrap();
+        assert_eq!(big.len(), 3);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let p = assemble(
+            "start:
+                addi a0, zero, 3
+             loop:
+                addi a0, a0, -1
+                bnez a0, loop
+                j done
+                nop
+             done:
+                ecall",
+        )
+        .unwrap();
+        assert!(p.label("loop").is_some());
+        assert!(p.label("done").unwrap() > p.label("loop").unwrap());
+    }
+
+    #[test]
+    fn data_section_layout() {
+        let p = assemble(
+            ".text
+                la a0, table
+                ld a1, 0(a0)
+                ecall
+             .data
+             table:
+                .dword 0x1122334455667788, 2
+                .word 7
+                .byte 1, 2, 3",
+        )
+        .unwrap();
+        assert_eq!(p.data.len(), 8 + 8 + 4 + 3);
+        let t = p.label("table").unwrap();
+        assert_eq!(t, p.data_base);
+        assert_eq!(&p.data[..8], &0x1122334455667788u64.to_le_bytes());
+    }
+
+    #[test]
+    fn mem_operands_parse() {
+        let p = assemble("ld a0, 16(sp)\nsd a0, -8(s0)\necall").unwrap();
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn unknown_mnemonic_errors_with_line() {
+        let err = assemble("addi a0, zero, 1\nfrobnicate a0").unwrap_err();
+        match err {
+            RiscvError::Asm { line, reason } => {
+                assert_eq!(line, 2);
+                assert!(reason.contains("frobnicate"));
+            }
+            other => panic!("wrong error {other}"),
+        }
+    }
+
+    #[test]
+    fn unknown_register_errors() {
+        assert!(assemble("addi q7, zero, 1").is_err());
+    }
+
+    #[test]
+    fn fp_mnemonics_assemble() {
+        let p = assemble(
+            "fld fa0, 0(a0)
+             fld fa1, 8(a0)
+             fsub.d fa2, fa0, fa1
+             fmul.d fa2, fa2, fa2
+             flt.d t0, fa2, fa1
+             fcvt.w.d t1, fa2
+             ecall",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 7);
+    }
+
+    #[test]
+    fn comments_are_ignored() {
+        let p = assemble("# header\naddi a0, zero, 1 # trailing\n; alt comment\necall").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+}

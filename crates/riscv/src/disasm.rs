@@ -1,0 +1,277 @@
+//! Disassembly: render decoded instructions back to assembler mnemonics.
+
+use std::fmt;
+
+use crate::isa::{AluOp, BranchCond, FpCmp, FpOp, FpWidth, Inst, MemWidth};
+
+const XREG: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+fn x(r: u8) -> &'static str {
+    XREG[r as usize]
+}
+
+fn f(r: u8) -> String {
+    format!("f{r}")
+}
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::Sll => "sll",
+        AluOp::Slt => "slt",
+        AluOp::Sltu => "sltu",
+        AluOp::Xor => "xor",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Or => "or",
+        AluOp::And => "and",
+        AluOp::Mul => "mul",
+        AluOp::Mulh => "mulh",
+        AluOp::Mulhu => "mulhu",
+        AluOp::Div => "div",
+        AluOp::Divu => "divu",
+        AluOp::Rem => "rem",
+        AluOp::Remu => "remu",
+    }
+}
+
+fn mem_name(w: MemWidth, store: bool) -> &'static str {
+    match (w, store) {
+        (MemWidth::B, false) => "lb",
+        (MemWidth::H, false) => "lh",
+        (MemWidth::W, false) => "lw",
+        (MemWidth::D, false) => "ld",
+        (MemWidth::Bu, false) => "lbu",
+        (MemWidth::Hu, false) => "lhu",
+        (MemWidth::Wu, false) => "lwu",
+        (MemWidth::B, true) => "sb",
+        (MemWidth::H, true) => "sh",
+        (MemWidth::W, true) => "sw",
+        (MemWidth::D, true) => "sd",
+        _ => "l?",
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Lui { rd, imm } => write!(out, "lui {}, {:#x}", x(rd), imm >> 12),
+            Inst::Auipc { rd, imm } => write!(out, "auipc {}, {:#x}", x(rd), imm >> 12),
+            Inst::Jal { rd, offset } => write!(out, "jal {}, {offset}", x(rd)),
+            Inst::Jalr { rd, rs1, offset } => {
+                write!(out, "jalr {}, {offset}({})", x(rd), x(rs1))
+            }
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
+                let name = match cond {
+                    BranchCond::Eq => "beq",
+                    BranchCond::Ne => "bne",
+                    BranchCond::Lt => "blt",
+                    BranchCond::Ge => "bge",
+                    BranchCond::Ltu => "bltu",
+                    BranchCond::Geu => "bgeu",
+                };
+                write!(out, "{name} {}, {}, {offset}", x(rs1), x(rs2))
+            }
+            Inst::Load {
+                width,
+                rd,
+                rs1,
+                offset,
+            } => write!(
+                out,
+                "{} {}, {offset}({})",
+                mem_name(width, false),
+                x(rd),
+                x(rs1)
+            ),
+            Inst::Store {
+                width,
+                rs2,
+                rs1,
+                offset,
+            } => write!(
+                out,
+                "{} {}, {offset}({})",
+                mem_name(width, true),
+                x(rs2),
+                x(rs1)
+            ),
+            Inst::OpImm { op, rd, rs1, imm } => {
+                write!(out, "{}i {}, {}, {imm}", alu_name(op), x(rd), x(rs1))
+            }
+            Inst::OpImmW { op, rd, rs1, imm } => {
+                write!(out, "{}iw {}, {}, {imm}", alu_name(op), x(rd), x(rs1))
+            }
+            Inst::Op { op, rd, rs1, rs2 } => {
+                write!(out, "{} {}, {}, {}", alu_name(op), x(rd), x(rs1), x(rs2))
+            }
+            Inst::OpW { op, rd, rs1, rs2 } => {
+                write!(out, "{}w {}, {}, {}", alu_name(op), x(rd), x(rs1), x(rs2))
+            }
+            Inst::Cpop { rd, rs1 } => write!(out, "cpop {}, {}", x(rd), x(rs1)),
+            Inst::Ecall => write!(out, "ecall"),
+            Inst::Fence => write!(out, "fence"),
+            Inst::FLoad {
+                width,
+                frd,
+                rs1,
+                offset,
+            } => {
+                let name = if width == FpWidth::S { "flw" } else { "fld" };
+                write!(out, "{name} {}, {offset}({})", f(frd), x(rs1))
+            }
+            Inst::FStore {
+                width,
+                frs2,
+                rs1,
+                offset,
+            } => {
+                let name = if width == FpWidth::S { "fsw" } else { "fsd" };
+                write!(out, "{name} {}, {offset}({})", f(frs2), x(rs1))
+            }
+            Inst::FpArith {
+                op,
+                width,
+                frd,
+                frs1,
+                frs2,
+            } => {
+                let name = match op {
+                    FpOp::Add => "fadd",
+                    FpOp::Sub => "fsub",
+                    FpOp::Mul => "fmul",
+                    FpOp::Div => "fdiv",
+                };
+                let suffix = if width == FpWidth::S { "s" } else { "d" };
+                write!(out, "{name}.{suffix} {}, {}, {}", f(frd), f(frs1), f(frs2))
+            }
+            Inst::FpCompare {
+                cmp,
+                width,
+                rd,
+                frs1,
+                frs2,
+            } => {
+                let name = match cmp {
+                    FpCmp::Eq => "feq",
+                    FpCmp::Lt => "flt",
+                    FpCmp::Le => "fle",
+                };
+                let suffix = if width == FpWidth::S { "s" } else { "d" };
+                write!(out, "{name}.{suffix} {}, {}, {}", x(rd), f(frs1), f(frs2))
+            }
+            Inst::FSgnj {
+                variant,
+                width,
+                frd,
+                frs1,
+                frs2,
+            } => {
+                let name = match variant {
+                    0 => "fsgnj",
+                    1 => "fsgnjn",
+                    _ => "fsgnjx",
+                };
+                let suffix = if width == FpWidth::S { "s" } else { "d" };
+                write!(out, "{name}.{suffix} {}, {}, {}", f(frd), f(frs1), f(frs2))
+            }
+            Inst::FcvtWD { rd, frs1 } => write!(out, "fcvt.w.d {}, {}", x(rd), f(frs1)),
+            Inst::FcvtLD { rd, frs1 } => write!(out, "fcvt.l.d {}, {}", x(rd), f(frs1)),
+            Inst::FcvtDW { frd, rs1 } => write!(out, "fcvt.d.w {}, {}", f(frd), x(rs1)),
+            Inst::FcvtDL { frd, rs1 } => write!(out, "fcvt.d.l {}, {}", f(frd), x(rs1)),
+            Inst::FmvXD { rd, frs1 } => write!(out, "fmv.x.d {}, {}", x(rd), f(frs1)),
+            Inst::FmvDX { frd, rs1 } => write!(out, "fmv.d.x {}, {}", f(frd), x(rs1)),
+        }
+    }
+}
+
+/// Disassemble a program's text section into `(address, rendering)` pairs.
+#[must_use]
+pub fn disassemble(program: &crate::asm::Program) -> Vec<(u64, String)> {
+    program
+        .text
+        .iter()
+        .enumerate()
+        .map(|(i, &word)| {
+            let addr = program.text_base + 4 * i as u64;
+            let text = crate::isa::decode(word)
+                .map_or_else(|| format!(".word {word:#010x}"), |inst| inst.to_string());
+            (addr, text)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn renders_common_instructions() {
+        let p = assemble(
+            "addi a0, zero, 5
+             add a1, a0, a0
+             ld a2, 8(sp)
+             beq a1, a2, 8
+             fadd.d fa0, fa1, fa2
+             ecall",
+        )
+        .unwrap();
+        let d = disassemble(&p);
+        assert_eq!(d[0].1, "addi a0, zero, 5");
+        assert_eq!(d[1].1, "add a1, a0, a0");
+        assert_eq!(d[2].1, "ld a2, 8(sp)");
+        assert!(d[3].1.starts_with("beq a1, a2,"));
+        assert_eq!(d[4].1, "fadd.d f10, f11, f12");
+        assert_eq!(d[5].1, "ecall");
+    }
+
+    #[test]
+    fn addresses_step_by_four() {
+        let p = assemble("nop\nnop\necall").unwrap();
+        let d = disassemble(&p);
+        assert_eq!(d[0].0, 0x1000);
+        assert_eq!(d[1].0, 0x1004);
+        assert_eq!(d[2].0, 0x1008);
+    }
+
+    #[test]
+    fn disassembly_reassembles_equivalently() {
+        // Round-trip: disassemble then re-assemble; encodings must match.
+        let p = assemble(
+            "li a0, 100
+             slli a1, a0, 3
+             sub a2, a1, a0
+             sd a2, 0(sp)
+             ecall",
+        )
+        .unwrap();
+        let text: String = disassemble(&p)
+            .iter()
+            .map(|(_, s)| format!("{s}\n"))
+            .collect::<String>()
+            // Branch/jump offsets are pc-relative numbers the assembler
+            // treats as absolute labels; this program has none.
+            ;
+        let p2 = assemble(&text).unwrap();
+        assert_eq!(p.text, p2.text);
+    }
+
+    #[test]
+    fn undecodable_words_render_as_data() {
+        let mut p = assemble("nop\necall").unwrap();
+        p.text[0] = 0xffff_ffff;
+        let d = disassemble(&p);
+        assert!(d[0].1.starts_with(".word"));
+    }
+}

@@ -1,0 +1,1159 @@
+//! RV64IMFD instruction definitions, decoding, and encoding.
+
+/// Branch comparison condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// `beq`
+    Eq,
+    /// `bne`
+    Ne,
+    /// `blt`
+    Lt,
+    /// `bge`
+    Ge,
+    /// `bltu`
+    Ltu,
+    /// `bgeu`
+    Geu,
+}
+
+/// Integer load/store width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// Signed byte.
+    B,
+    /// Signed half.
+    H,
+    /// Signed word.
+    W,
+    /// Double word.
+    D,
+    /// Unsigned byte.
+    Bu,
+    /// Unsigned half.
+    Hu,
+    /// Unsigned word.
+    Wu,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    #[must_use]
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B | MemWidth::Bu => 1,
+            MemWidth::H | MemWidth::Hu => 2,
+            MemWidth::W | MemWidth::Wu => 4,
+            MemWidth::D => 8,
+        }
+    }
+}
+
+/// Register-register / register-immediate integer operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Addition (`sub` is encoded separately).
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Shift left logical.
+    Sll,
+    /// Set less than (signed).
+    Slt,
+    /// Set less than unsigned.
+    Sltu,
+    /// Exclusive or.
+    Xor,
+    /// Shift right logical.
+    Srl,
+    /// Shift right arithmetic.
+    Sra,
+    /// Inclusive or.
+    Or,
+    /// And.
+    And,
+    /// Multiply (low 64).
+    Mul,
+    /// Multiply high signed.
+    Mulh,
+    /// Multiply high unsigned.
+    Mulhu,
+    /// Divide signed.
+    Div,
+    /// Divide unsigned.
+    Divu,
+    /// Remainder signed.
+    Rem,
+    /// Remainder unsigned.
+    Remu,
+}
+
+/// Floating-point precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpWidth {
+    /// `*.s` single.
+    S,
+    /// `*.d` double.
+    D,
+}
+
+/// Floating-point arithmetic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+}
+
+/// Floating-point comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FpCmp {
+    /// `feq`
+    Eq,
+    /// `flt`
+    Lt,
+    /// `fle`
+    Le,
+}
+
+/// A decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// Load upper immediate.
+    Lui {
+        /// Destination.
+        rd: u8,
+        /// Already-shifted immediate.
+        imm: i64,
+    },
+    /// PC-relative upper immediate.
+    Auipc {
+        /// Destination.
+        rd: u8,
+        /// Already-shifted immediate.
+        imm: i64,
+    },
+    /// Jump and link.
+    Jal {
+        /// Destination (link).
+        rd: u8,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Indirect jump and link.
+    Jalr {
+        /// Destination (link).
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Conditional branch.
+    Branch {
+        /// Condition.
+        cond: BranchCond,
+        /// Left operand.
+        rs1: u8,
+        /// Right operand.
+        rs2: u8,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Integer load.
+    Load {
+        /// Width/signedness.
+        width: MemWidth,
+        /// Destination.
+        rd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Integer store.
+    Store {
+        /// Width.
+        width: MemWidth,
+        /// Data register.
+        rs2: u8,
+        /// Base register.
+        rs1: u8,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Register-immediate ALU operation (64-bit).
+    OpImm {
+        /// Operation (`Add`, `Slt`, `Sltu`, `Xor`, `Or`, `And`, `Sll`,
+        /// `Srl`, `Sra`).
+        op: AluOp,
+        /// Destination.
+        rd: u8,
+        /// Source.
+        rs1: u8,
+        /// Immediate (shift amount for shifts).
+        imm: i64,
+    },
+    /// Register-immediate ALU operation (32-bit, sign-extended result).
+    OpImmW {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: u8,
+        /// Source.
+        rs1: u8,
+        /// Immediate.
+        imm: i64,
+    },
+    /// Register-register ALU operation (64-bit), including M extension.
+    Op {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: u8,
+        /// Left source.
+        rs1: u8,
+        /// Right source.
+        rs2: u8,
+    },
+    /// Register-register ALU operation (32-bit, sign-extended result).
+    OpW {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: u8,
+        /// Left source.
+        rs1: u8,
+        /// Right source.
+        rs2: u8,
+    },
+    /// Count set bits (`Zbb cpop`) — decoded only when the extension is
+    /// enabled in the pipeline; always encodable for the ablation study.
+    Cpop {
+        /// Destination.
+        rd: u8,
+        /// Source.
+        rs1: u8,
+    },
+    /// Environment call (terminates simulation).
+    Ecall,
+    /// Fence (timing no-op here).
+    Fence,
+    /// Floating-point load.
+    FLoad {
+        /// Precision.
+        width: FpWidth,
+        /// FP destination.
+        frd: u8,
+        /// Base register.
+        rs1: u8,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Floating-point store.
+    FStore {
+        /// Precision.
+        width: FpWidth,
+        /// FP data register.
+        frs2: u8,
+        /// Base register.
+        rs1: u8,
+        /// Byte offset.
+        offset: i64,
+    },
+    /// Floating-point arithmetic.
+    FpArith {
+        /// Operation.
+        op: FpOp,
+        /// Precision.
+        width: FpWidth,
+        /// FP destination.
+        frd: u8,
+        /// FP left source.
+        frs1: u8,
+        /// FP right source.
+        frs2: u8,
+    },
+    /// Floating-point compare to integer register.
+    FpCompare {
+        /// Comparison.
+        cmp: FpCmp,
+        /// Precision.
+        width: FpWidth,
+        /// Integer destination.
+        rd: u8,
+        /// FP left source.
+        frs1: u8,
+        /// FP right source.
+        frs2: u8,
+    },
+    /// Sign-injection (covers `fmv.d`/`fneg.d`/`fabs.d` pseudo-ops).
+    FSgnj {
+        /// Variant: 0 = sgnj, 1 = sgnjn, 2 = sgnjx.
+        variant: u8,
+        /// Precision.
+        width: FpWidth,
+        /// FP destination.
+        frd: u8,
+        /// FP left source.
+        frs1: u8,
+        /// FP right source.
+        frs2: u8,
+    },
+    /// Convert double to signed 32-bit integer (`fcvt.w.d`, RTZ).
+    FcvtWD {
+        /// Integer destination.
+        rd: u8,
+        /// FP source.
+        frs1: u8,
+    },
+    /// Convert signed 32-bit integer to double (`fcvt.d.w`).
+    FcvtDW {
+        /// FP destination.
+        frd: u8,
+        /// Integer source.
+        rs1: u8,
+    },
+    /// Convert double to signed 64-bit integer (`fcvt.l.d`, RTZ).
+    FcvtLD {
+        /// Integer destination.
+        rd: u8,
+        /// FP source.
+        frs1: u8,
+    },
+    /// Convert signed 64-bit integer to double (`fcvt.d.l`).
+    FcvtDL {
+        /// FP destination.
+        frd: u8,
+        /// Integer source.
+        rs1: u8,
+    },
+    /// Move FP bit pattern to integer register (`fmv.x.d`).
+    FmvXD {
+        /// Integer destination.
+        rd: u8,
+        /// FP source.
+        frs1: u8,
+    },
+    /// Move integer bit pattern to FP register (`fmv.d.x`).
+    FmvDX {
+        /// FP destination.
+        frd: u8,
+        /// Integer source.
+        rs1: u8,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Field helpers
+// ---------------------------------------------------------------------------
+
+fn rd(w: u32) -> u8 {
+    ((w >> 7) & 0x1f) as u8
+}
+fn rs1(w: u32) -> u8 {
+    ((w >> 15) & 0x1f) as u8
+}
+fn rs2(w: u32) -> u8 {
+    ((w >> 20) & 0x1f) as u8
+}
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 7
+}
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+fn imm_i(w: u32) -> i64 {
+    ((w as i32) >> 20) as i64
+}
+fn imm_s(w: u32) -> i64 {
+    let hi = ((w as i32) >> 25) as i64;
+    let lo = ((w >> 7) & 0x1f) as i64;
+    (hi << 5) | lo
+}
+fn imm_b(w: u32) -> i64 {
+    let b12 = ((w >> 31) & 1) as i64;
+    let b11 = ((w >> 7) & 1) as i64;
+    let b10_5 = ((w >> 25) & 0x3f) as i64;
+    let b4_1 = ((w >> 8) & 0xf) as i64;
+    let v = (b12 << 12) | (b11 << 11) | (b10_5 << 5) | (b4_1 << 1);
+    (v << 51) >> 51
+}
+fn imm_u(w: u32) -> i64 {
+    ((w & 0xffff_f000) as i32) as i64
+}
+fn imm_j(w: u32) -> i64 {
+    let b20 = ((w >> 31) & 1) as i64;
+    let b19_12 = ((w >> 12) & 0xff) as i64;
+    let b11 = ((w >> 20) & 1) as i64;
+    let b10_1 = ((w >> 21) & 0x3ff) as i64;
+    let v = (b20 << 20) | (b19_12 << 12) | (b11 << 11) | (b10_1 << 1);
+    (v << 43) >> 43
+}
+
+/// Decode a 32-bit instruction word.
+#[must_use]
+pub fn decode(w: u32) -> Option<Inst> {
+    let opcode = w & 0x7f;
+    match opcode {
+        0x37 => Some(Inst::Lui {
+            rd: rd(w),
+            imm: imm_u(w),
+        }),
+        0x17 => Some(Inst::Auipc {
+            rd: rd(w),
+            imm: imm_u(w),
+        }),
+        0x6f => Some(Inst::Jal {
+            rd: rd(w),
+            offset: imm_j(w),
+        }),
+        0x67 if funct3(w) == 0 => Some(Inst::Jalr {
+            rd: rd(w),
+            rs1: rs1(w),
+            offset: imm_i(w),
+        }),
+        0x63 => {
+            let cond = match funct3(w) {
+                0 => BranchCond::Eq,
+                1 => BranchCond::Ne,
+                4 => BranchCond::Lt,
+                5 => BranchCond::Ge,
+                6 => BranchCond::Ltu,
+                7 => BranchCond::Geu,
+                _ => return None,
+            };
+            Some(Inst::Branch {
+                cond,
+                rs1: rs1(w),
+                rs2: rs2(w),
+                offset: imm_b(w),
+            })
+        }
+        0x03 => {
+            let width = match funct3(w) {
+                0 => MemWidth::B,
+                1 => MemWidth::H,
+                2 => MemWidth::W,
+                3 => MemWidth::D,
+                4 => MemWidth::Bu,
+                5 => MemWidth::Hu,
+                6 => MemWidth::Wu,
+                _ => return None,
+            };
+            Some(Inst::Load {
+                width,
+                rd: rd(w),
+                rs1: rs1(w),
+                offset: imm_i(w),
+            })
+        }
+        0x23 => {
+            let width = match funct3(w) {
+                0 => MemWidth::B,
+                1 => MemWidth::H,
+                2 => MemWidth::W,
+                3 => MemWidth::D,
+                _ => return None,
+            };
+            Some(Inst::Store {
+                width,
+                rs2: rs2(w),
+                rs1: rs1(w),
+                offset: imm_s(w),
+            })
+        }
+        0x13 => {
+            let op = match funct3(w) {
+                0 => AluOp::Add,
+                1 => {
+                    // slli or cpop (Zbb encodes cpop as shift-family).
+                    if funct7(w) == 0x30 && rs2(w) == 2 {
+                        return Some(Inst::Cpop {
+                            rd: rd(w),
+                            rs1: rs1(w),
+                        });
+                    }
+                    AluOp::Sll
+                }
+                2 => AluOp::Slt,
+                3 => AluOp::Sltu,
+                4 => AluOp::Xor,
+                5 => {
+                    if (w >> 26) == 0x10 {
+                        AluOp::Sra
+                    } else {
+                        AluOp::Srl
+                    }
+                }
+                6 => AluOp::Or,
+                7 => AluOp::And,
+                _ => unreachable!(),
+            };
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => imm_i(w) & 0x3f,
+                _ => imm_i(w),
+            };
+            Some(Inst::OpImm {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                imm,
+            })
+        }
+        0x1b => {
+            let op = match funct3(w) {
+                0 => AluOp::Add,
+                1 => AluOp::Sll,
+                5 => {
+                    if (w >> 26) == 0x10 {
+                        AluOp::Sra
+                    } else {
+                        AluOp::Srl
+                    }
+                }
+                _ => return None,
+            };
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => imm_i(w) & 0x1f,
+                _ => imm_i(w),
+            };
+            Some(Inst::OpImmW {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                imm,
+            })
+        }
+        0x33 => {
+            let op = match (funct7(w), funct3(w)) {
+                (0x00, 0) => AluOp::Add,
+                (0x20, 0) => AluOp::Sub,
+                (0x00, 1) => AluOp::Sll,
+                (0x00, 2) => AluOp::Slt,
+                (0x00, 3) => AluOp::Sltu,
+                (0x00, 4) => AluOp::Xor,
+                (0x00, 5) => AluOp::Srl,
+                (0x20, 5) => AluOp::Sra,
+                (0x00, 6) => AluOp::Or,
+                (0x00, 7) => AluOp::And,
+                (0x01, 0) => AluOp::Mul,
+                (0x01, 1) => AluOp::Mulh,
+                (0x01, 3) => AluOp::Mulhu,
+                (0x01, 4) => AluOp::Div,
+                (0x01, 5) => AluOp::Divu,
+                (0x01, 6) => AluOp::Rem,
+                (0x01, 7) => AluOp::Remu,
+                _ => return None,
+            };
+            Some(Inst::Op {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            })
+        }
+        0x3b => {
+            let op = match (funct7(w), funct3(w)) {
+                (0x00, 0) => AluOp::Add,
+                (0x20, 0) => AluOp::Sub,
+                (0x00, 1) => AluOp::Sll,
+                (0x00, 5) => AluOp::Srl,
+                (0x20, 5) => AluOp::Sra,
+                (0x01, 0) => AluOp::Mul,
+                (0x01, 4) => AluOp::Div,
+                (0x01, 6) => AluOp::Rem,
+                _ => return None,
+            };
+            Some(Inst::OpW {
+                op,
+                rd: rd(w),
+                rs1: rs1(w),
+                rs2: rs2(w),
+            })
+        }
+        0x73 if w == 0x0000_0073 => Some(Inst::Ecall),
+        0x0f => Some(Inst::Fence),
+        0x07 => {
+            let width = match funct3(w) {
+                2 => FpWidth::S,
+                3 => FpWidth::D,
+                _ => return None,
+            };
+            Some(Inst::FLoad {
+                width,
+                frd: rd(w),
+                rs1: rs1(w),
+                offset: imm_i(w),
+            })
+        }
+        0x27 => {
+            let width = match funct3(w) {
+                2 => FpWidth::S,
+                3 => FpWidth::D,
+                _ => return None,
+            };
+            Some(Inst::FStore {
+                width,
+                frs2: rs2(w),
+                rs1: rs1(w),
+                offset: imm_s(w),
+            })
+        }
+        0x53 => decode_fp(w),
+        _ => None,
+    }
+}
+
+fn decode_fp(w: u32) -> Option<Inst> {
+    let f7 = funct7(w);
+    let width = match f7 & 3 {
+        0 => FpWidth::S,
+        1 => FpWidth::D,
+        _ => return None,
+    };
+    match f7 >> 2 {
+        0x00 => Some(Inst::FpArith {
+            op: FpOp::Add,
+            width,
+            frd: rd(w),
+            frs1: rs1(w),
+            frs2: rs2(w),
+        }),
+        0x01 => Some(Inst::FpArith {
+            op: FpOp::Sub,
+            width,
+            frd: rd(w),
+            frs1: rs1(w),
+            frs2: rs2(w),
+        }),
+        0x02 => Some(Inst::FpArith {
+            op: FpOp::Mul,
+            width,
+            frd: rd(w),
+            frs1: rs1(w),
+            frs2: rs2(w),
+        }),
+        0x03 => Some(Inst::FpArith {
+            op: FpOp::Div,
+            width,
+            frd: rd(w),
+            frs1: rs1(w),
+            frs2: rs2(w),
+        }),
+        0x04 => Some(Inst::FSgnj {
+            variant: funct3(w) as u8,
+            width,
+            frd: rd(w),
+            frs1: rs1(w),
+            frs2: rs2(w),
+        }),
+        0x14 => {
+            let cmp = match funct3(w) {
+                0 => FpCmp::Le,
+                1 => FpCmp::Lt,
+                2 => FpCmp::Eq,
+                _ => return None,
+            };
+            Some(Inst::FpCompare {
+                cmp,
+                width,
+                rd: rd(w),
+                frs1: rs1(w),
+                frs2: rs2(w),
+            })
+        }
+        0x18 => match rs2(w) {
+            0 => Some(Inst::FcvtWD {
+                rd: rd(w),
+                frs1: rs1(w),
+            }),
+            2 => Some(Inst::FcvtLD {
+                rd: rd(w),
+                frs1: rs1(w),
+            }),
+            _ => None,
+        },
+        0x1a => match rs2(w) {
+            0 => Some(Inst::FcvtDW {
+                frd: rd(w),
+                rs1: rs1(w),
+            }),
+            2 => Some(Inst::FcvtDL {
+                frd: rd(w),
+                rs1: rs1(w),
+            }),
+            _ => None,
+        },
+        0x1c if funct3(w) == 0 => Some(Inst::FmvXD {
+            rd: rd(w),
+            frs1: rs1(w),
+        }),
+        0x1e if funct3(w) == 0 => Some(Inst::FmvDX {
+            frd: rd(w),
+            rs1: rs1(w),
+        }),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn enc_r(opcode: u32, f3: u32, f7: u32, rd: u8, rs1: u8, rs2: u8) -> u32 {
+    opcode
+        | (u32::from(rd) << 7)
+        | (f3 << 12)
+        | (u32::from(rs1) << 15)
+        | (u32::from(rs2) << 20)
+        | (f7 << 25)
+}
+
+fn enc_i(opcode: u32, f3: u32, rd: u8, rs1: u8, imm: i64) -> u32 {
+    opcode
+        | (u32::from(rd) << 7)
+        | (f3 << 12)
+        | (u32::from(rs1) << 15)
+        | (((imm as u32) & 0xfff) << 20)
+}
+
+fn enc_s(opcode: u32, f3: u32, rs1: u8, rs2: u8, imm: i64) -> u32 {
+    let imm = imm as u32;
+    opcode
+        | ((imm & 0x1f) << 7)
+        | (f3 << 12)
+        | (u32::from(rs1) << 15)
+        | (u32::from(rs2) << 20)
+        | (((imm >> 5) & 0x7f) << 25)
+}
+
+fn enc_b(opcode: u32, f3: u32, rs1: u8, rs2: u8, imm: i64) -> u32 {
+    let imm = imm as u32;
+    opcode
+        | (((imm >> 11) & 1) << 7)
+        | (((imm >> 1) & 0xf) << 8)
+        | (f3 << 12)
+        | (u32::from(rs1) << 15)
+        | (u32::from(rs2) << 20)
+        | (((imm >> 5) & 0x3f) << 25)
+        | (((imm >> 12) & 1) << 31)
+}
+
+fn enc_u(opcode: u32, rd: u8, imm: i64) -> u32 {
+    opcode | (u32::from(rd) << 7) | ((imm as u32) & 0xffff_f000)
+}
+
+fn enc_j(opcode: u32, rd: u8, imm: i64) -> u32 {
+    let imm = imm as u32;
+    opcode
+        | (u32::from(rd) << 7)
+        | (((imm >> 12) & 0xff) << 12)
+        | (((imm >> 11) & 1) << 20)
+        | (((imm >> 1) & 0x3ff) << 21)
+        | (((imm >> 20) & 1) << 31)
+}
+
+/// Encode an instruction to its 32-bit word.
+#[must_use]
+pub fn encode(inst: &Inst) -> u32 {
+    match *inst {
+        Inst::Lui { rd, imm } => enc_u(0x37, rd, imm),
+        Inst::Auipc { rd, imm } => enc_u(0x17, rd, imm),
+        Inst::Jal { rd, offset } => enc_j(0x6f, rd, offset),
+        Inst::Jalr { rd, rs1, offset } => enc_i(0x67, 0, rd, rs1, offset),
+        Inst::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => {
+            let f3 = match cond {
+                BranchCond::Eq => 0,
+                BranchCond::Ne => 1,
+                BranchCond::Lt => 4,
+                BranchCond::Ge => 5,
+                BranchCond::Ltu => 6,
+                BranchCond::Geu => 7,
+            };
+            enc_b(0x63, f3, rs1, rs2, offset)
+        }
+        Inst::Load {
+            width,
+            rd,
+            rs1,
+            offset,
+        } => {
+            let f3 = match width {
+                MemWidth::B => 0,
+                MemWidth::H => 1,
+                MemWidth::W => 2,
+                MemWidth::D => 3,
+                MemWidth::Bu => 4,
+                MemWidth::Hu => 5,
+                MemWidth::Wu => 6,
+            };
+            enc_i(0x03, f3, rd, rs1, offset)
+        }
+        Inst::Store {
+            width,
+            rs2,
+            rs1,
+            offset,
+        } => {
+            let f3 = match width {
+                MemWidth::B => 0,
+                MemWidth::H => 1,
+                MemWidth::W => 2,
+                MemWidth::D => 3,
+                _ => unreachable!("unsigned store widths do not exist"),
+            };
+            enc_s(0x23, f3, rs1, rs2, offset)
+        }
+        Inst::OpImm { op, rd, rs1, imm } => match op {
+            AluOp::Add => enc_i(0x13, 0, rd, rs1, imm),
+            AluOp::Slt => enc_i(0x13, 2, rd, rs1, imm),
+            AluOp::Sltu => enc_i(0x13, 3, rd, rs1, imm),
+            AluOp::Xor => enc_i(0x13, 4, rd, rs1, imm),
+            AluOp::Or => enc_i(0x13, 6, rd, rs1, imm),
+            AluOp::And => enc_i(0x13, 7, rd, rs1, imm),
+            AluOp::Sll => enc_i(0x13, 1, rd, rs1, imm & 0x3f),
+            AluOp::Srl => enc_i(0x13, 5, rd, rs1, imm & 0x3f),
+            AluOp::Sra => enc_i(0x13, 5, rd, rs1, (imm & 0x3f) | 0x400),
+            _ => unreachable!("not an OpImm op"),
+        },
+        Inst::OpImmW { op, rd, rs1, imm } => match op {
+            AluOp::Add => enc_i(0x1b, 0, rd, rs1, imm),
+            AluOp::Sll => enc_i(0x1b, 1, rd, rs1, imm & 0x1f),
+            AluOp::Srl => enc_i(0x1b, 5, rd, rs1, imm & 0x1f),
+            AluOp::Sra => enc_i(0x1b, 5, rd, rs1, (imm & 0x1f) | 0x400),
+            _ => unreachable!("not an OpImmW op"),
+        },
+        Inst::Op { op, rd, rs1, rs2 } => {
+            let (f7, f3) = match op {
+                AluOp::Add => (0x00, 0),
+                AluOp::Sub => (0x20, 0),
+                AluOp::Sll => (0x00, 1),
+                AluOp::Slt => (0x00, 2),
+                AluOp::Sltu => (0x00, 3),
+                AluOp::Xor => (0x00, 4),
+                AluOp::Srl => (0x00, 5),
+                AluOp::Sra => (0x20, 5),
+                AluOp::Or => (0x00, 6),
+                AluOp::And => (0x00, 7),
+                AluOp::Mul => (0x01, 0),
+                AluOp::Mulh => (0x01, 1),
+                AluOp::Mulhu => (0x01, 3),
+                AluOp::Div => (0x01, 4),
+                AluOp::Divu => (0x01, 5),
+                AluOp::Rem => (0x01, 6),
+                AluOp::Remu => (0x01, 7),
+            };
+            enc_r(0x33, f3, f7, rd, rs1, rs2)
+        }
+        Inst::OpW { op, rd, rs1, rs2 } => {
+            let (f7, f3) = match op {
+                AluOp::Add => (0x00, 0),
+                AluOp::Sub => (0x20, 0),
+                AluOp::Sll => (0x00, 1),
+                AluOp::Srl => (0x00, 5),
+                AluOp::Sra => (0x20, 5),
+                AluOp::Mul => (0x01, 0),
+                AluOp::Div => (0x01, 4),
+                AluOp::Rem => (0x01, 6),
+                _ => unreachable!("not an OpW op"),
+            };
+            enc_r(0x3b, f3, f7, rd, rs1, rs2)
+        }
+        Inst::Cpop { rd, rs1 } => enc_r(0x13, 1, 0x30, rd, rs1, 2),
+        Inst::Ecall => 0x0000_0073,
+        Inst::Fence => 0x0000_000f,
+        Inst::FLoad {
+            width,
+            frd,
+            rs1,
+            offset,
+        } => enc_i(
+            0x07,
+            if width == FpWidth::S { 2 } else { 3 },
+            frd,
+            rs1,
+            offset,
+        ),
+        Inst::FStore {
+            width,
+            frs2,
+            rs1,
+            offset,
+        } => enc_s(
+            0x27,
+            if width == FpWidth::S { 2 } else { 3 },
+            rs1,
+            frs2,
+            offset,
+        ),
+        Inst::FpArith {
+            op,
+            width,
+            frd,
+            frs1,
+            frs2,
+        } => {
+            let f7 = (match op {
+                FpOp::Add => 0x00,
+                FpOp::Sub => 0x01,
+                FpOp::Mul => 0x02,
+                FpOp::Div => 0x03,
+            } << 2)
+                | if width == FpWidth::S { 0 } else { 1 };
+            enc_r(0x53, 7, f7, frd, frs1, frs2) // rm = dynamic
+        }
+        Inst::FpCompare {
+            cmp,
+            width,
+            rd,
+            frs1,
+            frs2,
+        } => {
+            let f3 = match cmp {
+                FpCmp::Le => 0,
+                FpCmp::Lt => 1,
+                FpCmp::Eq => 2,
+            };
+            let f7 = (0x14 << 2) | if width == FpWidth::S { 0 } else { 1 };
+            enc_r(0x53, f3, f7, rd, frs1, frs2)
+        }
+        Inst::FSgnj {
+            variant,
+            width,
+            frd,
+            frs1,
+            frs2,
+        } => {
+            let f7 = (0x04 << 2) | if width == FpWidth::S { 0 } else { 1 };
+            enc_r(0x53, u32::from(variant), f7, frd, frs1, frs2)
+        }
+        Inst::FcvtWD { rd, frs1 } => enc_r(0x53, 1, (0x18 << 2) | 1, rd, frs1, 0),
+        Inst::FcvtLD { rd, frs1 } => enc_r(0x53, 1, (0x18 << 2) | 1, rd, frs1, 2),
+        Inst::FcvtDW { frd, rs1 } => enc_r(0x53, 0, (0x1a << 2) | 1, frd, rs1, 0),
+        Inst::FcvtDL { frd, rs1 } => enc_r(0x53, 0, (0x1a << 2) | 1, frd, rs1, 2),
+        Inst::FmvXD { rd, frs1 } => enc_r(0x53, 0, (0x1c << 2) | 1, rd, frs1, 0),
+        Inst::FmvDX { frd, rs1 } => enc_r(0x53, 0, (0x1e << 2) | 1, frd, rs1, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(inst: Inst) {
+        let w = encode(&inst);
+        let back = decode(w).unwrap_or_else(|| panic!("decode failed for {inst:?} ({w:#010x})"));
+        assert_eq!(inst, back, "word {w:#010x}");
+    }
+
+    #[test]
+    fn round_trip_core_set() {
+        round_trip(Inst::Lui {
+            rd: 5,
+            imm: 0x12345 << 12,
+        });
+        round_trip(Inst::Auipc { rd: 1, imm: -4096 });
+        round_trip(Inst::Jal {
+            rd: 1,
+            offset: 2048,
+        });
+        round_trip(Inst::Jal { rd: 0, offset: -16 });
+        round_trip(Inst::Jalr {
+            rd: 0,
+            rs1: 1,
+            offset: 0,
+        });
+        for cond in [
+            BranchCond::Eq,
+            BranchCond::Ne,
+            BranchCond::Lt,
+            BranchCond::Ge,
+            BranchCond::Ltu,
+            BranchCond::Geu,
+        ] {
+            round_trip(Inst::Branch {
+                cond,
+                rs1: 10,
+                rs2: 11,
+                offset: -64,
+            });
+        }
+        for width in [
+            MemWidth::B,
+            MemWidth::H,
+            MemWidth::W,
+            MemWidth::D,
+            MemWidth::Bu,
+            MemWidth::Hu,
+            MemWidth::Wu,
+        ] {
+            round_trip(Inst::Load {
+                width,
+                rd: 7,
+                rs1: 2,
+                offset: -8,
+            });
+        }
+        for width in [MemWidth::B, MemWidth::H, MemWidth::W, MemWidth::D] {
+            round_trip(Inst::Store {
+                width,
+                rs2: 7,
+                rs1: 2,
+                offset: 40,
+            });
+        }
+    }
+
+    #[test]
+    fn round_trip_alu() {
+        for op in [
+            AluOp::Add,
+            AluOp::Slt,
+            AluOp::Sltu,
+            AluOp::Xor,
+            AluOp::Or,
+            AluOp::And,
+        ] {
+            round_trip(Inst::OpImm {
+                op,
+                rd: 3,
+                rs1: 4,
+                imm: -17,
+            });
+        }
+        for op in [AluOp::Sll, AluOp::Srl, AluOp::Sra] {
+            round_trip(Inst::OpImm {
+                op,
+                rd: 3,
+                rs1: 4,
+                imm: 63,
+            });
+        }
+        for op in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Sll,
+            AluOp::Slt,
+            AluOp::Sltu,
+            AluOp::Xor,
+            AluOp::Srl,
+            AluOp::Sra,
+            AluOp::Or,
+            AluOp::And,
+            AluOp::Mul,
+            AluOp::Mulh,
+            AluOp::Mulhu,
+            AluOp::Div,
+            AluOp::Divu,
+            AluOp::Rem,
+            AluOp::Remu,
+        ] {
+            round_trip(Inst::Op {
+                op,
+                rd: 3,
+                rs1: 4,
+                rs2: 5,
+            });
+        }
+        round_trip(Inst::OpImmW {
+            op: AluOp::Add,
+            rd: 1,
+            rs1: 2,
+            imm: 100,
+        });
+        round_trip(Inst::OpW {
+            op: AluOp::Sub,
+            rd: 1,
+            rs1: 2,
+            rs2: 3,
+        });
+        round_trip(Inst::Cpop { rd: 9, rs1: 10 });
+    }
+
+    #[test]
+    fn round_trip_fp() {
+        for op in [FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div] {
+            round_trip(Inst::FpArith {
+                op,
+                width: FpWidth::D,
+                frd: 1,
+                frs1: 2,
+                frs2: 3,
+            });
+        }
+        for cmp in [FpCmp::Eq, FpCmp::Lt, FpCmp::Le] {
+            round_trip(Inst::FpCompare {
+                cmp,
+                width: FpWidth::D,
+                rd: 5,
+                frs1: 6,
+                frs2: 7,
+            });
+        }
+        round_trip(Inst::FLoad {
+            width: FpWidth::D,
+            frd: 0,
+            rs1: 10,
+            offset: 16,
+        });
+        round_trip(Inst::FStore {
+            width: FpWidth::D,
+            frs2: 0,
+            rs1: 10,
+            offset: -24,
+        });
+        round_trip(Inst::FSgnj {
+            variant: 0,
+            width: FpWidth::D,
+            frd: 1,
+            frs1: 2,
+            frs2: 2,
+        });
+        round_trip(Inst::FcvtWD { rd: 1, frs1: 2 });
+        round_trip(Inst::FcvtDW { frd: 1, rs1: 2 });
+        round_trip(Inst::FcvtLD { rd: 1, frs1: 2 });
+        round_trip(Inst::FcvtDL { frd: 1, rs1: 2 });
+        round_trip(Inst::FmvXD { rd: 1, frs1: 2 });
+        round_trip(Inst::FmvDX { frd: 1, rs1: 2 });
+    }
+
+    #[test]
+    fn immediates_sign_extend() {
+        // beq x0, x0, -4096 is the most negative B immediate.
+        let w = encode(&Inst::Branch {
+            cond: BranchCond::Eq,
+            rs1: 0,
+            rs2: 0,
+            offset: -4096,
+        });
+        match decode(w).unwrap() {
+            Inst::Branch { offset, .. } => assert_eq!(offset, -4096),
+            other => panic!("wrong decode: {other:?}"),
+        }
+        let w = encode(&Inst::Jal {
+            rd: 0,
+            offset: -(1 << 20),
+        });
+        match decode(w).unwrap() {
+            Inst::Jal { offset, .. } => assert_eq!(offset, -(1 << 20)),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_decodes_to_none() {
+        assert_eq!(decode(0xffff_ffff), None);
+        assert_eq!(decode(0x0000_0000), None);
+    }
+}

@@ -1,0 +1,528 @@
+//! Five-stage in-order pipeline timing model.
+//!
+//! The model rides on top of the functional [`crate::cpu::Cpu`]: each
+//! retired instruction advances a scoreboarded clock. Sources must be ready
+//! (multi-cycle producers: loads, multiplies, divides, floating point);
+//! instruction fetch pays L1I/L2 miss stalls; taken branches pay the
+//! static-not-taken redirect penalty; loads/stores walk the
+//! [`crate::cache::MemoryHierarchy`]. This is the Rocket-class cycle model
+//! behind the paper's Table 2 and Fig. 7.
+
+use crate::cache::MemoryHierarchy;
+use crate::cpu::Cpu;
+use crate::isa::{AluOp, FpOp, Inst};
+use crate::{Result, RiscvError};
+
+/// Latency and policy configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Redirect penalty for taken branches / indirect jumps (cycles).
+    pub branch_penalty: u64,
+    /// Load-to-use latency on an L1 hit (cycles).
+    pub load_latency: u64,
+    /// Integer multiply latency.
+    pub mul_latency: u64,
+    /// Integer divide latency (unpipelined).
+    pub div_latency: u64,
+    /// FP add/sub/mul latency (pipelined).
+    pub fp_latency: u64,
+    /// FP divide latency (unpipelined).
+    pub fdiv_latency: u64,
+    /// FP ↔ int move/convert latency.
+    pub fp_move_latency: u64,
+    /// Whether the `Zbb cpop` instruction is implemented (the paper's
+    /// baseline ISA lacks it; enabling it is the hardware-popcount ablation).
+    pub enable_cpop: bool,
+    /// Branch-target-buffer entries (0 = static not-taken prediction, the
+    /// baseline). A taken branch that hits the BTB pays no redirect
+    /// penalty; a miss pays the full penalty and installs the entry.
+    pub btb_entries: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            branch_penalty: 3,
+            load_latency: 2,
+            mul_latency: 4,
+            div_latency: 20,
+            fp_latency: 4,
+            fdiv_latency: 21,
+            fp_move_latency: 2,
+            enable_cpop: false,
+            btb_entries: 0,
+        }
+    }
+}
+
+/// Aggregate statistics of a timed run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Taken branches/jumps.
+    pub taken_branches: u64,
+    /// Taken branches whose target was correctly predicted by the BTB.
+    pub btb_hits: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Floating-point operations.
+    pub fp_ops: u64,
+    /// Integer multiplies/divides.
+    pub muldiv_ops: u64,
+    /// L1I misses.
+    pub l1i_misses: u64,
+    /// L1D misses.
+    pub l1d_misses: u64,
+    /// L2 misses.
+    pub l2_misses: u64,
+}
+
+impl RunStats {
+    /// Cycles per instruction.
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Utilization of a functional class, ops per cycle — feeds the power
+    /// model's region activities.
+    #[must_use]
+    pub fn per_cycle(&self, count: u64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            count as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The timing model: a functional core plus caches and a scoreboard clock.
+#[derive(Debug)]
+pub struct PipelineModel {
+    /// The functional hart.
+    pub cpu: Cpu,
+    /// The cache hierarchy.
+    pub mem: MemoryHierarchy,
+    cfg: PipelineConfig,
+    /// Cycle at which each integer register's value is available.
+    x_ready: [u64; 32],
+    /// Cycle at which each FP register's value is available.
+    f_ready: [u64; 32],
+    clock: u64,
+    /// Direct-mapped branch target buffer: `pc -> predicted target`.
+    btb: Vec<Option<(u64, u64)>>,
+}
+
+impl PipelineModel {
+    /// Fresh model.
+    #[must_use]
+    pub fn new(cfg: PipelineConfig) -> Self {
+        let btb = vec![None; cfg.btb_entries.max(1)];
+        Self {
+            cpu: Cpu::new(),
+            mem: MemoryHierarchy::new(),
+            cfg,
+            x_ready: [0; 32],
+            f_ready: [0; 32],
+            clock: 0,
+            btb,
+        }
+    }
+
+    /// Configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Current cycle count.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.clock
+    }
+
+    /// Integer source registers of an instruction.
+    fn x_sources(inst: &Inst) -> Vec<u8> {
+        match *inst {
+            Inst::Jalr { rs1, .. }
+            | Inst::Load { rs1, .. }
+            | Inst::OpImm { rs1, .. }
+            | Inst::OpImmW { rs1, .. }
+            | Inst::FLoad { rs1, .. }
+            | Inst::FcvtDW { rs1, .. }
+            | Inst::FcvtDL { rs1, .. }
+            | Inst::FmvDX { rs1, .. }
+            | Inst::Cpop { rs1, .. } => vec![rs1],
+            Inst::Branch { rs1, rs2, .. }
+            | Inst::Store { rs2, rs1, .. }
+            | Inst::Op { rs1, rs2, .. }
+            | Inst::OpW { rs1, rs2, .. } => vec![rs1, rs2],
+            Inst::FStore { rs1, .. } => vec![rs1],
+            _ => vec![],
+        }
+    }
+
+    /// FP source registers.
+    fn f_sources(inst: &Inst) -> Vec<u8> {
+        match *inst {
+            Inst::FpArith { frs1, frs2, .. }
+            | Inst::FpCompare { frs1, frs2, .. }
+            | Inst::FSgnj { frs1, frs2, .. } => vec![frs1, frs2],
+            Inst::FStore { frs2, .. } => vec![frs2],
+            Inst::FcvtWD { frs1, .. } | Inst::FcvtLD { frs1, .. } | Inst::FmvXD { frs1, .. } => {
+                vec![frs1]
+            }
+            _ => vec![],
+        }
+    }
+
+    /// Destination: `(is_fp, reg, latency)` if the instruction writes one.
+    fn destination(&self, inst: &Inst, mem_stall: u64) -> Option<(bool, u8, u64)> {
+        match *inst {
+            Inst::Lui { rd, .. }
+            | Inst::Auipc { rd, .. }
+            | Inst::Jal { rd, .. }
+            | Inst::Jalr { rd, .. } => Some((false, rd, 1)),
+            Inst::Load { rd, .. } => Some((false, rd, self.cfg.load_latency + mem_stall)),
+            Inst::OpImm { rd, .. } | Inst::OpImmW { rd, .. } => Some((false, rd, 1)),
+            Inst::Op { op, rd, .. } | Inst::OpW { op, rd, .. } => {
+                let lat = match op {
+                    AluOp::Mul | AluOp::Mulh | AluOp::Mulhu => self.cfg.mul_latency,
+                    AluOp::Div | AluOp::Divu | AluOp::Rem | AluOp::Remu => self.cfg.div_latency,
+                    _ => 1,
+                };
+                Some((false, rd, lat))
+            }
+            Inst::Cpop { rd, .. } => Some((false, rd, 1)),
+            Inst::FLoad { frd, .. } => Some((true, frd, self.cfg.load_latency + mem_stall)),
+            Inst::FpArith { op, frd, .. } => {
+                let lat = if op == FpOp::Div {
+                    self.cfg.fdiv_latency
+                } else {
+                    self.cfg.fp_latency
+                };
+                Some((true, frd, lat))
+            }
+            Inst::FpCompare { rd, .. } => Some((false, rd, self.cfg.fp_move_latency)),
+            Inst::FSgnj { frd, .. } => Some((true, frd, 1)),
+            Inst::FcvtWD { rd, .. } | Inst::FcvtLD { rd, .. } | Inst::FmvXD { rd, .. } => {
+                Some((false, rd, self.cfg.fp_move_latency))
+            }
+            Inst::FcvtDW { frd, .. } | Inst::FcvtDL { frd, .. } | Inst::FmvDX { frd, .. } => {
+                Some((true, frd, self.cfg.fp_move_latency))
+            }
+            _ => None,
+        }
+    }
+
+    /// Execute until `ecall`, producing timing statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates functional faults; [`RiscvError::Timeout`] on budget
+    /// exhaustion; [`RiscvError::IllegalInstruction`] if the program uses
+    /// `cpop` without [`PipelineConfig::enable_cpop`].
+    pub fn run(&mut self, max_insts: u64) -> Result<RunStats> {
+        let mut stats = RunStats::default();
+        while !self.cpu.halted {
+            if stats.instructions >= max_insts {
+                return Err(RiscvError::Timeout {
+                    executed: stats.instructions,
+                });
+            }
+            let pc_before = self.cpu.pc();
+            let (inst, mem_addr) = self.cpu.step()?;
+            if matches!(inst, Inst::Cpop { .. }) && !self.cfg.enable_cpop {
+                return Err(RiscvError::IllegalInstruction {
+                    pc: pc_before,
+                    word: crate::isa::encode(&inst),
+                });
+            }
+            stats.instructions += 1;
+
+            // Fetch stall.
+            let l2_before = self.mem.l2.stats.misses;
+            let fetch_stall = self.mem.fetch(pc_before);
+
+            // Operand readiness.
+            let mut ready = self.clock + 1;
+            for r in Self::x_sources(&inst) {
+                if r != 0 {
+                    ready = ready.max(self.x_ready[r as usize]);
+                }
+            }
+            for r in Self::f_sources(&inst) {
+                ready = ready.max(self.f_ready[r as usize]);
+            }
+            let issue = ready + fetch_stall;
+
+            // Memory stall for loads/stores.
+            let mut mem_stall = 0;
+            if let Some(addr) = mem_addr {
+                let write = matches!(inst, Inst::Store { .. } | Inst::FStore { .. });
+                mem_stall = self.mem.data(addr, write);
+                if write {
+                    stats.stores += 1;
+                } else {
+                    stats.loads += 1;
+                }
+            }
+
+            // Blocking data cache: misses stall the whole pipeline (as in
+            // the in-order Rocket core).
+            let issue = issue + mem_stall;
+            // Writeback scheduling.
+            if let Some((is_fp, rd, lat)) = self.destination(&inst, 0) {
+                let done = issue + lat;
+                if is_fp {
+                    self.f_ready[rd as usize] = done;
+                } else if rd != 0 {
+                    self.x_ready[rd as usize] = done;
+                }
+            }
+
+            // Control flow.
+            let next_seq = pc_before.wrapping_add(4);
+            let redirect = self.cpu.pc() != next_seq;
+            match inst {
+                Inst::Branch { .. } | Inst::Jal { .. } | Inst::Jalr { .. } => {
+                    if redirect {
+                        stats.taken_branches += 1;
+                        let predicted = if self.cfg.btb_entries > 0 {
+                            let slot = (pc_before as usize >> 2) % self.btb.len();
+                            let hit = self.btb[slot] == Some((pc_before, self.cpu.pc()));
+                            self.btb[slot] = Some((pc_before, self.cpu.pc()));
+                            hit
+                        } else {
+                            false
+                        };
+                        if predicted {
+                            stats.btb_hits += 1;
+                            self.clock = issue;
+                        } else {
+                            self.clock = issue + self.cfg.branch_penalty;
+                        }
+                    } else {
+                        self.clock = issue;
+                    }
+                }
+                _ => self.clock = issue,
+            }
+
+            // Class accounting.
+            match inst {
+                Inst::FpArith { .. }
+                | Inst::FpCompare { .. }
+                | Inst::FSgnj { .. }
+                | Inst::FcvtWD { .. }
+                | Inst::FcvtLD { .. }
+                | Inst::FcvtDW { .. }
+                | Inst::FcvtDL { .. }
+                | Inst::FmvXD { .. }
+                | Inst::FmvDX { .. } => stats.fp_ops += 1,
+                Inst::Op { op, .. } | Inst::OpW { op, .. } => {
+                    if matches!(
+                        op,
+                        AluOp::Mul
+                            | AluOp::Mulh
+                            | AluOp::Mulhu
+                            | AluOp::Div
+                            | AluOp::Divu
+                            | AluOp::Rem
+                            | AluOp::Remu
+                    ) {
+                        stats.muldiv_ops += 1;
+                    }
+                }
+                _ => {}
+            }
+            let _ = l2_before;
+        }
+        stats.cycles = self.clock.max(1);
+        stats.l1i_misses = self.mem.l1i.stats.misses;
+        stats.l1d_misses = self.mem.l1d.stats.misses;
+        stats.l2_misses = self.mem.l2.stats.misses;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn time(src: &str) -> RunStats {
+        let p = assemble(src).unwrap();
+        let mut m = PipelineModel::new(PipelineConfig::default());
+        m.cpu.load_program(&p);
+        m.run(10_000_000).unwrap()
+    }
+
+    #[test]
+    fn straightline_code_is_about_one_ipc() {
+        // A hot loop of simple ALU ops: steady-state CPI near 1 once the
+        // I-cache is warm (cold-start fetch misses amortize away).
+        let body = "addi t0, t0, 1\n".repeat(32);
+        let s = time(&format!(
+            "li a0, 200\nloop:\n{body}addi a0, a0, -1\nbnez a0, loop\necall"
+        ));
+        let cpi = s.cpi();
+        assert!(cpi < 1.5, "cpi = {cpi}");
+    }
+
+    #[test]
+    fn dependent_loads_stall() {
+        let indep = time(
+            ".text
+             la a0, buf
+             ld t0, 0(a0)
+             ld t1, 8(a0)
+             ld t2, 16(a0)
+             ld t3, 24(a0)
+             ecall
+             .data
+             buf: .zero 64",
+        );
+        let dep = time(
+            ".text
+             la a0, buf
+             ld t0, 0(a0)
+             addi t0, t0, 1
+             ld t1, 8(a0)
+             addi t1, t1, 1
+             ecall
+             .data
+             buf: .zero 64",
+        );
+        // Load-use pairs pay the extra load latency.
+        assert!(dep.cpi() > indep.cpi(), "{} vs {}", dep.cpi(), indep.cpi());
+    }
+
+    #[test]
+    fn taken_branches_cost_the_penalty() {
+        // Tight countdown loop: every iteration has a taken branch.
+        let s = time(
+            "li a0, 1000
+            loop:
+             addi a0, a0, -1
+             bnez a0, loop
+             ecall",
+        );
+        // Per iteration: 2 instructions, one taken branch (≥3 penalty).
+        let per_iter = s.cycles as f64 / 1000.0;
+        assert!(per_iter > 3.5 && per_iter < 8.0, "cycles/iter = {per_iter}");
+    }
+
+    #[test]
+    fn fp_dependency_chain_pays_latency() {
+        let chain = time(
+            ".text
+             la a0, d
+             fld fa0, 0(a0)
+             fadd.d fa0, fa0, fa0
+             fadd.d fa0, fa0, fa0
+             fadd.d fa0, fa0, fa0
+             fadd.d fa0, fa0, fa0
+             ecall
+             .data
+             d: .dword 0x3ff0000000000000",
+        );
+        // 4 dependent FP adds at latency 4 ≈ 16+ cycles.
+        assert!(chain.cycles > 16, "cycles = {}", chain.cycles);
+        assert_eq!(chain.fp_ops, 4);
+    }
+
+    #[test]
+    fn streaming_misses_show_up() {
+        // Walk 64 KB (4× L1D) twice.
+        let s = time(
+            ".text
+             li a1, 2
+            outer:
+             la a0, buf
+             li t1, 1024
+            inner:
+             ld t0, 0(a0)
+             addi a0, a0, 64
+             addi t1, t1, -1
+             bnez t1, inner
+             addi a1, a1, -1
+             bnez a1, outer
+             ecall
+             .data
+             buf: .zero 65536",
+        );
+        assert!(s.l1d_misses >= 1800, "l1d misses = {}", s.l1d_misses);
+        assert!(s.cpi() > 2.0, "misses must hurt: cpi = {}", s.cpi());
+    }
+
+    #[test]
+    fn cpop_gated_by_config() {
+        let p = assemble("li a0, 7\ncpop a1, a0\necall").unwrap();
+        let mut off = PipelineModel::new(PipelineConfig::default());
+        off.cpu.load_program(&p);
+        assert!(matches!(
+            off.run(1000),
+            Err(RiscvError::IllegalInstruction { .. })
+        ));
+        let mut on = PipelineModel::new(PipelineConfig {
+            enable_cpop: true,
+            ..PipelineConfig::default()
+        });
+        on.cpu.load_program(&p);
+        let s = on.run(1000).unwrap();
+        assert_eq!(on.cpu.x(11), 3);
+        assert!(s.cycles > 0);
+    }
+
+
+    #[test]
+    fn btb_removes_steady_state_branch_penalty() {
+        let src = "li a0, 2000\nloop:\naddi a0, a0, -1\nbnez a0, loop\necall";
+        let time_with = |btb: usize| -> u64 {
+            let p = assemble(src).unwrap();
+            let mut m = PipelineModel::new(PipelineConfig {
+                btb_entries: btb,
+                ..PipelineConfig::default()
+            });
+            m.cpu.load_program(&p);
+            m.run(1_000_000).unwrap().cycles
+        };
+        let baseline = time_with(0);
+        let predicted = time_with(64);
+        assert!(
+            predicted < baseline - 2000,
+            "BTB must reclaim the per-iteration penalty: {predicted} vs {baseline}"
+        );
+        // Stats expose the hit count.
+        let p = assemble(src).unwrap();
+        let mut m = PipelineModel::new(PipelineConfig {
+            btb_entries: 64,
+            ..PipelineConfig::default()
+        });
+        m.cpu.load_program(&p);
+        let s = m.run(1_000_000).unwrap();
+        assert!(s.btb_hits > 1900, "hits = {}", s.btb_hits);
+    }
+
+    #[test]
+    fn stats_utilization_helpers() {
+        let s = RunStats {
+            cycles: 100,
+            instructions: 80,
+            fp_ops: 20,
+            ..RunStats::default()
+        };
+        assert!((s.cpi() - 1.25).abs() < 1e-12);
+        assert!((s.per_cycle(s.fp_ops) - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,401 @@
+//! DC operating-point analysis with Newton iteration.
+//!
+//! The nonlinear solve is hardened the way production SPICE engines are:
+//! plain Newton first, then gmin stepping (a shunt conductance from every
+//! node to ground relaxed in decades), then source stepping (supplies ramped
+//! from zero). Standard-cell circuits almost always converge on the first
+//! attempt; the fallbacks exist for pathological stimulus corners.
+
+use crate::circuit::{Circuit, ElementKind, NodeId, GROUND};
+use crate::solver::Matrix;
+use crate::{Result, SpiceError};
+
+/// Voltage convergence tolerance, volts.
+pub(crate) const VTOL: f64 = 1e-7;
+/// Branch-current convergence tolerance, amperes.
+pub(crate) const ITOL: f64 = 1e-10;
+/// Maximum Newton iterations per solve.
+pub(crate) const MAX_ITERS: usize = 260;
+/// Per-iteration voltage update clamp, volts (damping).
+pub(crate) const DV_CLAMP: f64 = 0.25;
+
+/// Capacitor companion state for transient steps (trapezoidal).
+#[derive(Debug, Clone)]
+pub(crate) struct CapCompanion {
+    /// Equivalent conductance `2C/dt` per capacitor, in element order.
+    pub geq: Vec<f64>,
+    /// History current term per capacitor.
+    pub hist: Vec<f64>,
+}
+
+/// Assemble the linearized MNA system at the trial solution `x`.
+///
+/// `x` holds node voltages for nodes `1..n` followed by source branch
+/// currents. The produced system solves directly for the next trial vector.
+#[allow(clippy::too_many_arguments)] // MNA assembly genuinely takes the full solver state
+pub(crate) fn assemble(
+    ckt: &Circuit,
+    x: &[f64],
+    time: f64,
+    gmin: f64,
+    src_scale: f64,
+    caps: Option<&CapCompanion>,
+    mat: &mut Matrix,
+    rhs: &mut [f64],
+) {
+    let nn = ckt.node_count() - 1; // unknown node voltages
+    mat.clear();
+    rhs.fill(0.0);
+    let v_of = |node: NodeId, x: &[f64]| -> f64 {
+        if node == GROUND {
+            0.0
+        } else {
+            x[node - 1]
+        }
+    };
+    // gmin from every node to ground keeps the matrix non-singular for
+    // floating nodes and aids Newton convergence.
+    for i in 0..nn {
+        mat.add(i, i, gmin);
+    }
+    let mut cap_idx = 0usize;
+    for el in ckt.elements() {
+        match &el.kind {
+            ElementKind::Resistor { a, b, ohms } => {
+                let g = 1.0 / ohms;
+                stamp_conductance(mat, *a, *b, g);
+            }
+            ElementKind::Capacitor { a, b, .. } => {
+                if let Some(c) = caps {
+                    let g = c.geq[cap_idx];
+                    let hist = c.hist[cap_idx];
+                    stamp_conductance(mat, *a, *b, g);
+                    if *a != GROUND {
+                        rhs[*a - 1] += hist;
+                    }
+                    if *b != GROUND {
+                        rhs[*b - 1] -= hist;
+                    }
+                }
+                cap_idx += 1;
+            }
+            ElementKind::VSource {
+                pos,
+                neg,
+                source,
+                branch,
+            } => {
+                let row = nn + branch;
+                if *pos != GROUND {
+                    mat.add(*pos - 1, row, 1.0);
+                    mat.add(row, *pos - 1, 1.0);
+                }
+                if *neg != GROUND {
+                    mat.add(*neg - 1, row, -1.0);
+                    mat.add(row, *neg - 1, -1.0);
+                }
+                rhs[row] = source.value(time) * src_scale;
+            }
+            ElementKind::Fet { d, g, s, dev } => {
+                let vgs = v_of(*g, x) - v_of(*s, x);
+                let vds = v_of(*d, x) - v_of(*s, x);
+                let ids = dev.ids(vgs, vds);
+                let gm = dev.gm(vgs, vds);
+                let gds = dev.gds(vgs, vds).max(1e-12);
+                let gm = gm.max(0.0);
+                // Norton equivalent: I = Ieq + gm·vgs + gds·vds.
+                let ieq = ids - gm * vgs - gds * vds;
+                // KCL: current ids flows d -> s.
+                stamp_vccs(mat, *d, *s, *g, *s, gm);
+                stamp_conductance(mat, *d, *s, gds);
+                if *d != GROUND {
+                    rhs[*d - 1] -= ieq;
+                }
+                if *s != GROUND {
+                    rhs[*s - 1] += ieq;
+                }
+            }
+        }
+    }
+}
+
+/// Stamp a two-terminal conductance.
+fn stamp_conductance(mat: &mut Matrix, a: NodeId, b: NodeId, g: f64) {
+    if a != GROUND {
+        mat.add(a - 1, a - 1, g);
+    }
+    if b != GROUND {
+        mat.add(b - 1, b - 1, g);
+    }
+    if a != GROUND && b != GROUND {
+        mat.add(a - 1, b - 1, -g);
+        mat.add(b - 1, a - 1, -g);
+    }
+}
+
+/// Stamp a voltage-controlled current source `I(out+ -> out-) = g·(Vc+ - Vc-)`.
+fn stamp_vccs(mat: &mut Matrix, op: NodeId, om: NodeId, cp: NodeId, cm: NodeId, g: f64) {
+    for (node, sign) in [(op, 1.0), (om, -1.0)] {
+        if node == GROUND {
+            continue;
+        }
+        if cp != GROUND {
+            mat.add(node - 1, cp - 1, sign * g);
+        }
+        if cm != GROUND {
+            mat.add(node - 1, cm - 1, -sign * g);
+        }
+    }
+}
+
+/// Newton iteration at a fixed time point; returns the converged unknown
+/// vector.
+pub(crate) fn newton(
+    ckt: &Circuit,
+    x0: &[f64],
+    time: f64,
+    gmin: f64,
+    src_scale: f64,
+    caps: Option<&CapCompanion>,
+    analysis: &'static str,
+) -> Result<Vec<f64>> {
+    let n = ckt.unknowns();
+    let nn = ckt.node_count() - 1;
+    let mut x = x0.to_vec();
+    let mut mat = Matrix::zeros(n);
+    let mut rhs = vec![0.0; n];
+    let mut worst = f64::INFINITY;
+    for iter in 0..MAX_ITERS {
+        // Progressively tighter damping breaks limit cycles on circuits
+        // with weakly-defined internal nodes (stacked off-transistors).
+        let clamp = match iter {
+            0..=80 => DV_CLAMP,
+            81..=160 => 0.05,
+            _ => 0.01,
+        };
+        assemble(ckt, &x, time, gmin, src_scale, caps, &mut mat, &mut rhs);
+        let perm = mat.lu_factor()?;
+        mat.lu_solve(&perm, &mut rhs);
+        // rhs now holds the next trial vector.
+        worst = 0.0;
+        for i in 0..n {
+            let mut delta = rhs[i] - x[i];
+            if i < nn {
+                delta = delta.clamp(-clamp, clamp);
+                worst = worst.max(delta.abs());
+            } else {
+                // Branch currents converge with the voltages; track them with
+                // a looser relative criterion.
+                worst = worst.max(delta.abs().min(1.0) * (ITOL / VTOL) * 1e-3);
+            }
+            x[i] += delta;
+        }
+        if worst < VTOL {
+            return Ok(x);
+        }
+    }
+    Err(SpiceError::NoConvergence {
+        analysis,
+        time,
+        residual: worst,
+    })
+}
+
+/// A converged DC solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolution {
+    n_nodes: usize,
+    x: Vec<f64>,
+}
+
+impl DcSolution {
+    /// Voltage of a node (volts). Ground reads 0.
+    #[must_use]
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        if node == GROUND {
+            0.0
+        } else {
+            self.x[node - 1]
+        }
+    }
+
+    /// Current through a voltage source's branch (amperes), flowing into the
+    /// positive terminal — negative when the source delivers power.
+    #[must_use]
+    pub fn branch_current(&self, branch: usize) -> f64 {
+        self.x[self.n_nodes - 1 + branch]
+    }
+
+    /// The raw unknown vector (node voltages then branch currents).
+    #[must_use]
+    pub fn raw(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+/// Compute the DC operating point of `ckt` at `t = 0` source values.
+///
+/// # Errors
+///
+/// - [`SpiceError::EmptyCircuit`] for a circuit with no elements.
+/// - [`SpiceError::NoConvergence`] if Newton, gmin stepping and source
+///   stepping all fail.
+/// - [`SpiceError::SingularMatrix`] for structurally defective circuits.
+pub fn dc_operating_point(ckt: &Circuit) -> Result<DcSolution> {
+    if ckt.elements().is_empty() {
+        return Err(SpiceError::EmptyCircuit);
+    }
+    let n = ckt.unknowns();
+    let x0 = vec![0.0; n];
+
+    // 1. Plain Newton with a tiny gmin.
+    if let Ok(x) = newton(ckt, &x0, 0.0, 1e-12, 1.0, None, "dc") {
+        return Ok(DcSolution {
+            n_nodes: ckt.node_count(),
+            x,
+        });
+    }
+    // 2. gmin stepping: relax then tighten.
+    let mut x = x0.clone();
+    let mut ok = true;
+    for exp in [3, 5, 7, 9, 12] {
+        let gmin = 10f64.powi(-exp);
+        match newton(ckt, &x, 0.0, gmin, 1.0, None, "dc") {
+            Ok(next) => x = next,
+            Err(_) => {
+                ok = false;
+                break;
+            }
+        }
+    }
+    if ok {
+        return Ok(DcSolution {
+            n_nodes: ckt.node_count(),
+            x,
+        });
+    }
+    // 3. Source stepping at moderate gmin.
+    let mut x = x0;
+    for step in 1..=20 {
+        let scale = step as f64 / 20.0;
+        x = newton(ckt, &x, 0.0, 1e-9, scale, None, "dc")?;
+    }
+    // Final polish at full sources and tiny gmin.
+    let x = newton(ckt, &x, 0.0, 1e-12, 1.0, None, "dc")?;
+    Ok(DcSolution {
+        n_nodes: ckt.node_count(),
+        x,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Source;
+    use cryo_device::{FinFet, ModelCard, Polarity};
+
+    #[test]
+    fn resistor_divider() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let m = c.node("m");
+        c.vsource("V1", a, GROUND, Source::dc(2.0));
+        c.resistor("R1", a, m, 1000.0);
+        c.resistor("R2", m, GROUND, 3000.0);
+        let op = dc_operating_point(&c).unwrap();
+        assert!((op.voltage(m) - 1.5).abs() < 1e-8);
+        // Branch current: 2 V over 4 kΩ = 0.5 mA delivered; into + terminal
+        // it reads negative.
+        assert!((op.branch_current(0) + 0.5e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_circuit_rejected() {
+        let c = Circuit::new();
+        assert!(matches!(
+            dc_operating_point(&c),
+            Err(SpiceError::EmptyCircuit)
+        ));
+    }
+
+    #[test]
+    fn inverter_transfers_logic_levels() {
+        let vdd = 0.7;
+        let nc = ModelCard::nominal(Polarity::N);
+        let pc = ModelCard::nominal(Polarity::P);
+        for (vin, expect_high) in [(0.0, true), (vdd, false)] {
+            let mut c = Circuit::new();
+            let vdd_n = c.node("vdd");
+            let inn = c.node("in");
+            let out = c.node("out");
+            c.vsource("VDD", vdd_n, GROUND, Source::dc(vdd));
+            c.vsource("VIN", inn, GROUND, Source::dc(vin));
+            c.finfet("MN", out, inn, GROUND, FinFet::new(&nc, 300.0, 2));
+            c.finfet("MP", out, inn, vdd_n, FinFet::new(&pc, 300.0, 3));
+            let op = dc_operating_point(&c).unwrap();
+            let vout = op.voltage(out);
+            if expect_high {
+                assert!(vout > 0.95 * vdd, "vout = {vout}");
+            } else {
+                assert!(vout < 0.05 * vdd, "vout = {vout}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverter_supply_leakage_drops_at_cryo() {
+        let vdd = 0.7;
+        let nc = ModelCard::nominal(Polarity::N);
+        let pc = ModelCard::nominal(Polarity::P);
+        let leak = |temp: f64| -> f64 {
+            let mut c = Circuit::new();
+            let vdd_n = c.node("vdd");
+            let inn = c.node("in");
+            let out = c.node("out");
+            c.vsource("VDD", vdd_n, GROUND, Source::dc(vdd));
+            c.vsource("VIN", inn, GROUND, Source::dc(0.0));
+            c.finfet("MN", out, inn, GROUND, FinFet::new(&nc, temp, 2));
+            c.finfet("MP", out, inn, vdd_n, FinFet::new(&pc, temp, 3));
+            let op = dc_operating_point(&c).unwrap();
+            -op.branch_current(0) * vdd
+        };
+        let p300 = leak(300.0);
+        let p10 = leak(10.0);
+        assert!(p300 > 0.0 && p10 > 0.0);
+        assert!(
+            p300 / p10 > 100.0,
+            "leakage power must collapse: {p300:.3e} W -> {p10:.3e} W"
+        );
+    }
+
+    #[test]
+    fn nand_gate_dc_truth_table() {
+        let vdd = 0.7;
+        let nc = ModelCard::nominal(Polarity::N);
+        let pc = ModelCard::nominal(Polarity::P);
+        for (a_in, b_in) in [(0.0, 0.0), (0.0, vdd), (vdd, 0.0), (vdd, vdd)] {
+            let mut c = Circuit::new();
+            let vdd_n = c.node("vdd");
+            let a = c.node("a");
+            let b = c.node("b");
+            let out = c.node("out");
+            let mid = c.node("mid");
+            c.vsource("VDD", vdd_n, GROUND, Source::dc(vdd));
+            c.vsource("VA", a, GROUND, Source::dc(a_in));
+            c.vsource("VB", b, GROUND, Source::dc(b_in));
+            // Pull-down stack, pull-up parallel pair.
+            c.finfet("MN1", out, a, mid, FinFet::new(&nc, 300.0, 2));
+            c.finfet("MN2", mid, b, GROUND, FinFet::new(&nc, 300.0, 2));
+            c.finfet("MP1", out, a, vdd_n, FinFet::new(&pc, 300.0, 2));
+            c.finfet("MP2", out, b, vdd_n, FinFet::new(&pc, 300.0, 2));
+            let op = dc_operating_point(&c).unwrap();
+            let vout = op.voltage(out);
+            let expect_low = a_in > 0.5 && b_in > 0.5;
+            if expect_low {
+                assert!(vout < 0.07, "NAND({a_in},{b_in}) = {vout}");
+            } else {
+                assert!(vout > 0.63, "NAND({a_in},{b_in}) = {vout}");
+            }
+        }
+    }
+}

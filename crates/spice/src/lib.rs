@@ -1,0 +1,103 @@
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // index-based loops mirror the matrix math
+//! A compact MNA (modified nodal analysis) circuit simulator.
+//!
+//! `cryo-spice` plays the role Synopsys PrimeSim plays in the paper: it
+//! evaluates transistor-level standard-cell netlists built on the
+//! [`cryo_device::FinFet`] compact model, providing
+//!
+//! - DC operating-point analysis ([`dc::dc_operating_point`]) with Newton
+//!   iteration hardened by gmin and source stepping,
+//! - transient analysis ([`tran::transient`]) with trapezoidal integration
+//!   and per-step Newton solves, and
+//! - waveform post-processing ([`wave::Waveform`]): threshold crossings,
+//!   slew measurement, and supply-energy integration — the measurements the
+//!   standard-cell characterization flow needs.
+//!
+//! The engine is deliberately dense-matrix: characterization circuits have a
+//! few dozen nodes, where a pivoting dense LU beats any sparse machinery.
+//!
+//! # Example
+//!
+//! An RC divider settling to the obvious DC solution:
+//!
+//! ```
+//! use cryo_spice::{Circuit, Source, GROUND};
+//!
+//! let mut ckt = Circuit::new();
+//! let vin = ckt.node("in");
+//! let mid = ckt.node("mid");
+//! ckt.vsource("V1", vin, GROUND, Source::dc(1.0));
+//! ckt.resistor("R1", vin, mid, 1_000.0);
+//! ckt.resistor("R2", mid, GROUND, 1_000.0);
+//! let op = cryo_spice::dc_operating_point(&ckt)?;
+//! assert!((op.voltage(mid) - 0.5).abs() < 1e-9);
+//! # Ok::<(), cryo_spice::SpiceError>(())
+//! ```
+
+pub mod circuit;
+pub mod dc;
+pub mod solver;
+pub mod source;
+pub mod tran;
+pub mod wave;
+
+pub use circuit::{Circuit, ElementKind, NodeId, GROUND};
+pub use dc::{dc_operating_point, DcSolution};
+pub use source::Source;
+pub use tran::{transient, TranConfig, TranResult};
+pub use wave::Waveform;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// Newton iteration failed to converge even with continuation methods.
+    NoConvergence {
+        /// Analysis that failed ("dc" or "tran").
+        analysis: &'static str,
+        /// Simulated time at failure (0 for DC).
+        time: f64,
+        /// Worst voltage update in the last iteration.
+        residual: f64,
+    },
+    /// The system matrix became numerically singular.
+    SingularMatrix {
+        /// Pivot column at which elimination broke down.
+        column: usize,
+    },
+    /// The circuit references a node that was never registered.
+    UnknownNode {
+        /// Offending node id.
+        node: usize,
+    },
+    /// The circuit has no elements or no sources to drive it.
+    EmptyCircuit,
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::NoConvergence {
+                analysis,
+                time,
+                residual,
+            } => write!(
+                f,
+                "{analysis} analysis failed to converge at t = {time:.3e} s (residual {residual:.3e} V)"
+            ),
+            SpiceError::SingularMatrix { column } => {
+                write!(f, "singular MNA matrix at column {column}")
+            }
+            SpiceError::UnknownNode { node } => write!(f, "unknown node id {node}"),
+            SpiceError::EmptyCircuit => write!(f, "circuit contains no elements"),
+        }
+    }
+}
+
+impl Error for SpiceError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SpiceError>;

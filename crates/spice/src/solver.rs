@@ -1,0 +1,223 @@
+//! Dense linear algebra: LU factorization with partial pivoting.
+//!
+//! Characterization circuits stay below ~100 unknowns, where a cache-friendly
+//! dense LU is both simpler and faster than sparse alternatives.
+
+use crate::{Result, SpiceError};
+
+/// A dense square matrix stored row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create an `n × n` zero matrix.
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Read entry `(r, c)`.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.n + c]
+    }
+
+    /// Overwrite entry `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n + c] = v;
+    }
+
+    /// Accumulate into entry `(r, c)` — the MNA "stamp" primitive.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.n + c] += v;
+    }
+
+    /// Reset all entries to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Factor in place into LU form with partial pivoting.
+    ///
+    /// Returns the pivot permutation.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::SingularMatrix`] if a pivot column has no usable entry.
+    pub fn lu_factor(&mut self) -> Result<Vec<usize>> {
+        let n = self.n;
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at or below row k.
+            let mut p = k;
+            let mut max = self.get(k, k).abs();
+            for r in (k + 1)..n {
+                let v = self.get(r, k).abs();
+                if v > max {
+                    max = v;
+                    p = r;
+                }
+            }
+            if max < 1e-300 {
+                return Err(SpiceError::SingularMatrix { column: k });
+            }
+            if p != k {
+                perm.swap(k, p);
+                for c in 0..n {
+                    let t = self.get(k, c);
+                    self.set(k, c, self.get(p, c));
+                    self.set(p, c, t);
+                }
+            }
+            let pivot = self.get(k, k);
+            for r in (k + 1)..n {
+                let factor = self.get(r, k) / pivot;
+                self.set(r, k, factor);
+                if factor != 0.0 {
+                    for c in (k + 1)..n {
+                        let v = self.get(r, c) - factor * self.get(k, c);
+                        self.set(r, c, v);
+                    }
+                }
+            }
+        }
+        Ok(perm)
+    }
+
+    /// Solve `L·U·x = P·b` after [`Matrix::lu_factor`]. `b` is permuted and
+    /// overwritten with the solution.
+    pub fn lu_solve(&self, perm: &[usize], b: &mut [f64]) {
+        let n = self.n;
+        // Apply permutation.
+        let mut x: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution (L has implicit unit diagonal).
+        for r in 1..n {
+            let mut acc = x[r];
+            for c in 0..r {
+                acc -= self.get(r, c) * x[c];
+            }
+            x[r] = acc;
+        }
+        // Back substitution.
+        for r in (0..n).rev() {
+            let mut acc = x[r];
+            for c in (r + 1)..n {
+                acc -= self.get(r, c) * x[c];
+            }
+            x[r] = acc / self.get(r, r);
+        }
+        b.copy_from_slice(&x);
+    }
+}
+
+/// Solve `A·x = b` destructively (convenience wrapper).
+///
+/// # Errors
+///
+/// Propagates [`SpiceError::SingularMatrix`] from factorization.
+pub fn solve_in_place(a: &mut Matrix, b: &mut [f64]) -> Result<()> {
+    let perm = a.lu_factor()?;
+    a.lu_solve(&perm, b);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut a = Matrix::zeros(3);
+        for i in 0..3 {
+            a.set(i, i, 1.0);
+        }
+        let mut b = vec![3.0, -1.0, 2.5];
+        solve_in_place(&mut a, &mut b).unwrap();
+        assert_eq!(b, vec![3.0, -1.0, 2.5]);
+    }
+
+    #[test]
+    fn solves_hand_system() {
+        // 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3.
+        let mut a = Matrix::zeros(2);
+        a.set(0, 0, 2.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 1, 3.0);
+        let mut b = vec![5.0, 10.0];
+        solve_in_place(&mut a, &mut b).unwrap();
+        assert!((b[0] - 1.0).abs() < 1e-12);
+        assert!((b[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // Leading zero pivot requires a row swap.
+        let mut a = Matrix::zeros(2);
+        a.set(0, 0, 0.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 1, 0.0);
+        let mut b = vec![2.0, 3.0];
+        solve_in_place(&mut a, &mut b).unwrap();
+        assert!((b[0] - 3.0).abs() < 1e-12);
+        assert!((b[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_reported() {
+        let mut a = Matrix::zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 2.0);
+        a.set(1, 0, 2.0);
+        a.set(1, 1, 4.0);
+        let mut b = vec![1.0, 2.0];
+        let err = solve_in_place(&mut a, &mut b).unwrap_err();
+        assert!(matches!(err, SpiceError::SingularMatrix { .. }));
+    }
+
+    #[test]
+    fn random_system_residual_is_small() {
+        // Deterministic pseudo-random dense system; verify A·x ≈ b.
+        let n = 24;
+        let mut seed = 0x1234_5678_u64;
+        let mut rnd = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut a = Matrix::zeros(n);
+        for r in 0..n {
+            for c in 0..n {
+                a.set(r, c, rnd() + if r == c { 4.0 } else { 0.0 });
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|_| rnd()).collect();
+        let a_copy = a.clone();
+        let mut x = b.clone();
+        solve_in_place(&mut a, &mut x).unwrap();
+        for r in 0..n {
+            let mut acc = 0.0;
+            for c in 0..n {
+                acc += a_copy.get(r, c) * x[c];
+            }
+            assert!((acc - b[r]).abs() < 1e-9, "row {r}: {acc} vs {}", b[r]);
+        }
+    }
+}

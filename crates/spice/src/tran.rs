@@ -1,0 +1,304 @@
+//! Transient analysis with trapezoidal integration.
+//!
+//! Each time step builds capacitor companion models (`geq = 2C/Δt` plus a
+//! history current) and runs the same damped Newton iteration as the DC
+//! solver. The step size is fixed and chosen by the caller — standard-cell
+//! characterization knows its stimulus window, so adaptive stepping would
+//! buy nothing but nondeterminism.
+
+use crate::circuit::{Circuit, ElementKind, NodeId, GROUND};
+use crate::dc::{dc_operating_point, newton, CapCompanion};
+use crate::wave::Waveform;
+use crate::{Result, SpiceError};
+
+/// Transient analysis configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TranConfig {
+    /// Stop time, seconds.
+    pub tstop: f64,
+    /// Fixed step size, seconds.
+    pub dt: f64,
+}
+
+impl TranConfig {
+    /// A window of `tstop` seconds resolved into `steps` equal steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `tstop > 0` and `steps >= 2`.
+    #[must_use]
+    pub fn with_steps(tstop: f64, steps: usize) -> Self {
+        assert!(tstop > 0.0 && steps >= 2, "degenerate transient window");
+        Self {
+            tstop,
+            dt: tstop / steps as f64,
+        }
+    }
+}
+
+/// Result of a transient run: every unknown at every time point.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    times: Vec<f64>,
+    /// Row-major: `solution[step][unknown]`.
+    solution: Vec<Vec<f64>>,
+    n_nodes: usize,
+}
+
+impl TranResult {
+    /// The simulated time points, seconds.
+    #[must_use]
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Voltage waveform of a node.
+    #[must_use]
+    pub fn voltage(&self, node: NodeId) -> Waveform {
+        let v = self
+            .solution
+            .iter()
+            .map(|x| if node == GROUND { 0.0 } else { x[node - 1] })
+            .collect();
+        Waveform::new(self.times.clone(), v)
+    }
+
+    /// Current waveform through a voltage source's branch (amperes, into the
+    /// positive terminal — negative while the source delivers power).
+    #[must_use]
+    pub fn source_current(&self, branch: usize) -> Waveform {
+        let i = self
+            .solution
+            .iter()
+            .map(|x| x[self.n_nodes - 1 + branch])
+            .collect();
+        Waveform::new(self.times.clone(), i)
+    }
+
+    /// Final solution vector (for chaining analyses).
+    #[must_use]
+    pub fn final_state(&self) -> &[f64] {
+        self.solution.last().expect("transient stores >= 1 point")
+    }
+}
+
+/// Run a transient analysis.
+///
+/// The initial condition is the DC operating point at the sources' `t = 0`
+/// values.
+///
+/// # Errors
+///
+/// Propagates DC-solve errors for the initial point and
+/// [`SpiceError::NoConvergence`] if any time step fails.
+pub fn transient(ckt: &Circuit, cfg: &TranConfig) -> Result<TranResult> {
+    if ckt.elements().is_empty() {
+        return Err(SpiceError::EmptyCircuit);
+    }
+    assert!(
+        cfg.dt > 0.0 && cfg.tstop > 0.0,
+        "degenerate transient window"
+    );
+    let op = dc_operating_point(ckt)?;
+    let mut x = op.raw().to_vec();
+
+    // Collect capacitor bookkeeping in element order.
+    let caps_meta: Vec<(NodeId, NodeId, f64)> = ckt
+        .elements()
+        .iter()
+        .filter_map(|e| match e.kind {
+            ElementKind::Capacitor { a, b, farads } => Some((a, b, farads)),
+            _ => None,
+        })
+        .collect();
+    // Trapezoidal history: start from DC (capacitor currents are zero).
+    let mut i_prev: Vec<f64> = vec![0.0; caps_meta.len()];
+
+    let steps = (cfg.tstop / cfg.dt).round() as usize;
+    let mut times = Vec::with_capacity(steps + 1);
+    let mut solution = Vec::with_capacity(steps + 1);
+    times.push(0.0);
+    solution.push(x.clone());
+
+    // One trapezoidal step from `t_prev` to `t`; on Newton failure the
+    // step is split into shrinking substeps (sharp regenerative edges in
+    // latch circuits occasionally defeat the full-step solve).
+    fn advance(
+        ckt: &Circuit,
+        caps_meta: &[(NodeId, NodeId, f64)],
+        x: &mut Vec<f64>,
+        i_prev: &mut [f64],
+        t_prev: f64,
+        t: f64,
+        depth: usize,
+    ) -> Result<()> {
+        let v_of = |node: NodeId, x: &[f64]| -> f64 {
+            if node == GROUND {
+                0.0
+            } else {
+                x[node - 1]
+            }
+        };
+        let dt = t - t_prev;
+        let geq: Vec<f64> = caps_meta.iter().map(|&(_, _, c)| 2.0 * c / dt).collect();
+        let hist: Vec<f64> = caps_meta
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b, _))| geq[i] * (v_of(a, x) - v_of(b, x)) + i_prev[i])
+            .collect();
+        let companion = CapCompanion {
+            geq: geq.clone(),
+            hist,
+        };
+        match newton(ckt, x, t, 1e-12, 1.0, Some(&companion), "tran") {
+            Ok(next) => {
+                for (i, &(a, b, _)) in caps_meta.iter().enumerate() {
+                    let v_new = v_of(a, &next) - v_of(b, &next);
+                    i_prev[i] = geq[i] * v_new - companion.hist[i];
+                }
+                *x = next;
+                Ok(())
+            }
+            Err(e) => {
+                if depth >= 4 {
+                    return Err(e);
+                }
+                let mid = 0.5 * (t_prev + t);
+                advance(ckt, caps_meta, x, i_prev, t_prev, mid, depth + 1)?;
+                advance(ckt, caps_meta, x, i_prev, mid, t, depth + 1)
+            }
+        }
+    }
+
+    for k in 1..=steps {
+        let t = k as f64 * cfg.dt;
+        let t_prev = (k - 1) as f64 * cfg.dt;
+        advance(ckt, &caps_meta, &mut x, &mut i_prev, t_prev, t, 0)?;
+        times.push(t);
+        solution.push(x.clone());
+    }
+
+    Ok(TranResult {
+        times,
+        solution,
+        n_nodes: ckt.node_count(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Source;
+    use cryo_device::{FinFet, ModelCard, Polarity};
+
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        // R = 1 kΩ, C = 1 pF, tau = 1 ns; step at t = 0+.
+        let mut c = Circuit::new();
+        let inn = c.node("in");
+        let out = c.node("out");
+        c.vsource(
+            "V1",
+            inn,
+            GROUND,
+            Source::Pwl(vec![(0.0, 0.0), (1e-12, 1.0)]),
+        );
+        c.resistor("R1", inn, out, 1e3);
+        c.capacitor("C1", out, GROUND, 1e-12);
+        let res = transient(&c, &TranConfig::with_steps(5e-9, 2000)).unwrap();
+        let w = res.voltage(out);
+        for &t in &[0.5e-9, 1e-9, 2e-9, 4e-9] {
+            let analytic = 1.0 - (-(t - 1e-12) / 1e-9_f64).exp();
+            let sim = w.value_at(t);
+            assert!(
+                (sim - analytic).abs() < 0.01,
+                "t = {t:.2e}: sim {sim:.4} vs analytic {analytic:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacitor_conserves_charge_through_supply() {
+        // Charging a 1 pF cap to 1 V must pull 1 pC through the source.
+        let mut c = Circuit::new();
+        let inn = c.node("in");
+        let out = c.node("out");
+        c.vsource("V1", inn, GROUND, Source::ramp(0.0, 1.0, 1e-10, 1e-9));
+        c.resistor("R1", inn, out, 500.0);
+        c.capacitor("C1", out, GROUND, 1e-12);
+        let res = transient(&c, &TranConfig::with_steps(8e-9, 3000)).unwrap();
+        let i = res.source_current(0);
+        let charge = -i.integral(); // delivered charge
+        assert!(
+            (charge - 1e-12).abs() < 2e-14,
+            "delivered charge = {charge:.3e} C"
+        );
+    }
+
+    #[test]
+    fn inverter_switches_and_measures_delay() {
+        let vdd = 0.7;
+        let nc = ModelCard::nominal(Polarity::N);
+        let pc = ModelCard::nominal(Polarity::P);
+        let mut c = Circuit::new();
+        let vdd_n = c.node("vdd");
+        let inn = c.node("in");
+        let out = c.node("out");
+        c.vsource("VDD", vdd_n, GROUND, Source::dc(vdd));
+        c.vsource("VIN", inn, GROUND, Source::ramp(0.0, vdd, 20e-12, 10e-12));
+        c.finfet("MN", out, inn, GROUND, FinFet::new(&nc, 300.0, 2));
+        c.finfet("MP", out, inn, vdd_n, FinFet::new(&pc, 300.0, 3));
+        c.capacitor("CL", out, GROUND, 2e-15);
+        let res = transient(&c, &TranConfig::with_steps(300e-12, 1200)).unwrap();
+        let vin = res.voltage(inn);
+        let vout = res.voltage(out);
+        assert!(vout.value_at(0.0) > 0.9 * vdd, "output starts high");
+        assert!(vout.value_at(290e-12) < 0.1 * vdd, "output ends low");
+        let t_in = vin.cross(vdd / 2.0, true, 0.0).unwrap();
+        let t_out = vout.cross(vdd / 2.0, false, 0.0).unwrap();
+        let delay = t_out - t_in;
+        assert!(
+            delay > 0.2e-12 && delay < 60e-12,
+            "inverter delay = {delay:.3e} s"
+        );
+    }
+
+    #[test]
+    fn cryo_inverter_is_slightly_slower() {
+        // The paper's Table 1: ~4.6 % critical-path slowdown at 10 K.
+        let vdd = 0.7;
+        let nc = ModelCard::nominal(Polarity::N);
+        let pc = ModelCard::nominal(Polarity::P);
+        let delay_at = |temp: f64| -> f64 {
+            let mut c = Circuit::new();
+            let vdd_n = c.node("vdd");
+            let inn = c.node("in");
+            let out = c.node("out");
+            c.vsource("VDD", vdd_n, GROUND, Source::dc(vdd));
+            c.vsource("VIN", inn, GROUND, Source::ramp(0.0, vdd, 20e-12, 10e-12));
+            c.finfet("MN", out, inn, GROUND, FinFet::new(&nc, temp, 2));
+            c.finfet("MP", out, inn, vdd_n, FinFet::new(&pc, temp, 3));
+            c.capacitor("CL", out, GROUND, 2e-15);
+            let res = transient(&c, &TranConfig::with_steps(300e-12, 1200)).unwrap();
+            let t_in = res.voltage(inn).cross(vdd / 2.0, true, 0.0).unwrap();
+            let t_out = res.voltage(out).cross(vdd / 2.0, false, 0.0).unwrap();
+            t_out - t_in
+        };
+        let d300 = delay_at(300.0);
+        let d10 = delay_at(10.0);
+        let ratio = d10 / d300;
+        assert!(
+            (0.95..1.35).contains(&ratio),
+            "10 K / 300 K fall delay ratio = {ratio:.3} ({d300:.3e} -> {d10:.3e})"
+        );
+    }
+
+    #[test]
+    fn empty_circuit_is_rejected() {
+        let c = Circuit::new();
+        assert!(matches!(
+            transient(&c, &TranConfig::with_steps(1e-9, 10)),
+            Err(SpiceError::EmptyCircuit)
+        ));
+    }
+}

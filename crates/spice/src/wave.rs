@@ -1,0 +1,222 @@
+//! Waveform container and the measurements characterization needs.
+
+/// A sampled waveform: strictly increasing times with one value each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Waveform {
+    t: Vec<f64>,
+    v: Vec<f64>,
+}
+
+impl Waveform {
+    /// Build a waveform from matching time/value vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length or are empty.
+    #[must_use]
+    pub fn new(t: Vec<f64>, v: Vec<f64>) -> Self {
+        assert_eq!(t.len(), v.len(), "time/value length mismatch");
+        assert!(!t.is_empty(), "empty waveform");
+        Self { t, v }
+    }
+
+    /// Time samples.
+    #[must_use]
+    pub fn times(&self) -> &[f64] {
+        &self.t
+    }
+
+    /// Value samples.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.v
+    }
+
+    /// Linear interpolation at time `time`, clamped at the ends.
+    #[must_use]
+    pub fn value_at(&self, time: f64) -> f64 {
+        if time <= self.t[0] {
+            return self.v[0];
+        }
+        let last = self.t.len() - 1;
+        if time >= self.t[last] {
+            return self.v[last];
+        }
+        let idx = self.t.partition_point(|&x| x < time);
+        let (t0, t1) = (self.t[idx - 1], self.t[idx]);
+        let (v0, v1) = (self.v[idx - 1], self.v[idx]);
+        v0 + (v1 - v0) * (time - t0) / (t1 - t0).max(1e-30)
+    }
+
+    /// First time after `after` at which the waveform crosses `level` in the
+    /// given direction (`rising = true` for low→high).
+    #[must_use]
+    pub fn cross(&self, level: f64, rising: bool, after: f64) -> Option<f64> {
+        for i in 1..self.t.len() {
+            if self.t[i] <= after {
+                continue;
+            }
+            let (v0, v1) = (self.v[i - 1], self.v[i]);
+            let hit = if rising {
+                v0 < level && v1 >= level
+            } else {
+                v0 > level && v1 <= level
+            };
+            if hit {
+                let f = (level - v0) / (v1 - v0);
+                let tc = self.t[i - 1] + f * (self.t[i] - self.t[i - 1]);
+                if tc > after {
+                    return Some(tc);
+                }
+            }
+        }
+        None
+    }
+
+    /// Transition time between the `frac_lo` and `frac_hi` fractions of a
+    /// swing from `v_start` to `v_end` (works for rising and falling edges).
+    ///
+    /// Returns `None` when either crossing is missing.
+    #[must_use]
+    pub fn transition_time(
+        &self,
+        v_start: f64,
+        v_end: f64,
+        frac_lo: f64,
+        frac_hi: f64,
+        after: f64,
+    ) -> Option<f64> {
+        let rising = v_end > v_start;
+        let lvl_lo = v_start + (v_end - v_start) * frac_lo;
+        let lvl_hi = v_start + (v_end - v_start) * frac_hi;
+        let t_lo = self.cross(lvl_lo, rising, after)?;
+        let t_hi = self.cross(lvl_hi, rising, t_lo)?;
+        Some(t_hi - t_lo)
+    }
+
+    /// Trapezoidal integral of the waveform over its full span.
+    #[must_use]
+    pub fn integral(&self) -> f64 {
+        let mut acc = 0.0;
+        for i in 1..self.t.len() {
+            acc += 0.5 * (self.v[i] + self.v[i - 1]) * (self.t[i] - self.t[i - 1]);
+        }
+        acc
+    }
+
+    /// Trapezoidal integral restricted to `[t0, t1]`.
+    #[must_use]
+    pub fn integral_between(&self, t0: f64, t1: f64) -> f64 {
+        let (t0, t1) = (t0.min(t1), t0.max(t1));
+        let mut acc = 0.0;
+        for i in 1..self.t.len() {
+            let (a, b) = (self.t[i - 1], self.t[i]);
+            if b <= t0 || a >= t1 {
+                continue;
+            }
+            let lo = a.max(t0);
+            let hi = b.min(t1);
+            let va = self.value_at(lo);
+            let vb = self.value_at(hi);
+            acc += 0.5 * (va + vb) * (hi - lo);
+        }
+        acc
+    }
+
+    /// Minimum sampled value.
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.v.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sampled value.
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.v.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Final sampled value.
+    #[must_use]
+    pub fn last(&self) -> f64 {
+        *self.v.last().expect("non-empty by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Waveform {
+        // 0 → 1 V linearly over 0..10 s.
+        let t: Vec<f64> = (0..=10).map(f64::from).collect();
+        let v: Vec<f64> = (0..=10).map(|i| f64::from(i) / 10.0).collect();
+        Waveform::new(t, v)
+    }
+
+    #[test]
+    fn interpolation_and_clamping() {
+        let w = ramp();
+        assert_eq!(w.value_at(-5.0), 0.0);
+        assert_eq!(w.value_at(50.0), 1.0);
+        assert!((w.value_at(2.5) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rising_cross() {
+        let w = ramp();
+        assert!((w.cross(0.5, true, 0.0).unwrap() - 5.0).abs() < 1e-12);
+        assert_eq!(w.cross(0.5, false, 0.0), None);
+        assert_eq!(w.cross(2.0, true, 0.0), None);
+    }
+
+    #[test]
+    fn cross_respects_after() {
+        let t = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        let v = vec![0.0, 1.0, 0.0, 1.0, 0.0];
+        let w = Waveform::new(t, v);
+        let first = w.cross(0.5, true, 0.0).unwrap();
+        let second = w.cross(0.5, true, first + 0.1).unwrap();
+        assert!(second > first + 1.0);
+    }
+
+    #[test]
+    fn transition_time_20_80() {
+        let w = ramp();
+        let tt = w.transition_time(0.0, 1.0, 0.2, 0.8, 0.0).unwrap();
+        assert!((tt - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn falling_transition_time() {
+        let t: Vec<f64> = (0..=10).map(f64::from).collect();
+        let v: Vec<f64> = (0..=10).map(|i| 1.0 - f64::from(i) / 10.0).collect();
+        let w = Waveform::new(t, v);
+        let tt = w.transition_time(1.0, 0.0, 0.2, 0.8, 0.0).unwrap();
+        assert!((tt - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integral_of_ramp() {
+        let w = ramp();
+        assert!((w.integral() - 5.0).abs() < 1e-12);
+        assert!((w.integral_between(0.0, 5.0) - 1.25).abs() < 1e-9);
+        assert!(
+            (w.integral_between(5.0, 0.0) - 1.25).abs() < 1e-9,
+            "order-insensitive"
+        );
+    }
+
+    #[test]
+    fn extremes() {
+        let w = ramp();
+        assert_eq!(w.min(), 0.0);
+        assert_eq!(w.max(), 1.0);
+        assert_eq!(w.last(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_vectors_panic() {
+        let _ = Waveform::new(vec![0.0, 1.0], vec![0.0]);
+    }
+}

@@ -1,0 +1,649 @@
+//! Arrival propagation engine.
+
+use cryo_liberty::{ArcKind, Library};
+use cryo_netlist::design::{Design, DriverRef, LoadRef};
+
+use crate::report::{EndpointSummary, PathStep, TimingReport};
+use crate::{Result, StaError};
+
+/// STA configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaConfig {
+    /// Analysis clock period, seconds. The paper synthesizes at 0 ns to
+    /// force maximum optimization and reads the worst slack as the critical
+    /// path; `0.0` reproduces that.
+    pub clock_period: f64,
+    /// Transition time assumed at primary inputs and clock pins, seconds.
+    pub input_slew: f64,
+    /// Corner scale factor applied to SRAM macro timing (ratio of the
+    /// corner's mean cell delay to the 300 K mean; 1.0 at 300 K).
+    pub macro_delay_scale: f64,
+    /// Capacitive load each SRAM macro input pin presents, farads.
+    pub macro_input_cap: f64,
+    /// Earliest arrival assumed at primary inputs for hold analysis,
+    /// seconds (external input delay).
+    pub input_min_delay: f64,
+    /// How many worst endpoints to summarize in the report.
+    pub max_reported_paths: usize,
+}
+
+impl Default for StaConfig {
+    fn default() -> Self {
+        Self {
+            clock_period: 0.0,
+            input_slew: 20e-12,
+            macro_delay_scale: 1.0,
+            macro_input_cap: 2.0e-15,
+            input_min_delay: 10e-12,
+            max_reported_paths: 8,
+        }
+    }
+}
+
+/// Per-net timing state.
+#[derive(Debug, Clone, Copy)]
+struct NetTiming {
+    /// Worst (max) arrival and the slew accompanying it.
+    max_arrival: f64,
+    max_slew: f64,
+    /// Best (min) arrival for hold analysis.
+    min_arrival: f64,
+    /// Whether any path reaches this net.
+    reached: bool,
+    /// Backtrace: instance index and its input net on the worst path.
+    parent: Option<(usize, usize)>,
+}
+
+impl Default for NetTiming {
+    fn default() -> Self {
+        Self {
+            max_arrival: f64::NEG_INFINITY,
+            max_slew: 0.0,
+            min_arrival: f64::INFINITY,
+            reached: false,
+            parent: None,
+        }
+    }
+}
+
+/// Run setup and hold timing analysis on `design` against `lib`.
+///
+/// See the crate-level docs for the algorithm; typical use:
+///
+/// ```no_run
+/// use cryo_sta::{analyze, StaConfig};
+/// # let design = cryo_netlist::build_soc(&cryo_netlist::SocConfig::tiny());
+/// # let lib = cryo_liberty::Library::new("corner", 300.0, 0.7);
+/// let report = analyze(&design, &lib, &StaConfig::default())?;
+/// println!("fmax = {:.0} MHz", report.fmax() / 1e6);
+/// # Ok::<(), cryo_sta::StaError>(())
+/// ```
+///
+/// # Errors
+///
+/// - [`StaError::UnmappedCell`] if an instance's cell is missing.
+/// - [`StaError::CombinationalLoop`] if registers do not break all cycles.
+/// - [`StaError::NoEndpoints`] for designs with nothing to time.
+pub fn analyze(design: &Design, lib: &Library, cfg: &StaConfig) -> Result<TimingReport> {
+    let conn = design.connectivity();
+    let n_nets = design.net_count();
+
+    // ------------------------------------------------------------------
+    // Net loads: sum of sink pin caps + wire estimate.
+    // ------------------------------------------------------------------
+    let mut net_load = vec![0.0f64; n_nets];
+    for net in 0..n_nets {
+        let mut cap = 0.0;
+        for load in &conn.loads[net] {
+            match load {
+                LoadRef::Cell { instance, pin } => {
+                    let inst = &design.instances()[*instance];
+                    let cell = lib.cell(&inst.cell).map_err(|_| StaError::UnmappedCell {
+                        instance: inst.name.clone(),
+                        cell: inst.cell.clone(),
+                    })?;
+                    cap += cell.pin(pin).map_or(0.0, |p| p.capacitance);
+                }
+                LoadRef::Macro { .. } => cap += cfg.macro_input_cap,
+            }
+        }
+        cap += design.wire_cap(conn.loads[net].len());
+        net_load[net] = cap;
+    }
+
+    // ------------------------------------------------------------------
+    // Classify instances; seed startpoints.
+    // ------------------------------------------------------------------
+    let mut timing: Vec<NetTiming> = vec![NetTiming::default(); n_nets];
+    fn seed(timing: &mut [NetTiming], net: usize, arrival: f64, slew: f64) {
+        let t = &mut timing[net];
+        t.max_arrival = t.max_arrival.max(arrival);
+        t.min_arrival = t.min_arrival.min(arrival);
+        t.max_slew = t.max_slew.max(slew);
+        t.reached = true;
+    }
+    for &pi in &design.primary_inputs {
+        seed(&mut timing, pi, 0.0, cfg.input_slew);
+        timing[pi].min_arrival = cfg.input_min_delay;
+    }
+    if let Some(clk) = design.clock {
+        seed(&mut timing, clk, 0.0, cfg.input_slew);
+        timing[clk].min_arrival = cfg.input_min_delay;
+    }
+    // Sequential cell outputs: launch at clk→Q.
+    let mut is_seq = vec![false; design.instances().len()];
+    for (i, inst) in design.instances().iter().enumerate() {
+        let cell = lib.cell(&inst.cell).map_err(|_| StaError::UnmappedCell {
+            instance: inst.name.clone(),
+            cell: inst.cell.clone(),
+        })?;
+        if cell.is_sequential() {
+            is_seq[i] = true;
+            for (pin, net) in &inst.outputs {
+                for arc in cell.arcs_to(pin) {
+                    if arc.kind == ArcKind::ClockToQ {
+                        let d = arc.worst_delay(cfg.input_slew, net_load[*net]);
+                        let s = arc
+                            .rise_transition
+                            .lookup(cfg.input_slew, net_load[*net])
+                            .max(arc.fall_transition.lookup(cfg.input_slew, net_load[*net]));
+                        seed(&mut timing, *net, d, s);
+                    }
+                }
+            }
+        }
+    }
+    // Macro outputs: launch at scaled clock-to-out.
+    for m in design.macros() {
+        let d = m.spec.clk_to_out(cfg.macro_delay_scale);
+        for &net in &m.outputs {
+            seed(&mut timing, net, d, 30e-12);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Levelize the combinational instances (Kahn).
+    // ------------------------------------------------------------------
+    // In-degree: number of input nets driven by combinational instances.
+    let comb_driver_of = |net: usize| -> Option<usize> {
+        conn.drivers[net].iter().find_map(|d| match d {
+            DriverRef::Cell { instance, .. } if !is_seq[*instance] => Some(*instance),
+            _ => None,
+        })
+    };
+    let n_inst = design.instances().len();
+    let mut indegree = vec![0usize; n_inst];
+    let mut fanout_edges: Vec<Vec<usize>> = vec![Vec::new(); n_inst];
+    for (i, inst) in design.instances().iter().enumerate() {
+        if is_seq[i] {
+            continue;
+        }
+        for (_, net) in &inst.inputs {
+            if let Some(src) = comb_driver_of(*net) {
+                indegree[i] += 1;
+                fanout_edges[src].push(i);
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n_inst)
+        .filter(|&i| !is_seq[i] && indegree[i] == 0)
+        .collect();
+    let mut order = Vec::with_capacity(n_inst);
+    let mut head = 0;
+    while head < queue.len() {
+        let i = queue[head];
+        head += 1;
+        order.push(i);
+        for &next in &fanout_edges[i] {
+            indegree[next] -= 1;
+            if indegree[next] == 0 {
+                queue.push(next);
+            }
+        }
+    }
+    let comb_count = (0..n_inst).filter(|&i| !is_seq[i]).count();
+    if order.len() != comb_count {
+        // Find a net on the cycle for the error message.
+        let stuck = (0..n_inst)
+            .find(|&i| !is_seq[i] && indegree[i] > 0)
+            .expect("some instance must be stuck");
+        let net = design.instances()[stuck].inputs[0].1;
+        return Err(StaError::CombinationalLoop {
+            net: design.net_name(net).to_string(),
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Propagate arrivals.
+    // ------------------------------------------------------------------
+    for &i in &order {
+        let inst = &design.instances()[i];
+        let cell = lib.cell(&inst.cell).expect("checked above");
+        for (out_pin, out_net) in &inst.outputs {
+            let load = net_load[*out_net];
+            let mut best: Option<(f64, f64, usize)> = None; // arrival, slew, from-net
+            let mut min_arr = f64::INFINITY;
+            for arc in cell.arcs_to(out_pin) {
+                if arc.kind != ArcKind::Combinational {
+                    continue;
+                }
+                let Some((_, in_net)) = inst.inputs.iter().find(|(pin, _)| *pin == arc.related_pin)
+                else {
+                    continue;
+                };
+                let tin = timing[*in_net];
+                if !tin.reached {
+                    continue;
+                }
+                let delay = arc.worst_delay(tin.max_slew, load);
+                let out_slew = arc
+                    .rise_transition
+                    .lookup(tin.max_slew, load)
+                    .max(arc.fall_transition.lookup(tin.max_slew, load));
+                let arr = tin.max_arrival + delay;
+                if best.is_none_or(|(a, _, _)| arr > a) {
+                    best = Some((arr, out_slew, *in_net));
+                }
+                let dmin = arc
+                    .cell_rise
+                    .lookup(tin.max_slew, load)
+                    .min(arc.cell_fall.lookup(tin.max_slew, load));
+                min_arr = min_arr.min(tin.min_arrival + dmin);
+            }
+            if let Some((arr, slew, from)) = best {
+                let t = &mut timing[*out_net];
+                if arr > t.max_arrival {
+                    t.max_arrival = arr;
+                    t.max_slew = slew;
+                    t.parent = Some((i, from));
+                }
+                t.min_arrival = t.min_arrival.min(min_arr);
+                t.reached = true;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Endpoints: setup and hold.
+    // ------------------------------------------------------------------
+    struct Endpoint {
+        name: String,
+        net: usize,
+        setup: f64,
+        hold: f64,
+    }
+    let mut endpoints: Vec<Endpoint> = Vec::new();
+    for (i, inst) in design.instances().iter().enumerate() {
+        if !is_seq[i] {
+            continue;
+        }
+        let cell = lib.cell(&inst.cell).expect("checked above");
+        let mut setup = 0.0;
+        let mut hold = 0.0;
+        for arc in cell.constraint_arcs() {
+            match arc.kind {
+                ArcKind::Setup => setup = arc.cell_rise.lookup(0.0, 0.0),
+                ArcKind::Hold => hold = arc.cell_rise.lookup(0.0, 0.0),
+                _ => {}
+            }
+        }
+        if let Some(ff) = &cell.ff {
+            if let Some((_, d_net)) = inst.inputs.iter().find(|(p, _)| *p == ff.next_state) {
+                endpoints.push(Endpoint {
+                    name: format!("{}/D", inst.name),
+                    net: *d_net,
+                    setup,
+                    hold,
+                });
+            }
+        }
+    }
+    for m in design.macros() {
+        for &net in &m.inputs {
+            endpoints.push(Endpoint {
+                name: format!("{}/in", m.name),
+                net,
+                setup: m.spec.setup * cfg.macro_delay_scale,
+                hold: 0.0,
+            });
+        }
+    }
+    for &po in &design.primary_outputs {
+        endpoints.push(Endpoint {
+            name: format!("PO {}", design.net_name(po)),
+            net: po,
+            setup: 0.0,
+            hold: 0.0,
+        });
+    }
+    if endpoints.is_empty() {
+        return Err(StaError::NoEndpoints);
+    }
+
+    let mut critical_delay = 0.0f64;
+    let mut worst_endpoint: Option<&Endpoint> = None;
+    let mut worst_hold = f64::INFINITY;
+    let mut endpoint_delays: Vec<(f64, usize)> = Vec::new();
+    for (idx, ep) in endpoints.iter().enumerate() {
+        let t = timing[ep.net];
+        if !t.reached {
+            continue;
+        }
+        let path = t.max_arrival + ep.setup;
+        endpoint_delays.push((path, idx));
+        if path > critical_delay {
+            critical_delay = path;
+            worst_endpoint = Some(ep);
+        }
+        if t.min_arrival.is_finite() {
+            worst_hold = worst_hold.min(t.min_arrival - ep.hold);
+        }
+    }
+    let endpoint = worst_endpoint.map_or_else(String::new, |e| e.name.clone());
+
+    // Backtrace a path ending at `net`.
+    let backtrace = |end_net: usize| -> Vec<PathStep> {
+        let mut path = Vec::new();
+        let mut net = end_net;
+        while let Some((inst_idx, from)) = timing[net].parent {
+            let inst = &design.instances()[inst_idx];
+            let incr = timing[net].max_arrival - timing[from].max_arrival;
+            path.push(PathStep {
+                instance: inst.name.clone(),
+                cell: inst.cell.clone(),
+                net: design.net_name(net).to_string(),
+                incr,
+                arrival: timing[net].max_arrival,
+            });
+            net = from;
+        }
+        path.push(PathStep {
+            instance: "startpoint".to_string(),
+            cell: "-".to_string(),
+            net: design.net_name(net).to_string(),
+            incr: 0.0,
+            arrival: timing[net].max_arrival,
+        });
+        path.reverse();
+        path
+    };
+    let path = worst_endpoint.map_or_else(Vec::new, |ep| backtrace(ep.net));
+
+    // The N worst endpoints (PrimeTime's `report_timing -max_paths N`).
+    endpoint_delays.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let worst_paths: Vec<EndpointSummary> = endpoint_delays
+        .iter()
+        .take(cfg.max_reported_paths)
+        .map(|&(delay, idx)| EndpointSummary {
+            endpoint: endpoints[idx].name.clone(),
+            path_delay: delay,
+            slack: cfg.clock_period - delay,
+            depth: backtrace(endpoints[idx].net).len(),
+        })
+        .collect();
+    // Endpoint slack histogram (2.5 % bins of the critical delay).
+    let bin = (critical_delay / 40.0).max(1e-15);
+    let mut slack_histogram = vec![0usize; 41];
+    for &(delay, _) in &endpoint_delays {
+        let b = ((critical_delay - delay) / bin) as usize;
+        slack_histogram[b.min(40)] += 1;
+    }
+
+    Ok(TimingReport {
+        corner: lib.name.clone(),
+        temperature: lib.temperature,
+        critical_path_delay: critical_delay,
+        worst_paths,
+        slack_histogram,
+        worst_slack: cfg.clock_period - critical_delay,
+        worst_hold_slack: if worst_hold.is_finite() {
+            worst_hold
+        } else {
+            0.0
+        },
+        critical_path: path,
+        endpoint,
+        endpoint_count: endpoints.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryo_liberty::{
+        Cell, FfSpec, Library, LogicFunction, Lut2, Pin, PowerArc, TimingArc, TimingSense,
+    };
+    use cryo_netlist::DesignBuilder;
+
+    /// Synthetic library: INV delay = 10 ps + 1 ps/fF·load; DFF clk→Q 50 ps,
+    /// setup 30 ps, hold 5 ps.
+    fn synth_lib() -> Library {
+        let mut lib = Library::new("synth", 300.0, 0.7);
+        let slews = vec![1e-12, 100e-12];
+        let loads = vec![0.0, 100e-15];
+        let table = |base: f64, per_f: f64| {
+            let vals: Vec<f64> = slews
+                .iter()
+                .flat_map(|_s| loads.iter().map(move |l| base + per_f * l / 1e-15))
+                .collect();
+            Lut2::new(slews.clone(), loads.clone(), vals).unwrap()
+        };
+        let inv_fn = LogicFunction::from_eval(&["A"], |b| b & 1 == 0);
+        for (name, base) in [("INVx1", 10e-12), ("INVx2", 8e-12), ("BUFx2", 12e-12)] {
+            let f = if name.starts_with("BUF") {
+                LogicFunction::from_eval(&["A"], |b| b & 1 != 0)
+            } else {
+                inv_fn.clone()
+            };
+            lib.add_cell(Cell {
+                name: name.to_string(),
+                area: 0.05,
+                pins: vec![Pin::input("A", 1e-15), Pin::output("Y", f)],
+                arcs: vec![TimingArc {
+                    related_pin: "A".into(),
+                    pin: "Y".into(),
+                    kind: ArcKind::Combinational,
+                    sense: TimingSense::NegativeUnate,
+                    cell_rise: table(base, 1e-12),
+                    cell_fall: table(base, 1e-12),
+                    rise_transition: table(5e-12, 0.2e-12),
+                    fall_transition: table(5e-12, 0.2e-12),
+                }],
+                power_arcs: vec![PowerArc {
+                    related_pin: "A".into(),
+                    pin: "Y".into(),
+                    rise_energy: Lut2::constant(1e-18),
+                    fall_energy: Lut2::constant(1e-18),
+                }],
+                leakage_states: vec![(0, 1e-9)],
+                ff: None,
+                drive: 1,
+            });
+        }
+        let dff_fn = LogicFunction::from_eval(&["D"], |b| b & 1 != 0);
+        lib.add_cell(Cell {
+            name: "DFFx1".to_string(),
+            area: 0.2,
+            pins: vec![
+                Pin::input("D", 1e-15),
+                {
+                    let mut p = Pin::input("CLK", 1e-15);
+                    p.is_clock = true;
+                    p
+                },
+                Pin::output("Q", dff_fn),
+            ],
+            arcs: vec![
+                TimingArc {
+                    related_pin: "CLK".into(),
+                    pin: "Q".into(),
+                    kind: ArcKind::ClockToQ,
+                    sense: TimingSense::NonUnate,
+                    cell_rise: table(50e-12, 1e-12),
+                    cell_fall: table(50e-12, 1e-12),
+                    rise_transition: table(5e-12, 0.2e-12),
+                    fall_transition: table(5e-12, 0.2e-12),
+                },
+                TimingArc {
+                    related_pin: "CLK".into(),
+                    pin: "D".into(),
+                    kind: ArcKind::Setup,
+                    sense: TimingSense::NonUnate,
+                    cell_rise: Lut2::constant(30e-12),
+                    cell_fall: Lut2::constant(30e-12),
+                    rise_transition: Lut2::constant(0.0),
+                    fall_transition: Lut2::constant(0.0),
+                },
+                TimingArc {
+                    related_pin: "CLK".into(),
+                    pin: "D".into(),
+                    kind: ArcKind::Hold,
+                    sense: TimingSense::NonUnate,
+                    cell_rise: Lut2::constant(5e-12),
+                    cell_fall: Lut2::constant(5e-12),
+                    rise_transition: Lut2::constant(0.0),
+                    fall_transition: Lut2::constant(0.0),
+                },
+            ],
+            power_arcs: vec![],
+            leakage_states: vec![(0, 2e-9)],
+            ff: Some(FfSpec {
+                clocked_on: "CLK".into(),
+                next_state: "D".into(),
+                clear: None,
+            }),
+            drive: 1,
+        });
+        lib
+    }
+
+    #[test]
+    fn inverter_chain_delay_adds_up() {
+        let lib = synth_lib();
+        let mut b = DesignBuilder::new("chain");
+        let mut x = b.input("in");
+        for _ in 0..4 {
+            x = b.inv(x, 1);
+        }
+        b.mark_output(x);
+        let d = b.finish();
+        let report = analyze(&d, &lib, &StaConfig::default()).unwrap();
+        // Each stage: 10 ps + load-dependent term (one INV sink = 1 fF plus
+        // wire). Expect ≈ 4 × ~11.4 ps.
+        assert!(
+            report.critical_path_delay > 40e-12 && report.critical_path_delay < 60e-12,
+            "delay = {:.2} ps",
+            report.critical_path_delay * 1e12
+        );
+        // Path has startpoint + 4 stages.
+        assert_eq!(report.critical_path.len(), 5);
+    }
+
+    #[test]
+    fn register_to_register_includes_clkq_and_setup() {
+        let lib = synth_lib();
+        let mut b = DesignBuilder::new("r2r");
+        let clk = b.clock_input("clk");
+        let din = b.input("din");
+        let q1 = b.dff(din, clk, 1);
+        let mut x = q1;
+        for _ in 0..2 {
+            x = b.inv(x, 1);
+        }
+        let _q2 = b.dff(x, clk, 1);
+        let d = b.finish();
+        let report = analyze(&d, &lib, &StaConfig::default()).unwrap();
+        // clk→Q (~50) + 2 × INV (~11) + setup (30) ≈ 102 ps.
+        assert!(
+            (95e-12..120e-12).contains(&report.critical_path_delay),
+            "delay = {:.2} ps",
+            report.critical_path_delay * 1e12
+        );
+        assert!(report.endpoint.contains("/D"));
+        // Hold is clean: min path 2 INVs ≈ 22 ps > 5 ps hold.
+        assert!(report.worst_hold_slack > 0.0);
+    }
+
+    #[test]
+    fn deeper_chain_is_slower_and_fmax_inverts() {
+        let lib = synth_lib();
+        let build = |n: usize| {
+            let mut b = DesignBuilder::new("chain");
+            let mut x = b.input("in");
+            for _ in 0..n {
+                x = b.inv(x, 1);
+            }
+            b.mark_output(x);
+            b.finish()
+        };
+        let r4 = analyze(&build(4), &lib, &StaConfig::default()).unwrap();
+        let r16 = analyze(&build(16), &lib, &StaConfig::default()).unwrap();
+        assert!(r16.critical_path_delay > 3.0 * r4.critical_path_delay);
+        assert!(r16.fmax() < r4.fmax());
+    }
+
+
+    #[test]
+    fn worst_paths_are_sorted_and_bounded() {
+        let lib = synth_lib();
+        let mut b = DesignBuilder::new("multi");
+        let clk = b.clock_input("clk");
+        let din = b.input("din");
+        // Three register-to-register paths of different depths.
+        let q = b.dff(din, clk, 1);
+        for depth in [1usize, 3, 6] {
+            let mut x = q;
+            for _ in 0..depth {
+                x = b.inv(x, 1);
+            }
+            let _ = b.dff(x, clk, 1);
+        }
+        let d = b.finish();
+        let report = analyze(&d, &lib, &StaConfig::default()).unwrap();
+        assert!(report.worst_paths.len() >= 3);
+        for w in report.worst_paths.windows(2) {
+            assert!(w[0].path_delay >= w[1].path_delay, "sorted descending");
+        }
+        assert!(
+            (report.worst_paths[0].path_delay - report.critical_path_delay).abs() < 1e-15,
+            "first summary is the critical path"
+        );
+        let total: usize = report.slack_histogram.iter().sum();
+        assert_eq!(total, report.endpoint_count - report
+            .slack_histogram
+            .is_empty() as usize * 0, "every endpoint lands in a bin");
+    }
+
+    #[test]
+    fn unmapped_cell_is_reported() {
+        let lib = synth_lib();
+        let mut b = DesignBuilder::new("bad");
+        let x = b.input("in");
+        let _ = b.nand2(x, x, 1); // NAND2x1 not in the synthetic library
+        let d = b.finish();
+        assert!(matches!(
+            analyze(&d, &lib, &StaConfig::default()),
+            Err(StaError::UnmappedCell { .. })
+        ));
+    }
+
+    #[test]
+    fn slack_against_period() {
+        let lib = synth_lib();
+        let mut b = DesignBuilder::new("chain");
+        let mut x = b.input("in");
+        for _ in 0..4 {
+            x = b.inv(x, 1);
+        }
+        b.mark_output(x);
+        let d = b.finish();
+        let cfg = StaConfig {
+            clock_period: 1e-9,
+            ..StaConfig::default()
+        };
+        let report = analyze(&d, &lib, &cfg).unwrap();
+        assert!(report.worst_slack > 0.0, "1 ns period is easy to meet");
+        let zero = analyze(&d, &lib, &StaConfig::default()).unwrap();
+        assert!(zero.worst_slack < 0.0, "0 ns period is never met");
+    }
+}

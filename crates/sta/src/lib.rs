@@ -1,0 +1,69 @@
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // net ids are the natural index domain
+//! Static timing analysis over characterized libraries.
+//!
+//! `cryo-sta` plays Synopsys PrimeTime's role in the paper's flow: given the
+//! gate-level SoC netlist from `cryo-netlist` and a characterized
+//! [`cryo_liberty::Library`] corner, it levelizes the combinational graph,
+//! propagates arrival times and slews through the NLDM tables, accounts for
+//! SRAM macro launch/capture, and reports the critical path — the number
+//! behind the paper's Table 1 (1.04 ns at 300 K vs 1.09 ns at 10 K).
+//!
+//! The analysis is graph-based worst-slope STA:
+//!
+//! - **Startpoints**: primary inputs (driven with a configurable input
+//!   slew), flip-flop `Q` pins (launched at `clk→Q`), and macro data
+//!   outputs (launched at the macro's clock-to-out).
+//! - **Propagation**: per-arc NLDM lookup of delay and output transition at
+//!   the net's load (pin capacitances plus a fanout-based wire estimate).
+//! - **Endpoints**: flip-flop `D` pins (capture at period − setup), macro
+//!   inputs, and primary outputs.
+//!
+//! Hold analysis runs the dual min-propagation against the hold margins.
+
+mod engine;
+mod report;
+
+pub use engine::{analyze, StaConfig};
+pub use report::{PathStep, TimingReport};
+
+use std::error::Error;
+use std::fmt;
+
+/// STA errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StaError {
+    /// An instance references a cell missing from the library.
+    UnmappedCell {
+        /// Instance name.
+        instance: String,
+        /// Cell name.
+        cell: String,
+    },
+    /// The combinational graph has a cycle (unbroken by registers).
+    CombinationalLoop {
+        /// Name of a net on the cycle.
+        net: String,
+    },
+    /// The design has no timing endpoints.
+    NoEndpoints,
+}
+
+impl fmt::Display for StaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaError::UnmappedCell { instance, cell } => {
+                write!(f, "instance {instance}: cell {cell} not in library")
+            }
+            StaError::CombinationalLoop { net } => {
+                write!(f, "combinational loop through {net}")
+            }
+            StaError::NoEndpoints => write!(f, "design has no timing endpoints"),
+        }
+    }
+}
+
+impl Error for StaError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StaError>;

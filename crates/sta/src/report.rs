@@ -1,0 +1,146 @@
+//! Timing report structures.
+
+/// One hop on the critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStep {
+    /// Instance (or startpoint) name.
+    pub instance: String,
+    /// Cell name (or "input"/"macro").
+    pub cell: String,
+    /// Net the step drives.
+    pub net: String,
+    /// Incremental delay of this step, seconds.
+    pub incr: f64,
+    /// Cumulative arrival after this step, seconds.
+    pub arrival: f64,
+}
+
+/// One endpoint's summary line in the multi-path report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointSummary {
+    /// Endpoint name (`<instance>/D`, `<macro>/in`, or `PO <net>`).
+    pub endpoint: String,
+    /// Path delay including the endpoint's setup margin, seconds.
+    pub path_delay: f64,
+    /// Slack against the analyzed period, seconds.
+    pub slack: f64,
+    /// Number of steps on the worst path to this endpoint.
+    pub depth: usize,
+}
+
+/// Outcome of a timing run at one corner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Library (corner) name.
+    pub corner: String,
+    /// Corner temperature, kelvin.
+    pub temperature: f64,
+    /// Worst path delay including the endpoint's setup margin, seconds —
+    /// the minimum feasible clock period.
+    pub critical_path_delay: f64,
+    /// The N worst endpoints (`StaConfig::max_reported_paths`).
+    pub worst_paths: Vec<EndpointSummary>,
+    /// Endpoint count per slack bin: bin 0 holds the most critical
+    /// endpoints; bin width is 2.5 % of the critical delay.
+    pub slack_histogram: Vec<usize>,
+    /// Worst setup slack against the analyzed period, seconds.
+    pub worst_slack: f64,
+    /// Worst hold slack, seconds (positive = clean).
+    pub worst_hold_slack: f64,
+    /// The critical path, startpoint first.
+    pub critical_path: Vec<PathStep>,
+    /// Name of the endpoint of the critical path.
+    pub endpoint: String,
+    /// Number of timing endpoints analyzed.
+    pub endpoint_count: usize,
+}
+
+impl TimingReport {
+    /// Maximum operating frequency implied by the critical path, hertz.
+    #[must_use]
+    pub fn fmax(&self) -> f64 {
+        if self.critical_path_delay > 0.0 {
+            1.0 / self.critical_path_delay
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Render a PrimeTime-flavoured path report.
+    #[must_use]
+    pub fn path_report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Corner {} ({} K)\nCritical path: {:.4} ns ({:.1} MHz), endpoint {}\n",
+            self.corner,
+            self.temperature,
+            self.critical_path_delay * 1e9,
+            self.fmax() / 1e6,
+            self.endpoint
+        ));
+        out.push_str("  incr(ps)  arrival(ps)  instance (cell) -> net\n");
+        for step in &self.critical_path {
+            out.push_str(&format!(
+                "  {:>8.2}  {:>11.2}  {} ({}) -> {}\n",
+                step.incr * 1e12,
+                step.arrival * 1e12,
+                step.instance,
+                step.cell,
+                step.net
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmax_inverts_delay() {
+        let r = TimingReport {
+            corner: "c".into(),
+            temperature: 300.0,
+            critical_path_delay: 1e-9,
+            worst_paths: vec![],
+            slack_histogram: vec![],
+            worst_slack: 0.0,
+            worst_hold_slack: 0.1e-9,
+            critical_path: vec![],
+            endpoint: "e".into(),
+            endpoint_count: 1,
+        };
+        assert!((r.fmax() - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn report_renders() {
+        let r = TimingReport {
+            corner: "corner300".into(),
+            temperature: 300.0,
+            critical_path_delay: 1.04e-9,
+            worst_paths: vec![EndpointSummary {
+                endpoint: "pipe_ff9/D".into(),
+                path_delay: 1.04e-9,
+                slack: -1.04e-9,
+                depth: 26,
+            }],
+            slack_histogram: vec![1, 0, 3],
+            worst_slack: -1.04e-9,
+            worst_hold_slack: 5e-12,
+            critical_path: vec![PathStep {
+                instance: "alu_fa1".into(),
+                cell: "FAx1".into(),
+                net: "alu_fc2".into(),
+                incr: 15e-12,
+                arrival: 15e-12,
+            }],
+            endpoint: "pipe_ff9/D".into(),
+            endpoint_count: 10,
+        };
+        let text = r.path_report();
+        assert!(text.contains("1.0400 ns"));
+        assert!(text.contains("FAx1"));
+    }
+}

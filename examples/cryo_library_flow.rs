@@ -1,0 +1,101 @@
+//! The EDA-flow scenario: walk the paper's Fig. 1 stack by hand on a small
+//! design — measure a virtual wafer, calibrate the compact model,
+//! characterize a mini cell library at 300 K and 10 K, write/parse Liberty,
+//! and run timing on a hand-built datapath at both corners.
+//!
+//! Run with: `cargo run --release --example cryo_library_flow`
+
+use cryo_soc::cells::{topology, CharConfig, Characterizer};
+use cryo_soc::device::calibrate::CalibrationConfig;
+use cryo_soc::device::{Calibrator, ModelCard, Polarity, VirtualWafer};
+use cryo_soc::liberty::format::{parse_library, write_library};
+use cryo_soc::netlist::DesignBuilder;
+use cryo_soc::sta::{analyze, StaConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. "Measure" silicon and calibrate the compact model. -----------
+    let wafer = VirtualWafer::new(42);
+    let mut cards = Vec::new();
+    for polarity in [Polarity::N, Polarity::P] {
+        let dataset = wafer.measure_campaign(polarity);
+        let mut start = ModelCard::nominal(polarity);
+        start.vth0 *= 1.25; // deliberately detuned bring-up card
+        start.u0 *= 0.8;
+        let report = Calibrator::new(dataset, CalibrationConfig::default()).run(&start)?;
+        println!(
+            "{polarity:?}: calibrated in {} stages, final RMS {:.3} decades",
+            report.stages.len(),
+            report.final_rms
+        );
+        cards.push(report.card);
+    }
+
+    // --- 2. Characterize a mini library at both corners. -----------------
+    let cells = vec![
+        topology::inverter(1),
+        topology::inverter(2),
+        topology::buffer(2),
+        topology::nand(2, 1),
+        topology::nor(2, 1),
+        topology::xor2(1),
+        topology::full_adder(1),
+        topology::dff(1),
+        topology::tielo(),
+    ];
+    let mut libs = Vec::new();
+    for temp in [300.0, 10.0] {
+        let engine = Characterizer::new(&cards[0], &cards[1], CharConfig::fast(temp));
+        let lib = engine.characterize_library(&format!("mini_{temp}k"), &cells)?;
+        let stats = lib.stats();
+        println!(
+            "{:>5} K: {} cells, mean delay {:.2} ps, library leakage {:.3e} W",
+            temp,
+            stats.cell_count,
+            stats.mean_delay * 1e12,
+            stats.total_avg_leakage
+        );
+        libs.push(lib);
+    }
+
+    // --- 3. Round-trip through the Liberty text format. ------------------
+    let text = write_library(&libs[0]);
+    let parsed = parse_library(&text)?;
+    println!(
+        "\nLiberty round trip: {} chars of .lib text, {} cells parsed back",
+        text.len(),
+        parsed.len()
+    );
+    println!("{}", text.lines().take(12).collect::<Vec<_>>().join("\n"));
+
+    // --- 4. STA on an 8-bit accumulator datapath at both corners. --------
+    let mut b = DesignBuilder::new("accumulator");
+    let clk = b.clock_input("clk");
+    let a = b.input_bus("a", 8);
+    let acc_d: Vec<_> = (0..8).map(|_| b.net("acc_d")).collect();
+    let acc_q = b.register_word(&acc_d, clk);
+    let cin = b.tie_lo();
+    let (sum, _c) = b.ripple_adder(&a, &acc_q, cin);
+    for (i, &s) in sum.iter().enumerate() {
+        b.alias_with_buffer(s, acc_d[i]);
+        b.mark_output(s);
+    }
+    let design = b.finish();
+    println!("\nAccumulator: {} cells", design.cell_count());
+    let mean300 = libs[0].stats().mean_delay;
+    for lib in &libs {
+        let scale = lib.stats().mean_delay / mean300;
+        let cfg = StaConfig {
+            macro_delay_scale: scale,
+            ..StaConfig::default()
+        };
+        let report = analyze(&design, lib, &cfg)?;
+        println!(
+            "  {:>5} K: critical path {:.1} ps ({:.2} GHz) through {}",
+            lib.temperature,
+            report.critical_path_delay * 1e12,
+            report.fmax() / 1e9,
+            report.endpoint
+        );
+    }
+    Ok(())
+}

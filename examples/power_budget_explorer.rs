@@ -1,0 +1,88 @@
+//! The cryostat-power scenario (the paper's Sec. VII discussion): explore
+//! frequency scaling and burst duty-cycling against the 100 mW cooling
+//! budget at 10 K.
+//!
+//! Run with: `cargo run --release --example power_budget_explorer`
+
+use cryo_soc::core::flow::COOLING_BUDGET_10K;
+use cryo_soc::core::{CryoFlow, FlowConfig, Workload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let flow = CryoFlow::new(FlowConfig::fast("data"));
+    let lib300 = flow.library(300.0)?;
+    let lib10 = flow.library(10.0)?;
+    let design = flow.soc();
+    let mean300 = lib300.stats().mean_delay;
+    let t300 = flow.timing(&design, &lib300, mean300)?;
+    let t10 = flow.timing(&design, &lib10, mean300)?;
+    println!(
+        "SoC: {} cells; fmax {:.0} MHz @300K, {:.0} MHz @10K",
+        design.cell_count(),
+        t300.fmax() / 1e6,
+        t10.fmax() / 1e6
+    );
+
+    // Workload activity (kNN), calibrated at the 300 K anchor.
+    let knn = flow.run_workload(Workload::Knn { n: 27 })?;
+    let base = flow.activity_profile(&knn.stats);
+    let scale = flow.calibrate_activity_scale(&design, &lib300, &base, t300.fmax())?;
+    let mut profile = base;
+    profile.scale(scale);
+
+    // --- 1. Frequency scaling at 10 K. ------------------------------------
+    println!(
+        "\nfrequency scaling at 10 K (budget {:.0} mW):",
+        COOLING_BUDGET_10K * 1e3
+    );
+    println!("{:>10} {:>12} {:>10}", "clock", "total power", "fits?");
+    for frac in [0.25, 0.5, 0.75, 1.0] {
+        let f = t10.fmax() * frac;
+        let p = flow.power(&design, &lib10, &profile, f)?;
+        println!(
+            "{:>7.0} MHz {:>9.1} mW {:>10}",
+            f / 1e6,
+            p.total() * 1e3,
+            if p.fits_budget(COOLING_BUDGET_10K) {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+    }
+
+    // --- 2. Burst duty-cycling (Sec. VII: "short but high-power bursts"). --
+    // Average power = duty × active + (1 − duty) × idle, where idle keeps
+    // only the clock tree and leakage alive.
+    let active = flow.power(&design, &lib10, &profile, t10.fmax())?;
+    let mut idle_profile = flow.activity_profile(&knn.stats);
+    idle_profile.scale(0.0); // clock keeps running; data activity gated off
+    let idle = flow.power(&design, &lib10, &idle_profile, t10.fmax())?;
+    println!(
+        "\nburst processing at 10 K: active {:.1} mW, clock-gated idle {:.1} mW",
+        active.total() * 1e3,
+        idle.total() * 1e3
+    );
+    println!("{:>6} {:>14}", "duty", "average power");
+    for duty in [0.1, 0.25, 0.5, 0.75, 1.0] {
+        let avg = duty * active.total() + (1.0 - duty) * idle.total();
+        println!("{:>5.0}% {:>11.1} mW", duty * 100.0, avg * 1e3);
+    }
+    println!(
+        "\nheadroom at full duty: {:+.1} mW under the cooling budget",
+        (COOLING_BUDGET_10K - active.total()) * 1e3
+    );
+
+    // --- 3. The same SoC at 300 K for contrast (the paper's infeasibility). -
+    let p300 = flow.power(&design, &lib300, &profile, t300.fmax())?;
+    println!(
+        "\nfor contrast at 300 K: {:.1} mW total ({:.0} mW of it SRAM leakage) — {}",
+        p300.total() * 1e3,
+        p300.sram_leakage_w * 1e3,
+        if p300.fits_budget(COOLING_BUDGET_10K) {
+            "fits"
+        } else {
+            "does NOT fit the cryostat budget"
+        }
+    );
+    Ok(())
+}

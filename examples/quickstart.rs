@@ -1,0 +1,43 @@
+//! Quickstart: can an off-the-shelf RISC-V SoC keep up with a quantum
+//! computer's readout? Classify a 27-qubit device with both of the paper's
+//! algorithms, time them on the cycle-accurate SoC model, and check the
+//! decoherence budget.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cryo_soc::core::{CryoFlow, FlowConfig, Workload};
+use cryo_soc::qubit::{classification_time, state_fidelity};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let flow = CryoFlow::new(FlowConfig::fast("data"));
+
+    println!("== cryo-soc quickstart: 27 qubits, IBM-Falcon-class readout ==\n");
+
+    // 1. Time the two classifiers on the Rocket-class pipeline model.
+    let knn = flow.run_workload(Workload::Knn { n: 27 })?;
+    let hdc = flow.run_workload(Workload::Hdc { n: 27, cpop: false })?;
+    println!("kNN: {:>6.1} cycles/classification", knn.cycles_per_item);
+    println!(
+        "HDC: {:>6.1} cycles/classification ({:.1}x slower — software popcount)",
+        hdc.cycles_per_item,
+        hdc.cycles_per_item / knn.cycles_per_item
+    );
+
+    // 2. Check against the decoherence deadline at a 1 GHz clock.
+    let budget = 110e-6;
+    let t_knn = classification_time(27, knn.cycles_per_item, 1e9);
+    println!(
+        "\nClassifying all 27 qubits takes {:.2} us of the {:.0} us decoherence budget",
+        t_knn * 1e6,
+        budget * 1e6
+    );
+    println!(
+        "state fidelity remaining after classification: {:.4}",
+        state_fidelity(t_knn, budget)
+    );
+
+    // 3. How far does it scale? (The paper's headline: ~1500 qubits.)
+    let n_max = cryo_soc::qubit::max_qubits_within_budget(budget, 1e9, |_| knn.cycles_per_item);
+    println!("at this rate the SoC keeps up with ~{n_max} qubits before becoming the bottleneck");
+    Ok(())
+}

@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+//! `cryo-soc` — a full-stack reproduction of *"Cryogenic Embedded System to
+//! Support Quantum Computing: From 5-nm FinFET to Full Processor"* (IEEE
+//! TQE 2023) in pure Rust.
+//!
+//! This umbrella crate re-exports the workspace:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`device`] | cryogenic-aware FinFET compact model + virtual wafer + calibration |
+//! | [`spice`] | MNA circuit simulator (DC, transient, waveform measurements) |
+//! | [`liberty`] | NLDM timing/power library model + Liberty-style format |
+//! | [`cells`] | 169 standard-cell topologies + characterization engine |
+//! | [`netlist`] | gate-level netlists, SRAM macros, the RV64 SoC generator |
+//! | [`sta`] | static timing analysis |
+//! | [`power`] | activity-driven power analysis |
+//! | [`riscv`] | RV64IMFD simulator, assembler, pipeline + cache timing |
+//! | [`qubit`] | qubit readout model, calibration, decoherence budgets |
+//! | [`hdc`] | hyperdimensional computing primitives |
+//! | [`core`] | the end-to-end exploration flow + experiment drivers |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use cryo_soc::core::{CryoFlow, FlowConfig, Workload};
+//!
+//! let flow = CryoFlow::new(FlowConfig::fast("data"));
+//! let run = flow.run_workload(Workload::Knn { n: 27 })?;
+//! println!("{:.1} cycles per classification", run.cycles_per_item);
+//! # Ok::<(), cryo_soc::core::CoreError>(())
+//! ```
+
+pub use cryo_cells as cells;
+pub use cryo_core as core;
+pub use cryo_device as device;
+pub use cryo_hdc as hdc;
+pub use cryo_liberty as liberty;
+pub use cryo_netlist as netlist;
+pub use cryo_power as power;
+pub use cryo_qubit as qubit;
+pub use cryo_riscv as riscv;
+pub use cryo_spice as spice;
+pub use cryo_sta as sta;

@@ -1,0 +1,58 @@
+//! Smoke tests on the experiment drivers through the public API — every
+//! paper artifact regenerates and shows the paper's qualitative trends.
+
+use cryo_soc::core::experiments::{fig2_readout, fig3_transfer, fig7_scaling, table2_cycles};
+use cryo_soc::core::{CryoFlow, FlowConfig};
+
+fn flow() -> CryoFlow {
+    CryoFlow::new(FlowConfig::fast(
+        std::env::temp_dir().join("cryo_soc_experiments_it"),
+    ))
+}
+
+#[test]
+fn fig2_readout_regenerates() {
+    let r = fig2_readout(11).expect("fig2 runs");
+    assert_eq!(r.qubits, 27, "IBM Falcon class");
+    assert!(r.knn_fidelity > 0.9);
+    assert!(!r.shots.is_empty());
+    assert_eq!(r.decay.first().map(|p| p.1), Some(1.0));
+    let last = r.decay.last().unwrap();
+    assert!(last.1 < 0.4, "decay curve actually decays");
+}
+
+#[test]
+fn fig3_transfer_regenerates_both_polarities() {
+    let devices = fig3_transfer(11).expect("fig3 runs");
+    assert_eq!(devices.len(), 2);
+    for d in &devices {
+        assert_eq!(d.corners.len(), 4, "2 temps x 2 biases");
+        assert!(
+            d.vth_10k > d.vth_300k,
+            "{}: Vth rises when cold",
+            d.polarity
+        );
+        assert!(d.ioff_reduction > 50.0, "{}: leakage collapses", d.polarity);
+        for corner in &d.corners {
+            assert_eq!(corner.measured.len(), 121);
+            assert_eq!(corner.model.len(), 121);
+        }
+    }
+}
+
+#[test]
+fn table2_and_fig7_share_cycle_trends() {
+    let f = flow();
+    let t2 = table2_cycles(&f).expect("table2 runs");
+    let f7 = fig7_scaling(&f).expect("fig7 runs");
+    // Fig. 7's 20-qubit point must agree with Table 2's 20-qubit cell.
+    let p20 = f7.points.iter().find(|p| p.qubits == 20).unwrap();
+    assert!((p20.knn_cycles - t2.knn_20).abs() < 1.0);
+    assert!((p20.hdc_cycles - t2.hdc_20).abs() < 3.0);
+    // HDC stays above kNN everywhere.
+    for p in &f7.points {
+        assert!(p.hdc_time > p.knn_time, "at {} qubits", p.qubits);
+    }
+    // The headline: the SoC becomes the bottleneck in the low thousands.
+    assert!(f7.knn_crossover > 800 && f7.knn_crossover < 3000);
+}

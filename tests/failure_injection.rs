@@ -1,0 +1,152 @@
+//! Failure injection: every engine reports structured errors instead of
+//! panicking or hanging when handed defective inputs.
+
+use cryo_soc::liberty::{LibertyError, Library, Lut2};
+use cryo_soc::netlist::{DesignBuilder, NetlistError};
+use cryo_soc::riscv::asm::assemble;
+use cryo_soc::riscv::cpu::Cpu;
+use cryo_soc::riscv::RiscvError;
+use cryo_soc::spice::{dc_operating_point, Circuit, Source, SpiceError, GROUND};
+use cryo_soc::sta::{analyze, StaConfig, StaError};
+
+#[test]
+fn conflicting_ideal_sources_are_singular_or_unsolvable() {
+    // Two ideal voltage sources forcing different values onto one node.
+    let mut c = Circuit::new();
+    let n = c.node("n");
+    c.vsource("V1", n, GROUND, Source::dc(1.0));
+    c.vsource("V2", n, GROUND, Source::dc(2.0));
+    c.resistor("R", n, GROUND, 1e3);
+    let r = dc_operating_point(&c);
+    assert!(
+        matches!(
+            r,
+            Err(SpiceError::SingularMatrix { .. }) | Err(SpiceError::NoConvergence { .. })
+        ),
+        "got {r:?}"
+    );
+}
+
+#[test]
+fn empty_circuit_is_rejected_cleanly() {
+    let c = Circuit::new();
+    assert!(matches!(
+        dc_operating_point(&c),
+        Err(SpiceError::EmptyCircuit)
+    ));
+}
+
+#[test]
+fn combinational_loop_is_detected_by_sta() {
+    // Ring of two inverters with no register: a combinational loop.
+    let mut lib = Library::new("loop_lib", 300.0, 0.7);
+    let inv_fn = cryo_soc::liberty::LogicFunction::from_eval(&["A"], |b| b & 1 == 0);
+    lib.add_cell(cryo_soc::liberty::Cell {
+        name: "INVx1".into(),
+        area: 0.05,
+        pins: vec![
+            cryo_soc::liberty::Pin::input("A", 1e-15),
+            cryo_soc::liberty::Pin::output("Y", inv_fn),
+        ],
+        arcs: vec![cryo_soc::liberty::TimingArc {
+            related_pin: "A".into(),
+            pin: "Y".into(),
+            kind: cryo_soc::liberty::ArcKind::Combinational,
+            sense: cryo_soc::liberty::TimingSense::NegativeUnate,
+            cell_rise: Lut2::constant(10e-12),
+            cell_fall: Lut2::constant(10e-12),
+            rise_transition: Lut2::constant(5e-12),
+            fall_transition: Lut2::constant(5e-12),
+        }],
+        power_arcs: vec![],
+        leakage_states: vec![(0, 1e-9)],
+        ff: None,
+        drive: 1,
+    });
+    let mut b = DesignBuilder::new("ring");
+    let fb = b.net("feedback");
+    let y1 = b.inv(fb, 1);
+    let y2 = b.inv(y1, 1);
+    b.alias_with_buffer(y2, fb); // BUFx2 closes the loop
+    b.mark_output(y2);
+    // Library lacks BUFx2 -> unmapped-cell error first; add it.
+    let buf_fn = cryo_soc::liberty::LogicFunction::from_eval(&["A"], |bits| bits & 1 != 0);
+    let mut buf = lib.cell("INVx1").unwrap().clone();
+    buf.name = "BUFx2".into();
+    buf.pins[1].function = Some(buf_fn);
+    lib.add_cell(buf);
+    let design = b.finish();
+    let err = analyze(&design, &lib, &StaConfig::default()).unwrap_err();
+    assert!(matches!(err, StaError::CombinationalLoop { .. }), "{err}");
+}
+
+#[test]
+fn unmapped_cell_is_reported_by_netlist_check() {
+    let mut b = DesignBuilder::new("bad");
+    let x = b.input("x");
+    let _ = b.gate("FANTASYx9", &[x]);
+    let design = b.finish();
+    let lib = Library::new("empty", 300.0, 0.7);
+    assert!(matches!(
+        design.check(&lib),
+        Err(NetlistError::UnmappedCell { .. })
+    ));
+}
+
+#[test]
+fn malformed_tables_are_rejected() {
+    assert!(matches!(
+        Lut2::new(vec![2.0, 1.0], vec![1.0], vec![0.0, 0.0]),
+        Err(LibertyError::MalformedTable { .. })
+    ));
+}
+
+#[test]
+fn cpu_faults_on_out_of_range_access() {
+    let program = assemble(
+        "li a0, 0x7fffffff
+         slli a0, a0, 8
+         ld a1, 0(a0)
+         ecall",
+    )
+    .unwrap();
+    let mut cpu = Cpu::new();
+    cpu.load_program(&program);
+    let err = cpu.run(100).unwrap_err();
+    assert!(matches!(err, RiscvError::MemoryFault { .. }), "{err}");
+}
+
+#[test]
+fn cpu_faults_on_illegal_instruction() {
+    let program = assemble("nop\necall").unwrap();
+    let mut cpu = Cpu::new();
+    cpu.load_program(&program);
+    // Overwrite the nop with an undecodable word.
+    cpu.write_mem(0x1000, &0xffff_ffffu32.to_le_bytes())
+        .unwrap();
+    let err = cpu.run(10).unwrap_err();
+    assert!(
+        matches!(err, RiscvError::IllegalInstruction { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn assembler_reports_line_numbers() {
+    let err = assemble("nop\nnop\nbogus_mnemonic a0").unwrap_err();
+    match err {
+        RiscvError::Asm { line, .. } => assert_eq!(line, 3),
+        other => panic!("wrong error: {other}"),
+    }
+}
+
+#[test]
+fn infinite_loop_hits_budget_not_hang() {
+    let program = assemble("spin: j spin").unwrap();
+    let mut cpu = Cpu::new();
+    cpu.load_program(&program);
+    assert!(matches!(
+        cpu.run(10_000),
+        Err(RiscvError::Timeout { executed: 10_000 })
+    ));
+}

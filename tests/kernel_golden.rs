@@ -1,0 +1,107 @@
+//! Bit-exact agreement between the RISC-V classification kernels and the
+//! golden Rust classifiers — the contract that makes the Table 2 cycle
+//! counts meaningful.
+
+use cryo_soc::hdc::IqEncoder;
+use cryo_soc::qubit::{Calibration, HdcClassifier, KnnClassifier, QuantumDevice};
+use cryo_soc::riscv::asm::assemble;
+use cryo_soc::riscv::cpu::Cpu;
+use cryo_soc::riscv::kernels::{hdc_source, knn_source, HDC_LEVELS};
+use cryo_soc::riscv::{PipelineConfig, PipelineModel};
+
+fn run_kernel(src: &str, n: usize) -> Vec<u8> {
+    let program = assemble(src).expect("kernel assembles");
+    let out = program.label("out").expect("out label");
+    let mut cpu = Cpu::new();
+    cpu.load_program(&program);
+    cpu.run(100_000_000).expect("kernel terminates");
+    cpu.read_mem(out, n).expect("results readable").to_vec()
+}
+
+fn setup(n: usize, seed: u64) -> (QuantumDevice, Calibration, Vec<(f64, f64)>, Vec<u8>) {
+    let device = QuantumDevice::new(n, seed);
+    let cal = Calibration::train(&device, 128).expect("calibration");
+    let shots = device.measurement_round(2);
+    let meas: Vec<(f64, f64)> = shots.iter().map(|s| (s.point.i, s.point.q)).collect();
+    let qubits: Vec<u8> = shots.iter().map(|s| s.prepared).collect();
+    (device, cal, meas, qubits)
+}
+
+#[test]
+fn knn_kernel_matches_golden_classifier() {
+    for seed in [1u64, 9, 77] {
+        let (_, cal, meas, _) = setup(33, seed);
+        let knn = KnnClassifier::new(cal.clone());
+        let golden: Vec<u8> = meas
+            .iter()
+            .enumerate()
+            .map(|(q, &(i, qq))| {
+                knn.classify(q, cryo_soc::qubit::IqPoint::new(i, qq))
+                    .unwrap()
+            })
+            .collect();
+        let kernel = run_kernel(&knn_source(&cal.knn_table(), &meas), meas.len());
+        assert_eq!(kernel, golden, "seed {seed}");
+    }
+}
+
+#[test]
+fn hdc_kernel_matches_golden_classifier() {
+    for seed in [3u64, 21] {
+        let (_, cal, meas, _) = setup(25, seed);
+        let encoder = IqEncoder::new(HDC_LEVELS, -3.0, 3.0, seed);
+        let (qmin, qscale) = (encoder.qmin, encoder.qscale);
+        let hdc = HdcClassifier::new(&cal, encoder).unwrap();
+        let golden: Vec<u8> = meas
+            .iter()
+            .enumerate()
+            .map(|(q, &(i, qq))| {
+                hdc.classify(q, cryo_soc::qubit::IqPoint::new(i, qq))
+                    .unwrap()
+            })
+            .collect();
+        let (ix, iy) = hdc.encoder().tables();
+        let src = hdc_source(&ix, &iy, &hdc.center_table(), &meas, qmin, qscale, false);
+        let kernel = run_kernel(&src, meas.len());
+        assert_eq!(kernel, golden, "seed {seed}");
+    }
+}
+
+#[test]
+fn hardware_popcount_gives_identical_labels() {
+    let (_, cal, meas, _) = setup(18, 5);
+    let encoder = IqEncoder::new(HDC_LEVELS, -3.0, 3.0, 5);
+    let (qmin, qscale) = (encoder.qmin, encoder.qscale);
+    let hdc = HdcClassifier::new(&cal, encoder).unwrap();
+    let (ix, iy) = hdc.encoder().tables();
+    let soft = run_kernel(
+        &hdc_source(&ix, &iy, &hdc.center_table(), &meas, qmin, qscale, false),
+        meas.len(),
+    );
+    // cpop path needs the pipeline model with the extension enabled.
+    let src = hdc_source(&ix, &iy, &hdc.center_table(), &meas, qmin, qscale, true);
+    let program = assemble(&src).unwrap();
+    let out = program.label("out").unwrap();
+    let mut m = PipelineModel::new(PipelineConfig {
+        enable_cpop: true,
+        ..PipelineConfig::default()
+    });
+    m.cpu.load_program(&program);
+    m.run(100_000_000).unwrap();
+    let hard = m.cpu.read_mem(out, meas.len()).unwrap().to_vec();
+    assert_eq!(soft, hard, "Zbb ablation must not change results");
+}
+
+#[test]
+fn classification_accuracy_is_high_end_to_end() {
+    // The kernel labels, compared against the *prepared* states: this is
+    // the full readout chain (device noise -> calibration -> kernel).
+    let (_, cal, meas, prepared) = setup(40, 13);
+    let kernel = run_kernel(&knn_source(&cal.knn_table(), &meas), meas.len());
+    let correct = kernel.iter().zip(&prepared).filter(|(a, b)| a == b).count();
+    let fidelity = correct as f64 / meas.len() as f64;
+    assert!(
+        fidelity > 0.9,
+        "end-to-end assignment fidelity = {fidelity}"
+    );
+}

@@ -1,0 +1,105 @@
+//! Characterized libraries survive the Liberty text format and the JSON
+//! cache losslessly enough for signoff: every timing/power lookup agrees.
+
+use cryo_soc::cells::{cache, topology, CharConfig, Characterizer};
+use cryo_soc::device::{ModelCard, Polarity};
+use cryo_soc::liberty::format::{parse_library, write_library};
+
+fn mini_library() -> cryo_soc::liberty::Library {
+    let engine = Characterizer::new(
+        &ModelCard::nominal(Polarity::N),
+        &ModelCard::nominal(Polarity::P),
+        CharConfig::fast(300.0),
+    );
+    let cells = vec![
+        topology::inverter(1),
+        topology::nand(2, 2),
+        topology::xor2(1),
+        topology::dff(1),
+    ];
+    engine.characterize_library("rt300", &cells).unwrap()
+}
+
+#[test]
+fn liberty_text_round_trip_preserves_signoff_lookups() {
+    let lib = mini_library();
+    let text = write_library(&lib);
+    let back = parse_library(&text).expect("parses");
+    assert_eq!(back.len(), lib.len());
+    for cell in lib.cells() {
+        let rt = back.cell(&cell.name).expect("cell survives");
+        assert_eq!(rt.arcs.len(), cell.arcs.len(), "{}", cell.name);
+        assert_eq!(rt.pins.len(), cell.pins.len());
+        assert_eq!(rt.is_sequential(), cell.is_sequential());
+        for a in &cell.arcs {
+            // The writer groups arcs under pins, so order may differ; match
+            // by (related_pin, pin, kind).
+            let b = rt
+                .arcs
+                .iter()
+                .find(|b| b.related_pin == a.related_pin && b.pin == a.pin && b.kind == a.kind)
+                .unwrap_or_else(|| panic!("{}: arc {}->{} lost", cell.name, a.related_pin, a.pin));
+            for (slew, load) in [(5e-12, 1e-15), (20e-12, 5e-15), (80e-12, 12e-15)] {
+                let da = a.worst_delay(slew, load);
+                let db = b.worst_delay(slew, load);
+                assert!(
+                    (da - db).abs() < 1e-6 * da.abs().max(1e-15),
+                    "{} {}->{}: {da:e} vs {db:e}",
+                    cell.name,
+                    a.related_pin,
+                    a.pin
+                );
+            }
+        }
+        // Leakage and pin caps survive within text precision.
+        assert!(
+            (rt.average_leakage() - cell.average_leakage()).abs()
+                < 1e-3 * cell.average_leakage().abs() + 1e-15
+        );
+        for pin in cell.input_pins() {
+            let rp = rt.pin(&pin.name).unwrap();
+            assert!((rp.capacitance - pin.capacitance).abs() < 1e-18);
+        }
+    }
+}
+
+#[test]
+fn json_cache_round_trip_is_lossless() {
+    let lib = mini_library();
+    let dir = std::env::temp_dir().join("cryo_soc_cache_it");
+    let _ = std::fs::remove_dir_all(&dir);
+    cache::store(&dir, &lib.name, "itkey", &lib).unwrap();
+    let back = cache::load(&dir, &lib.name, "itkey").expect("cache hit");
+    assert_eq!(back.len(), lib.len());
+    for cell in lib.cells() {
+        let rt = back.cell(&cell.name).unwrap();
+        assert_eq!(rt.name, cell.name);
+        assert_eq!(rt.arcs.len(), cell.arcs.len());
+        for ((sa, wa), (sb, wb)) in cell.leakage_states.iter().zip(&rt.leakage_states) {
+            assert_eq!(sa, sb);
+            assert!((wa - wb).abs() <= 1e-14 * wa.abs().max(1e-30));
+        }
+        // Table values survive to within a JSON float round trip (last ulp).
+        for (a, b) in cell.arcs.iter().zip(&rt.arcs) {
+            for (va, vb) in a.cell_rise.values().iter().zip(b.cell_rise.values()) {
+                assert!(
+                    (va - vb).abs() <= 1e-15 * va.abs().max(1e-30),
+                    "{va:e} vs {vb:e}"
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn functions_survive_and_still_evaluate() {
+    let lib = mini_library();
+    let back = parse_library(&write_library(&lib)).unwrap();
+    let xor = back.cell("XOR2x1").unwrap();
+    let f = xor.pin("Y").unwrap().function.clone().expect("function");
+    assert!(!f.eval(0b00));
+    assert!(f.eval(0b01));
+    assert!(f.eval(0b10));
+    assert!(!f.eval(0b11));
+}

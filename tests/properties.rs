@@ -1,0 +1,293 @@
+//! Cross-crate property-based tests on the core invariants.
+
+use proptest::prelude::*;
+
+use cryo_soc::hdc::Hv128;
+use cryo_soc::liberty::Lut2;
+use cryo_soc::riscv::isa::{decode, encode, AluOp, BranchCond, Inst, MemWidth};
+
+// ---------------------------------------------------------------------------
+// The paper's radicand optimization (Sec. V-B): comparing squared distances
+// is exactly equivalent to comparing distances.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn radicand_comparison_equals_sqrt_comparison(
+        xm in -10.0f64..10.0, ym in -10.0f64..10.0,
+        x0 in -10.0f64..10.0, y0 in -10.0f64..10.0,
+        x1 in -10.0f64..10.0, y1 in -10.0f64..10.0,
+    ) {
+        let d0_sq = (xm - x0).powi(2) + (ym - y0).powi(2);
+        let d1_sq = (xm - x1).powi(2) + (ym - y1).powi(2);
+        let with_sqrt = d1_sq.sqrt() < d0_sq.sqrt();
+        let radicand = d1_sq < d0_sq;
+        prop_assert_eq!(with_sqrt, radicand);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The paper's equation (4): merging the class vector into the item vector
+// leaves every Hamming distance unchanged.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn hdc_rewrite_is_exact(
+        c_lo in any::<u64>(), c_hi in any::<u64>(),
+        x_lo in any::<u64>(), x_hi in any::<u64>(),
+        y_lo in any::<u64>(), y_hi in any::<u64>(),
+    ) {
+        let c = Hv128::new(c_lo, c_hi);
+        let x = Hv128::new(x_lo, x_hi);
+        let y = Hv128::new(y_lo, y_hi);
+        // d = popcount(C ⊕ x ⊕ y) == popcount((C ⊕ x) ⊕ y)
+        let direct = c.bind(x).bind(y).count_ones();
+        let prebound = (c.bind(x)).bind(y).count_ones();
+        let assoc = c.bind(x.bind(y)).count_ones();
+        prop_assert_eq!(direct, prebound);
+        prop_assert_eq!(direct, assoc);
+    }
+
+    #[test]
+    fn hamming_triangle_inequality(
+        a_lo in any::<u64>(), a_hi in any::<u64>(),
+        b_lo in any::<u64>(), b_hi in any::<u64>(),
+        c_lo in any::<u64>(), c_hi in any::<u64>(),
+    ) {
+        let a = Hv128::new(a_lo, a_hi);
+        let b = Hv128::new(b_lo, b_hi);
+        let c = Hv128::new(c_lo, c_hi);
+        prop_assert!(a.hamming(c) <= a.hamming(b) + b.hamming(c));
+        prop_assert_eq!(a.hamming(b), b.hamming(a));
+        prop_assert_eq!(a.hamming(a), 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ISA encode/decode round trip over randomized instructions.
+// ---------------------------------------------------------------------------
+
+fn arb_inst() -> impl Strategy<Value = Inst> {
+    let reg = 0u8..32;
+    let alu = prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Sll),
+        Just(AluOp::Slt),
+        Just(AluOp::Sltu),
+        Just(AluOp::Xor),
+        Just(AluOp::Srl),
+        Just(AluOp::Sra),
+        Just(AluOp::Or),
+        Just(AluOp::And),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Rem),
+    ];
+    let width = prop_oneof![
+        Just(MemWidth::B),
+        Just(MemWidth::H),
+        Just(MemWidth::W),
+        Just(MemWidth::D),
+    ];
+    let cond = prop_oneof![
+        Just(BranchCond::Eq),
+        Just(BranchCond::Ne),
+        Just(BranchCond::Lt),
+        Just(BranchCond::Ge),
+        Just(BranchCond::Ltu),
+        Just(BranchCond::Geu),
+    ];
+    prop_oneof![
+        (reg.clone(), -2048i64..2048, reg.clone(), alu.clone()).prop_map(|(rd, imm, rs1, op)| {
+            match op {
+                AluOp::Sub | AluOp::Mul | AluOp::Div | AluOp::Rem => Inst::OpImm {
+                    op: AluOp::Add,
+                    rd,
+                    rs1,
+                    imm,
+                },
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => Inst::OpImm {
+                    op,
+                    rd,
+                    rs1,
+                    imm: imm.rem_euclid(64),
+                },
+                _ => Inst::OpImm { op, rd, rs1, imm },
+            }
+        }),
+        (reg.clone(), reg.clone(), reg.clone(), alu).prop_map(|(rd, rs1, rs2, op)| Inst::Op {
+            op,
+            rd,
+            rs1,
+            rs2
+        }),
+        (cond, reg.clone(), reg.clone(), -2048i64..2048).prop_map(|(cond, rs1, rs2, off)| {
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset: (off / 2) * 2,
+            }
+        }),
+        (width.clone(), reg.clone(), reg.clone(), -2048i64..2048).prop_map(
+            |(width, rd, rs1, offset)| Inst::Load {
+                width,
+                rd,
+                rs1,
+                offset
+            }
+        ),
+        (width, reg.clone(), reg.clone(), -2048i64..2048).prop_map(|(width, rs2, rs1, offset)| {
+            Inst::Store {
+                width,
+                rs2,
+                rs1,
+                offset,
+            }
+        }),
+        (reg.clone(), (-(1i64 << 19)..(1i64 << 19))).prop_map(|(rd, off)| Inst::Jal {
+            rd,
+            offset: (off / 2) * 2
+        }),
+        (reg, -(1i64 << 31) / 4096..(1i64 << 31) / 4096)
+            .prop_map(|(rd, imm)| Inst::Lui { rd, imm: imm << 12 }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn isa_encode_decode_round_trip(inst in arb_inst()) {
+        let word = encode(&inst);
+        let back = decode(word);
+        prop_assert_eq!(Some(inst), back, "word {:#010x}", word);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NLDM interpolation: inside the grid, the result is bounded by the table's
+// extremes; on grid points it is exact.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn lut_interpolation_is_bounded_inside_grid(
+        values in prop::collection::vec(1e-12f64..1e-9, 9),
+        fs in 0.0f64..1.0,
+        fl in 0.0f64..1.0,
+    ) {
+        let slews = vec![1e-12, 10e-12, 100e-12];
+        let loads = vec![1e-15, 10e-15, 100e-15];
+        let lut = Lut2::new(slews.clone(), loads.clone(), values.clone()).unwrap();
+        let s = slews[0] + fs * (slews[2] - slews[0]);
+        let l = loads[0] + fl * (loads[2] - loads[0]);
+        let v = lut.lookup(s, l);
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min - 1e-18 && v <= max + 1e-18, "v = {v}, range [{min}, {max}]");
+    }
+
+    #[test]
+    fn lut_exact_on_grid_points(
+        values in prop::collection::vec(1e-12f64..1e-9, 9),
+        i in 0usize..3,
+        j in 0usize..3,
+    ) {
+        let slews = vec![1e-12, 10e-12, 100e-12];
+        let loads = vec![1e-15, 10e-15, 100e-15];
+        let lut = Lut2::new(slews.clone(), loads.clone(), values.clone()).unwrap();
+        let v = lut.lookup(slews[i], loads[j]);
+        prop_assert!((v - values[i * 3 + j]).abs() < 1e-20);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cache model vs. a brute-force LRU reference.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn cache_matches_reference_lru(addrs in prop::collection::vec(0u64..4096, 1..200)) {
+        use cryo_soc::riscv::cache::{Cache, CacheConfig};
+        let cfg = CacheConfig { size: 8 * 64, ways: 2, line: 64, hit_latency: 0 };
+        let mut cache = Cache::new(cfg);
+        // Reference: per-set LRU lists.
+        let sets = 4usize;
+        let mut reference: Vec<Vec<u64>> = vec![Vec::new(); sets];
+        for &addr in &addrs {
+            let line = addr / 64;
+            let set = (line as usize) % sets;
+            let tag = line / sets as u64;
+            let lru = &mut reference[set];
+            let expected_hit = lru.contains(&tag);
+            if expected_hit {
+                lru.retain(|&t| t != tag);
+            } else if lru.len() == 2 {
+                lru.remove(0);
+            }
+            lru.push(tag);
+            let (hit, _) = cache.access(addr, false);
+            prop_assert_eq!(hit, expected_hit, "addr {:#x}", addr);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Liberty writer/parser round trip on randomized tables.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn liberty_text_round_trips_random_tables(
+        values in prop::collection::vec(1e-13f64..5e-10, 9),
+        trans in prop::collection::vec(1e-13f64..2e-10, 9),
+        cap in 1e-16f64..5e-15,
+        leak in 1e-12f64..1e-7,
+    ) {
+        use cryo_soc::liberty::format::{parse_library, write_library};
+        use cryo_soc::liberty::{
+            ArcKind, Cell, Library, LogicFunction, Pin, TimingArc, TimingSense,
+        };
+        let slews = vec![1e-12, 10e-12, 100e-12];
+        let loads = vec![1e-15, 5e-15, 20e-15];
+        let table = Lut2::new(slews.clone(), loads.clone(), values.clone()).unwrap();
+        let ttable = Lut2::new(slews, loads, trans).unwrap();
+        let mut lib = Library::new("prop_lib", 300.0, 0.7);
+        lib.add_cell(Cell {
+            name: "INVx1".into(),
+            area: 0.05,
+            pins: vec![
+                Pin::input("A", cap),
+                Pin::output("Y", LogicFunction::from_eval(&["A"], |b| b & 1 == 0)),
+            ],
+            arcs: vec![TimingArc {
+                related_pin: "A".into(),
+                pin: "Y".into(),
+                kind: ArcKind::Combinational,
+                sense: TimingSense::NegativeUnate,
+                cell_rise: table.clone(),
+                cell_fall: table.scaled(0.9),
+                rise_transition: ttable.clone(),
+                fall_transition: ttable,
+            }],
+            power_arcs: vec![],
+            leakage_states: vec![(0, leak)],
+            ff: None,
+            drive: 1,
+        });
+        let back = parse_library(&write_library(&lib)).expect("round trip parses");
+        let orig = &lib.cell("INVx1").unwrap().arcs[0];
+        let rt = &back.cell("INVx1").unwrap().arcs[0];
+        for (slew, load) in [(1e-12, 1e-15), (4e-12, 9e-15), (100e-12, 20e-15)] {
+            let a = orig.cell_rise.lookup(slew, load);
+            let b = rt.cell_rise.lookup(slew, load);
+            // ps text precision: 1e-6 ps = 1e-18 s absolute.
+            prop_assert!((a - b).abs() < 1e-6 * a.abs() + 1e-18, "{a:e} vs {b:e}");
+        }
+        let pin_cap = back.cell("INVx1").unwrap().pin("A").unwrap().capacitance;
+        prop_assert!((pin_cap - cap).abs() < 1e-6 * cap + 1e-21);
+    }
+}

@@ -1,0 +1,156 @@
+//! End-to-end signoff on a scaled-down SoC: characterize exactly the cells
+//! the netlist uses, run STA and power at 300 K and 10 K, and assert the
+//! paper's qualitative results hold on the miniature.
+
+use std::collections::BTreeSet;
+
+use cryo_soc::cells::{topology, CharConfig, Characterizer};
+use cryo_soc::device::{ModelCard, Polarity};
+use cryo_soc::liberty::Library;
+use cryo_soc::netlist::{build_soc, SocConfig};
+use cryo_soc::power::{analyze_power, simulate_toggles, ActivityProfile, PowerConfig};
+use cryo_soc::sta::{analyze, StaConfig};
+
+/// Characterize only the cells `design` instantiates (keeps the test fast).
+fn library_for_design(design: &cryo_soc::netlist::Design, temp: f64) -> Library {
+    let used: BTreeSet<&str> = design.instances().iter().map(|i| i.cell.as_str()).collect();
+    let cells: Vec<_> = used
+        .iter()
+        .map(|name| topology::by_name(name).unwrap_or_else(|| panic!("unknown cell {name}")))
+        .collect();
+    let engine = Characterizer::new(
+        &ModelCard::nominal(Polarity::N),
+        &ModelCard::nominal(Polarity::P),
+        CharConfig::fast(temp),
+    );
+    engine
+        .characterize_library(&format!("soc_mini_{temp}"), &cells)
+        .expect("characterization")
+}
+
+#[test]
+fn tiny_soc_signs_off_at_both_corners() {
+    let design = build_soc(&SocConfig::tiny());
+    let lib300 = library_for_design(&design, 300.0);
+    let lib10 = library_for_design(&design, 10.0);
+    design.check(&lib300).expect("clean netlist");
+
+    // --- Timing: valid at both corners, 10 K within ~15 % of 300 K. ------
+    let mean300 = lib300.stats().mean_delay;
+    let sta = |lib: &Library| {
+        let cfg = StaConfig {
+            macro_delay_scale: lib.stats().mean_delay / mean300,
+            ..StaConfig::default()
+        };
+        analyze(&design, lib, &cfg).expect("sta")
+    };
+    let t300 = sta(&lib300);
+    let t10 = sta(&lib10);
+    assert!(t300.critical_path_delay > 50e-12, "path is nontrivial");
+    assert!(t300.critical_path_delay < 5e-9, "path is sane");
+    let ratio = t10.critical_path_delay / t300.critical_path_delay;
+    assert!(
+        (0.85..1.20).contains(&ratio),
+        "paper: timing 'impacted only marginally'; ratio = {ratio:.3}"
+    );
+    assert!(t300.critical_path.len() > 5, "path has real depth");
+    assert!(t10.worst_hold_slack > 0.0, "paper: hold times not impacted");
+
+    // --- Power: leakage collapse makes 10 K feasible. --------------------
+    let profile = ActivityProfile::with_default(0.15);
+    let power = |lib: &Library, f: f64| {
+        let cfg = PowerConfig::at(&ModelCard::nominal(Polarity::N), lib.temperature, f);
+        analyze_power(&design, lib, &cfg, &profile, None).expect("power")
+    };
+    let p300 = power(&lib300, t300.fmax());
+    let p10 = power(&lib10, t10.fmax());
+    assert!(
+        p300.sram_leakage_w > 0.1,
+        "581 KB of ultra-low-Vth SRAM leaks heavily at 300 K: {:.3} W",
+        p300.sram_leakage_w
+    );
+    assert!(
+        p10.sram_leakage_w < 1e-3,
+        "SRAM leakage collapses at 10 K: {:.3e} W",
+        p10.sram_leakage_w
+    );
+    let leak300 = p300.logic_leakage_w + p300.sram_leakage_w;
+    let leak10 = p10.logic_leakage_w + p10.sram_leakage_w;
+    assert!(
+        leak10 / leak300 < 0.01,
+        "paper: 99.76 % leakage reduction; got {:.4}",
+        1.0 - leak10 / leak300
+    );
+    // Dynamic power stays the same order of magnitude across corners.
+    let dyn_ratio = p10.dynamic_w / p300.dynamic_w;
+    assert!(
+        (0.5..1.5).contains(&dyn_ratio),
+        "dynamic ratio {dyn_ratio:.3}"
+    );
+}
+
+
+#[test]
+fn measured_toggles_agree_with_profile_order_of_magnitude() {
+    // The paper extracts real switching activity from gate-level
+    // simulation; our region profiles must land in the same regime as the
+    // measured-toggle path on a design where both are tractable.
+    let design = build_soc(&SocConfig::tiny());
+    let lib = library_for_design(&design, 300.0);
+    // Pseudo-random primary-input vectors (rstn held high).
+    let n_pi = design.primary_inputs.len();
+    let mut seed = 0xACDCu64;
+    let vectors: Vec<Vec<bool>> = (0..48)
+        .map(|_| {
+            (0..n_pi)
+                .map(|_| {
+                    seed ^= seed << 13;
+                    seed ^= seed >> 7;
+                    seed ^= seed << 17;
+                    seed & 1 == 1
+                })
+                .collect()
+        })
+        .collect();
+    let toggles = simulate_toggles(&design, &lib, &vectors).expect("toggle sim");
+    assert!(toggles.mean_activity() > 0.0, "something must switch");
+    let cfg = PowerConfig::at(&ModelCard::nominal(Polarity::N), 300.0, 1e9);
+    let profile = ActivityProfile::with_default(toggles.mean_activity());
+    let p_measured = analyze_power(&design, &lib, &cfg, &profile, Some(&toggles)).unwrap();
+    let p_profile = analyze_power(&design, &lib, &cfg, &profile, None).unwrap();
+    let ratio = p_measured.dynamic_w / p_profile.dynamic_w;
+    assert!(
+        (0.2..5.0).contains(&ratio),
+        "measured vs profile dynamic power: {:.3e} vs {:.3e}",
+        p_measured.dynamic_w,
+        p_profile.dynamic_w
+    );
+    // Leakage is activity-independent: identical either way.
+    assert_eq!(p_measured.logic_leakage_w, p_profile.logic_leakage_w);
+}
+
+#[test]
+fn library_subset_covers_full_soc_cell_names() {
+    // Every cell the full-size SoC instantiates must resolve to a topology
+    // (otherwise full-flow characterization would fail midway).
+    let design = build_soc(&SocConfig::default());
+    let used: BTreeSet<&str> = design.instances().iter().map(|i| i.cell.as_str()).collect();
+    for name in used {
+        assert!(
+            topology::by_name(name).is_some(),
+            "SoC instantiates unknown cell {name}"
+        );
+    }
+}
+
+#[test]
+fn soc_area_and_regions_scale_with_config() {
+    let tiny = build_soc(&SocConfig::tiny());
+    let full = build_soc(&SocConfig::default());
+    assert!(full.cell_count() > 20 * tiny.cell_count());
+    let regions = full.region_histogram();
+    assert!(regions["uncore"] > regions["alu"], "uncore dominates count");
+    // Macro memory matches the paper at any logic scale.
+    let kb: f64 = full.macros().iter().map(|m| m.spec.kbytes).sum();
+    assert!((kb - 581.0).abs() < 1.0);
+}
