@@ -14,7 +14,7 @@ fn main() {
     let tag = cache::cell_set_tag(&cells);
     for temp in [300.0f64, 10.0] {
         let cfg = CharConfig::full(temp);
-        let key = cache::cache_key(&nfet, &pfet, &cfg, &tag);
+        let key = cache::cache_key(&nfet, &pfet, &cfg, &tag).expect("model cards serialize");
         let name = format!("cryo5_tt_0p70v_{}k", temp as u32);
         let target = cache::cache_path(dir, &name, &key);
         if target.exists() {

@@ -4,18 +4,26 @@
 //! the experiment binaries run it once per (model cards, configuration)
 //! pair and cache the resulting [`Library`] as JSON under a cache
 //! directory (default `data/`).
+//!
+//! Robustness: writes are atomic (tmp + rename) so a crash mid-store never
+//! leaves a half-written file under the final name, and a file that exists
+//! but fails to parse is *quarantined* (renamed to `<file>.corrupt`) rather
+//! than silently treated as a miss — the next run re-characterizes while
+//! the evidence survives for inspection.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use cryo_device::ModelCard;
 use cryo_liberty::Library;
+use cryo_spice::fault;
 
 use crate::charlib::CharConfig;
 use crate::{CellError, Result};
 
-/// Stable FNV-1a hash of the cache key ingredients.
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// Stable FNV-1a hash of the cache key ingredients (also used by the
+/// checkpoint store for content checksums).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -36,16 +44,36 @@ pub fn cell_set_tag(cells: &[crate::topology::CellNetlist]) -> String {
 }
 
 /// Compute the cache key for a characterization run.
-#[must_use]
-pub fn cache_key(nfet: &ModelCard, pfet: &ModelCard, cfg: &CharConfig, cell_tag: &str) -> String {
+///
+/// Only the fields that change the characterization *results* participate
+/// (grids, operating condition, model cards, cell set) — resilience knobs
+/// like retry budgets do not, so existing cache files stay valid.
+///
+/// # Errors
+///
+/// [`CellError::Cache`] when a model card fails to serialize. A silent
+/// fallback here would collapse distinct model cards onto one key and
+/// serve the wrong library.
+pub fn cache_key(
+    nfet: &ModelCard,
+    pfet: &ModelCard,
+    cfg: &CharConfig,
+    cell_tag: &str,
+) -> Result<String> {
     let mut blob = String::new();
-    blob.push_str(&serde_json::to_string(nfet).unwrap_or_default());
-    blob.push_str(&serde_json::to_string(pfet).unwrap_or_default());
+    blob.push_str(
+        &serde_json::to_string(nfet)
+            .map_err(|e| CellError::Cache(format!("serialize nfet card for cache key: {e}")))?,
+    );
+    blob.push_str(
+        &serde_json::to_string(pfet)
+            .map_err(|e| CellError::Cache(format!("serialize pfet card for cache key: {e}")))?,
+    );
     blob.push_str(&format!(
         "{}|{}|{:?}|{:?}|{}|{}",
         cfg.temp, cfg.vdd, cfg.slews, cfg.loads_x1, cfg.steps, cell_tag
     ));
-    format!("{:016x}", fnv1a(blob.as_bytes()))
+    Ok(format!("{:016x}", fnv1a(blob.as_bytes())))
 }
 
 /// Path of the cached library for a key.
@@ -54,17 +82,55 @@ pub fn cache_path(dir: &Path, name: &str, key: &str) -> PathBuf {
     dir.join(format!("{name}_{key}.liblib.json"))
 }
 
-/// Load a cached library if present and parseable.
+/// Move an unreadable cache/checkpoint file out of the way so the caller
+/// re-computes while the evidence survives as `<file>.corrupt`. Prints one
+/// stderr warning; failures to rename fall back to removal.
+pub(crate) fn quarantine(path: &Path, why: &str) {
+    let mut target = path.as_os_str().to_owned();
+    target.push(".corrupt");
+    let outcome = if fs::rename(path, &target).is_ok() {
+        format!("quarantined as {}", PathBuf::from(&target).display())
+    } else {
+        let _ = fs::remove_file(path);
+        "removed".to_string()
+    };
+    eprintln!(
+        "warning: cache entry {} is corrupt ({why}); {outcome}",
+        path.display()
+    );
+}
+
+/// Load a cached library if present and intact.
+///
+/// A missing file is a silent miss; a file that exists but fails to parse
+/// is quarantined (renamed to `*.corrupt` with one stderr warning) and
+/// reported as a miss so the caller re-characterizes.
 #[must_use]
 pub fn load(dir: &Path, name: &str, key: &str) -> Option<Library> {
     let path = cache_path(dir, name, key);
-    let text = fs::read_to_string(path).ok()?;
-    let mut lib: Library = serde_json::from_str(&text).ok()?;
-    lib.reindex();
-    Some(lib)
+    if !path.exists() {
+        return None;
+    }
+    let text = match fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            quarantine(&path, &format!("unreadable: {e}"));
+            return None;
+        }
+    };
+    match serde_json::from_str::<Library>(&text) {
+        Ok(mut lib) => {
+            lib.reindex();
+            Some(lib)
+        }
+        Err(e) => {
+            quarantine(&path, &format!("parse error: {e}"));
+            None
+        }
+    }
 }
 
-/// Store a library in the cache.
+/// Store a library in the cache (atomic tmp + rename).
 ///
 /// # Errors
 ///
@@ -74,7 +140,23 @@ pub fn store(dir: &Path, name: &str, key: &str, lib: &Library) -> Result<()> {
     let path = cache_path(dir, name, key);
     let json =
         serde_json::to_string(lib).map_err(|e| CellError::Cache(format!("serialize: {e}")))?;
-    fs::write(&path, json).map_err(|e| CellError::Cache(format!("write {path:?}: {e}")))?;
+    write_atomic(&path, &json)
+}
+
+/// Write `content` to `path` via a sibling tmp file and an atomic rename,
+/// honoring the fault injector's cache-corruption site (which truncates the
+/// payload to simulate a crash mid-write).
+pub(crate) fn write_atomic(path: &Path, content: &str) -> Result<()> {
+    let payload = if fault::should_corrupt_cache_write() {
+        &content[..content.len() / 2]
+    } else {
+        content
+    };
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    fs::write(&tmp, payload).map_err(|e| CellError::Cache(format!("write {tmp:?}: {e}")))?;
+    fs::rename(&tmp, path).map_err(|e| CellError::Cache(format!("rename to {path:?}: {e}")))?;
     Ok(())
 }
 
@@ -89,14 +171,40 @@ mod tests {
         let p = ModelCard::nominal(Polarity::P);
         let cfg300 = CharConfig::fast(300.0);
         let cfg10 = CharConfig::fast(10.0);
-        let k1 = cache_key(&n, &p, &cfg300, "std");
-        let k2 = cache_key(&n, &p, &cfg300, "std");
+        let k1 = cache_key(&n, &p, &cfg300, "std").unwrap();
+        let k2 = cache_key(&n, &p, &cfg300, "std").unwrap();
         assert_eq!(k1, k2, "same inputs, same key");
-        assert_ne!(k1, cache_key(&n, &p, &cfg10, "std"), "temp changes key");
-        assert_ne!(k1, cache_key(&n, &p, &cfg300, "other"), "tag changes key");
+        assert_ne!(
+            k1,
+            cache_key(&n, &p, &cfg10, "std").unwrap(),
+            "temp changes key"
+        );
+        assert_ne!(
+            k1,
+            cache_key(&n, &p, &cfg300, "other").unwrap(),
+            "tag changes key"
+        );
         let mut n2 = n.clone();
         n2.vth0 += 0.01;
-        assert_ne!(k1, cache_key(&n2, &p, &cfg300, "std"), "card changes key");
+        assert_ne!(
+            k1,
+            cache_key(&n2, &p, &cfg300, "std").unwrap(),
+            "card changes key"
+        );
+    }
+
+    #[test]
+    fn key_ignores_resilience_knobs() {
+        let n = ModelCard::nominal(Polarity::N);
+        let p = ModelCard::nominal(Polarity::P);
+        let base = CharConfig::fast(300.0);
+        let mut tweaked = base.clone();
+        tweaked.max_attempts = base.max_attempts + 5;
+        assert_eq!(
+            cache_key(&n, &p, &base, "std").unwrap(),
+            cache_key(&n, &p, &tweaked, "std").unwrap(),
+            "retry budget must not invalidate existing caches"
+        );
     }
 
     #[test]
@@ -122,6 +230,39 @@ mod tests {
             load(&dir, "corner", "feedface").is_none(),
             "miss on other key"
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_file_is_quarantined_not_a_silent_miss() {
+        let dir = std::env::temp_dir().join("cryo_cells_cache_corrupt_test");
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let path = cache_path(&dir, "corner", "badkey");
+        fs::write(&path, "{\"name\": \"corner\", truncated garbag").unwrap();
+        assert!(load(&dir, "corner", "badkey").is_none());
+        assert!(!path.exists(), "corrupt file moved out of the way");
+        let mut quarantined = path.as_os_str().to_owned();
+        quarantined.push(".corrupt");
+        assert!(
+            PathBuf::from(quarantined).exists(),
+            "evidence preserved as *.corrupt"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_leaves_no_tmp_file_behind() {
+        let dir = std::env::temp_dir().join("cryo_cells_cache_atomic_test");
+        let _ = fs::remove_dir_all(&dir);
+        let lib = Library::new("corner", 300.0, 0.7);
+        store(&dir, "corner", "aaaa", &lib).unwrap();
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "tmp files must be renamed away");
         let _ = fs::remove_dir_all(&dir);
     }
 }

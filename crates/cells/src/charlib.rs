@@ -10,8 +10,11 @@ use cryo_device::{FinFet, ModelCard};
 use cryo_liberty::{
     ArcKind, Cell, FfSpec, Library, LogicFunction, Lut2, Pin, PowerArc, TimingArc, TimingSense,
 };
-use cryo_spice::{dc_operating_point, transient, Circuit, Source, TranConfig, GROUND};
+use cryo_spice::dc::dc_operating_point_with;
+use cryo_spice::{fault, transient, Circuit, Source, TranConfig, GROUND};
 
+use crate::checkpoint::CheckpointStore;
+use crate::report::{CellOutcome, CellStatus, CharReport};
 use crate::topology::CellNetlist;
 use crate::{CellError, Result};
 
@@ -31,6 +34,10 @@ pub struct CharConfig {
     pub steps: usize,
     /// Print one progress line per cell to stderr.
     pub progress: bool,
+    /// Maximum characterization attempts per cell before it is declared
+    /// failed; attempts beyond the first climb the recovery ladder
+    /// ([`RecoveryLevel::ladder`]). Does not participate in the cache key.
+    pub max_attempts: usize,
 }
 
 impl CharConfig {
@@ -46,6 +53,7 @@ impl CharConfig {
             ],
             steps: 220,
             progress: false,
+            max_attempts: 3,
         }
     }
 
@@ -59,6 +67,7 @@ impl CharConfig {
             loads_x1: vec![0.8e-15, 3.2e-15, 12.8e-15],
             steps: 150,
             progress: false,
+            max_attempts: 3,
         }
     }
 
@@ -67,6 +76,69 @@ impl CharConfig {
     pub fn loads_for(&self, drive: u32) -> Vec<f64> {
         self.loads_x1.iter().map(|l| l * f64::from(drive)).collect()
     }
+}
+
+/// One rung of the per-cell recovery ladder: the analysis settings used on
+/// a given characterization attempt. Escalating rungs trade runtime for a
+/// wider convergence basin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryLevel {
+    /// Multiplier on the transient step count (finer timestep).
+    pub steps_scale: f64,
+    /// Multiplier on the analysis settling window (longer observation).
+    pub window_scale: f64,
+    /// Newton shunt conductance (relaxed from the 1e-12 S baseline on the
+    /// last rung to widen the convergence basin).
+    pub gmin: f64,
+}
+
+impl RecoveryLevel {
+    /// The first-attempt settings: the plain configuration.
+    pub const BASELINE: Self = Self {
+        steps_scale: 1.0,
+        window_scale: 1.0,
+        gmin: 1e-12,
+    };
+
+    /// The escalation ladder. Attempt `n` uses rung `min(n, len - 1)`:
+    /// baseline, then more transient steps over a longer window, then a
+    /// tighter timestep with relaxed starting gmin on top.
+    #[must_use]
+    pub fn ladder() -> &'static [RecoveryLevel] {
+        const LADDER: [RecoveryLevel; 3] = [
+            RecoveryLevel::BASELINE,
+            RecoveryLevel {
+                steps_scale: 2.0,
+                window_scale: 1.5,
+                gmin: 1e-12,
+            },
+            RecoveryLevel {
+                steps_scale: 3.0,
+                window_scale: 2.0,
+                gmin: 1e-9,
+            },
+        ];
+        &LADDER
+    }
+
+    /// Transient step count for this rung given the configured baseline.
+    #[must_use]
+    pub fn steps(&self, base: usize) -> usize {
+        ((base as f64) * self.steps_scale).ceil() as usize
+    }
+
+    /// Transient configuration for this rung.
+    fn tran(&self, tstop: f64, base_steps: usize) -> TranConfig {
+        TranConfig::with_steps(tstop, self.steps(base_steps)).with_gmin(self.gmin)
+    }
+}
+
+/// Whether retrying at a higher recovery rung can plausibly fix `e`.
+/// Solver failures (non-convergence, singular matrices, NaN poisoning) and
+/// measurement failures (a window too short for the waveform to cross its
+/// thresholds) are retryable; structural errors are not.
+fn retryable(e: &CellError) -> bool {
+    matches!(e, CellError::Spice { .. } | CellError::Measurement { .. })
 }
 
 /// The characterization engine bound to n/p model cards and a configuration.
@@ -110,14 +182,19 @@ impl Characterizer {
     /// [`CellError::Measurement`] when a waveform never crosses its
     /// thresholds, [`CellError::Liberty`] on malformed table assembly.
     pub fn characterize_cell(&self, cell: &CellNetlist) -> Result<Cell> {
+        self.characterize_cell_at(cell, &RecoveryLevel::BASELINE)
+    }
+
+    /// Characterize one cell with explicit recovery-rung settings.
+    fn characterize_cell_at(&self, cell: &CellNetlist, lv: &RecoveryLevel) -> Result<Cell> {
         let mut arcs = Vec::new();
         let mut power_arcs = Vec::new();
         if cell.ff.is_some() {
-            self.characterize_sequential(cell, &mut arcs, &mut power_arcs)?;
+            self.characterize_sequential(cell, lv, &mut arcs, &mut power_arcs)?;
         } else if !cell.is_tie() {
-            self.characterize_combinational(cell, &mut arcs, &mut power_arcs)?;
+            self.characterize_combinational(cell, lv, &mut arcs, &mut power_arcs)?;
         }
-        let leakage_states = self.measure_leakage(cell)?;
+        let leakage_states = self.measure_leakage(cell, lv)?;
         let pins = self.build_pins(cell);
         Ok(Cell {
             name: cell.name.clone(),
@@ -131,26 +208,154 @@ impl Characterizer {
         })
     }
 
+    /// Characterize one cell, climbing the recovery ladder on retryable
+    /// failures (solver non-convergence, measurement windows too short) up
+    /// to `cfg.max_attempts` tries. Returns the outcome together with the
+    /// number of attempts spent.
+    pub fn characterize_cell_recovering(&self, cell: &CellNetlist) -> (Result<Cell>, u32) {
+        let ladder = RecoveryLevel::ladder();
+        let max_attempts = self.cfg.max_attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..max_attempts {
+            let lv = &ladder[attempt.min(ladder.len() - 1)];
+            match self.characterize_cell_at(cell, lv) {
+                Ok(c) => return (Ok(c), attempt as u32 + 1),
+                Err(e) if retryable(&e) => {
+                    if self.cfg.progress {
+                        eprintln!(
+                            "[char {:>5.1}K] {} attempt {} failed, escalating: {e}",
+                            self.cfg.temp,
+                            cell.name,
+                            attempt + 1
+                        );
+                    }
+                    last_err = Some(e);
+                }
+                Err(e) => return (Err(e), attempt as u32 + 1),
+            }
+        }
+        (
+            Err(last_err.expect("at least one attempt ran")),
+            max_attempts as u32,
+        )
+    }
+
     /// Characterize a whole cell set into a library corner.
     ///
     /// # Errors
     ///
-    /// Propagates the first per-cell failure.
+    /// Propagates the first per-cell failure (after that cell exhausts its
+    /// retry ladder). Use [`Characterizer::characterize_library_robust`]
+    /// for skip-and-continue semantics with a structured report.
     pub fn characterize_library(&self, name: &str, cells: &[CellNetlist]) -> Result<Library> {
         let mut lib = Library::new(name, self.cfg.temp, self.cfg.vdd);
         for (i, cell) in cells.iter().enumerate() {
-            if self.cfg.progress {
-                eprintln!(
-                    "[char {:>5.1}K] {:>3}/{} {}",
-                    self.cfg.temp,
-                    i + 1,
-                    cells.len(),
-                    cell.name
-                );
-            }
-            lib.add_cell(self.characterize_cell(cell)?);
+            self.progress_line(i, cells.len(), &cell.name);
+            let (result, _attempts) = self.characterize_cell_recovering(cell);
+            lib.add_cell(result?);
         }
         Ok(lib)
+    }
+
+    /// Characterize a cell set with graceful degradation: every cell gets
+    /// the retry ladder; cells that exhaust it are derated from their
+    /// nearest characterized drive-strength sibling or, failing that,
+    /// skipped. Nothing aborts the corner — the returned [`CharReport`]
+    /// records each cell's outcome, attempts, and fault cause, and the
+    /// caller decides whether achieved coverage is acceptable.
+    ///
+    /// When `checkpoint` is given, finished cells are persisted immediately
+    /// and cells with intact checkpoint entries are restored without
+    /// re-simulation (the resume path after a crash or interrupt).
+    #[must_use]
+    pub fn characterize_library_robust(
+        &self,
+        name: &str,
+        cells: &[CellNetlist],
+        checkpoint: Option<&CheckpointStore>,
+    ) -> (Library, CharReport) {
+        let mut lib = Library::new(name, self.cfg.temp, self.cfg.vdd);
+        let mut outcomes: Vec<Option<CellOutcome>> = vec![None; cells.len()];
+        let mut exhausted: Vec<(usize, u32, String)> = Vec::new();
+        for (i, cell) in cells.iter().enumerate() {
+            self.progress_line(i, cells.len(), &cell.name);
+            fault::set_context(&cell.name);
+            if let Some(store) = checkpoint {
+                if let Some(restored) = store.load(&cell.name) {
+                    lib.add_cell(restored);
+                    outcomes[i] = Some(CellOutcome {
+                        name: cell.name.clone(),
+                        status: CellStatus::Resumed,
+                        attempts: 0,
+                        fault: None,
+                        derated_from: None,
+                    });
+                    continue;
+                }
+            }
+            let (result, attempts) = self.characterize_cell_recovering(cell);
+            match result {
+                Ok(c) => {
+                    if let Some(store) = checkpoint {
+                        if let Err(e) = store.store(&c) {
+                            eprintln!("warning: checkpoint write for {} failed: {e}", cell.name);
+                        }
+                    }
+                    lib.add_cell(c);
+                    outcomes[i] = Some(CellOutcome {
+                        name: cell.name.clone(),
+                        status: CellStatus::Characterized,
+                        attempts,
+                        fault: None,
+                        derated_from: None,
+                    });
+                }
+                Err(e) => exhausted.push((i, attempts, e.to_string())),
+            }
+        }
+        fault::set_context("");
+        // Degradation pass: stand in for exhausted cells with a model
+        // scaled from the nearest characterized drive sibling.
+        for (i, attempts, fault_msg) in exhausted {
+            let cell = &cells[i];
+            let (status, derated_from) = match derate_from_sibling(&lib, cells, cell) {
+                Some((derated, sibling)) => {
+                    eprintln!(
+                        "warning: {} failed characterization; derating from {sibling}",
+                        cell.name
+                    );
+                    lib.add_cell(derated);
+                    (CellStatus::Derated, Some(sibling))
+                }
+                None => {
+                    eprintln!(
+                        "warning: {} failed characterization and has no usable sibling; skipped",
+                        cell.name
+                    );
+                    (CellStatus::Failed, None)
+                }
+            };
+            outcomes[i] = Some(CellOutcome {
+                name: cell.name.clone(),
+                status,
+                attempts,
+                fault: Some(fault_msg),
+                derated_from,
+            });
+        }
+        let report = CharReport {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every cell received an outcome"))
+                .collect(),
+        };
+        (lib, report)
+    }
+
+    fn progress_line(&self, i: usize, total: usize, name: &str) {
+        if self.cfg.progress {
+            eprintln!("[char {:>5.1}K] {:>3}/{} {}", self.cfg.temp, i + 1, total, name);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -203,13 +408,15 @@ impl Characterizer {
         (ckt, vdd_branch)
     }
 
-    /// Analysis window for a given input slew and load on a cell.
-    fn window(&self, slew: f64, load: f64, drive: u32) -> (f64, f64) {
+    /// Analysis window for a given input slew and load on a cell; the
+    /// recovery rung stretches the settling estimate so slow arcs that
+    /// missed their thresholds get observed to completion.
+    fn window(&self, slew: f64, load: f64, drive: u32, lv: &RecoveryLevel) -> (f64, f64) {
         let t0 = 20e-12;
         // Settling estimate: load swing at a conservative drive current.
         let drive_current = 2.5e-5 * f64::from(drive);
         let settle = 60e-12 + 8.0 * load * self.cfg.vdd / drive_current;
-        (t0, t0 + slew + settle)
+        (t0, t0 + (slew + settle) * lv.window_scale)
     }
 
     // ------------------------------------------------------------------
@@ -219,6 +426,7 @@ impl Characterizer {
     fn characterize_combinational(
         &self,
         cell: &CellNetlist,
+        lv: &RecoveryLevel,
         arcs: &mut Vec<TimingArc>,
         power_arcs: &mut Vec<PowerArc>,
     ) -> Result<()> {
@@ -260,6 +468,7 @@ impl Characterizer {
                             slew,
                             load,
                             out,
+                            lv,
                         )?;
                         rise_delay.push(p.delay);
                         rise_tran.push(p.out_slew);
@@ -276,6 +485,7 @@ impl Characterizer {
                             slew,
                             load,
                             out,
+                            lv,
                         )?;
                         fall_delay.push(p.delay);
                         fall_tran.push(p.out_slew);
@@ -321,11 +531,12 @@ impl Characterizer {
         slew: f64,
         load: f64,
         out: &str,
+        lv: &RecoveryLevel,
     ) -> Result<ArcPoint> {
         let vdd = self.cfg.vdd;
         // Input edge direction that produces the requested output edge.
         let input_rises = output_rises == local_positive;
-        let (t0, tstop) = self.window(slew, load, cell.drive);
+        let (t0, tstop) = self.window(slew, load, cell.drive, lv);
         // The measured slew axis is 20–80 %; the source ramp spans the full
         // swing in slew / 0.6 seconds so its 20–80 % time equals `slew`.
         let ramp_time = slew / 0.6;
@@ -348,7 +559,7 @@ impl Characterizer {
             }
         }
         let (ckt, vdd_branch) = self.build_circuit(cell, &sources, Some((out, load)));
-        let res = transient(&ckt, &TranConfig::with_steps(tstop, self.cfg.steps)).map_err(|e| {
+        let res = transient(&ckt, &lv.tran(tstop, self.cfg.steps)).map_err(|e| {
             CellError::Spice {
                 cell: cell.name.clone(),
                 what: "timing transient",
@@ -396,6 +607,7 @@ impl Characterizer {
     fn characterize_sequential(
         &self,
         cell: &CellNetlist,
+        lv: &RecoveryLevel,
         arcs: &mut Vec<TimingArc>,
         power_arcs: &mut Vec<PowerArc>,
     ) -> Result<()> {
@@ -411,11 +623,11 @@ impl Characterizer {
         let mut fall_energy = Vec::new();
         for &slew in &self.cfg.slews {
             for &load in &loads {
-                let p = self.measure_clk_to_q(cell, ff, true, slew, load)?;
+                let p = self.measure_clk_to_q(cell, ff, true, slew, load, lv)?;
                 rise_delay.push(p.delay);
                 rise_tran.push(p.out_slew);
                 rise_energy.push(p.energy);
-                let p = self.measure_clk_to_q(cell, ff, false, slew, load)?;
+                let p = self.measure_clk_to_q(cell, ff, false, slew, load, lv)?;
                 fall_delay.push(p.delay);
                 fall_tran.push(p.out_slew);
                 fall_energy.push(p.energy);
@@ -441,8 +653,8 @@ impl Characterizer {
             fall_energy: table(fall_energy)?,
         });
         // Setup/hold at the centre of the grid, published as constants.
-        let setup = self.bisect_constraint(cell, ff, true)?;
-        let hold = self.bisect_constraint(cell, ff, false)?;
+        let setup = self.bisect_constraint(cell, ff, true, lv)?;
+        let hold = self.bisect_constraint(cell, ff, false, lv)?;
         arcs.push(TimingArc {
             related_pin: clk.clone(),
             pin: ff.next_state.clone(),
@@ -479,6 +691,7 @@ impl Characterizer {
         q_rises: bool,
         slew: f64,
         load: f64,
+        lv: &RecoveryLevel,
     ) -> Result<ArcPoint> {
         let vdd = self.cfg.vdd;
         let ramp_fast = 10e-12;
@@ -489,7 +702,7 @@ impl Characterizer {
         let ramp_time = slew / 0.6;
         let drive_current = 2.5e-5 * f64::from(cell.drive);
         let settle = 80e-12 + 8.0 * load * vdd / drive_current + slew;
-        let window_end = t_edge + ramp_time + settle;
+        let window_end = t_edge + ramp_time + settle * lv.window_scale;
         let (d_from, d_to) = if q_rises { (0.0, vdd) } else { (vdd, 0.0) };
         let clk = Source::Pwl(vec![
             (0.0, 0.0),
@@ -508,14 +721,12 @@ impl Characterizer {
         }
         let q = &cell.outputs[0];
         let (ckt, vdd_branch) = self.build_circuit(cell, &sources, Some((q, load)));
-        let res = transient(
-            &ckt,
-            &TranConfig::with_steps(window_end, 2 * self.cfg.steps),
-        )
-        .map_err(|e| CellError::Spice {
-            cell: cell.name.clone(),
-            what: "clk-to-q transient",
-            source: e,
+        let res = transient(&ckt, &lv.tran(window_end, 2 * self.cfg.steps)).map_err(|e| {
+            CellError::Spice {
+                cell: cell.name.clone(),
+                what: "clk-to-q transient",
+                source: e,
+            }
         })?;
         let clk_node = ckt.find_node(&ff.clocked_on).expect("clk node");
         let q_node = ckt.find_node(q).expect("q node");
@@ -551,13 +762,19 @@ impl Characterizer {
     }
 
     /// Bisect the setup (`setup = true`) or hold margin at the grid centre.
-    fn bisect_constraint(&self, cell: &CellNetlist, ff: &FfSpec, setup: bool) -> Result<f64> {
+    fn bisect_constraint(
+        &self,
+        cell: &CellNetlist,
+        ff: &FfSpec,
+        setup: bool,
+        lv: &RecoveryLevel,
+    ) -> Result<f64> {
         let vdd = self.cfg.vdd;
         let slew = self.cfg.slews[self.cfg.slews.len() / 2];
         let load = self.cfg.loads_for(cell.drive)[self.cfg.loads_x1.len() / 2];
         let ramp_time = slew / 0.6;
         let t_edge = 560e-12;
-        let window_end = t_edge + 460e-12;
+        let window_end = t_edge + 460e-12 * lv.window_scale;
         let q = cell.outputs[0].clone();
 
         // Captured correctly = Q reads the pre-edge D value at the end. A
@@ -598,14 +815,12 @@ impl Characterizer {
                 sources.push((rn.clone(), Source::dc(vdd)));
             }
             let (ckt, _) = self.build_circuit(cell, &sources, Some((&q, load)));
-            let res = transient(
-                &ckt,
-                &TranConfig::with_steps(window_end, 2 * self.cfg.steps),
-            )
-            .map_err(|e| CellError::Spice {
-                cell: cell.name.clone(),
-                what: "constraint transient",
-                source: e,
+            let res = transient(&ckt, &lv.tran(window_end, 2 * self.cfg.steps)).map_err(|e| {
+                CellError::Spice {
+                    cell: cell.name.clone(),
+                    what: "constraint transient",
+                    source: e,
+                }
             })?;
             let q_node = ckt.find_node(&q).expect("q node");
             Ok(res.voltage(q_node).last() > vdd / 2.0)
@@ -640,7 +855,7 @@ impl Characterizer {
     /// land on the *metastable* equilibrium of a keeper loop (both keeper
     /// inverters half-on), which reads as milliwatt-scale crowbar current
     /// instead of leakage.
-    fn measure_leakage(&self, cell: &CellNetlist) -> Result<Vec<(u16, f64)>> {
+    fn measure_leakage(&self, cell: &CellNetlist, lv: &RecoveryLevel) -> Result<Vec<(u16, f64)>> {
         let vdd = self.cfg.vdd;
         let mut pins: Vec<String> = cell.inputs.clone();
         if let Some(clk) = &cell.clock {
@@ -671,17 +886,19 @@ impl Characterizer {
                     })
                     .collect();
                 let (ckt, vdd_branch) = self.build_circuit(cell, &sources, None);
-                let res = transient(&ckt, &TranConfig::with_steps(1.2e-9, self.cfg.steps))
-                    .map_err(|e| CellError::Spice {
+                let tstop = 1.2e-9 * lv.window_scale;
+                let res = transient(&ckt, &lv.tran(tstop, self.cfg.steps)).map_err(|e| {
+                    CellError::Spice {
                         cell: cell.name.clone(),
                         what: "leakage settle transient",
                         source: e,
-                    })?;
+                    }
+                })?;
                 // Trapezoidal integration rings (undamped ±i alternation)
                 // after sharp edges; the window average cancels it and
                 // leaves the true DC draw.
                 let i = res.source_current(vdd_branch);
-                let (t1, t2) = (0.8e-9, 1.2e-9);
+                let (t1, t2) = (tstop - 0.4e-9, tstop);
                 let i_avg = i.integral_between(t1, t2) / (t2 - t1);
                 (-i_avg * vdd).max(0.0)
             } else {
@@ -691,7 +908,7 @@ impl Characterizer {
                     .map(|(i, p)| (p.clone(), Source::dc(level_of(i))))
                     .collect();
                 let (ckt, vdd_branch) = self.build_circuit(cell, &sources, None);
-                let op = dc_operating_point(&ckt).map_err(|e| CellError::Spice {
+                let op = dc_operating_point_with(&ckt, lv.gmin).map_err(|e| CellError::Spice {
                     cell: cell.name.clone(),
                     what: "leakage DC",
                     source: e,
@@ -731,6 +948,74 @@ impl Characterizer {
         }
         pins
     }
+}
+
+/// Family prefix of a drive-suffixed cell name: `INVx4` → `INVx`,
+/// `NAND2x1` → `NAND2x`. Cells of the same family at different drive
+/// strengths share this prefix.
+fn family_prefix(name: &str) -> &str {
+    name.trim_end_matches(|c: char| c.is_ascii_digit())
+}
+
+/// Build a stand-in model for `target` (which failed characterization) by
+/// scaling its nearest characterized drive-strength sibling. Returns the
+/// derated cell and the sibling's name, or `None` when no sibling of the
+/// same family made it into the library.
+///
+/// The scaling assumes delay is a function of load-per-unit-drive: a cell
+/// at drive `k` driving load `L` behaves like its sibling at drive `m`
+/// driving `L·m/k`. Load axes, energies, leakage, pin capacitances, and
+/// area therefore all scale by the drive ratio while delay/slew values
+/// carry over unchanged.
+fn derate_from_sibling(
+    lib: &Library,
+    cells: &[CellNetlist],
+    target: &CellNetlist,
+) -> Option<(Cell, String)> {
+    let prefix = family_prefix(&target.name);
+    let sibling = cells
+        .iter()
+        .filter(|c| c.name != target.name && family_prefix(&c.name) == prefix)
+        .filter_map(|c| lib.cell(&c.name).ok())
+        .min_by_key(|c| c.drive.abs_diff(target.drive))?;
+    let ratio = f64::from(target.drive) / f64::from(sibling.drive);
+    let scale_axis = |t: &Lut2| -> Option<Lut2> {
+        Lut2::new(
+            t.index1().to_vec(),
+            t.index2().iter().map(|l| l * ratio).collect(),
+            t.values().to_vec(),
+        )
+        .ok()
+    };
+    let scale_axis_and_values = |t: &Lut2| -> Option<Lut2> {
+        Lut2::new(
+            t.index1().to_vec(),
+            t.index2().iter().map(|l| l * ratio).collect(),
+            t.values().iter().map(|v| v * ratio).collect(),
+        )
+        .ok()
+    };
+    let mut derated = sibling.clone();
+    derated.name = target.name.clone();
+    derated.drive = target.drive;
+    derated.area = sibling.area * ratio;
+    for arc in &mut derated.arcs {
+        arc.cell_rise = scale_axis(&arc.cell_rise)?;
+        arc.cell_fall = scale_axis(&arc.cell_fall)?;
+        arc.rise_transition = scale_axis(&arc.rise_transition)?;
+        arc.fall_transition = scale_axis(&arc.fall_transition)?;
+    }
+    for arc in &mut derated.power_arcs {
+        arc.rise_energy = scale_axis_and_values(&arc.rise_energy)?;
+        arc.fall_energy = scale_axis_and_values(&arc.fall_energy)?;
+    }
+    for (_, leak) in &mut derated.leakage_states {
+        *leak *= ratio;
+    }
+    for pin in &mut derated.pins {
+        pin.capacitance *= ratio;
+    }
+    Some((derated, sibling.name.clone()))
 }
 
 /// Find the numerically smallest side-input assignment that sensitizes
@@ -842,5 +1127,81 @@ mod tests {
         let cell = engine().characterize_cell(&topology::tiehi()).unwrap();
         assert!(cell.arcs.is_empty());
         assert_eq!(cell.leakage_states.len(), 1);
+    }
+
+    #[test]
+    fn retry_ladder_recovers_from_a_transient_injection() {
+        use cryo_spice::FaultPlan;
+        let _g = fault::install_guard(FaultPlan {
+            tran_no_convergence: 1.0,
+            max_injections: Some(1),
+            ..FaultPlan::new(11)
+        });
+        let (result, attempts) = engine().characterize_cell_recovering(&topology::inverter(1));
+        assert!(result.is_ok(), "second attempt must succeed");
+        assert_eq!(attempts, 2, "one injected failure, one clean retry");
+    }
+
+    #[test]
+    fn exhausted_cell_is_derated_from_its_drive_sibling() {
+        use cryo_spice::FaultPlan;
+        let _g = fault::install_guard(FaultPlan {
+            dc_no_convergence: 1.0,
+            tran_no_convergence: 1.0,
+            scope: Some("INVx2".into()),
+            ..FaultPlan::new(5)
+        });
+        let cells = vec![topology::inverter(1), topology::inverter(2)];
+        let (lib, report) = engine().characterize_library_robust("derate", &cells, None);
+        assert_eq!(lib.len(), 2, "derated cell still lands in the library");
+        assert!((report.coverage() - 1.0).abs() < 1e-12);
+        let outcome = report.outcome("INVx2").unwrap();
+        assert_eq!(outcome.status, CellStatus::Derated);
+        assert_eq!(outcome.derated_from.as_deref(), Some("INVx1"));
+        assert_eq!(outcome.attempts, 3, "full ladder was spent first");
+        assert!(outcome.fault.as_deref().unwrap().contains("converge"));
+        // The stand-in scales the sibling: double the drive means double
+        // the load axis, area, input capacitance, and leakage.
+        let x1 = lib.cell("INVx1").unwrap();
+        let x2 = lib.cell("INVx2").unwrap();
+        assert_eq!(x2.drive, 2);
+        assert!((x2.area - 2.0 * x1.area).abs() < 1e-12);
+        let d1 = x1.arcs[0].cell_rise.lookup(5e-12, 0.8e-15);
+        let d2 = x2.arcs[0].cell_rise.lookup(5e-12, 1.6e-15);
+        assert!(
+            (d1 - d2).abs() < 1e-18,
+            "delay at load-per-drive parity must carry over: {d1:e} vs {d2:e}"
+        );
+        assert!(
+            (x2.average_leakage() - 2.0 * x1.average_leakage()).abs()
+                < 1e-9 * x1.average_leakage().max(1e-30),
+            "leakage scales with drive"
+        );
+    }
+
+    #[test]
+    fn unrecoverable_cell_without_sibling_is_skipped_not_fatal() {
+        use cryo_spice::FaultPlan;
+        let _g = fault::install_guard(FaultPlan {
+            dc_no_convergence: 1.0,
+            tran_no_convergence: 1.0,
+            scope: Some("NAND2x1".into()),
+            ..FaultPlan::new(5)
+        });
+        let cells = vec![topology::inverter(1), topology::nand(2, 1)];
+        let (lib, report) = engine().characterize_library_robust("skip", &cells, None);
+        assert_eq!(lib.len(), 1, "no NAND sibling exists to derate from");
+        assert!((report.coverage() - 0.5).abs() < 1e-12);
+        let outcome = report.outcome("NAND2x1").unwrap();
+        assert_eq!(outcome.status, CellStatus::Failed);
+        assert!(outcome.fault.is_some());
+        assert!(report.outcome("INVx1").unwrap().in_library());
+    }
+
+    #[test]
+    fn family_prefix_strips_drive_suffix() {
+        assert_eq!(family_prefix("INVx4"), "INVx");
+        assert_eq!(family_prefix("NAND2x1"), "NAND2x");
+        assert_eq!(family_prefix("TIEHI"), "TIEHI");
     }
 }

@@ -1,0 +1,244 @@
+//! Per-cell checkpoint/resume for library characterization.
+//!
+//! Full-grid characterization takes minutes; a crash or interrupt at cell
+//! 150 of 169 should not forfeit the finished work. The [`CheckpointStore`]
+//! persists each cell's model the moment it is measured, under a directory
+//! keyed by the same cache key as the whole-library cache (so checkpoints
+//! from a different model card or grid can never be resumed by mistake).
+//!
+//! Each entry is a versioned, checksummed envelope:
+//!
+//! ```text
+//! cryo-checkpoint v1 <fnv64 of payload, 16 hex digits>
+//! <cell JSON payload>
+//! ```
+//!
+//! Writes are atomic (tmp + rename). On load, a bad header, checksum
+//! mismatch, or unparsable payload quarantines the entry as `*.corrupt`
+//! and reports a miss, so the cell is simply re-characterized.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use cryo_liberty::Cell;
+
+use crate::cache::{fnv1a, quarantine, write_atomic};
+use crate::{CellError, Result};
+
+/// Magic prefix of a checkpoint header line.
+const MAGIC: &str = "cryo-checkpoint";
+/// Current envelope version.
+const VERSION: u32 = 1;
+
+/// A directory of per-cell characterization checkpoints for one
+/// (library, cache key) pair.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) the checkpoint directory for a run,
+    /// namespaced under `cache_dir/checkpoints/<name>_<key>`.
+    ///
+    /// # Errors
+    ///
+    /// [`CellError::Cache`] when the directory cannot be created.
+    pub fn open(cache_dir: &Path, name: &str, key: &str) -> Result<Self> {
+        let dir = cache_dir.join("checkpoints").join(format!("{name}_{key}"));
+        fs::create_dir_all(&dir).map_err(|e| CellError::Cache(format!("mkdir {dir:?}: {e}")))?;
+        Ok(Self { dir })
+    }
+
+    /// The backing directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of a cell's checkpoint entry.
+    #[must_use]
+    pub fn path(&self, cell: &str) -> PathBuf {
+        self.dir.join(format!("{cell}.ckpt"))
+    }
+
+    /// Persist a characterized cell (atomic; honors the fault injector's
+    /// cache-corruption site).
+    ///
+    /// # Errors
+    ///
+    /// [`CellError::Cache`] on serialization or I/O failure.
+    pub fn store(&self, cell: &Cell) -> Result<()> {
+        let payload = serde_json::to_string(cell)
+            .map_err(|e| CellError::Cache(format!("serialize checkpoint {}: {e}", cell.name)))?;
+        let content = format!(
+            "{MAGIC} v{VERSION} {:016x}\n{payload}",
+            fnv1a(payload.as_bytes())
+        );
+        write_atomic(&self.path(&cell.name), &content)
+    }
+
+    /// Load a cell's checkpoint if present and intact. Corrupt entries
+    /// (bad header, wrong version, checksum mismatch, unparsable payload)
+    /// are quarantined as `*.corrupt` and reported as a miss.
+    #[must_use]
+    pub fn load(&self, cell: &str) -> Option<Cell> {
+        let path = self.path(cell);
+        if !path.exists() {
+            return None;
+        }
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                quarantine(&path, &format!("unreadable: {e}"));
+                return None;
+            }
+        };
+        match Self::decode(&text) {
+            Ok(c) => Some(c),
+            Err(why) => {
+                quarantine(&path, &why);
+                None
+            }
+        }
+    }
+
+    /// Validate the envelope and parse the payload.
+    fn decode(text: &str) -> std::result::Result<Cell, String> {
+        let (header, payload) = text
+            .split_once('\n')
+            .ok_or_else(|| "missing envelope header".to_string())?;
+        let mut fields = header.split_whitespace();
+        if fields.next() != Some(MAGIC) {
+            return Err("bad magic".to_string());
+        }
+        let version = fields.next().unwrap_or("");
+        if version != format!("v{VERSION}") {
+            return Err(format!("unsupported version {version:?}"));
+        }
+        let want = fields.next().ok_or_else(|| "missing checksum".to_string())?;
+        let got = format!("{:016x}", fnv1a(payload.as_bytes()));
+        if want != got {
+            return Err(format!("checksum mismatch (header {want}, payload {got})"));
+        }
+        serde_json::from_str(payload).map_err(|e| format!("payload parse error: {e}"))
+    }
+
+    /// Names of the cells with (apparently) intact checkpoint entries.
+    #[must_use]
+    pub fn entries(&self) -> Vec<String> {
+        let mut names: Vec<String> = fs::read_dir(&self.dir)
+            .into_iter()
+            .flatten()
+            .flatten()
+            .filter_map(|e| {
+                let name = e.file_name().to_string_lossy().into_owned();
+                name.strip_suffix(".ckpt").map(str::to_string)
+            })
+            .collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Delete every checkpoint entry (called once the whole library is
+    /// safely in the library-level cache).
+    pub fn clear(&self) {
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cryo_liberty::{LogicFunction, Lut2, Pin, TimingArc};
+
+    fn test_cell(name: &str) -> Cell {
+        let f = LogicFunction::from_eval(&["A"], |b| b & 1 == 0);
+        Cell {
+            name: name.to_string(),
+            area: 0.05,
+            pins: vec![Pin::input("A", 0.4e-15), Pin::output("Y", f)],
+            arcs: vec![TimingArc {
+                related_pin: "A".into(),
+                pin: "Y".into(),
+                kind: cryo_liberty::ArcKind::Combinational,
+                sense: cryo_liberty::TimingSense::NegativeUnate,
+                cell_rise: Lut2::constant(4e-12),
+                cell_fall: Lut2::constant(5e-12),
+                rise_transition: Lut2::constant(2e-12),
+                fall_transition: Lut2::constant(2e-12),
+            }],
+            power_arcs: vec![],
+            leakage_states: vec![(0, 1e-9), (1, 2e-9)],
+            ff: None,
+            drive: 1,
+        }
+    }
+
+    fn temp_store(tag: &str) -> (PathBuf, CheckpointStore) {
+        let dir = std::env::temp_dir().join(format!("cryo_ckpt_test_{tag}"));
+        let _ = fs::remove_dir_all(&dir);
+        let store = CheckpointStore::open(&dir, "corner", "cafe").unwrap();
+        (dir, store)
+    }
+
+    #[test]
+    fn round_trip_preserves_the_cell() {
+        let (dir, store) = temp_store("roundtrip");
+        store.store(&test_cell("INVx1")).unwrap();
+        let back = store.load("INVx1").expect("checkpoint hit");
+        assert_eq!(back.name, "INVx1");
+        assert_eq!(back.arcs.len(), 1);
+        assert_eq!(back.leakage_states.len(), 2);
+        assert_eq!(store.entries(), vec!["INVx1".to_string()]);
+        assert!(store.load("NANDx1").is_none(), "miss on other cell");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_entry_is_quarantined() {
+        let (dir, store) = temp_store("truncated");
+        store.store(&test_cell("INVx1")).unwrap();
+        let path = store.path("INVx1");
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() * 2 / 3]).unwrap();
+        assert!(store.load("INVx1").is_none(), "checksum must catch it");
+        assert!(!path.exists());
+        assert!(
+            path.with_extension("ckpt.corrupt").exists(),
+            "evidence preserved"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_caught() {
+        let (dir, store) = temp_store("bitflip");
+        store.store(&test_cell("INVx1")).unwrap();
+        let path = store.path("INVx1");
+        let text = fs::read_to_string(&path).unwrap();
+        let tampered = text.replacen("0.05", "0.06", 1);
+        assert_ne!(text, tampered, "tamper site must exist");
+        fs::write(&path, tampered).unwrap();
+        assert!(store.load("INVx1").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unsupported_version_is_rejected() {
+        let (dir, store) = temp_store("version");
+        let path = store.path("INVx1");
+        fs::write(&path, "cryo-checkpoint v99 0000000000000000\n{}").unwrap();
+        assert!(store.load("INVx1").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let (dir, store) = temp_store("clear");
+        store.store(&test_cell("INVx1")).unwrap();
+        store.clear();
+        assert!(store.entries().is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -18,6 +18,14 @@
 //!   collected into a [`cryo_liberty::Library`].
 //! - [`cache`] — a JSON disk cache so the multi-minute characterization run
 //!   happens once per (model card, configuration) pair.
+//! - [`checkpoint`] — per-cell checkpoint/resume: each finished cell is
+//!   persisted immediately (atomic, versioned, checksummed) so a crash at
+//!   cell 150/169 resumes instead of restarting, and corrupt entries are
+//!   quarantined and re-characterized.
+//! - [`report`] — structured per-cell outcomes
+//!   ([`report::CharReport`]) from the robust characterization path:
+//!   attempts spent climbing the retry ladder, fault causes, and
+//!   drive-sibling derating provenance.
 //!
 //! # Example: characterize a two-cell mini library
 //!
@@ -36,9 +44,13 @@
 
 pub mod cache;
 pub mod charlib;
+pub mod checkpoint;
+pub mod report;
 pub mod topology;
 
-pub use charlib::{CharConfig, Characterizer};
+pub use charlib::{CharConfig, Characterizer, RecoveryLevel};
+pub use checkpoint::CheckpointStore;
+pub use report::{CellOutcome, CellStatus, CharReport};
 pub use topology::{CellNetlist, Mos};
 
 use std::error::Error;

@@ -1,0 +1,203 @@
+//! Structured characterization outcome reporting.
+//!
+//! Robust library characterization never throws away a whole corner for
+//! one bad cell: each cell lands in one of the [`CellStatus`] buckets and
+//! the [`CharReport`] carries the full per-cell record — attempts spent,
+//! the fault that killed exhausted cells, and where derated models came
+//! from — so callers can enforce a coverage floor and operators can see
+//! exactly what degraded.
+
+use serde::{Deserialize, Serialize};
+
+/// How a cell ended up in (or out of) the library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellStatus {
+    /// Characterized from scratch in this run.
+    Characterized,
+    /// Restored from a per-cell checkpoint written by an earlier run.
+    Resumed,
+    /// Loaded from the whole-library disk cache.
+    Cached,
+    /// Characterization exhausted the retry ladder; the model was derived
+    /// from the nearest drive-strength sibling (see `derated_from`).
+    Derated,
+    /// Characterization exhausted the retry ladder and no sibling could
+    /// stand in; the cell is absent from the library.
+    Failed,
+}
+
+/// Per-cell characterization outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellOutcome {
+    /// Cell name.
+    pub name: String,
+    /// Final status.
+    pub status: CellStatus,
+    /// Characterization attempts spent (0 for resumed/cached cells).
+    pub attempts: u32,
+    /// Description of the last fault, for exhausted cells (also kept on
+    /// derated cells so the root cause survives the recovery).
+    pub fault: Option<String>,
+    /// The sibling cell a derated model was scaled from.
+    pub derated_from: Option<String>,
+}
+
+impl CellOutcome {
+    /// Whether the cell made it into the library in some form.
+    #[must_use]
+    pub fn in_library(&self) -> bool {
+        self.status != CellStatus::Failed
+    }
+}
+
+/// The full per-cell record of a library characterization run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CharReport {
+    /// One outcome per requested cell, in request order.
+    pub outcomes: Vec<CellOutcome>,
+}
+
+impl CharReport {
+    /// Record an outcome.
+    pub fn push(&mut self, outcome: CellOutcome) {
+        self.outcomes.push(outcome);
+    }
+
+    /// Look up the outcome for a cell.
+    #[must_use]
+    pub fn outcome(&self, name: &str) -> Option<&CellOutcome> {
+        self.outcomes.iter().find(|o| o.name == name)
+    }
+
+    /// Fraction of requested cells present in the library (characterized,
+    /// resumed, cached, or derated), in `[0, 1]`. Empty reports count as
+    /// full coverage.
+    #[must_use]
+    pub fn coverage(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 1.0;
+        }
+        let present = self.outcomes.iter().filter(|o| o.in_library()).count();
+        present as f64 / self.outcomes.len() as f64
+    }
+
+    /// Outcomes with the given status.
+    #[must_use]
+    pub fn with_status(&self, status: CellStatus) -> Vec<&CellOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status == status)
+            .collect()
+    }
+
+    /// Cells that exhausted the ladder and are absent from the library.
+    #[must_use]
+    pub fn failed(&self) -> Vec<&CellOutcome> {
+        self.with_status(CellStatus::Failed)
+    }
+
+    /// Cells standing in for a failed characterization via sibling derating.
+    #[must_use]
+    pub fn derated(&self) -> Vec<&CellOutcome> {
+        self.with_status(CellStatus::Derated)
+    }
+
+    /// Cells that needed more than one attempt but ultimately characterized.
+    #[must_use]
+    pub fn recovered(&self) -> Vec<&CellOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status == CellStatus::Characterized && o.attempts > 1)
+            .collect()
+    }
+
+    /// Count of cells restored from checkpoints instead of re-simulated.
+    #[must_use]
+    pub fn resumed_count(&self) -> usize {
+        self.with_status(CellStatus::Resumed).len()
+    }
+
+    /// One-line human summary, e.g.
+    /// `168/169 cells (99.4 %): 150 characterized, 17 resumed, 1 derated, 1 failed`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let total = self.outcomes.len();
+        let count = |s: CellStatus| self.with_status(s).len();
+        let mut parts = Vec::new();
+        for (status, label) in [
+            (CellStatus::Characterized, "characterized"),
+            (CellStatus::Resumed, "resumed"),
+            (CellStatus::Cached, "cached"),
+            (CellStatus::Derated, "derated"),
+            (CellStatus::Failed, "failed"),
+        ] {
+            let n = count(status);
+            if n > 0 {
+                parts.push(format!("{n} {label}"));
+            }
+        }
+        let in_lib = self.outcomes.iter().filter(|o| o.in_library()).count();
+        format!(
+            "{in_lib}/{total} cells ({:.1} %): {}",
+            self.coverage() * 100.0,
+            if parts.is_empty() {
+                "empty".to_string()
+            } else {
+                parts.join(", ")
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(name: &str, status: CellStatus) -> CellOutcome {
+        CellOutcome {
+            name: name.into(),
+            status,
+            attempts: match status {
+                CellStatus::Characterized => 1,
+                CellStatus::Derated | CellStatus::Failed => 3,
+                _ => 0,
+            },
+            fault: matches!(status, CellStatus::Derated | CellStatus::Failed)
+                .then(|| "tran analysis failed to converge".to_string()),
+            derated_from: (status == CellStatus::Derated).then(|| "INVx2".to_string()),
+        }
+    }
+
+    #[test]
+    fn coverage_counts_everything_but_failed() {
+        let mut r = CharReport::default();
+        r.push(outcome("INVx1", CellStatus::Characterized));
+        r.push(outcome("INVx2", CellStatus::Resumed));
+        r.push(outcome("INVx4", CellStatus::Derated));
+        r.push(outcome("NANDx1", CellStatus::Failed));
+        assert!((r.coverage() - 0.75).abs() < 1e-12);
+        assert_eq!(r.failed().len(), 1);
+        assert_eq!(r.derated().len(), 1);
+        assert_eq!(r.resumed_count(), 1);
+        assert_eq!(r.outcome("NANDx1").unwrap().attempts, 3);
+        assert!(r.summary().contains("3/4 cells"));
+    }
+
+    #[test]
+    fn empty_report_is_fully_covered() {
+        let r = CharReport::default();
+        assert!((r.coverage() - 1.0).abs() < 1e-12);
+        assert!(r.failed().is_empty());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = CharReport::default();
+        r.push(outcome("INVx1", CellStatus::Characterized));
+        r.push(outcome("INVx4", CellStatus::Derated));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: CharReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(back.outcome("INVx4").unwrap().derated_from.as_deref(), Some("INVx2"));
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::path::PathBuf;
 
-use cryo_cells::{cache, topology, CharConfig, Characterizer};
+use cryo_cells::{cache, topology, CharConfig, Characterizer, CharReport, CheckpointStore};
 use cryo_device::{ModelCard, Polarity};
 use cryo_hdc::IqEncoder;
 use cryo_liberty::Library;
@@ -12,9 +12,10 @@ use cryo_qubit::{Calibration, HdcClassifier, QuantumDevice};
 use cryo_riscv::asm::assemble;
 use cryo_riscv::kernels::{dhrystone_source, hdc_source_rounds, knn_source_rounds, HDC_LEVELS};
 use cryo_riscv::{PipelineConfig, PipelineModel, RunStats};
+use cryo_spice::{fault, FaultPlan};
 use cryo_sta::{analyze, StaConfig, TimingReport};
 
-use crate::Result;
+use crate::{CoreError, Result};
 
 /// The paper's cooling budget at 10 K, watts (Sec. I-B).
 pub const COOLING_BUDGET_10K: f64 = 0.100;
@@ -39,6 +40,14 @@ pub struct FlowConfig {
     pub soc: SocConfig,
     /// Seed for the quantum device and HDC item memories.
     pub seed: u64,
+    /// Minimum fraction of the standard-cell set that must land in a
+    /// characterized library (directly, resumed, or derated) before the
+    /// flow will sign off on the corner.
+    pub coverage_floor: f64,
+    /// Optional fault-injection plan installed around characterization;
+    /// populated from the `CRYO_FAULTS` environment variable by the
+    /// constructors so experiment binaries can inject without recompiling.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl FlowConfig {
@@ -52,6 +61,8 @@ impl FlowConfig {
             char_10k: CharConfig::full(10.0),
             soc: SocConfig::default(),
             seed: 7,
+            coverage_floor: 0.95,
+            fault_plan: FaultPlan::from_env(),
         }
     }
 
@@ -67,6 +78,8 @@ impl FlowConfig {
                 ..SocConfig::default()
             },
             seed: 7,
+            coverage_floor: 0.95,
+            fault_plan: FaultPlan::from_env(),
         }
     }
 }
@@ -137,8 +150,25 @@ impl CryoFlow {
     ///
     /// # Errors
     ///
-    /// Characterization or cache I/O failures.
+    /// Characterization, cache I/O, or coverage-floor failures.
     pub fn library(&self, temp: f64) -> Result<Library> {
+        self.library_with_report(temp).map(|(lib, _)| lib)
+    }
+
+    /// Characterize (or load from cache) the library at `temp` kelvin,
+    /// returning the structured per-cell [`CharReport`] alongside it.
+    ///
+    /// This is the resilient path: each cell gets the retry ladder,
+    /// exhausted cells are derated from drive siblings or skipped, finished
+    /// cells are checkpointed under the cache directory so an interrupted
+    /// run resumes without re-simulation, and the configured fault plan (if
+    /// any) is installed for the duration of characterization.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Coverage`] when the achieved coverage falls below
+    /// `FlowConfig::coverage_floor`; cache I/O failures otherwise.
+    pub fn library_with_report(&self, temp: f64) -> Result<(Library, CharReport)> {
         let char_cfg = if temp < 150.0 {
             self.cfg.char_10k.clone()
         } else {
@@ -146,15 +176,60 @@ impl CryoFlow {
         };
         let cells = topology::standard_cell_set();
         let tag = cache::cell_set_tag(&cells);
-        let key = cache::cache_key(&self.nfet, &self.pfet, &char_cfg, &tag);
+        let key = cache::cache_key(&self.nfet, &self.pfet, &char_cfg, &tag)?;
         let name = format!("cryo5_tt_0p70v_{}k", temp as u32);
         if let Some(lib) = cache::load(&self.cfg.cache_dir, &name, &key) {
-            return Ok(lib);
+            let report = CharReport {
+                outcomes: lib
+                    .cells()
+                    .iter()
+                    .map(|c| cryo_cells::CellOutcome {
+                        name: c.name.clone(),
+                        status: cryo_cells::CellStatus::Cached,
+                        attempts: 0,
+                        fault: None,
+                        derated_from: None,
+                    })
+                    .collect(),
+            };
+            return Ok((lib, report));
         }
+        let _fault_guard = self.cfg.fault_plan.clone().map(fault::install_guard);
+        let checkpoint = CheckpointStore::open(&self.cfg.cache_dir, &name, &key)?;
         let engine = Characterizer::new(&self.nfet, &self.pfet, char_cfg);
-        let lib = engine.characterize_library(&name, &cells)?;
-        cache::store(&self.cfg.cache_dir, &name, &key, &lib)?;
-        Ok(lib)
+        let (lib, report) = engine.characterize_library_robust(&name, &cells, Some(&checkpoint));
+        let expected: Vec<&str> = cells.iter().map(|c| c.name.as_str()).collect();
+        let coverage = lib.coverage(&expected);
+        if coverage < self.cfg.coverage_floor {
+            return Err(CoreError::Coverage {
+                corner: name,
+                coverage,
+                floor: self.cfg.coverage_floor,
+                missing: lib.missing_cells(&expected),
+            });
+        }
+        // Only fully covered corners are promoted to the library-level
+        // cache; partial corners keep their checkpoints so the missing
+        // cells are retried on the next run.
+        if report.failed().is_empty() && report.derated().is_empty() {
+            cache::store(&self.cfg.cache_dir, &name, &key, &lib)?;
+            checkpoint.clear();
+        } else {
+            eprintln!("warning: {name} degraded — {}", report.summary());
+            for o in report.derated().into_iter().chain(report.failed()) {
+                eprintln!(
+                    "warning:   {} after {} attempts: {}{}",
+                    o.name,
+                    o.attempts,
+                    o.fault.as_deref().unwrap_or("unknown fault"),
+                    o.derated_from
+                        .as_deref()
+                        .map(|d| format!(" (derated from {d})"))
+                        .unwrap_or_default()
+                );
+            }
+        }
+        Ok((lib, report))
     }
 
     // ------------------------------------------------------------------

@@ -42,6 +42,17 @@ pub enum CoreError {
     Riscv(cryo_riscv::RiscvError),
     /// Qubit substrate failed.
     Qubit(cryo_qubit::QubitError),
+    /// Characterization completed but covered too few cells to sign off.
+    Coverage {
+        /// Library corner name.
+        corner: String,
+        /// Achieved coverage fraction in `[0, 1]`.
+        coverage: f64,
+        /// Configured coverage floor in `[0, 1]`.
+        floor: f64,
+        /// Cells absent from the library.
+        missing: Vec<String>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -54,6 +65,18 @@ impl fmt::Display for CoreError {
             CoreError::Power(e) => write!(f, "power stage: {e}"),
             CoreError::Riscv(e) => write!(f, "workload stage: {e}"),
             CoreError::Qubit(e) => write!(f, "qubit stage: {e}"),
+            CoreError::Coverage {
+                corner,
+                coverage,
+                floor,
+                missing,
+            } => write!(
+                f,
+                "characterization coverage for {corner} is {:.1} % (floor {:.1} %); missing: {}",
+                coverage * 100.0,
+                floor * 100.0,
+                missing.join(", ")
+            ),
         }
     }
 }
@@ -68,6 +91,7 @@ impl Error for CoreError {
             CoreError::Power(e) => Some(e),
             CoreError::Riscv(e) => Some(e),
             CoreError::Qubit(e) => Some(e),
+            CoreError::Coverage { .. } => None,
         }
     }
 }

@@ -62,6 +62,17 @@ pub enum LibertyError {
         /// Description of the problem.
         reason: String,
     },
+    /// The library covers fewer of the expected cells than required.
+    IncompleteLibrary {
+        /// Library name.
+        name: String,
+        /// Achieved coverage fraction in `[0, 1]`.
+        coverage: f64,
+        /// Required coverage floor in `[0, 1]`.
+        floor: f64,
+        /// Expected cells the library is missing.
+        missing: Vec<String>,
+    },
 }
 
 impl fmt::Display for LibertyError {
@@ -73,6 +84,18 @@ impl fmt::Display for LibertyError {
             LibertyError::Parse { line, reason } => {
                 write!(f, "liberty parse error at line {line}: {reason}")
             }
+            LibertyError::IncompleteLibrary {
+                name,
+                coverage,
+                floor,
+                missing,
+            } => write!(
+                f,
+                "library {name} covers {:.1} % of expected cells (floor {:.1} %); missing: {}",
+                coverage * 100.0,
+                floor * 100.0,
+                missing.join(", ")
+            ),
         }
     }
 }

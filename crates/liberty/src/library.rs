@@ -124,6 +124,51 @@ impl Library {
         }
     }
 
+    /// Fraction of `expected` cell names this library actually contains,
+    /// in `[0, 1]`. An empty expectation counts as full coverage.
+    #[must_use]
+    pub fn coverage<S: AsRef<str>>(&self, expected: &[S]) -> f64 {
+        if expected.is_empty() {
+            return 1.0;
+        }
+        let present = expected
+            .iter()
+            .filter(|n| self.index.contains_key(n.as_ref()))
+            .count();
+        present as f64 / expected.len() as f64
+    }
+
+    /// The expected cell names this library is missing, in input order.
+    #[must_use]
+    pub fn missing_cells<S: AsRef<str>>(&self, expected: &[S]) -> Vec<String> {
+        expected
+            .iter()
+            .map(AsRef::as_ref)
+            .filter(|n| !self.index.contains_key(*n))
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Check that coverage of `expected` meets `floor` (a fraction in
+    /// `[0, 1]`).
+    ///
+    /// # Errors
+    ///
+    /// [`LibertyError::IncompleteLibrary`] naming the missing cells when
+    /// coverage falls below the floor.
+    pub fn validate_coverage<S: AsRef<str>>(&self, expected: &[S], floor: f64) -> Result<()> {
+        let coverage = self.coverage(expected);
+        if coverage < floor {
+            return Err(LibertyError::IncompleteLibrary {
+                name: self.name.clone(),
+                coverage,
+                floor,
+                missing: self.missing_cells(expected),
+            });
+        }
+        Ok(())
+    }
+
     /// Aggregate statistics for reporting.
     #[must_use]
     pub fn stats(&self) -> LibraryStats {
@@ -269,6 +314,27 @@ mod tests {
         let l = lib();
         let h = l.delay_histogram(1e-12);
         assert!((h.overlap(&h) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_tracks_expected_cells() {
+        let l = lib();
+        let expected = ["INVx1", "INVx2", "NANDx1", "NORx1"];
+        assert!((l.coverage(&expected) - 0.5).abs() < 1e-12);
+        assert_eq!(l.missing_cells(&expected), vec!["NANDx1", "NORx1"]);
+        assert!(l.validate_coverage(&expected, 0.5).is_ok());
+        let err = l.validate_coverage(&expected, 0.95).unwrap_err();
+        match err {
+            LibertyError::IncompleteLibrary {
+                coverage, missing, ..
+            } => {
+                assert!((coverage - 0.5).abs() < 1e-12);
+                assert_eq!(missing.len(), 2);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        let none: [&str; 0] = [];
+        assert!((l.coverage(&none) - 1.0).abs() < 1e-12, "vacuous coverage");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! attempt; the fallbacks exist for pathological stimulus corners.
 
 use crate::circuit::{Circuit, ElementKind, NodeId, GROUND};
+use crate::fault::{self, FaultSite, SolveFault};
 use crate::solver::Matrix;
 use crate::{Result, SpiceError};
 
@@ -99,7 +100,11 @@ pub(crate) fn assemble(
             ElementKind::Fet { d, g, s, dev } => {
                 let vgs = v_of(*g, x) - v_of(*s, x);
                 let vds = v_of(*d, x) - v_of(*s, x);
-                let ids = dev.ids(vgs, vds);
+                let ids = if fault::nan_poisoned() {
+                    f64::NAN
+                } else {
+                    dev.ids(vgs, vds)
+                };
                 let gm = dev.gm(vgs, vds);
                 let gds = dev.gds(vgs, vds).max(1e-12);
                 let gm = gm.max(0.0);
@@ -176,7 +181,12 @@ pub(crate) fn newton(
         assemble(ckt, &x, time, gmin, src_scale, caps, &mut mat, &mut rhs);
         let perm = mat.lu_factor()?;
         mat.lu_solve(&perm, &mut rhs);
-        // rhs now holds the next trial vector.
+        // rhs now holds the next trial vector. A NaN/inf here means a device
+        // model blew up; report that as its own error rather than iterating
+        // on poison until the budget runs out.
+        if rhs.iter().any(|v| !v.is_finite()) {
+            return Err(SpiceError::NonFinite { analysis, time });
+        }
         worst = 0.0;
         for i in 0..n {
             let mut delta = rhs[i] - x[i];
@@ -242,24 +252,44 @@ impl DcSolution {
 ///   stepping all fail.
 /// - [`SpiceError::SingularMatrix`] for structurally defective circuits.
 pub fn dc_operating_point(ckt: &Circuit) -> Result<DcSolution> {
+    dc_operating_point_with(ckt, 1e-12)
+}
+
+/// [`dc_operating_point`] with a caller-chosen starting gmin.
+///
+/// The characterization retry ladder relaxes the first-attempt gmin on
+/// circuits that defeated the default solve; a larger shunt conductance
+/// trades a little accuracy for a much wider Newton convergence basin
+/// (the gmin/source-stepping fallbacks still tighten back down).
+///
+/// # Errors
+///
+/// Same contract as [`dc_operating_point`].
+pub fn dc_operating_point_with(ckt: &Circuit, gmin0: f64) -> Result<DcSolution> {
     if ckt.elements().is_empty() {
         return Err(SpiceError::EmptyCircuit);
     }
+    fault::count_dc_solve();
+    let _poison = match fault::begin_solve(FaultSite::DcSolve) {
+        Some(SolveFault::NanDevice) => Some(fault::NanPoisonGuard::armed()),
+        Some(f) => return Err(fault::injected_error(f, "dc")),
+        None => None,
+    };
     let n = ckt.unknowns();
     let x0 = vec![0.0; n];
 
-    // 1. Plain Newton with a tiny gmin.
-    if let Ok(x) = newton(ckt, &x0, 0.0, 1e-12, 1.0, None, "dc") {
+    // 1. Plain Newton with the starting gmin.
+    if let Ok(x) = newton(ckt, &x0, 0.0, gmin0, 1.0, None, "dc") {
         return Ok(DcSolution {
             n_nodes: ckt.node_count(),
             x,
         });
     }
-    // 2. gmin stepping: relax then tighten.
+    // 2. gmin stepping: relax then tighten (never below the caller's floor).
     let mut x = x0.clone();
     let mut ok = true;
     for exp in [3, 5, 7, 9, 12] {
-        let gmin = 10f64.powi(-exp);
+        let gmin = 10f64.powi(-exp).max(gmin0);
         match newton(ckt, &x, 0.0, gmin, 1.0, None, "dc") {
             Ok(next) => x = next,
             Err(_) => {
@@ -278,10 +308,10 @@ pub fn dc_operating_point(ckt: &Circuit) -> Result<DcSolution> {
     let mut x = x0;
     for step in 1..=20 {
         let scale = step as f64 / 20.0;
-        x = newton(ckt, &x, 0.0, 1e-9, scale, None, "dc")?;
+        x = newton(ckt, &x, 0.0, 1e-9_f64.max(gmin0), scale, None, "dc")?;
     }
-    // Final polish at full sources and tiny gmin.
-    let x = newton(ckt, &x, 0.0, 1e-12, 1.0, None, "dc")?;
+    // Final polish at full sources and the caller's gmin floor.
+    let x = newton(ckt, &x, 0.0, gmin0, 1.0, None, "dc")?;
     Ok(DcSolution {
         n_nodes: ckt.node_count(),
         x,

@@ -1,0 +1,458 @@
+//! Deterministic, seeded fault injection for resilience testing.
+//!
+//! The characterization flow needs a way to *prove* its degradation paths
+//! work: retry ladders, graceful per-cell skipping, checkpoint quarantine.
+//! This module provides the cross-stack injection harness: a [`FaultPlan`]
+//! names which fault kinds to inject (and how often), and the solver entry
+//! points in this crate — plus the cache writers in `cryo-cells` — consult
+//! the active plan at well-defined sites.
+//!
+//! Design constraints:
+//!
+//! - **Deterministic.** Draws come from a seeded splitmix64 stream, so a
+//!   failing test replays bit-for-bit from its seed.
+//! - **Scoped.** A plan can be restricted to a context label (the cell
+//!   currently being characterized) and to a maximum number of injections,
+//!   so tests can kill exactly one cell's solves and assert everything else
+//!   survives.
+//! - **Thread-local.** `cargo test` runs tests on separate threads; each
+//!   installs and clears its own injector without interference.
+//! - **Zero-cost when idle.** All sites early-out on an inactive injector.
+//!
+//! The simulator also keeps per-thread counters of DC and transient solves
+//! (always on, independent of any plan) so checkpoint/resume tests can
+//! assert that finished cells are *not* re-simulated.
+
+use std::cell::RefCell;
+
+use crate::SpiceError;
+
+/// Which injection site is being consulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Entry of a DC operating-point solve.
+    DcSolve,
+    /// Entry of a transient analysis.
+    TranSolve,
+    /// A cache/checkpoint file write (consulted by `cryo-cells`).
+    CacheWrite,
+}
+
+/// A declarative fault-injection plan.
+///
+/// Each field is an injection probability in `[0, 1]` evaluated per site
+/// visit; `1.0` means "always fire" (until `max_injections` runs out).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the deterministic draw stream.
+    pub seed: u64,
+    /// Probability a DC solve reports [`SpiceError::NoConvergence`].
+    pub dc_no_convergence: f64,
+    /// Probability a transient reports [`SpiceError::NoConvergence`].
+    pub tran_no_convergence: f64,
+    /// Probability a solve reports [`SpiceError::SingularMatrix`].
+    pub singular_matrix: f64,
+    /// Probability a solve sees a NaN device evaluation (poisons the MNA
+    /// assembly; the solver must detect it and report
+    /// [`SpiceError::NonFinite`]).
+    pub nan_device: f64,
+    /// Probability a cache/checkpoint write is truncated mid-file
+    /// (simulates a crash during a non-atomic write).
+    pub cache_corruption: f64,
+    /// Restrict injection to contexts whose label contains this substring
+    /// (e.g. a cell name). `None` injects everywhere.
+    pub scope: Option<String>,
+    /// Stop injecting after this many faults have fired. `None` is
+    /// unlimited.
+    pub max_injections: Option<u32>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            dc_no_convergence: 0.0,
+            tran_no_convergence: 0.0,
+            singular_matrix: 0.0,
+            nan_device: 0.0,
+            cache_corruption: 0.0,
+            scope: None,
+            max_injections: None,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Parse a plan from the `CRYO_FAULTS` environment variable, the hook
+    /// the experiment binaries use. Format: comma-separated `key=value`
+    /// pairs, e.g.
+    ///
+    /// ```text
+    /// CRYO_FAULTS="seed=42,dc=0.05,tran=0.02,singular=0.01,nan=0.01,cache=0.1,scope=NAND2x1,max=3"
+    /// ```
+    ///
+    /// Returns `None` when the variable is unset or empty. Unknown keys and
+    /// malformed values are ignored (the harness must never abort the flow
+    /// it exists to protect).
+    #[must_use]
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var("CRYO_FAULTS").ok()?;
+        if raw.trim().is_empty() {
+            return None;
+        }
+        let mut plan = Self::default();
+        for pair in raw.split(',') {
+            let Some((k, v)) = pair.split_once('=') else {
+                continue;
+            };
+            let (k, v) = (k.trim(), v.trim());
+            match k {
+                "seed" => plan.seed = v.parse().unwrap_or(0),
+                "dc" => plan.dc_no_convergence = v.parse().unwrap_or(0.0),
+                "tran" => plan.tran_no_convergence = v.parse().unwrap_or(0.0),
+                "singular" => plan.singular_matrix = v.parse().unwrap_or(0.0),
+                "nan" => plan.nan_device = v.parse().unwrap_or(0.0),
+                "cache" => plan.cache_corruption = v.parse().unwrap_or(0.0),
+                "scope" => plan.scope = Some(v.to_string()),
+                "max" => plan.max_injections = v.parse().ok(),
+                _ => {}
+            }
+        }
+        Some(plan)
+    }
+
+    /// Whether the plan can inject anything at all.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.dc_no_convergence > 0.0
+            || self.tran_no_convergence > 0.0
+            || self.singular_matrix > 0.0
+            || self.nan_device > 0.0
+            || self.cache_corruption > 0.0
+    }
+}
+
+/// What an armed solver site should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SolveFault {
+    /// Fail the solve with `NoConvergence`.
+    NoConvergence,
+    /// Fail the solve with `SingularMatrix`.
+    Singular,
+    /// Poison device evaluations with NaN for the duration of the solve.
+    NanDevice,
+}
+
+struct Injector {
+    plan: FaultPlan,
+    rng: u64,
+    fired: u32,
+    context: String,
+}
+
+impl Injector {
+    /// splitmix64: deterministic, stateless-friendly, good enough for
+    /// Bernoulli draws.
+    fn next_unit(&mut self) -> f64 {
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn in_scope(&self) -> bool {
+        match &self.plan.scope {
+            Some(s) => self.context.contains(s.as_str()),
+            None => true,
+        }
+    }
+
+    fn budget_left(&self) -> bool {
+        match self.plan.max_injections {
+            Some(m) => self.fired < m,
+            None => true,
+        }
+    }
+
+    fn roll(&mut self, p: f64) -> bool {
+        if p <= 0.0 || !self.in_scope() || !self.budget_left() {
+            return false;
+        }
+        if self.next_unit() < p {
+            self.fired += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+thread_local! {
+    static INJECTOR: RefCell<Option<Injector>> = const { RefCell::new(None) };
+    static NAN_POISON: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    static SIM_COUNTS: std::cell::Cell<(u64, u64)> = const { std::cell::Cell::new((0, 0)) };
+}
+
+/// Install `plan` as this thread's active injector (replacing any previous
+/// one). Prefer [`install_guard`] in library code so the injector cannot
+/// leak past a panic or early return.
+pub fn install(plan: FaultPlan) {
+    INJECTOR.with(|i| {
+        *i.borrow_mut() = Some(Injector {
+            rng: plan.seed ^ 0x6a09_e667_f3bc_c908,
+            plan,
+            fired: 0,
+            context: String::new(),
+        });
+    });
+}
+
+/// Remove the active injector (and any pending NaN poison).
+pub fn clear() {
+    INJECTOR.with(|i| *i.borrow_mut() = None);
+    NAN_POISON.with(|p| p.set(false));
+}
+
+/// Whether an injector is installed on this thread.
+#[must_use]
+pub fn is_active() -> bool {
+    INJECTOR.with(|i| i.borrow().is_some())
+}
+
+/// Number of faults the active injector has fired so far (0 when idle).
+#[must_use]
+pub fn injection_count() -> u32 {
+    INJECTOR.with(|i| i.borrow().as_ref().map_or(0, |inj| inj.fired))
+}
+
+/// Label the current injection context (typically the cell under
+/// characterization) so scoped plans can target it.
+pub fn set_context(label: &str) {
+    INJECTOR.with(|i| {
+        if let Some(inj) = i.borrow_mut().as_mut() {
+            inj.context.clear();
+            inj.context.push_str(label);
+        }
+    });
+}
+
+/// RAII guard returned by [`install_guard`]; clears the injector on drop.
+pub struct FaultGuard(());
+
+impl Drop for FaultGuard {
+    fn drop(&mut self) {
+        clear();
+    }
+}
+
+/// Install `plan` and return a guard that uninstalls it when dropped.
+#[must_use]
+pub fn install_guard(plan: FaultPlan) -> FaultGuard {
+    install(plan);
+    FaultGuard(())
+}
+
+/// Consult the injector at a solver entry site.
+pub(crate) fn begin_solve(site: FaultSite) -> Option<SolveFault> {
+    INJECTOR.with(|i| {
+        let mut borrow = i.borrow_mut();
+        let inj = borrow.as_mut()?;
+        let conv_p = match site {
+            FaultSite::DcSolve => inj.plan.dc_no_convergence,
+            FaultSite::TranSolve => inj.plan.tran_no_convergence,
+            FaultSite::CacheWrite => 0.0,
+        };
+        if inj.roll(conv_p) {
+            return Some(SolveFault::NoConvergence);
+        }
+        let singular_p = inj.plan.singular_matrix;
+        if inj.roll(singular_p) {
+            return Some(SolveFault::Singular);
+        }
+        let nan_p = inj.plan.nan_device;
+        if inj.roll(nan_p) {
+            return Some(SolveFault::NanDevice);
+        }
+        None
+    })
+}
+
+/// Whether the active plan wants this cache/checkpoint write truncated.
+/// Consulted by `cryo-cells` before committing a file.
+#[must_use]
+pub fn should_corrupt_cache_write() -> bool {
+    INJECTOR.with(|i| {
+        let mut borrow = i.borrow_mut();
+        match borrow.as_mut() {
+            Some(inj) => {
+                let p = inj.plan.cache_corruption;
+                inj.roll(p)
+            }
+            None => false,
+        }
+    })
+}
+
+/// Arm or disarm NaN poisoning of device evaluations for the current solve.
+pub(crate) fn set_nan_poison(on: bool) {
+    NAN_POISON.with(|p| p.set(on));
+}
+
+/// Whether device evaluations should currently be poisoned with NaN.
+pub(crate) fn nan_poisoned() -> bool {
+    NAN_POISON.with(std::cell::Cell::get)
+}
+
+/// Guard that disarms NaN poisoning when dropped (survives `?` returns).
+pub(crate) struct NanPoisonGuard(());
+
+impl NanPoisonGuard {
+    pub(crate) fn armed() -> Self {
+        set_nan_poison(true);
+        Self(())
+    }
+}
+
+impl Drop for NanPoisonGuard {
+    fn drop(&mut self) {
+        set_nan_poison(false);
+    }
+}
+
+/// Synthesize the injected error for a solver site.
+pub(crate) fn injected_error(fault: SolveFault, analysis: &'static str) -> SpiceError {
+    match fault {
+        SolveFault::NoConvergence => SpiceError::NoConvergence {
+            analysis,
+            time: 0.0,
+            residual: f64::INFINITY,
+        },
+        SolveFault::Singular => SpiceError::SingularMatrix { column: 0 },
+        // NanDevice is not an immediate error — callers arm the poison and
+        // let the solver detect the non-finite evaluation — but a fallback
+        // mapping keeps the match total.
+        SolveFault::NanDevice => SpiceError::NonFinite { analysis, time: 0.0 },
+    }
+}
+
+// ----------------------------------------------------------------------
+// Simulation counters (always on)
+// ----------------------------------------------------------------------
+
+/// Per-thread simulator invocation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimCounts {
+    /// DC operating-point solves started (transient analyses start one for
+    /// their initial condition, so a transient bumps both counters).
+    pub dc: u64,
+    /// Transient analyses started.
+    pub tran: u64,
+}
+
+/// Read this thread's simulator invocation counters.
+#[must_use]
+pub fn sim_counts() -> SimCounts {
+    let (dc, tran) = SIM_COUNTS.with(std::cell::Cell::get);
+    SimCounts { dc, tran }
+}
+
+/// Reset this thread's simulator invocation counters to zero.
+pub fn reset_sim_counts() {
+    SIM_COUNTS.with(|c| c.set((0, 0)));
+}
+
+pub(crate) fn count_dc_solve() {
+    SIM_COUNTS.with(|c| {
+        let (dc, tran) = c.get();
+        c.set((dc + 1, tran));
+    });
+}
+
+pub(crate) fn count_tran_solve() {
+    SIM_COUNTS.with(|c| {
+        let (dc, tran) = c.get();
+        c.set((dc, tran + 1));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_injector_never_fires() {
+        clear();
+        assert!(!is_active());
+        assert_eq!(begin_solve(FaultSite::DcSolve), None);
+        assert!(!should_corrupt_cache_write());
+    }
+
+    #[test]
+    fn scoped_plan_only_fires_in_scope() {
+        let plan = FaultPlan {
+            dc_no_convergence: 1.0,
+            scope: Some("NAND2x1".into()),
+            ..FaultPlan::new(7)
+        };
+        let _g = install_guard(plan);
+        set_context("INVx1");
+        assert_eq!(begin_solve(FaultSite::DcSolve), None);
+        set_context("NAND2x1");
+        assert_eq!(
+            begin_solve(FaultSite::DcSolve),
+            Some(SolveFault::NoConvergence)
+        );
+    }
+
+    #[test]
+    fn max_injections_bounds_the_damage() {
+        let plan = FaultPlan {
+            tran_no_convergence: 1.0,
+            max_injections: Some(2),
+            ..FaultPlan::new(3)
+        };
+        let _g = install_guard(plan);
+        assert!(begin_solve(FaultSite::TranSolve).is_some());
+        assert!(begin_solve(FaultSite::TranSolve).is_some());
+        assert_eq!(begin_solve(FaultSite::TranSolve), None, "budget exhausted");
+        assert_eq!(injection_count(), 2);
+    }
+
+    #[test]
+    fn draws_are_deterministic_per_seed() {
+        let plan = FaultPlan {
+            dc_no_convergence: 0.5,
+            ..FaultPlan::new(99)
+        };
+        let sample = |p: FaultPlan| -> Vec<bool> {
+            let _g = install_guard(p);
+            (0..32)
+                .map(|_| begin_solve(FaultSite::DcSolve).is_some())
+                .collect()
+        };
+        let a = sample(plan.clone());
+        let b = sample(plan);
+        assert_eq!(a, b, "same seed, same stream");
+        assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn guard_clears_on_drop() {
+        {
+            let _g = install_guard(FaultPlan::new(1));
+            assert!(is_active());
+        }
+        assert!(!is_active());
+    }
+}

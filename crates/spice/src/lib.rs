@@ -37,13 +37,15 @@
 
 pub mod circuit;
 pub mod dc;
+pub mod fault;
 pub mod solver;
 pub mod source;
 pub mod tran;
 pub mod wave;
 
 pub use circuit::{Circuit, ElementKind, NodeId, GROUND};
-pub use dc::{dc_operating_point, DcSolution};
+pub use dc::{dc_operating_point, dc_operating_point_with, DcSolution};
+pub use fault::{FaultPlan, SimCounts};
 pub use source::Source;
 pub use tran::{transient, TranConfig, TranResult};
 pub use wave::Waveform;
@@ -75,6 +77,14 @@ pub enum SpiceError {
     },
     /// The circuit has no elements or no sources to drive it.
     EmptyCircuit,
+    /// A device evaluation produced a non-finite value (NaN or infinity)
+    /// that poisoned the solve.
+    NonFinite {
+        /// Analysis that failed ("dc" or "tran").
+        analysis: &'static str,
+        /// Simulated time at failure (0 for DC).
+        time: f64,
+    },
 }
 
 impl fmt::Display for SpiceError {
@@ -93,6 +103,10 @@ impl fmt::Display for SpiceError {
             }
             SpiceError::UnknownNode { node } => write!(f, "unknown node id {node}"),
             SpiceError::EmptyCircuit => write!(f, "circuit contains no elements"),
+            SpiceError::NonFinite { analysis, time } => write!(
+                f,
+                "{analysis} analysis hit a non-finite device evaluation at t = {time:.3e} s"
+            ),
         }
     }
 }

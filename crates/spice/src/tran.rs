@@ -7,7 +7,8 @@
 //! buy nothing but nondeterminism.
 
 use crate::circuit::{Circuit, ElementKind, NodeId, GROUND};
-use crate::dc::{dc_operating_point, newton, CapCompanion};
+use crate::dc::{dc_operating_point_with, newton, CapCompanion};
+use crate::fault::{self, FaultSite, SolveFault};
 use crate::wave::Waveform;
 use crate::{Result, SpiceError};
 
@@ -18,6 +19,11 @@ pub struct TranConfig {
     pub tstop: f64,
     /// Fixed step size, seconds.
     pub dt: f64,
+    /// Shunt conductance from every node to ground during Newton solves.
+    /// The default `1e-12` S is invisible in the results; the
+    /// characterization retry ladder relaxes it to widen the convergence
+    /// basin on pathological arcs.
+    pub gmin: f64,
 }
 
 impl TranConfig {
@@ -32,7 +38,15 @@ impl TranConfig {
         Self {
             tstop,
             dt: tstop / steps as f64,
+            gmin: 1e-12,
         }
+    }
+
+    /// Same window with a relaxed (or tightened) Newton gmin.
+    #[must_use]
+    pub fn with_gmin(mut self, gmin: f64) -> Self {
+        self.gmin = gmin;
+        self
     }
 }
 
@@ -99,7 +113,13 @@ pub fn transient(ckt: &Circuit, cfg: &TranConfig) -> Result<TranResult> {
         cfg.dt > 0.0 && cfg.tstop > 0.0,
         "degenerate transient window"
     );
-    let op = dc_operating_point(ckt)?;
+    fault::count_tran_solve();
+    let _poison = match fault::begin_solve(FaultSite::TranSolve) {
+        Some(SolveFault::NanDevice) => Some(fault::NanPoisonGuard::armed()),
+        Some(f) => return Err(fault::injected_error(f, "tran")),
+        None => None,
+    };
+    let op = dc_operating_point_with(ckt, cfg.gmin)?;
     let mut x = op.raw().to_vec();
 
     // Collect capacitor bookkeeping in element order.
@@ -123,6 +143,7 @@ pub fn transient(ckt: &Circuit, cfg: &TranConfig) -> Result<TranResult> {
     // One trapezoidal step from `t_prev` to `t`; on Newton failure the
     // step is split into shrinking substeps (sharp regenerative edges in
     // latch circuits occasionally defeat the full-step solve).
+    #[allow(clippy::too_many_arguments)]
     fn advance(
         ckt: &Circuit,
         caps_meta: &[(NodeId, NodeId, f64)],
@@ -130,6 +151,7 @@ pub fn transient(ckt: &Circuit, cfg: &TranConfig) -> Result<TranResult> {
         i_prev: &mut [f64],
         t_prev: f64,
         t: f64,
+        gmin: f64,
         depth: usize,
     ) -> Result<()> {
         let v_of = |node: NodeId, x: &[f64]| -> f64 {
@@ -150,7 +172,7 @@ pub fn transient(ckt: &Circuit, cfg: &TranConfig) -> Result<TranResult> {
             geq: geq.clone(),
             hist,
         };
-        match newton(ckt, x, t, 1e-12, 1.0, Some(&companion), "tran") {
+        match newton(ckt, x, t, gmin, 1.0, Some(&companion), "tran") {
             Ok(next) => {
                 for (i, &(a, b, _)) in caps_meta.iter().enumerate() {
                     let v_new = v_of(a, &next) - v_of(b, &next);
@@ -164,8 +186,8 @@ pub fn transient(ckt: &Circuit, cfg: &TranConfig) -> Result<TranResult> {
                     return Err(e);
                 }
                 let mid = 0.5 * (t_prev + t);
-                advance(ckt, caps_meta, x, i_prev, t_prev, mid, depth + 1)?;
-                advance(ckt, caps_meta, x, i_prev, mid, t, depth + 1)
+                advance(ckt, caps_meta, x, i_prev, t_prev, mid, gmin, depth + 1)?;
+                advance(ckt, caps_meta, x, i_prev, mid, t, gmin, depth + 1)
             }
         }
     }
@@ -173,7 +195,7 @@ pub fn transient(ckt: &Circuit, cfg: &TranConfig) -> Result<TranResult> {
     for k in 1..=steps {
         let t = k as f64 * cfg.dt;
         let t_prev = (k - 1) as f64 * cfg.dt;
-        advance(ckt, &caps_meta, &mut x, &mut i_prev, t_prev, t, 0)?;
+        advance(ckt, &caps_meta, &mut x, &mut i_prev, t_prev, t, cfg.gmin, 0)?;
         times.push(t);
         solution.push(x.clone());
     }

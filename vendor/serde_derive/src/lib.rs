@@ -1,0 +1,266 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros.
+//!
+//! The build environment has no registry access, so these derives are written
+//! against `proc_macro` alone — no syn/quote. They parse the item's token
+//! stream directly, which covers exactly the shapes this workspace derives:
+//! structs with named fields (optionally carrying `#[serde(skip)]`) and enums
+//! with unit variants. Anything fancier fails loudly with `compile_error!`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Is this token the punctuation character `c`?
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Collect leading `#[...]` attributes, returning whether any is
+/// `#[serde(skip)]` (or `skip_serializing`/`skip_deserializing`, which this
+/// workspace treats identically).
+fn eat_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i < tokens.len() && is_punct(&tokens[i], '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+            let body = g.stream().to_string();
+            if body.starts_with("serde") && body.contains("skip") {
+                skip = true;
+            }
+            i += 2;
+        } else {
+            break;
+        }
+    }
+    (i, skip)
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn eat_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i..], [TokenTree::Ident(id), ..] if id.to_string() == "pub") {
+        i += 1;
+        if matches!(
+            tokens.get(i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = eat_attrs(&tokens, 0);
+    i = eat_vis(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        return Err(format!("{name}: generic types are not supported by the vendored serde derive"));
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(tt) if is_punct(tt, ';') && kind == "struct" => TokenStream::new(),
+        other => return Err(format!("{name}: unsupported item body {other:?}")),
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+
+    match kind.as_str() {
+        "struct" => parse_struct_fields(&name, &body).map(|fields| Item::Struct { name, fields }),
+        "enum" => parse_enum_variants(&name, &body).map(|variants| Item::Enum { name, variants }),
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+fn parse_struct_fields(name: &str, body: &[TokenTree]) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let (next, skip) = eat_attrs(body, i);
+        i = eat_vis(body, next);
+        let field_name = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("{name}: expected field name, got {other:?}")),
+        };
+        i += 1;
+        if !matches!(body.get(i), Some(tt) if is_punct(tt, ':')) {
+            return Err(format!(
+                "{name}.{field_name}: tuple structs are not supported by the vendored serde derive"
+            ));
+        }
+        i += 1;
+        // Skip the type: everything up to the next comma outside `<...>`.
+        let mut angle_depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                tt if is_punct(tt, '<') => angle_depth += 1,
+                tt if is_punct(tt, '>') => angle_depth -= 1,
+                tt if is_punct(tt, ',') && angle_depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(Field {
+            name: field_name,
+            skip,
+        });
+    }
+    Ok(fields)
+}
+
+fn parse_enum_variants(name: &str, body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let (next, _) = eat_attrs(body, i);
+        i = next;
+        let variant = match body.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("{name}: expected variant name, got {other:?}")),
+        };
+        i += 1;
+        match body.get(i) {
+            None => {}
+            Some(tt) if is_punct(tt, ',') => i += 1,
+            Some(_) => {
+                return Err(format!(
+                    "{name}::{variant}: only unit variants are supported by the vendored serde derive"
+                ))
+            }
+        }
+        variants.push(variant);
+    }
+    Ok(variants)
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match item {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{0}\"), \
+                         ::serde::Serialize::to_value(&self.{0})),",
+                        f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "Self::{v} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{v}\")),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let out = match item {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::std::default::Default::default(),", f.name)
+                    } else {
+                        format!(
+                            "{0}: ::serde::Deserialize::from_value(obj.get(\"{0}\"))\
+                             .map_err(|e| ::serde::Error::custom(\
+                             ::std::format!(\"{name}.{0}: {{e}}\")))?,",
+                            f.name
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let obj = ::serde::object_fields(v, \"{name}\")?;\n\
+                         ::std::result::Result::Ok(Self {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "::std::option::Option::Some(\"{v}\") => \
+                         ::std::result::Result::Ok(Self::{v}),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match v.as_str() {{\n\
+                             {arms}\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"invalid {name} variant: {{v:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().unwrap()
+}
