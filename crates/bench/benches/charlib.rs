@@ -1,0 +1,50 @@
+//! Parallel-characterization throughput: the same cell set pushed through
+//! the work-stealing scheduler at `jobs = 1` (the exact serial path) and
+//! `jobs = N` (auto-detected parallelism, floored at 2 so the parallel
+//! path is exercised even on a single-core host). The ratio of the two
+//! means is the scheduler's speedup; measured numbers are recorded in
+//! `BENCH_charlib.json` at the repo root.
+//!
+//! The vendored criterion stub ignores harness CLI flags, so `--test`
+//! (CI's bench smoke) is handled here: it shrinks the cell set and sample
+//! count to keep the smoke run fast while still driving both job counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cryo_cells::{topology, CharConfig, Characterizer};
+use cryo_device::{ModelCard, Polarity};
+
+/// CI smoke mode (`cargo bench -p cryo-bench -- --test`).
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn bench_charlib(c: &mut Criterion) {
+    let smoke = smoke_mode();
+    let mut g = c.benchmark_group("charlib");
+    g.sample_size(if smoke { 1 } else { 3 });
+    // A realistic prefix of the standard set: inverter/buffer/NAND/NOR
+    // drive families, mixed cheap and expensive cells.
+    let take = if smoke { 2 } else { 12 };
+    let cells: Vec<_> = topology::standard_cell_set()
+        .into_iter()
+        .take(take)
+        .collect();
+    let nc = ModelCard::nominal(Polarity::N);
+    let pc = ModelCard::nominal(Polarity::P);
+    let auto = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .max(2);
+    for jobs in [1, auto] {
+        let mut cfg = CharConfig::fast(300.0);
+        cfg.jobs = jobs;
+        let engine = Characterizer::new(&nc, &pc, cfg);
+        g.bench_function(&format!("{}cells_jobs{jobs}", cells.len()), |b| {
+            b.iter(|| engine.characterize_library_robust("bench", &cells, None))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_charlib);
+criterion_main!(benches);

@@ -146,14 +146,26 @@ pub fn store(dir: &Path, name: &str, key: &str, lib: &Library) -> Result<()> {
 /// Write `content` to `path` via a sibling tmp file and an atomic rename,
 /// honoring the fault injector's cache-corruption site (which truncates the
 /// payload to simulate a crash mid-write).
+///
+/// The tmp name carries a process-wide sequence number so concurrent
+/// writers — parallel characterization workers checkpointing at once, or
+/// two racing runs committing the same cell — never share a scratch file;
+/// whichever rename lands last wins, and the destination is never observed
+/// half-written.
 pub(crate) fn write_atomic(path: &Path, content: &str) -> Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static WRITE_SEQ: AtomicU64 = AtomicU64::new(0);
     let payload = if fault::should_corrupt_cache_write() {
         &content[..content.len() / 2]
     } else {
         content
     };
     let mut tmp = path.as_os_str().to_owned();
-    tmp.push(".tmp");
+    tmp.push(format!(
+        ".tmp.{}.{}",
+        std::process::id(),
+        WRITE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
     let tmp = PathBuf::from(tmp);
     fs::write(&tmp, payload).map_err(|e| CellError::Cache(format!("write {tmp:?}: {e}")))?;
     fs::rename(&tmp, path).map_err(|e| CellError::Cache(format!("rename to {path:?}: {e}")))?;
@@ -260,7 +272,7 @@ mod tests {
         let leftovers: Vec<_> = fs::read_dir(&dir)
             .unwrap()
             .flatten()
-            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
             .collect();
         assert!(leftovers.is_empty(), "tmp files must be renamed away");
         let _ = fs::remove_dir_all(&dir);

@@ -6,15 +6,20 @@
 //! delays, output transitions, switching energies, per-state leakage, and
 //! pin capacitances into a [`cryo_liberty::Library`].
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
 use cryo_device::{FinFet, ModelCard};
 use cryo_liberty::{
     ArcKind, Cell, FfSpec, Library, LogicFunction, Lut2, Pin, PowerArc, TimingArc, TimingSense,
 };
 use cryo_spice::dc::dc_operating_point_with;
+use cryo_spice::fault::SimCounts;
 use cryo_spice::{fault, transient, Circuit, Source, TranConfig, GROUND};
 
 use crate::checkpoint::CheckpointStore;
 use crate::report::{CellOutcome, CellStatus, CharReport};
+use crate::sched;
 use crate::topology::CellNetlist;
 use crate::{CellError, Result};
 
@@ -38,6 +43,14 @@ pub struct CharConfig {
     /// failed; attempts beyond the first climb the recovery ladder
     /// ([`RecoveryLevel::ladder`]). Does not participate in the cache key.
     pub max_attempts: usize,
+    /// Worker threads for per-cell parallel characterization. `0` (the
+    /// default) auto-detects: a positive `CRYO_JOBS` environment variable
+    /// wins, then [`std::thread::available_parallelism`]. `1` runs the
+    /// serial path on the calling thread. Parallel and serial runs produce
+    /// byte-identical libraries (see `tests/parallel_determinism.rs`), so —
+    /// like `max_attempts` — this knob does not participate in the cache
+    /// key.
+    pub jobs: usize,
 }
 
 impl CharConfig {
@@ -54,6 +67,7 @@ impl CharConfig {
             steps: 220,
             progress: false,
             max_attempts: 3,
+            jobs: 0,
         }
     }
 
@@ -68,6 +82,7 @@ impl CharConfig {
             steps: 150,
             progress: false,
             max_attempts: 3,
+            jobs: 0,
         }
     }
 
@@ -75,6 +90,13 @@ impl CharConfig {
     #[must_use]
     pub fn loads_for(&self, drive: u32) -> Vec<f64> {
         self.loads_x1.iter().map(|l| l * f64::from(drive)).collect()
+    }
+
+    /// The worker count this configuration resolves to (`jobs`, then
+    /// `CRYO_JOBS`, then available parallelism).
+    #[must_use]
+    pub fn effective_jobs(&self) -> usize {
+        sched::resolve_jobs(self.jobs)
     }
 }
 
@@ -155,6 +177,17 @@ struct ArcPoint {
     delay: f64,
     out_slew: f64,
     energy: f64,
+}
+
+/// What one scheduled per-cell job produced.
+#[derive(Debug)]
+enum CellWork {
+    /// Restored intact from a checkpoint (no simulation spent).
+    Restored(Cell),
+    /// Characterized this run, with the attempts spent on the ladder.
+    Done(Cell, u32),
+    /// The retry ladder was exhausted; carries attempts and the final error.
+    Exhausted(u32, CellError),
 }
 
 impl Characterizer {
@@ -240,19 +273,22 @@ impl Characterizer {
         )
     }
 
-    /// Characterize a whole cell set into a library corner.
+    /// Characterize a whole cell set into a library corner, fanning the
+    /// per-cell work out over `CharConfig::jobs` workers.
     ///
     /// # Errors
     ///
-    /// Propagates the first per-cell failure (after that cell exhausts its
-    /// retry ladder). Use [`Characterizer::characterize_library_robust`]
-    /// for skip-and-continue semantics with a structured report.
+    /// Propagates the first per-cell failure in cell order (after that cell
+    /// exhausts its retry ladder). Use
+    /// [`Characterizer::characterize_library_robust`] for skip-and-continue
+    /// semantics with a structured report.
     pub fn characterize_library(&self, name: &str, cells: &[CellNetlist]) -> Result<Library> {
         let mut lib = Library::new(name, self.cfg.temp, self.cfg.vdd);
-        for (i, cell) in cells.iter().enumerate() {
-            self.progress_line(i, cells.len(), &cell.name);
-            let (result, _attempts) = self.characterize_cell_recovering(cell);
-            lib.add_cell(result?);
+        for work in self.process_cells(cells, None) {
+            match work {
+                CellWork::Restored(c) | CellWork::Done(c, _) => lib.add_cell(c),
+                CellWork::Exhausted(_, e) => return Err(e),
+            }
         }
         Ok(lib)
     }
@@ -274,15 +310,19 @@ impl Characterizer {
         cells: &[CellNetlist],
         checkpoint: Option<&CheckpointStore>,
     ) -> (Library, CharReport) {
+        let works = self.process_cells(cells, checkpoint);
+        // Merge in cell order regardless of which worker finished when, so
+        // the library's cell order — and therefore its serialized bytes —
+        // are identical at any job count, and identical to the pre-parallel
+        // serial engine.
         let mut lib = Library::new(name, self.cfg.temp, self.cfg.vdd);
         let mut outcomes: Vec<Option<CellOutcome>> = vec![None; cells.len()];
         let mut exhausted: Vec<(usize, u32, String)> = Vec::new();
-        for (i, cell) in cells.iter().enumerate() {
-            self.progress_line(i, cells.len(), &cell.name);
-            fault::set_context(&cell.name);
-            if let Some(store) = checkpoint {
-                if let Some(restored) = store.load(&cell.name) {
-                    lib.add_cell(restored);
+        for (i, work) in works.into_iter().enumerate() {
+            let cell = &cells[i];
+            match work {
+                CellWork::Restored(c) => {
+                    lib.add_cell(c);
                     outcomes[i] = Some(CellOutcome {
                         name: cell.name.clone(),
                         status: CellStatus::Resumed,
@@ -290,17 +330,8 @@ impl Characterizer {
                         fault: None,
                         derated_from: None,
                     });
-                    continue;
                 }
-            }
-            let (result, attempts) = self.characterize_cell_recovering(cell);
-            match result {
-                Ok(c) => {
-                    if let Some(store) = checkpoint {
-                        if let Err(e) = store.store(&c) {
-                            eprintln!("warning: checkpoint write for {} failed: {e}", cell.name);
-                        }
-                    }
+                CellWork::Done(c, attempts) => {
                     lib.add_cell(c);
                     outcomes[i] = Some(CellOutcome {
                         name: cell.name.clone(),
@@ -310,12 +341,13 @@ impl Characterizer {
                         derated_from: None,
                     });
                 }
-                Err(e) => exhausted.push((i, attempts, e.to_string())),
+                CellWork::Exhausted(attempts, e) => exhausted.push((i, attempts, e.to_string())),
             }
         }
-        fault::set_context("");
         // Degradation pass: stand in for exhausted cells with a model
-        // scaled from the nearest characterized drive sibling.
+        // scaled from the nearest characterized drive sibling. Runs on the
+        // calling thread, in cell order, over the already-merged library —
+        // donor selection is therefore independent of scheduling too.
         for (i, attempts, fault_msg) in exhausted {
             let cell = &cells[i];
             let (status, derated_from) = match derate_from_sibling(&lib, cells, cell) {
@@ -343,16 +375,113 @@ impl Characterizer {
                 derated_from,
             });
         }
-        let report = CharReport {
+        let mut report = CharReport {
             outcomes: outcomes
                 .into_iter()
                 .map(|o| o.expect("every cell received an outcome"))
                 .collect(),
         };
+        // Canonical order: reports compare equal whenever the per-cell
+        // decisions match, however the work was scheduled or requested.
+        report.sort_by_name();
         (lib, report)
     }
 
-    fn progress_line(&self, i: usize, total: usize, name: &str) {
+    /// Process one cell: restore it from the checkpoint if possible,
+    /// otherwise characterize it up the recovery ladder and persist the
+    /// result. Sets the fault context first, so with an injector installed
+    /// the cell's fault schedule depends only on (plan, cell name) — the
+    /// per-worker determinism contract of the parallel scheduler.
+    fn process_cell(&self, cell: &CellNetlist, checkpoint: Option<&CheckpointStore>) -> CellWork {
+        fault::set_context(&cell.name);
+        if let Some(store) = checkpoint {
+            if let Some(restored) = store.load(&cell.name) {
+                return CellWork::Restored(restored);
+            }
+        }
+        let (result, attempts) = self.characterize_cell_recovering(cell);
+        match result {
+            Ok(c) => {
+                if let Some(store) = checkpoint {
+                    if let Err(e) = store.store(&c) {
+                        eprintln!("warning: checkpoint write for {} failed: {e}", cell.name);
+                    }
+                }
+                CellWork::Done(c, attempts)
+            }
+            Err(e) => CellWork::Exhausted(attempts, e),
+        }
+    }
+
+    /// Run [`Characterizer::process_cell`] over the whole set, fanning out
+    /// to `CharConfig::jobs` work-stealing workers, and return the results
+    /// in cell order. `jobs = 1` runs the plain serial loop on the calling
+    /// thread. Workers inherit the calling thread's fault plan and their
+    /// simulator invocation counts are folded back into the calling
+    /// thread's `fault::sim_counts` when the batch drains.
+    fn process_cells(
+        &self,
+        cells: &[CellNetlist],
+        checkpoint: Option<&CheckpointStore>,
+    ) -> Vec<CellWork> {
+        let jobs = self.cfg.effective_jobs().min(cells.len()).max(1);
+        let done = AtomicUsize::new(0);
+        if jobs == 1 {
+            let works = cells
+                .iter()
+                .map(|cell| {
+                    self.progress_line(&done, cells.len(), &cell.name);
+                    self.process_cell(cell, checkpoint)
+                })
+                .collect();
+            fault::set_context("");
+            return works;
+        }
+        let plan = fault::current_plan();
+        let queue = sched::WorkSet::new(0..cells.len(), jobs);
+        let slots: Vec<Mutex<Option<CellWork>>> =
+            (0..cells.len()).map(|_| Mutex::new(None)).collect();
+        let (agg_dc, agg_tran) = (AtomicU64::new(0), AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for w in 0..jobs {
+                let handle = queue.worker(w);
+                let (slots, plan, done) = (&slots, &plan, &done);
+                let (agg_dc, agg_tran) = (&agg_dc, &agg_tran);
+                s.spawn(move || {
+                    // Each worker gets a private injector seeded from the
+                    // shared plan; per-cell reseeding in `process_cell`
+                    // makes the streams identical to the serial path's.
+                    let _guard = plan.clone().map(fault::install_guard);
+                    while let Some(i) = handle.find_task() {
+                        self.progress_line(done, cells.len(), &cells[i].name);
+                        let work = self.process_cell(&cells[i], checkpoint);
+                        *slots[i].lock().expect("result slot poisoned") = Some(work);
+                    }
+                    let counts = fault::take_sim_counts();
+                    agg_dc.fetch_add(counts.dc, Ordering::Relaxed);
+                    agg_tran.fetch_add(counts.tran, Ordering::Relaxed);
+                });
+            }
+        });
+        // The spawning thread owns the aggregate: tests that assert "zero
+        // re-simulation" via `fault::sim_counts` keep working at any job
+        // count, without polluting unrelated threads' counters.
+        fault::add_sim_counts(SimCounts {
+            dc: agg_dc.into_inner(),
+            tran: agg_tran.into_inner(),
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every queued cell produced a result")
+            })
+            .collect()
+    }
+
+    fn progress_line(&self, done: &AtomicUsize, total: usize, name: &str) {
+        let i = done.fetch_add(1, Ordering::Relaxed);
         if self.cfg.progress {
             eprintln!("[char {:>5.1}K] {:>3}/{} {}", self.cfg.temp, i + 1, total, name);
         }

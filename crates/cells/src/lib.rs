@@ -22,6 +22,10 @@
 //!   persisted immediately (atomic, versioned, checksummed) so a crash at
 //!   cell 150/169 resumes instead of restarting, and corrupt entries are
 //!   quarantined and re-characterized.
+//! - [`sched`] — the work-stealing scheduler behind parallel per-cell
+//!   characterization (`CharConfig::jobs`, `CRYO_JOBS`): injector +
+//!   per-worker deques with sibling stealing, with a determinism contract
+//!   that makes parallel and serial runs byte-identical.
 //! - [`report`] — structured per-cell outcomes
 //!   ([`report::CharReport`]) from the robust characterization path:
 //!   attempts spent climbing the retry ladder, fault causes, and
@@ -46,6 +50,7 @@ pub mod cache;
 pub mod charlib;
 pub mod checkpoint;
 pub mod report;
+pub mod sched;
 pub mod topology;
 
 pub use charlib::{CharConfig, Characterizer, RecoveryLevel};

@@ -53,7 +53,11 @@ impl CellOutcome {
 /// The full per-cell record of a library characterization run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CharReport {
-    /// One outcome per requested cell, in request order.
+    /// One outcome per requested cell. The characterization engine returns
+    /// reports sorted by cell name (see [`CharReport::sort_by_name`]), so
+    /// two runs over the same set compare equal whenever their per-cell
+    /// decisions match — regardless of request order or of how a parallel
+    /// run scheduled the work.
     pub outcomes: Vec<CellOutcome>,
 }
 
@@ -61,6 +65,13 @@ impl CharReport {
     /// Record an outcome.
     pub fn push(&mut self, outcome: CellOutcome) {
         self.outcomes.push(outcome);
+    }
+
+    /// Sort outcomes into the canonical by-cell-name order. Cell names are
+    /// unique within a run, so this is a total order and reports become
+    /// directly comparable with `==` across job counts and request orders.
+    pub fn sort_by_name(&mut self) {
+        self.outcomes.sort_by(|a, b| a.name.cmp(&b.name));
     }
 
     /// Look up the outcome for a cell.

@@ -1,0 +1,206 @@
+//! Work-stealing scheduler for embarrassingly-parallel per-cell work.
+//!
+//! Library characterization is a batch of independent per-cell jobs whose
+//! costs vary wildly (a tie cell solves in microseconds; a flip-flop runs
+//! clock-to-q grids plus setup/hold bisection). A static partition would
+//! leave workers idle behind the slow cells, so the scheduler uses the
+//! classic injector/stealer shape: every worker owns a local deque seeded
+//! with a slice of the work, drains it LIFO, then falls back to a shared
+//! FIFO injector, then steals FIFO from siblings. Upstream this is
+//! `crossbeam-deque`; the build environment is offline, so this module
+//! implements the same topology over mutexed deques — per-cell jobs are
+//! milliseconds of SPICE, so queue-pop cost is noise.
+//!
+//! **Determinism contract.** The scheduler never makes result *values*
+//! depend on scheduling: each item is processed exactly once, results are
+//! returned in item order, and callers are responsible for making each
+//! item's computation a pure function of the item (see
+//! `cryo_spice::fault::set_context` for how fault injection meets this).
+//!
+//! Job-count resolution: explicit config wins, then the `CRYO_JOBS`
+//! environment variable, then [`std::thread::available_parallelism`].
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One work deque: the owner pushes/pops the back (LIFO keeps its cache
+/// warm), thieves steal from the front (FIFO minimizes contention with the
+/// owner's end).
+struct Deque<T> {
+    items: Mutex<VecDeque<T>>,
+}
+
+impl<T> Deque<T> {
+    fn new() -> Self {
+        Self {
+            items: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn push(&self, item: T) {
+        self.items.lock().expect("deque poisoned").push_back(item);
+    }
+
+    fn pop(&self) -> Option<T> {
+        self.items.lock().expect("deque poisoned").pop_back()
+    }
+
+    fn steal(&self) -> Option<T> {
+        self.items.lock().expect("deque poisoned").pop_front()
+    }
+}
+
+/// The injector + per-worker deques for one batch of work items.
+///
+/// Items are whatever the caller enqueues (the characterization scheduler
+/// uses cell indices). No new work may be produced while running, which is
+/// what makes the simple "everything empty → done" termination correct.
+pub struct WorkSet<T> {
+    injector: Deque<T>,
+    locals: Vec<Deque<T>>,
+}
+
+impl<T> WorkSet<T> {
+    /// Distribute `items` over `workers` local deques round-robin, with the
+    /// remainder parked in the shared injector. Round-robin (rather than
+    /// contiguous slices) interleaves cheap and expensive cells, so initial
+    /// local queues are roughly cost-balanced before any stealing happens.
+    pub fn new(items: impl IntoIterator<Item = T>, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let set = Self {
+            injector: Deque::new(),
+            locals: (0..workers).map(|_| Deque::new()).collect(),
+        };
+        for (i, item) in items.into_iter().enumerate() {
+            set.locals[i % workers].push(item);
+        }
+        set
+    }
+
+    /// Handle for worker `id` (must be `< workers`).
+    #[must_use]
+    pub fn worker(&self, id: usize) -> WorkerHandle<'_, T> {
+        assert!(id < self.locals.len(), "worker id out of range");
+        WorkerHandle { set: self, id }
+    }
+}
+
+/// A worker's view of the [`WorkSet`]: local pops, injector takes, sibling
+/// steals.
+pub struct WorkerHandle<'a, T> {
+    set: &'a WorkSet<T>,
+    id: usize,
+}
+
+impl<T> WorkerHandle<'_, T> {
+    /// Find the next work item: local deque first, then the injector, then
+    /// steal from siblings (scanning from `id + 1` so thieves spread out
+    /// instead of all mobbing worker 0). `None` means the batch is drained
+    /// — since no new work is ever produced, the worker can exit.
+    pub fn find_task(&self) -> Option<T> {
+        if let Some(t) = self.set.locals[self.id].pop() {
+            return Some(t);
+        }
+        if let Some(t) = self.set.injector.steal() {
+            return Some(t);
+        }
+        let n = self.set.locals.len();
+        for offset in 1..n {
+            let victim = (self.id + offset) % n;
+            if let Some(t) = self.set.locals[victim].steal() {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// Resolve a configured job count: `configured` wins when nonzero, then a
+/// positive `CRYO_JOBS`, then [`std::thread::available_parallelism`] (1 if
+/// even that is unknowable).
+#[must_use]
+pub fn resolve_jobs(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    if let Ok(raw) = std::env::var("CRYO_JOBS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_item_is_processed_exactly_once() {
+        let n_items = 103;
+        let workers = 5;
+        let set = WorkSet::new(0..n_items, workers);
+        let seen = Mutex::new(Vec::new());
+        let picked = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let handle = set.worker(w);
+                let seen = &seen;
+                let picked = &picked;
+                s.spawn(move || {
+                    while let Some(item) = handle.find_task() {
+                        picked.fetch_add(1, Ordering::Relaxed);
+                        seen.lock().unwrap().push(item);
+                    }
+                });
+            }
+        });
+        assert_eq!(picked.load(Ordering::Relaxed), n_items);
+        let unique: BTreeSet<usize> = seen.lock().unwrap().iter().copied().collect();
+        assert_eq!(unique.len(), n_items, "no item dropped or duplicated");
+    }
+
+    #[test]
+    fn idle_workers_steal_from_a_loaded_sibling() {
+        // All work lands on worker 0's deque; workers 1..4 must steal it.
+        let set = WorkSet::new(std::iter::empty::<usize>(), 4);
+        for i in 0..40 {
+            set.locals[0].push(i);
+        }
+        let done = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for w in 1..4 {
+                let handle = set.worker(w);
+                let done = &done;
+                s.spawn(move || {
+                    while handle.find_task().is_some() {
+                        done.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(done.load(Ordering::Relaxed), 40, "thieves drained the victim");
+    }
+
+    #[test]
+    fn single_worker_drains_in_seed_order() {
+        let set = WorkSet::new(0..6, 1);
+        let handle = set.worker(0);
+        let mut got = Vec::new();
+        while let Some(i) = handle.find_task() {
+            got.push(i);
+        }
+        // Owner pops LIFO off its own deque.
+        assert_eq!(got, vec![5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn resolve_jobs_prefers_explicit_config() {
+        assert_eq!(resolve_jobs(3), 3);
+        assert!(resolve_jobs(0) >= 1, "auto always yields a usable count");
+    }
+}

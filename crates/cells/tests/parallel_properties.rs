@@ -1,0 +1,85 @@
+//! Property: the worker count is invisible in characterization results.
+//!
+//! For arbitrary cell subsets and any `jobs` in `1..=8`, a parallel run
+//! must report the same coverage and the same derated/failed cell-name
+//! sets as the serial run — including under an active fault plan that
+//! forces one cell through the derating path.
+
+use std::collections::BTreeSet;
+
+use cryo_cells::{topology, CellNetlist, CellStatus, CharConfig, Characterizer};
+use cryo_device::{ModelCard, Polarity};
+use cryo_spice::{fault, FaultPlan};
+use proptest::prelude::*;
+
+/// The candidate pool. `NAND2x1` is the fault victim: it has a drive
+/// sibling (`NAND2x2`) to derate from when both are drawn, and degrades to
+/// `Failed` when drawn alone — so subsets exercise both outcomes.
+fn pool() -> Vec<CellNetlist> {
+    vec![
+        topology::inverter(1),
+        topology::inverter(2),
+        topology::inverter(4),
+        topology::nand(2, 1),
+        topology::nand(2, 2),
+        topology::nor(2, 1),
+    ]
+}
+
+fn engine(jobs: usize) -> Characterizer {
+    let mut cfg = CharConfig::fast(300.0);
+    cfg.jobs = jobs;
+    Characterizer::new(
+        &ModelCard::nominal(Polarity::N),
+        &ModelCard::nominal(Polarity::P),
+        cfg,
+    )
+}
+
+/// (coverage, derated names, failed names) of a robust run at `jobs`.
+fn outcome_sets(
+    cells: &[CellNetlist],
+    jobs: usize,
+) -> (f64, BTreeSet<String>, BTreeSet<String>) {
+    let _g = fault::install_guard(FaultPlan {
+        dc_no_convergence: 1.0,
+        tran_no_convergence: 1.0,
+        scope: Some("NAND2x1".into()),
+        ..FaultPlan::new(42)
+    });
+    let (_, report) = engine(jobs).characterize_library_robust("prop", cells, None);
+    let names = |status: CellStatus| {
+        report
+            .with_status(status)
+            .iter()
+            .map(|o| o.name.clone())
+            .collect::<BTreeSet<_>>()
+    };
+    (
+        report.coverage(),
+        names(CellStatus::Derated),
+        names(CellStatus::Failed),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn job_count_never_changes_coverage_or_degradation_decisions(
+        mask in 1u32..63,
+        jobs in 2usize..9,
+    ) {
+        let cells: Vec<CellNetlist> = pool()
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, c)| c)
+            .collect();
+        let (cov1, derated1, failed1) = outcome_sets(&cells, 1);
+        let (covn, deratedn, failedn) = outcome_sets(&cells, jobs);
+        prop_assert_eq!(cov1, covn, "coverage diverged at jobs={}", jobs);
+        prop_assert_eq!(derated1, deratedn);
+        prop_assert_eq!(failed1, failedn);
+    }
+}

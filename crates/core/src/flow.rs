@@ -48,6 +48,12 @@ pub struct FlowConfig {
     /// populated from the `CRYO_FAULTS` environment variable by the
     /// constructors so experiment binaries can inject without recompiling.
     pub fault_plan: Option<FaultPlan>,
+    /// Worker threads for parallel library characterization; copied into
+    /// both corners' `CharConfig::jobs`. `0` (the default) auto-detects —
+    /// `CRYO_JOBS` wins, then available parallelism. `1` forces the serial
+    /// path. Any value produces byte-identical libraries, so this does not
+    /// participate in cache keys.
+    pub jobs: usize,
 }
 
 impl FlowConfig {
@@ -63,6 +69,7 @@ impl FlowConfig {
             seed: 7,
             coverage_floor: 0.95,
             fault_plan: FaultPlan::from_env(),
+            jobs: 0,
         }
     }
 
@@ -80,6 +87,7 @@ impl FlowConfig {
             seed: 7,
             coverage_floor: 0.95,
             fault_plan: FaultPlan::from_env(),
+            jobs: 0,
         }
     }
 }
@@ -169,17 +177,20 @@ impl CryoFlow {
     /// [`CoreError::Coverage`] when the achieved coverage falls below
     /// `FlowConfig::coverage_floor`; cache I/O failures otherwise.
     pub fn library_with_report(&self, temp: f64) -> Result<(Library, CharReport)> {
-        let char_cfg = if temp < 150.0 {
+        let mut char_cfg = if temp < 150.0 {
             self.cfg.char_10k.clone()
         } else {
             self.cfg.char_300k.clone()
         };
+        if self.cfg.jobs != 0 {
+            char_cfg.jobs = self.cfg.jobs;
+        }
         let cells = topology::standard_cell_set();
         let tag = cache::cell_set_tag(&cells);
         let key = cache::cache_key(&self.nfet, &self.pfet, &char_cfg, &tag)?;
         let name = format!("cryo5_tt_0p70v_{}k", temp as u32);
         if let Some(lib) = cache::load(&self.cfg.cache_dir, &name, &key) {
-            let report = CharReport {
+            let mut report = CharReport {
                 outcomes: lib
                     .cells()
                     .iter()
@@ -192,6 +203,7 @@ impl CryoFlow {
                     })
                     .collect(),
             };
+            report.sort_by_name();
             return Ok((lib, report));
         }
         let _fault_guard = self.cfg.fault_plan.clone().map(fault::install_guard);

@@ -10,22 +10,44 @@
 //! Design constraints:
 //!
 //! - **Deterministic.** Draws come from a seeded splitmix64 stream, so a
-//!   failing test replays bit-for-bit from its seed.
+//!   failing test replays bit-for-bit from its seed. Entering a context
+//!   label (see [`set_context`]) re-derives the stream from
+//!   `seed ⊕ fnv(label)`, so under the parallel characterization scheduler
+//!   a cell's fault schedule is a function of *the cell*, never of which
+//!   worker thread picked it up or in what order.
 //! - **Scoped.** A plan can be restricted to a context label (the cell
 //!   currently being characterized) and to a maximum number of injections,
 //!   so tests can kill exactly one cell's solves and assert everything else
-//!   survives.
+//!   survives. The injection budget is tracked *per context* for the same
+//!   reason the stream is: a budget shared across cells would be consumed
+//!   in thread-interleaving order and break jobs-count invariance.
 //! - **Thread-local.** `cargo test` runs tests on separate threads; each
-//!   installs and clears its own injector without interference.
+//!   installs and clears its own injector without interference. Parallel
+//!   characterization workers each install a clone of the parent plan
+//!   (see [`current_plan`]) rather than sharing mutable injector state.
 //! - **Zero-cost when idle.** All sites early-out on an inactive injector.
 //!
 //! The simulator also keeps per-thread counters of DC and transient solves
 //! (always on, independent of any plan) so checkpoint/resume tests can
-//! assert that finished cells are *not* re-simulated.
+//! assert that finished cells are *not* re-simulated. Worker threads drain
+//! their counters with [`take_sim_counts`] and the scheduler folds them
+//! back into the calling thread with [`add_sim_counts`], so from the
+//! caller's perspective [`sim_counts`] covers all work it fanned out.
 
 use std::cell::RefCell;
 
 use crate::SpiceError;
+
+/// FNV-1a over a label; mixed into the seed so each context (cell) gets an
+/// independent deterministic draw stream.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
 
 /// Which injection site is being consulted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,7 +177,12 @@ pub(crate) enum SolveFault {
 struct Injector {
     plan: FaultPlan,
     rng: u64,
+    /// Total faults fired since install (reported by [`injection_count`]).
     fired: u32,
+    /// Faults fired in the current context; `max_injections` bounds this,
+    /// so the budget — like the draw stream — is a function of the context
+    /// label and independent of scheduling order.
+    context_fired: u32,
     context: String,
 }
 
@@ -180,7 +207,7 @@ impl Injector {
 
     fn budget_left(&self) -> bool {
         match self.plan.max_injections {
-            Some(m) => self.fired < m,
+            Some(m) => self.context_fired < m,
             None => true,
         }
     }
@@ -191,6 +218,7 @@ impl Injector {
         }
         if self.next_unit() < p {
             self.fired += 1;
+            self.context_fired += 1;
             true
         } else {
             false
@@ -213,9 +241,19 @@ pub fn install(plan: FaultPlan) {
             rng: plan.seed ^ 0x6a09_e667_f3bc_c908,
             plan,
             fired: 0,
+            context_fired: 0,
             context: String::new(),
         });
     });
+}
+
+/// A clone of the plan installed on this thread, if any. The parallel
+/// characterization scheduler captures this before spawning workers so each
+/// worker can install its own injector ([`install_guard`]) and reproduce
+/// the exact per-cell fault schedule the serial path would.
+#[must_use]
+pub fn current_plan() -> Option<FaultPlan> {
+    INJECTOR.with(|i| i.borrow().as_ref().map(|inj| inj.plan.clone()))
 }
 
 /// Remove the active injector (and any pending NaN poison).
@@ -238,11 +276,28 @@ pub fn injection_count() -> u32 {
 
 /// Label the current injection context (typically the cell under
 /// characterization) so scoped plans can target it.
+///
+/// Entering a context re-derives the draw stream from
+/// `seed ⊕ fnv(label)` and resets the per-context injection budget. This
+/// is the determinism contract of the parallel characterization scheduler:
+/// a cell's fault schedule depends only on (plan, cell name), never on
+/// which thread runs the cell or how work was interleaved. Re-entering the
+/// same label replays the same stream. The empty label restores the
+/// install-time stream, so code that never sets a context keeps one
+/// continuous stream per install (the pre-parallel behavior).
 pub fn set_context(label: &str) {
     INJECTOR.with(|i| {
         if let Some(inj) = i.borrow_mut().as_mut() {
-            inj.context.clear();
-            inj.context.push_str(label);
+            if inj.context != label {
+                inj.context.clear();
+                inj.context.push_str(label);
+                inj.context_fired = 0;
+                inj.rng = if label.is_empty() {
+                    inj.plan.seed ^ 0x6a09_e667_f3bc_c908
+                } else {
+                    inj.plan.seed ^ fnv1a(label.as_bytes())
+                };
+            }
         }
     });
 }
@@ -372,6 +427,27 @@ pub fn reset_sim_counts() {
     SIM_COUNTS.with(|c| c.set((0, 0)));
 }
 
+/// Read *and zero* this thread's simulator invocation counters. Worker
+/// threads call this when they finish so the scheduler can fold their work
+/// into the spawning thread via [`add_sim_counts`].
+#[must_use]
+pub fn take_sim_counts() -> SimCounts {
+    let counts = sim_counts();
+    reset_sim_counts();
+    counts
+}
+
+/// Add externally-accumulated counts onto this thread's counters. Paired
+/// with [`take_sim_counts`]: after a parallel fan-out, the calling thread's
+/// [`sim_counts`] reflects every solve its workers ran, while unrelated
+/// threads (e.g. other `#[test]`s) stay untouched.
+pub fn add_sim_counts(extra: SimCounts) {
+    SIM_COUNTS.with(|c| {
+        let (dc, tran) = c.get();
+        c.set((dc + extra.dc, tran + extra.tran));
+    });
+}
+
 pub(crate) fn count_dc_solve() {
     SIM_COUNTS.with(|c| {
         let (dc, tran) = c.get();
@@ -454,5 +530,78 @@ mod tests {
             assert!(is_active());
         }
         assert!(!is_active());
+    }
+
+    #[test]
+    fn context_stream_is_a_function_of_the_label_not_of_history() {
+        let plan = FaultPlan {
+            dc_no_convergence: 0.5,
+            ..FaultPlan::new(123)
+        };
+        let draws = |p: &FaultPlan, labels: &[&str]| -> Vec<Vec<bool>> {
+            let _g = install_guard(p.clone());
+            labels
+                .iter()
+                .map(|l| {
+                    set_context(l);
+                    (0..16)
+                        .map(|_| begin_solve(FaultSite::DcSolve).is_some())
+                        .collect()
+                })
+                .collect()
+        };
+        // Visit order must not matter: each cell replays its own stream.
+        let forward = draws(&plan, &["INVx1", "NAND2x1", "DFFx1"]);
+        let reverse = draws(&plan, &["DFFx1", "NAND2x1", "INVx1"]);
+        assert_eq!(forward[0], reverse[2], "INVx1 stream is order-independent");
+        assert_eq!(forward[1], reverse[1], "NAND2x1 stream is order-independent");
+        assert_eq!(forward[2], reverse[0], "DFFx1 stream is order-independent");
+        assert_ne!(forward[0], forward[1], "distinct cells draw distinct streams");
+    }
+
+    #[test]
+    fn injection_budget_is_per_context() {
+        let plan = FaultPlan {
+            dc_no_convergence: 1.0,
+            max_injections: Some(1),
+            ..FaultPlan::new(9)
+        };
+        let _g = install_guard(plan);
+        set_context("INVx1");
+        assert!(begin_solve(FaultSite::DcSolve).is_some());
+        assert_eq!(begin_solve(FaultSite::DcSolve), None, "INVx1 budget spent");
+        set_context("INVx2");
+        assert!(
+            begin_solve(FaultSite::DcSolve).is_some(),
+            "a fresh context gets a fresh budget, independent of visit order"
+        );
+        assert_eq!(injection_count(), 2, "total count still accumulates");
+    }
+
+    #[test]
+    fn current_plan_round_trips_for_worker_inheritance() {
+        assert_eq!(current_plan(), None);
+        let plan = FaultPlan {
+            tran_no_convergence: 0.25,
+            scope: Some("XORx1".into()),
+            ..FaultPlan::new(77)
+        };
+        let _g = install_guard(plan.clone());
+        assert_eq!(current_plan(), Some(plan));
+    }
+
+    #[test]
+    fn take_and_add_sim_counts_move_work_between_threads() {
+        reset_sim_counts();
+        count_dc_solve();
+        count_tran_solve();
+        count_tran_solve();
+        let taken = take_sim_counts();
+        assert_eq!((taken.dc, taken.tran), (1, 2));
+        assert_eq!(sim_counts(), SimCounts::default(), "take drains");
+        add_sim_counts(taken);
+        add_sim_counts(SimCounts { dc: 3, tran: 0 });
+        assert_eq!((sim_counts().dc, sim_counts().tran), (4, 2));
+        reset_sim_counts();
     }
 }

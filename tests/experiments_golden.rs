@@ -1,0 +1,154 @@
+//! Golden snapshots of the paper-artifact experiment drivers.
+//!
+//! The smoke tests check qualitative trends; this test pins the *numbers*.
+//! Table 1, Fig. 5, and Fig. 7 run on the fast flow against checked-in
+//! goldens under `tests/golden/`: integral values (cycle counts, cell
+//! coverage, histogram bins, qubit counts) must match exactly, float
+//! leaves to 1e-9 relative — loose enough to survive benign
+//! float-formatting differences, tight enough that any real physics or
+//! scheduling change trips it.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! CRYO_BLESS=1 cargo test --release --test experiments_golden
+//! ```
+
+use std::path::PathBuf;
+
+use cryo_soc::core::experiments::{fig5_cell_delays, fig7_scaling, table1_timing};
+use cryo_soc::core::{CryoFlow, FlowConfig};
+use serde_json::Value;
+
+/// Relative tolerance for float leaves.
+const REL_TOL: f64 = 1e-9;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.json"))
+}
+
+/// Whether a JSON number is an exactly-representable integer (counts,
+/// indices, cell totals) rather than a measured float.
+fn integral(v: f64) -> bool {
+    v.fract() == 0.0 && v.abs() <= 2f64.powi(53)
+}
+
+/// Recursively compare `got` against `golden`, collecting every mismatch
+/// with its JSON path. Integral numbers compare exactly; floats at
+/// `REL_TOL` relative.
+fn diff_json(path: &str, golden: &Value, got: &Value, diffs: &mut Vec<String>) {
+    match (golden, got) {
+        (Value::Null, Value::Null) => {}
+        (Value::Bool(a), Value::Bool(b)) if a == b => {}
+        (Value::String(a), Value::String(b)) if a == b => {}
+        (Value::Number(x), Value::Number(y)) => {
+            if integral(*x) && integral(*y) {
+                if x != y {
+                    diffs.push(format!("{path}: expected {x}, got {y} (exact)"));
+                }
+            } else {
+                let scale = x.abs().max(y.abs());
+                if x != y && (x - y).abs() > REL_TOL * scale {
+                    diffs.push(format!(
+                        "{path}: expected {x:e}, got {y:e} (rel err {:.3e})",
+                        (x - y).abs() / scale
+                    ));
+                }
+            }
+        }
+        (Value::Array(a), Value::Array(b)) => {
+            if a.len() != b.len() {
+                diffs.push(format!("{path}: length {} vs {}", a.len(), b.len()));
+                return;
+            }
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                diff_json(&format!("{path}[{i}]"), x, y, diffs);
+            }
+        }
+        (Value::Object(a), Value::Object(b)) => {
+            for (k, x) in a {
+                match b.iter().find(|(bk, _)| bk == k) {
+                    Some((_, y)) => diff_json(&format!("{path}.{k}"), x, y, diffs),
+                    None => diffs.push(format!("{path}.{k}: missing from result")),
+                }
+            }
+            for (k, _) in b {
+                if !a.iter().any(|(ak, _)| ak == k) {
+                    diffs.push(format!("{path}.{k}: not in golden (bless?)"));
+                }
+            }
+        }
+        (a, b) => diffs.push(format!("{path}: expected {a:?}, got {b:?}")),
+    }
+}
+
+/// Check `result` against `tests/golden/<name>.json`, or rewrite the
+/// golden when `CRYO_BLESS` is set.
+fn check_golden<T: serde::Serialize>(name: &str, result: &T) {
+    let text = serde_json::to_string(result).expect("result serializes");
+    let got = serde_json::parse(&text).expect("result round-trips");
+    let path = golden_path(name);
+    if std::env::var_os("CRYO_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let pretty = serde_json::to_string_pretty(result).unwrap();
+        std::fs::write(&path, pretty + "\n").unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "golden {} unreadable ({e}); run with CRYO_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    let golden = serde_json::parse(&text).expect("golden parses");
+    let mut diffs = Vec::new();
+    diff_json(name, &golden, &got, &mut diffs);
+    assert!(
+        diffs.is_empty(),
+        "{name} drifted from its golden ({} mismatches; CRYO_BLESS=1 regenerates after an \
+         intentional change):\n{}",
+        diffs.len(),
+        diffs.join("\n")
+    );
+}
+
+/// One test, three artifacts: they share the flow (and its disk cache), so
+/// the two library corners characterize once. The cache directory is wiped
+/// first so the snapshot always captures a fresh characterization, never a
+/// stale cache from an older build.
+#[test]
+fn experiment_artifacts_match_their_goldens() {
+    let cache = std::env::temp_dir().join("cryo_soc_experiments_golden");
+    let _ = std::fs::remove_dir_all(&cache);
+    let flow = CryoFlow::new(FlowConfig::fast(&cache));
+
+    let t1 = table1_timing(&flow).expect("table1 runs");
+    check_golden("table1", &t1);
+
+    let f5 = fig5_cell_delays(&flow).expect("fig5 runs");
+    check_golden("fig5", &f5);
+
+    let f7 = fig7_scaling(&flow).expect("fig7 runs");
+    check_golden("fig7", &f7);
+
+    let _ = std::fs::remove_dir_all(&cache);
+}
+
+/// The comparator itself: exact on integral values, 1e-9 relative on
+/// float leaves.
+#[test]
+fn json_comparator_distinguishes_exact_from_tolerant() {
+    let a = serde_json::parse(r#"{"n": 42, "x": 1.5, "v": [1.5, 2.5]}"#).unwrap();
+    // A float off by 1e-13 relative passes; an integer off by one fails.
+    let close = serde_json::parse(r#"{"n": 42, "x": 1.5000000000001, "v": [1.5, 2.5]}"#).unwrap();
+    let mut diffs = Vec::new();
+    diff_json("t", &a, &close, &mut diffs);
+    assert!(diffs.is_empty(), "within tolerance: {diffs:?}");
+    let off = serde_json::parse(r#"{"n": 43, "x": 1.501, "v": [1.5]}"#).unwrap();
+    diffs.clear();
+    diff_json("t", &a, &off, &mut diffs);
+    assert_eq!(diffs.len(), 3, "{diffs:?}");
+}

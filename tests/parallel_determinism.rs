@@ -1,0 +1,263 @@
+//! Determinism proof for parallel library characterization.
+//!
+//! The contract under test: `CharConfig::jobs` is a pure throughput knob.
+//! Serial (`jobs = 1`) and parallel (`jobs = 8`) runs must produce
+//! byte-identical serialized libraries and identical structured reports —
+//! with and without an active fault-injection plan — and an interrupted
+//! parallel run must resume serially from its checkpoints without
+//! re-simulating anything.
+
+use std::sync::{Arc, Barrier};
+
+use cryo_soc::cells::{
+    topology, CellNetlist, CellStatus, CharConfig, Characterizer, CheckpointStore,
+};
+use cryo_soc::device::{ModelCard, Polarity};
+use cryo_soc::spice::{fault, FaultPlan};
+
+/// A fresh scratch directory under the system temp dir.
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("cryo_soc_par_det_{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Fast-grid engine pinned to an explicit worker count (explicit `jobs`
+/// beats any ambient `CRYO_JOBS`, so these tests are env-independent).
+fn engine(jobs: usize) -> Characterizer {
+    let mut cfg = CharConfig::fast(300.0);
+    cfg.jobs = jobs;
+    Characterizer::new(
+        &ModelCard::nominal(Polarity::N),
+        &ModelCard::nominal(Polarity::P),
+        cfg,
+    )
+}
+
+/// A mixed cell set: two drive families plus a lone cell, enough for
+/// stealing to actually happen at 8 workers.
+fn cell_set() -> Vec<CellNetlist> {
+    vec![
+        topology::inverter(1),
+        topology::inverter(2),
+        topology::inverter(4),
+        topology::nand(2, 1),
+        topology::nand(2, 2),
+        topology::nor(2, 1),
+    ]
+}
+
+#[test]
+fn serial_and_parallel_libraries_are_byte_identical() {
+    let cells = cell_set();
+    let (lib1, rep1) = engine(1).characterize_library_robust("corner", &cells, None);
+    let (lib8, rep8) = engine(8).characterize_library_robust("corner", &cells, None);
+    let bytes1 = serde_json::to_string(&lib1).unwrap();
+    let bytes8 = serde_json::to_string(&lib8).unwrap();
+    assert_eq!(
+        bytes1, bytes8,
+        "jobs=1 and jobs=8 must serialize to identical bytes"
+    );
+    assert_eq!(rep1, rep8, "structured reports must match exactly");
+    assert!(rep1
+        .outcomes
+        .iter()
+        .all(|o| o.status == CellStatus::Characterized));
+}
+
+#[test]
+fn serial_and_parallel_agree_under_an_active_fault_plan() {
+    // Every solve for INVx2 fails: the ladder is exhausted and the cell is
+    // derated from a drive sibling. The decision — and everything else —
+    // must not depend on the worker count.
+    let plan = FaultPlan {
+        dc_no_convergence: 1.0,
+        tran_no_convergence: 1.0,
+        scope: Some("INVx2".into()),
+        ..FaultPlan::new(42)
+    };
+    let cells = cell_set();
+    let run = |jobs: usize| {
+        let _g = fault::install_guard(plan.clone());
+        engine(jobs).characterize_library_robust("faulted", &cells, None)
+    };
+    let (lib1, rep1) = run(1);
+    let (lib8, rep8) = run(8);
+    assert_eq!(
+        serde_json::to_string(&lib1).unwrap(),
+        serde_json::to_string(&lib8).unwrap(),
+        "fault injection must not break byte-identity across job counts"
+    );
+    assert_eq!(rep1, rep8);
+    let outcome = rep8.outcome("INVx2").unwrap();
+    assert_eq!(outcome.status, CellStatus::Derated);
+    assert!(outcome.derated_from.is_some());
+}
+
+#[test]
+fn probabilistic_faults_hit_the_same_cells_at_any_job_count() {
+    // A partial-probability plan exercises the per-cell rng streams: each
+    // cell's fault schedule must be a function of (plan, cell name) alone,
+    // never of scheduling order. The per-context injection budget lets
+    // every victim recover on retry, so attempts counts are the signal.
+    let plan = FaultPlan {
+        tran_no_convergence: 0.25,
+        max_injections: Some(1),
+        ..FaultPlan::new(7)
+    };
+    let cells = cell_set();
+    let run = |jobs: usize| {
+        let _g = fault::install_guard(plan.clone());
+        engine(jobs).characterize_library_robust("prob", &cells, None)
+    };
+    let (lib1, rep1) = run(1);
+    let (lib8, rep8) = run(8);
+    assert_eq!(rep1, rep8, "per-cell attempt counts must match exactly");
+    assert_eq!(
+        serde_json::to_string(&lib1).unwrap(),
+        serde_json::to_string(&lib8).unwrap()
+    );
+}
+
+#[test]
+fn killed_parallel_run_finishes_serially_without_resimulating() {
+    let dir = scratch("kill_resume");
+    let store = CheckpointStore::open(&dir, "corner", "k1").unwrap();
+    let cells = cell_set();
+
+    // "Killed" parallel run: only the first three cells were committed
+    // before the interrupt.
+    let (_, report) = engine(4).characterize_library_robust("corner", &cells[..3], Some(&store));
+    assert!(report
+        .outcomes
+        .iter()
+        .all(|o| o.status == CellStatus::Characterized));
+    assert_eq!(store.entries().len(), 3, "three cells checkpointed");
+
+    // Serial restart resumes the parallel run's checkpoints and finishes
+    // the rest.
+    let (lib, report) = engine(1).characterize_library_robust("corner", &cells, Some(&store));
+    assert_eq!(lib.len(), cells.len());
+    assert_eq!(report.resumed_count(), 3, "parallel work was not redone");
+    for c in &cells[..3] {
+        assert_eq!(report.outcome(&c.name).unwrap().status, CellStatus::Resumed);
+    }
+
+    // A third run restores everything: zero simulator invocations, proving
+    // parallel- and serial-written checkpoints interoperate losslessly.
+    fault::reset_sim_counts();
+    let (lib, report) = engine(4).characterize_library_robust("corner", &cells, Some(&store));
+    assert_eq!(lib.len(), cells.len());
+    assert_eq!(report.resumed_count(), cells.len());
+    let counts = fault::sim_counts();
+    assert_eq!(
+        (counts.dc, counts.tran),
+        (0, 0),
+        "a fully-checkpointed run must not re-simulate anything"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpoint_store_tolerates_concurrent_per_cell_writers() {
+    let dir = scratch("concurrent_ckpt");
+    let store = CheckpointStore::open(&dir, "corner", "k1").unwrap();
+    let eng = engine(1);
+    let cells = cell_set();
+    let models: Vec<_> = cells
+        .iter()
+        .map(|c| eng.characterize_cell(c).unwrap())
+        .collect();
+
+    // All writers released at once; each commits its own cell several
+    // times, so distinct-path and same-path renames both race.
+    let barrier = Arc::new(Barrier::new(models.len()));
+    std::thread::scope(|s| {
+        for model in &models {
+            let barrier = Arc::clone(&barrier);
+            let store = &store;
+            s.spawn(move || {
+                barrier.wait();
+                for _ in 0..5 {
+                    store.store(model).unwrap();
+                }
+            });
+        }
+    });
+
+    // Every entry committed intact: whichever rename landed last won, and
+    // no reader can observe a torn file.
+    let mut want: Vec<String> = cells.iter().map(|c| c.name.clone()).collect();
+    want.sort_unstable();
+    assert_eq!(store.entries(), want);
+    for (cell, model) in cells.iter().zip(&models) {
+        let back = store.load(&cell.name).expect("entry intact");
+        assert_eq!(
+            serde_json::to_string(&back).unwrap(),
+            serde_json::to_string(model).unwrap(),
+            "loaded checkpoint must be a committed payload, not a tear"
+        );
+    }
+    let leftovers: Vec<_> = std::fs::read_dir(store.dir())
+        .unwrap()
+        .flatten()
+        .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+        .collect();
+    assert!(leftovers.is_empty(), "no scratch files survive the race");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_faulted_runs_on_separate_threads_stay_isolated() {
+    // Regression for the latent cross-test race: the injector is
+    // thread-local and guard-scoped, so two simultaneous characterizations
+    // with different plans must never observe each other's faults — even
+    // when each fans out to its own worker pool.
+    let cells = cell_set();
+    let barrier = Arc::new(Barrier::new(2));
+    let (victim_report, clean_report) = std::thread::scope(|s| {
+        let victim = s.spawn({
+            let cells = cells.clone();
+            let barrier = Arc::clone(&barrier);
+            move || {
+                let _g = fault::install_guard(FaultPlan {
+                    dc_no_convergence: 1.0,
+                    tran_no_convergence: 1.0,
+                    scope: Some("INVx2".into()),
+                    ..FaultPlan::new(42)
+                });
+                barrier.wait();
+                engine(2).characterize_library_robust("victim", &cells, None)
+            }
+        });
+        let clean = s.spawn({
+            let cells = cells.clone();
+            let barrier = Arc::clone(&barrier);
+            move || {
+                // Different seed, no faults enabled: a plan is installed
+                // (workers inherit it) but it can never fire.
+                let _g = fault::install_guard(FaultPlan::new(1234));
+                barrier.wait();
+                engine(2).characterize_library_robust("clean", &cells, None)
+            }
+        });
+        (
+            victim.join().expect("victim thread").1,
+            clean.join().expect("clean thread").1,
+        )
+    });
+    assert_eq!(
+        victim_report.outcome("INVx2").unwrap().status,
+        CellStatus::Derated,
+        "the faulted run must see its own injections"
+    );
+    assert!(
+        clean_report
+            .outcomes
+            .iter()
+            .all(|o| o.status == CellStatus::Characterized),
+        "the clean run must never observe the sibling thread's faults: {:?}",
+        clean_report.outcomes
+    );
+}
