@@ -1,0 +1,177 @@
+//! Supervised end-to-end pipeline driver: runs the checkpointed flow,
+//! prints the per-stage ledger (resume provenance, attempts, wall time,
+//! solve/arc counters), and powers the CI kill-and-resume drill.
+//!
+//! Flags and environment hooks:
+//!
+//! - `--fast` — reduced grids and uncore (CI smoke; default is the paper's
+//!   full configuration with caching under `data/`).
+//! - `--bench` — measure a cold run vs. a fully resumed run in a scratch
+//!   cache and write `BENCH_flow.json` at the repo root.
+//! - `CRYO_KILL_AFTER_STAGE=<stage>` — checkpoint through `<stage>`, then
+//!   die by SIGKILL (a real crash: no destructors, no flushing), leaving
+//!   the pipeline store behind for the next invocation to resume.
+//! - `CRYO_EXPECT_RESUMED_THROUGH=<stage>` — after the run, assert every
+//!   stage up to and including `<stage>` was loaded from its checkpoint
+//!   with zero re-simulation; exit non-zero otherwise.
+
+use std::time::Instant;
+
+use cryo_core::supervise::{PipelineReport, Stage, Supervisor, SupervisorConfig};
+use cryo_core::{CryoFlow, FlowConfig};
+
+fn stage_by_name(name: &str) -> Stage {
+    Stage::ALL
+        .into_iter()
+        .find(|s| s.name() == name)
+        .unwrap_or_else(|| {
+            let known: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+            eprintln!("unknown stage `{name}`; expected one of {known:?}");
+            std::process::exit(2);
+        })
+}
+
+fn print_ledger(rep: &PipelineReport, wall_s: f64) {
+    println!("=== supervised flow: pipeline {} ===", rep.pipeline_key);
+    println!("{:<12} {:>8} {:>9} {:>10} {:>9} {:>9} {:>10}",
+        "stage", "resumed", "attempts", "wall(s)", "dc", "tran", "arc_evals");
+    for r in &rep.stages {
+        println!(
+            "{:<12} {:>8} {:>9} {:>10.3} {:>9} {:>9} {:>10}",
+            r.stage.name(),
+            if r.from_checkpoint { "yes" } else { "no" },
+            r.attempts,
+            r.wall_s,
+            r.dc_solves,
+            r.tran_solves,
+            r.arc_evals
+        );
+    }
+    println!("total wall: {wall_s:.3} s, completed: {}", rep.completed);
+    if let Some(v) = &rep.verdict {
+        println!(
+            "verdict: fmax {:.0} MHz (300 K) -> {:.0} MHz (10 K), {:.1} mW @ 10 K \
+             (cooling budget {}), kNN {:.1} us ({} decoherence), degraded arcs {}/{}",
+            v.fmax_300_hz / 1e6,
+            v.fmax_10_hz / 1e6,
+            v.total_power_10k_w * 1e3,
+            if v.fits_cooling_budget { "OK" } else { "EXCEEDED" },
+            v.knn_classify_s * 1e6,
+            if v.within_decoherence { "inside" } else { "OUTSIDE" },
+            v.degraded_arcs_300,
+            v.degraded_arcs_10,
+        );
+    }
+}
+
+fn run(sup: &Supervisor) -> (PipelineReport, f64) {
+    let t = Instant::now();
+    match sup.run() {
+        Ok(rep) => (rep, t.elapsed().as_secs_f64()),
+        Err(e) => {
+            eprintln!("supervised flow failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn bench(fast: bool) {
+    // Cold vs. resumed wall time in a scratch cache: the resume contract's
+    // headline number. Uses the fast configuration unless the caller
+    // explicitly asked for the paper's full grids.
+    let dir = std::env::temp_dir().join(format!("cryo_flow_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = if fast {
+        FlowConfig::fast(&dir)
+    } else {
+        FlowConfig::full(&dir)
+    };
+    let sup = Supervisor::new(CryoFlow::new(cfg), SupervisorConfig::default());
+    let (cold_rep, cold_s) = run(&sup);
+    print_ledger(&cold_rep, cold_s);
+    let (res_rep, resumed_s) = run(&sup);
+    print_ledger(&res_rep, resumed_s);
+    assert!(res_rep.stages.iter().all(|r| r.from_checkpoint));
+    let stages: Vec<String> = cold_rep
+        .stages
+        .iter()
+        .map(|r| format!("{{ \"stage\": \"{}\", \"cold_s\": {:.6} }}", r.stage.name(), r.wall_s))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"flow_supervised\",\n  \"description\": \"Supervised end-to-end \
+         pipeline ({} config), cold run vs. fully checkpoint-resumed run in a fresh cache, \
+         via `cargo run --release -p cryo-bench --bin flow_supervised -- {}--bench`.\",\n  \
+         \"cold_s\": {cold_s:.3},\n  \"resumed_s\": {resumed_s:.3},\n  \
+         \"cold_over_resumed\": {:.1},\n  \"cold_stage_breakdown\": [\n    {}\n  ]\n}}\n",
+        if fast { "fast" } else { "full" },
+        if fast { "--fast " } else { "" },
+        cold_s / resumed_s.max(1e-9),
+        stages.join(",\n    ")
+    );
+    std::fs::write("BENCH_flow.json", json).expect("write BENCH_flow.json");
+    let _ = std::fs::remove_dir_all(&dir);
+    eprintln!("wrote BENCH_flow.json (cold {cold_s:.3} s, resumed {resumed_s:.3} s)");
+}
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    if std::env::args().any(|a| a == "--bench") {
+        bench(fast);
+        return;
+    }
+    let kill_after = std::env::var("CRYO_KILL_AFTER_STAGE")
+        .ok()
+        .map(|n| stage_by_name(&n));
+    let cfg = if fast {
+        FlowConfig::fast("data")
+    } else {
+        let mut cfg = FlowConfig::full("data");
+        cfg.char_300k.progress = true;
+        cfg.char_10k.progress = true;
+        cfg
+    };
+    let sup = Supervisor::new(
+        CryoFlow::new(cfg),
+        SupervisorConfig {
+            halt_after: kill_after,
+            ..SupervisorConfig::default()
+        },
+    );
+    let (rep, wall_s) = run(&sup);
+    print_ledger(&rep, wall_s);
+
+    if let Some(stage) = kill_after {
+        // Die the hard way: the checkpoint files on disk are all the next
+        // run gets, exactly like a crashed or OOM-killed job.
+        println!("checkpointed through {}; sending SIGKILL to self", stage.name());
+        let _ = std::process::Command::new("kill")
+            .args(["-9", &std::process::id().to_string()])
+            .status();
+        // If `kill` is unavailable we still honor the contract of "did
+        // not finish cleanly".
+        std::process::exit(137);
+    }
+
+    if let Ok(name) = std::env::var("CRYO_EXPECT_RESUMED_THROUGH") {
+        let through = stage_by_name(&name);
+        let upto = Stage::ALL.iter().position(|s| *s == through).unwrap();
+        for r in &rep.stages[..=upto] {
+            if !r.from_checkpoint || r.dc_solves + r.tran_solves + r.arc_evals != 0 {
+                eprintln!(
+                    "stage {} was NOT resumed from checkpoint (resumed={}, dc={}, tran={}, \
+                     arc_evals={})",
+                    r.stage.name(),
+                    r.from_checkpoint,
+                    r.dc_solves,
+                    r.tran_solves,
+                    r.arc_evals
+                );
+                std::process::exit(1);
+            }
+        }
+        println!(
+            "resume verified: stages through {} replayed from checkpoints with zero re-simulation",
+            through.name()
+        );
+    }
+}

@@ -83,13 +83,28 @@ pub fn cache_path(dir: &Path, name: &str, key: &str) -> PathBuf {
 }
 
 /// Move an unreadable cache/checkpoint file out of the way so the caller
-/// re-computes while the evidence survives as `<file>.corrupt`. Prints one
-/// stderr warning; failures to rename fall back to removal.
+/// re-computes while the evidence survives as `<file>.corrupt` (or
+/// `<file>.N.corrupt` when earlier quarantines of the same file already
+/// exist — renaming over them would destroy exactly the evidence this
+/// mechanism preserves). Prints one stderr warning; failures to rename
+/// fall back to removal. Accumulation is bounded by
+/// `CheckpointStore::prune_quarantined`.
 pub(crate) fn quarantine(path: &Path, why: &str) {
-    let mut target = path.as_os_str().to_owned();
-    target.push(".corrupt");
+    let base = path.as_os_str().to_owned();
+    let mut target = {
+        let mut t = base.clone();
+        t.push(".corrupt");
+        PathBuf::from(t)
+    };
+    let mut n = 1u32;
+    while target.exists() && n < 1000 {
+        n += 1;
+        let mut t = base.clone();
+        t.push(format!(".{n}.corrupt"));
+        target = PathBuf::from(t);
+    }
     let outcome = if fs::rename(path, &target).is_ok() {
-        format!("quarantined as {}", PathBuf::from(&target).display())
+        format!("quarantined as {}", target.display())
     } else {
         let _ = fs::remove_file(path);
         "removed".to_string()

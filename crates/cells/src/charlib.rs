@@ -23,6 +23,10 @@ use crate::sched;
 use crate::topology::CellNetlist;
 use crate::{CellError, Result};
 
+/// Quarantined `*.corrupt` checkpoint files kept per cell after a robust
+/// characterization run; older evidence beyond this is pruned.
+const QUARANTINE_KEEP: usize = 2;
+
 /// Characterization configuration: operating condition and measurement grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CharConfig {
@@ -380,10 +384,17 @@ impl Characterizer {
                 .into_iter()
                 .map(|o| o.expect("every cell received an outcome"))
                 .collect(),
+            quarantined_pruned: 0,
         };
         // Canonical order: reports compare equal whenever the per-cell
         // decisions match, however the work was scheduled or requested.
         report.sort_by_name();
+        // Bound the quarantine graveyard: keep the newest few corrupt
+        // files per cell as evidence, drop the rest, and surface the count
+        // so operators see that pruning happened.
+        if let Some(store) = checkpoint {
+            report.quarantined_pruned = store.prune_quarantined(QUARANTINE_KEEP);
+        }
         (lib, report)
     }
 

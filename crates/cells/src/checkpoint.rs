@@ -71,11 +71,23 @@ impl CheckpointStore {
     pub fn store(&self, cell: &Cell) -> Result<()> {
         let payload = serde_json::to_string(cell)
             .map_err(|e| CellError::Cache(format!("serialize checkpoint {}: {e}", cell.name)))?;
+        self.store_blob(&cell.name, &payload)
+    }
+
+    /// Persist an arbitrary payload under `name` inside the same
+    /// checksummed envelope as cell checkpoints. The pipeline supervisor
+    /// uses this for per-stage artifacts — one store, one envelope format,
+    /// one corruption/quarantine story across both layers.
+    ///
+    /// # Errors
+    ///
+    /// [`CellError::Cache`] on I/O failure.
+    pub fn store_blob(&self, name: &str, payload: &str) -> Result<()> {
         let content = format!(
             "{MAGIC} v{VERSION} {:016x}\n{payload}",
             fnv1a(payload.as_bytes())
         );
-        write_atomic(&self.path(&cell.name), &content)
+        write_atomic(&self.path(name), &content)
     }
 
     /// Load a cell's checkpoint if present and intact. Corrupt entries
@@ -83,7 +95,24 @@ impl CheckpointStore {
     /// are quarantined as `*.corrupt` and reported as a miss.
     #[must_use]
     pub fn load(&self, cell: &str) -> Option<Cell> {
-        let path = self.path(cell);
+        let payload = self.load_blob(cell)?;
+        match serde_json::from_str(&payload) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                // The envelope checksum was intact but the payload does not
+                // parse as a cell (e.g. a schema change): same treatment.
+                quarantine(&self.path(cell), &format!("payload parse error: {e}"));
+                None
+            }
+        }
+    }
+
+    /// Load a raw payload stored with [`CheckpointStore::store_blob`],
+    /// validating the envelope. Corrupt entries are quarantined and report
+    /// a miss.
+    #[must_use]
+    pub fn load_blob(&self, name: &str) -> Option<String> {
+        let path = self.path(name);
         if !path.exists() {
             return None;
         }
@@ -95,7 +124,7 @@ impl CheckpointStore {
             }
         };
         match Self::decode(&text) {
-            Ok(c) => Some(c),
+            Ok(payload) => Some(payload.to_string()),
             Err(why) => {
                 quarantine(&path, &why);
                 None
@@ -103,8 +132,8 @@ impl CheckpointStore {
         }
     }
 
-    /// Validate the envelope and parse the payload.
-    fn decode(text: &str) -> std::result::Result<Cell, String> {
+    /// Validate the envelope and return the payload slice.
+    fn decode(text: &str) -> std::result::Result<&str, String> {
         let (header, payload) = text
             .split_once('\n')
             .ok_or_else(|| "missing envelope header".to_string())?;
@@ -121,7 +150,7 @@ impl CheckpointStore {
         if want != got {
             return Err(format!("checksum mismatch (header {want}, payload {got})"));
         }
-        serde_json::from_str(payload).map_err(|e| format!("payload parse error: {e}"))
+        Ok(payload)
     }
 
     /// Names of the cells with (apparently) intact checkpoint entries.
@@ -144,6 +173,45 @@ impl CheckpointStore {
     /// safely in the library-level cache).
     pub fn clear(&self) {
         let _ = fs::remove_dir_all(&self.dir);
+    }
+
+    /// Bound the quarantine graveyard: for each entry, keep only the
+    /// `keep` newest `*.corrupt` files and delete the rest. Returns how
+    /// many files were pruned.
+    ///
+    /// Quarantined files are evidence, not state — a long-lived cache
+    /// directory that keeps tripping over the same corrupt entry (flaky
+    /// disk, repeated fault-injection runs) would otherwise accumulate
+    /// `.corrupt`, `.2.corrupt`, … without bound.
+    pub fn prune_quarantined(&self, keep: usize) -> usize {
+        use std::collections::HashMap;
+        use std::time::SystemTime;
+        let mut groups: HashMap<String, Vec<(SystemTime, PathBuf)>> = HashMap::new();
+        for entry in fs::read_dir(&self.dir).into_iter().flatten().flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !name.ends_with(".corrupt") {
+                continue;
+            }
+            // `<cell>.ckpt.corrupt` / `<cell>.ckpt.N.corrupt` → group by cell.
+            let stem = name.split(".ckpt").next().unwrap_or(&name).to_string();
+            let mtime = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .unwrap_or(SystemTime::UNIX_EPOCH);
+            groups.entry(stem).or_default().push((mtime, entry.path()));
+        }
+        let mut pruned = 0;
+        for (_, mut files) in groups {
+            // Newest first; path as a deterministic tie-break for
+            // same-instant writes.
+            files.sort_by(|a, b| b.cmp(a));
+            for (_, path) in files.into_iter().skip(keep) {
+                if fs::remove_file(&path).is_ok() {
+                    pruned += 1;
+                }
+            }
+        }
+        pruned
     }
 }
 
@@ -230,6 +298,51 @@ mod tests {
         let path = store.path("INVx1");
         fs::write(&path, "cryo-checkpoint v99 0000000000000000\n{}").unwrap();
         assert!(store.load("INVx1").is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn blob_round_trip_and_corruption_detection() {
+        let (dir, store) = temp_store("blob");
+        store.store_blob("stage_sta", "{\"delay\": 1.5}").unwrap();
+        assert_eq!(
+            store.load_blob("stage_sta").as_deref(),
+            Some("{\"delay\": 1.5}")
+        );
+        let path = store.path("stage_sta");
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() - 3]).unwrap();
+        assert!(store.load_blob("stage_sta").is_none(), "checksum catches it");
+        assert!(!path.exists(), "corrupt blob quarantined");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn repeat_quarantines_keep_distinct_evidence_and_prune_bounds_them() {
+        let (dir, store) = temp_store("prune");
+        // Corrupt the same cell's entry five times; each quarantine must
+        // land under a fresh name instead of overwriting the last.
+        for i in 0..5 {
+            store.store(&test_cell("INVx1")).unwrap();
+            let path = store.path("INVx1");
+            fs::write(&path, format!("garbage round {i}")).unwrap();
+            assert!(store.load("INVx1").is_none());
+        }
+        store.store(&test_cell("NANDx1")).unwrap();
+        fs::write(store.path("NANDx1"), "also garbage").unwrap();
+        assert!(store.load("NANDx1").is_none());
+        let corrupt_count = |dir: &PathBuf| {
+            fs::read_dir(dir)
+                .unwrap()
+                .flatten()
+                .filter(|e| e.file_name().to_string_lossy().ends_with(".corrupt"))
+                .count()
+        };
+        assert_eq!(corrupt_count(&store.dir), 6, "every corruption preserved");
+        let pruned = store.prune_quarantined(2);
+        assert_eq!(pruned, 3, "INVx1 trimmed from 5 to 2; NANDx1 untouched");
+        assert_eq!(corrupt_count(&store.dir), 3);
+        assert_eq!(store.prune_quarantined(2), 0, "idempotent");
         let _ = fs::remove_dir_all(&dir);
     }
 

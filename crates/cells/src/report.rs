@@ -59,6 +59,10 @@ pub struct CharReport {
     /// decisions match — regardless of request order or of how a parallel
     /// run scheduled the work.
     pub outcomes: Vec<CellOutcome>,
+    /// Quarantined `*.corrupt` checkpoint files deleted by bounded pruning
+    /// at the end of the run (the newest few per cell are kept as
+    /// evidence). Zero when no checkpoint store was in play.
+    pub quarantined_pruned: usize,
 }
 
 impl CharReport {

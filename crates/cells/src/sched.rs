@@ -118,6 +118,12 @@ impl<T> WorkerHandle<'_, T> {
 /// Resolve a configured job count: `configured` wins when nonzero, then a
 /// positive `CRYO_JOBS`, then [`std::thread::available_parallelism`] (1 if
 /// even that is unknowable).
+///
+/// Malformed `CRYO_JOBS` values are silently ignored here (resolution
+/// happens deep inside characterization, where aborting would forfeit
+/// work); supervised entry points validate the variable up front with
+/// [`env_jobs_checked`] so a typo surfaces as a config error at flow
+/// start.
 #[must_use]
 pub fn resolve_jobs(configured: usize) -> usize {
     if configured > 0 {
@@ -131,6 +137,39 @@ pub fn resolve_jobs(configured: usize) -> usize {
         }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Strictly parse a `CRYO_JOBS`-format value. `Ok(None)` means "auto"
+/// (empty or `0`); anything that is not a non-negative integer is an
+/// error naming the offending value.
+///
+/// # Errors
+///
+/// A human-readable description of the malformed value.
+pub fn parse_jobs_spec(raw: &str) -> std::result::Result<Option<usize>, String> {
+    let t = raw.trim();
+    if t.is_empty() {
+        return Ok(None);
+    }
+    match t.parse::<usize>() {
+        Ok(0) => Ok(None),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(format!("`{t}` is not a non-negative integer")),
+    }
+}
+
+/// Strictly validate the `CRYO_JOBS` environment variable via
+/// [`parse_jobs_spec`]. `Ok(None)` when unset, empty, or `0` (auto).
+///
+/// # Errors
+///
+/// A description of the malformed value, suitable for wrapping in a
+/// flow-level config error.
+pub fn env_jobs_checked() -> std::result::Result<Option<usize>, String> {
+    match std::env::var("CRYO_JOBS") {
+        Ok(raw) => parse_jobs_spec(&raw),
+        Err(_) => Ok(None),
+    }
 }
 
 #[cfg(test)]
@@ -202,5 +241,16 @@ mod tests {
     fn resolve_jobs_prefers_explicit_config() {
         assert_eq!(resolve_jobs(3), 3);
         assert!(resolve_jobs(0) >= 1, "auto always yields a usable count");
+    }
+
+    #[test]
+    fn parse_jobs_spec_is_strict() {
+        assert_eq!(parse_jobs_spec(""), Ok(None));
+        assert_eq!(parse_jobs_spec(" 0 "), Ok(None), "0 means auto");
+        assert_eq!(parse_jobs_spec("8"), Ok(Some(8)));
+        for bad in ["four", "-2", "1.5", "8x"] {
+            let err = parse_jobs_spec(bad).unwrap_err();
+            assert!(err.contains(bad.trim()), "error names the value: {err}");
+        }
     }
 }

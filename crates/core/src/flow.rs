@@ -13,7 +13,7 @@ use cryo_riscv::asm::assemble;
 use cryo_riscv::kernels::{dhrystone_source, hdc_source_rounds, knn_source_rounds, HDC_LEVELS};
 use cryo_riscv::{PipelineConfig, PipelineModel, RunStats};
 use cryo_spice::{fault, FaultPlan};
-use cryo_sta::{analyze, StaConfig, TimingReport};
+use cryo_sta::{analyze, MissingArcPolicy, StaConfig, TimingReport};
 
 use crate::{CoreError, Result};
 
@@ -202,6 +202,7 @@ impl CryoFlow {
                         derated_from: None,
                     })
                     .collect(),
+                quarantined_pruned: 0,
             };
             report.sort_by_name();
             return Ok((lib, report));
@@ -267,6 +268,24 @@ impl CryoFlow {
         lib: &Library,
         lib300_mean_delay: f64,
     ) -> Result<TimingReport> {
+        self.timing_with_policy(design, lib, lib300_mean_delay, MissingArcPolicy::Fail)
+    }
+
+    /// [`CryoFlow::timing`] with an explicit missing-arc policy — the
+    /// supervised pipeline's degraded-mode entry point. `Fail` reproduces
+    /// `timing` exactly; the other policies let a partially characterized
+    /// library reach a complete (flagged) report.
+    ///
+    /// # Errors
+    ///
+    /// STA failures (unmapped cells, loops); with `Fail`, also missing arcs.
+    pub fn timing_with_policy(
+        &self,
+        design: &Design,
+        lib: &Library,
+        lib300_mean_delay: f64,
+        policy: MissingArcPolicy,
+    ) -> Result<TimingReport> {
         let scale = if lib300_mean_delay > 0.0 {
             lib.stats().mean_delay / lib300_mean_delay
         } else {
@@ -274,6 +293,7 @@ impl CryoFlow {
         };
         let sta_cfg = StaConfig {
             macro_delay_scale: scale,
+            missing_arc_policy: policy,
             ..StaConfig::default()
         };
         Ok(analyze(design, lib, &sta_cfg)?)

@@ -19,8 +19,10 @@
 
 pub mod experiments;
 pub mod flow;
+pub mod supervise;
 
 pub use flow::{CryoFlow, FlowConfig, Workload};
+pub use supervise::{PipelineReport, Stage, StageRecord, Supervisor, SupervisorConfig};
 
 use std::error::Error;
 use std::fmt;
@@ -53,6 +55,22 @@ pub enum CoreError {
         /// Cells absent from the library.
         missing: Vec<String>,
     },
+    /// A supervised pipeline stage overran its deadline budget.
+    StageTimeout {
+        /// Stage name (see [`supervise::Stage::name`]).
+        stage: String,
+        /// The budget that was exceeded, seconds.
+        budget_s: f64,
+    },
+    /// An environment/configuration knob failed validation at flow start.
+    Config {
+        /// Variable or knob name (e.g. `CRYO_FAULTS`).
+        var: String,
+        /// The rejected value.
+        value: String,
+        /// Why it was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -77,6 +95,12 @@ impl fmt::Display for CoreError {
                 floor * 100.0,
                 missing.join(", ")
             ),
+            CoreError::StageTimeout { stage, budget_s } => {
+                write!(f, "stage {stage} exceeded its {budget_s:.3} s budget")
+            }
+            CoreError::Config { var, value, reason } => {
+                write!(f, "invalid {var}={value:?}: {reason}")
+            }
         }
     }
 }
@@ -91,7 +115,9 @@ impl Error for CoreError {
             CoreError::Power(e) => Some(e),
             CoreError::Riscv(e) => Some(e),
             CoreError::Qubit(e) => Some(e),
-            CoreError::Coverage { .. } => None,
+            CoreError::Coverage { .. }
+            | CoreError::StageTimeout { .. }
+            | CoreError::Config { .. } => None,
         }
     }
 }

@@ -1,0 +1,800 @@
+//! Supervised end-to-end pipeline runner.
+//!
+//! [`Supervisor`] drives the paper's full flow — calibrate → characterize
+//! (300 K, 10 K) → STA per corner → workload activity → power → classify —
+//! with the robustness contract of DESIGN.md §9:
+//!
+//! - **Stage checkpoints.** Every completed stage serializes its artifact
+//!   into a [`CheckpointStore`] keyed by the pipeline configuration. A run
+//!   killed at any stage boundary resumes at the first incomplete stage
+//!   with zero repeated SPICE or STA work; the per-stage
+//!   [`StageRecord::from_checkpoint`] flag and the folded simulator/arc
+//!   counters prove it.
+//! - **Deadline budgets.** Each stage runs on a watchdog-supervised worker
+//!   thread with a per-stage budget, clamped by the remaining overall
+//!   wall-clock budget. Overruns become structured
+//!   [`CoreError::StageTimeout`] — never a hang. (The overrunning worker
+//!   thread is detached and leaked; it holds no locks and its checkpoint
+//!   is simply never written.)
+//! - **Retry with backoff.** Transient stage failures are retried with
+//!   doubling backoff; configuration, coverage, and timeout errors are
+//!   terminal.
+//! - **Cross-layer fault injection.** The flow's [`FaultPlan`] is
+//!   re-installed on every worker thread and the stage context is labelled
+//!   `stage:<name>`, so `CRYO_FAULTS` scopes can target a single stage and
+//!   parallel/serial runs stay byte-identical.
+//! - **Degraded-mode signoff.** STA stages run under the configured
+//!   [`MissingArcPolicy`], so a partially characterized corner still
+//!   produces a complete, explicitly flagged timing report.
+
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use cryo_cells::{cache, topology, CharReport, CheckpointStore};
+use cryo_liberty::Library;
+use cryo_power::{ActivityProfile, PowerReport};
+use cryo_spice::{fault, FaultPlan};
+use cryo_sta::{counters, MissingArcPolicy, TimingReport};
+use serde::{Deserialize, Serialize};
+
+use crate::flow::{CryoFlow, Workload, COOLING_BUDGET_10K, DECOHERENCE_TIME, FIG7_CLOCK};
+use crate::{CoreError, Result};
+
+// ----------------------------------------------------------------------
+// Stages
+// ----------------------------------------------------------------------
+
+/// The supervised pipeline's stages, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stage {
+    /// Environment validation plus model-card/SoC fingerprints.
+    Calibrate,
+    /// Characterize the 300 K library corner.
+    Charlib300,
+    /// Characterize the 10 K library corner.
+    Charlib10,
+    /// STA at the 300 K corner.
+    Sta300,
+    /// STA at the 10 K corner.
+    Sta10,
+    /// Workload simulation → switching-activity profile.
+    Activity,
+    /// Activity-scale calibration + power signoff at both corners.
+    Power,
+    /// Fold everything into the paper's feasibility verdict.
+    Classify,
+}
+
+impl Stage {
+    /// Every stage, in execution order.
+    pub const ALL: [Stage; 8] = [
+        Stage::Calibrate,
+        Stage::Charlib300,
+        Stage::Charlib10,
+        Stage::Sta300,
+        Stage::Sta10,
+        Stage::Activity,
+        Stage::Power,
+        Stage::Classify,
+    ];
+
+    /// Stable lowercase name; used as the checkpoint blob name and in
+    /// `stage:<name>` fault-injection contexts.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Calibrate => "calibrate",
+            Stage::Charlib300 => "charlib300",
+            Stage::Charlib10 => "charlib10",
+            Stage::Sta300 => "sta300",
+            Stage::Sta10 => "sta10",
+            Stage::Activity => "activity",
+            Stage::Power => "power",
+            Stage::Classify => "classify",
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Stage artifacts (all round-trip through the checkpoint store)
+// ----------------------------------------------------------------------
+
+/// Calibrate-stage artifact: fingerprints of everything downstream stages
+/// depend on, recorded so a resumed run can be audited against the inputs
+/// that produced its checkpoints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrateArtifact {
+    /// FNV-64 digest of the n-FinFET model card.
+    pub nfet_digest: String,
+    /// FNV-64 digest of the p-FinFET model card.
+    pub pfet_digest: String,
+    /// FNV-64 digest of the SoC generator configuration.
+    pub soc_digest: String,
+    /// Whether a fault-injection plan is armed for this run.
+    pub faults_armed: bool,
+    /// Effective characterization worker count (0 = auto-detect).
+    pub jobs: usize,
+}
+
+/// Characterization-stage artifact: the library itself plus its per-cell
+/// report, so a resumed run skips SPICE entirely.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CharArtifact {
+    /// The characterized (possibly degraded) library corner.
+    pub lib: Library,
+    /// Per-cell characterization outcomes.
+    pub report: CharReport,
+    /// The corner's mean arc delay — the 300 K value anchors the 10 K
+    /// macro-timing derate.
+    pub mean_delay: f64,
+}
+
+/// Activity-stage artifact: the switching profile in its sorted,
+/// checkpointable representation (see `ActivityProfile::regions_sorted`)
+/// plus the workload's steady-state cost.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivityArtifact {
+    /// Fallback toggle rate for unmatched regions.
+    pub default_alpha: f64,
+    /// Per-region toggle rates, sorted by region name.
+    pub regions: Vec<(String, f64)>,
+    /// Per-macro access rates, sorted by macro name.
+    pub macro_accesses: Vec<(String, f64)>,
+    /// Steady-state cycles per classified qubit.
+    pub cycles_per_item: f64,
+}
+
+/// One corner's power summary with a deterministic (sorted) region map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerCorner {
+    /// Corner name.
+    pub corner: String,
+    /// Dynamic power, watts.
+    pub dynamic_w: f64,
+    /// Standard-cell leakage, watts.
+    pub logic_leakage_w: f64,
+    /// SRAM macro leakage, watts.
+    pub sram_leakage_w: f64,
+    /// Total average power, watts.
+    pub total_w: f64,
+    /// Dynamic power per region, sorted by region name.
+    pub per_region_dynamic: Vec<(String, f64)>,
+}
+
+impl PowerCorner {
+    fn from_report(r: &PowerReport) -> Self {
+        let mut per_region: Vec<(String, f64)> = r
+            .per_region_dynamic
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        per_region.sort_by(|a, b| a.0.cmp(&b.0));
+        PowerCorner {
+            corner: r.corner.clone(),
+            dynamic_w: r.dynamic_w,
+            logic_leakage_w: r.logic_leakage_w,
+            sram_leakage_w: r.sram_leakage_w,
+            total_w: r.total(),
+            per_region_dynamic: per_region,
+        }
+    }
+}
+
+/// Power-stage artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerArtifact {
+    /// Calibrated global activity scale (DESIGN.md §5).
+    pub activity_scale: f64,
+    /// 300 K corner summary.
+    pub p300: PowerCorner,
+    /// 10 K corner summary.
+    pub p10: PowerCorner,
+}
+
+/// Classify-stage artifact: the paper's feasibility verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassifyArtifact {
+    /// Maximum clock at 300 K, hertz.
+    pub fmax_300_hz: f64,
+    /// Maximum clock at 10 K, hertz.
+    pub fmax_10_hz: f64,
+    /// `fmax_10 / fmax_300` — slightly below 1: the cryogenic Vth shift
+    /// lengthens the critical path ~4.6 % (paper Table 1).
+    pub cryo_fmax_ratio: f64,
+    /// Total SoC power at 10 K, watts.
+    pub total_power_10k_w: f64,
+    /// Whether the 10 K power fits the cryostat's cooling budget.
+    pub fits_cooling_budget: bool,
+    /// kNN classification latency for the supervised qubit count, seconds.
+    pub knn_classify_s: f64,
+    /// Whether classification finishes inside the decoherence window.
+    pub within_decoherence: bool,
+    /// Degraded (stand-in) arc count in the 300 K timing report.
+    pub degraded_arcs_300: usize,
+    /// Degraded (stand-in) arc count in the 10 K timing report.
+    pub degraded_arcs_10: usize,
+}
+
+// ----------------------------------------------------------------------
+// Supervisor configuration + report
+// ----------------------------------------------------------------------
+
+/// Knobs for the supervised pipeline.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Per-stage deadline. A stage that runs longer becomes
+    /// [`CoreError::StageTimeout`].
+    pub stage_budget: Duration,
+    /// Overall wall-clock budget for the whole pipeline; the effective
+    /// per-stage deadline is clamped by what remains of this.
+    pub overall_budget: Duration,
+    /// Attempts per stage (1 = no retry). Coverage, configuration, and
+    /// timeout errors are never retried.
+    pub max_attempts: u32,
+    /// Initial retry backoff; doubles per attempt.
+    pub backoff: Duration,
+    /// Missing-arc policy for the STA stages. The default borrows from
+    /// drive siblings with a 10 % pessimism margin so a degraded library
+    /// still reaches a complete, flagged report.
+    pub missing_arc_policy: MissingArcPolicy,
+    /// Stop (successfully, `completed = false`) after this stage's
+    /// checkpoint is written — the in-process kill point used by the
+    /// resume tests and the kill-and-resume CI job.
+    pub halt_after: Option<Stage>,
+    /// Qubit count for the activity workload and the classification-latency
+    /// verdict.
+    pub qubits: usize,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            stage_budget: Duration::from_secs(600),
+            overall_budget: Duration::from_secs(3600),
+            max_attempts: 3,
+            backoff: Duration::from_millis(50),
+            missing_arc_policy: MissingArcPolicy::BorrowSibling { margin: 0.10 },
+            halt_after: None,
+            qubits: 20,
+        }
+    }
+}
+
+/// Per-stage execution record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageRecord {
+    /// Which stage.
+    pub stage: Stage,
+    /// `true` when the stage's artifact was loaded from its checkpoint
+    /// (zero recomputation).
+    pub from_checkpoint: bool,
+    /// Attempts taken (0 when resumed from checkpoint).
+    pub attempts: u32,
+    /// Wall-clock time spent, seconds (≈0 when resumed).
+    pub wall_s: f64,
+    /// DC operating-point solves the stage ran.
+    pub dc_solves: u64,
+    /// Transient analyses the stage ran.
+    pub tran_solves: u64,
+    /// STA arc evaluations the stage ran.
+    pub arc_evals: u64,
+}
+
+/// Outcome of a supervised pipeline run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Checkpoint-namespace key derived from every run-relevant input.
+    pub pipeline_key: String,
+    /// `false` when the run stopped at [`SupervisorConfig::halt_after`].
+    pub completed: bool,
+    /// One record per stage that ran (or resumed), in order.
+    pub stages: Vec<StageRecord>,
+    /// The final verdict; `None` unless the Classify stage ran.
+    pub verdict: Option<ClassifyArtifact>,
+}
+
+/// Validated environment configuration (satellite of the supervision
+/// contract: malformed knobs fail structurally at flow start, not
+/// mid-pipeline).
+#[derive(Debug, Clone)]
+pub struct EnvConfig {
+    /// Parsed `CRYO_FAULTS` plan, if set.
+    pub fault_plan: Option<FaultPlan>,
+    /// Parsed `CRYO_JOBS` override, if set.
+    pub jobs: Option<usize>,
+}
+
+/// Strictly validate `CRYO_FAULTS` and `CRYO_JOBS`.
+///
+/// # Errors
+///
+/// [`CoreError::Config`] naming the variable, the rejected value, and the
+/// parse failure.
+pub fn validate_env() -> Result<EnvConfig> {
+    let fault_plan = FaultPlan::from_env_checked().map_err(|reason| CoreError::Config {
+        var: "CRYO_FAULTS".into(),
+        value: std::env::var("CRYO_FAULTS").unwrap_or_default(),
+        reason,
+    })?;
+    let jobs = cryo_cells::sched::env_jobs_checked().map_err(|reason| CoreError::Config {
+        var: "CRYO_JOBS".into(),
+        value: std::env::var("CRYO_JOBS").unwrap_or_default(),
+        reason,
+    })?;
+    Ok(EnvConfig { fault_plan, jobs })
+}
+
+// ----------------------------------------------------------------------
+// Supervisor
+// ----------------------------------------------------------------------
+
+/// The supervised pipeline runner. See the module docs for the contract.
+#[derive(Debug, Clone)]
+pub struct Supervisor {
+    flow: CryoFlow,
+    cfg: SupervisorConfig,
+}
+
+impl Supervisor {
+    /// Wrap a flow in a supervisor.
+    #[must_use]
+    pub fn new(flow: CryoFlow, cfg: SupervisorConfig) -> Self {
+        Supervisor { flow, cfg }
+    }
+
+    /// The underlying flow.
+    #[must_use]
+    pub fn flow(&self) -> &CryoFlow {
+        &self.flow
+    }
+
+    /// The supervisor configuration.
+    #[must_use]
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.cfg
+    }
+
+    /// The checkpoint-namespace key: an FNV-64 digest over both corners'
+    /// cache keys, the SoC configuration, the seed, the coverage floor,
+    /// and the missing-arc policy. Deliberately independent of `jobs` —
+    /// a run interrupted at `jobs = 1` resumes under `jobs = 8` (the
+    /// libraries are byte-identical either way).
+    ///
+    /// # Errors
+    ///
+    /// Cache-key construction failures.
+    pub fn pipeline_key(&self) -> Result<String> {
+        let fcfg = self.flow.config();
+        let cells = topology::standard_cell_set();
+        let tag = cache::cell_set_tag(&cells);
+        let mut c300 = fcfg.char_300k.clone();
+        let mut c10 = fcfg.char_10k.clone();
+        c300.jobs = 1;
+        c10.jobs = 1;
+        let k300 = cache::cache_key(&self.flow.nfet, &self.flow.pfet, &c300, &tag)?;
+        let k10 = cache::cache_key(&self.flow.nfet, &self.flow.pfet, &c10, &tag)?;
+        Ok(fnv64(&format!(
+            "{k300}|{k10}|{:?}|{}|{}|{:?}",
+            fcfg.soc, fcfg.seed, fcfg.coverage_floor, self.cfg.missing_arc_policy
+        )))
+    }
+
+    /// Drop every pipeline-level checkpoint for this configuration.
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint-store I/O failures.
+    pub fn clear_checkpoints(&self) -> Result<()> {
+        let store = self.open_store()?;
+        store.clear();
+        Ok(())
+    }
+
+    fn open_store(&self) -> Result<CheckpointStore> {
+        let key = self.pipeline_key()?;
+        Ok(CheckpointStore::open(
+            &self.flow.config().cache_dir,
+            "pipeline",
+            &key,
+        )?)
+    }
+
+    /// Run the pipeline end to end (resuming from checkpoints), honoring
+    /// budgets, retries, fault injection, and the degraded-mode policy.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Config`] on malformed environment knobs,
+    /// [`CoreError::StageTimeout`] on budget overruns, and any stage error
+    /// that survives the retry policy.
+    #[allow(clippy::too_many_lines)] // one linear stage sequence
+    pub fn run(&self) -> Result<PipelineReport> {
+        let env = validate_env()?;
+        let fcfg = self.flow.config();
+        // Arm the plan on the supervisor thread; each stage worker
+        // re-installs a clone so injection follows the work.
+        let _fault_guard = fcfg.fault_plan.clone().map(fault::install_guard);
+        let pipeline_key = self.pipeline_key()?;
+        let store = self.open_store()?;
+        let started = Instant::now();
+        let mut records: Vec<StageRecord> = Vec::new();
+
+        let halted = |stage: Stage| self.cfg.halt_after == Some(stage);
+        let partial = |records: Vec<StageRecord>| PipelineReport {
+            pipeline_key: pipeline_key.clone(),
+            completed: false,
+            stages: records,
+            verdict: None,
+        };
+
+        // Calibrate ----------------------------------------------------
+        let flow = self.flow.clone();
+        let jobs = env.jobs.unwrap_or(fcfg.jobs);
+        let faults_armed = fcfg.fault_plan.is_some();
+        let _cal: CalibrateArtifact =
+            self.stage(Stage::Calibrate, started, &store, &mut records, move || {
+                Ok(CalibrateArtifact {
+                    nfet_digest: fnv64(&format!("{:?}", flow.nfet)),
+                    pfet_digest: fnv64(&format!("{:?}", flow.pfet)),
+                    soc_digest: fnv64(&format!("{:?}", flow.config().soc)),
+                    faults_armed,
+                    jobs,
+                })
+            })?;
+        if halted(Stage::Calibrate) {
+            return Ok(partial(records));
+        }
+
+        // Characterization ---------------------------------------------
+        let flow = self.flow.clone();
+        let char300: CharArtifact =
+            self.stage(Stage::Charlib300, started, &store, &mut records, move || {
+                let (lib, report) = flow.library_with_report(300.0)?;
+                let mean_delay = lib.stats().mean_delay;
+                Ok(CharArtifact {
+                    lib,
+                    report,
+                    mean_delay,
+                })
+            })?;
+        if halted(Stage::Charlib300) {
+            return Ok(partial(records));
+        }
+
+        let flow = self.flow.clone();
+        let char10: CharArtifact =
+            self.stage(Stage::Charlib10, started, &store, &mut records, move || {
+                let (lib, report) = flow.library_with_report(10.0)?;
+                let mean_delay = lib.stats().mean_delay;
+                Ok(CharArtifact {
+                    lib,
+                    report,
+                    mean_delay,
+                })
+            })?;
+        if halted(Stage::Charlib10) {
+            return Ok(partial(records));
+        }
+
+        // STA per corner ------------------------------------------------
+        let flow = self.flow.clone();
+        let lib = char300.lib.clone();
+        let mean300 = char300.mean_delay;
+        let policy = self.cfg.missing_arc_policy;
+        let sta300: TimingReport =
+            self.stage(Stage::Sta300, started, &store, &mut records, move || {
+                let design = flow.soc();
+                flow.timing_with_policy(&design, &lib, mean300, policy)
+            })?;
+        if halted(Stage::Sta300) {
+            return Ok(partial(records));
+        }
+
+        let flow = self.flow.clone();
+        let lib = char10.lib.clone();
+        let sta10: TimingReport =
+            self.stage(Stage::Sta10, started, &store, &mut records, move || {
+                let design = flow.soc();
+                flow.timing_with_policy(&design, &lib, mean300, policy)
+            })?;
+        if halted(Stage::Sta10) {
+            return Ok(partial(records));
+        }
+
+        // Activity ------------------------------------------------------
+        let flow = self.flow.clone();
+        let qubits = self.cfg.qubits;
+        let act: ActivityArtifact =
+            self.stage(Stage::Activity, started, &store, &mut records, move || {
+                let run = flow.run_workload(Workload::Knn { n: qubits })?;
+                let profile = flow.activity_profile(&run.stats);
+                Ok(ActivityArtifact {
+                    default_alpha: profile.default_alpha,
+                    regions: profile.regions_sorted(),
+                    macro_accesses: profile.macro_accesses_sorted(),
+                    cycles_per_item: run.cycles_per_item,
+                })
+            })?;
+        if halted(Stage::Activity) {
+            return Ok(partial(records));
+        }
+
+        // Power ---------------------------------------------------------
+        let flow = self.flow.clone();
+        let lib300 = char300.lib.clone();
+        let lib10 = char10.lib.clone();
+        let act_for_power = act.clone();
+        let pow: PowerArtifact =
+            self.stage(Stage::Power, started, &store, &mut records, move || {
+                let design = flow.soc();
+                let mut profile = rebuild_profile(&act_for_power);
+                let scale =
+                    flow.calibrate_activity_scale(&design, &lib300, &profile, FIG7_CLOCK)?;
+                profile.scale(scale);
+                let p300 = flow.power(&design, &lib300, &profile, FIG7_CLOCK)?;
+                let p10 = flow.power(&design, &lib10, &profile, FIG7_CLOCK)?;
+                Ok(PowerArtifact {
+                    activity_scale: scale,
+                    p300: PowerCorner::from_report(&p300),
+                    p10: PowerCorner::from_report(&p10),
+                })
+            })?;
+        if halted(Stage::Power) {
+            return Ok(partial(records));
+        }
+
+        // Classify ------------------------------------------------------
+        let qubits = self.cfg.qubits;
+        let cycles_per_item = act.cycles_per_item;
+        let total_10k = pow.p10.total_w;
+        let fmax_300 = sta300.fmax();
+        let fmax_10 = sta10.fmax();
+        let degraded_300 = sta300.degraded_arcs.len();
+        let degraded_10 = sta10.degraded_arcs.len();
+        let verdict: ClassifyArtifact =
+            self.stage(Stage::Classify, started, &store, &mut records, move || {
+                let knn_classify_s = qubits as f64 * cycles_per_item / FIG7_CLOCK;
+                Ok(ClassifyArtifact {
+                    fmax_300_hz: fmax_300,
+                    fmax_10_hz: fmax_10,
+                    cryo_fmax_ratio: fmax_10 / fmax_300,
+                    total_power_10k_w: total_10k,
+                    fits_cooling_budget: total_10k < COOLING_BUDGET_10K,
+                    knn_classify_s,
+                    within_decoherence: knn_classify_s < DECOHERENCE_TIME,
+                    degraded_arcs_300: degraded_300,
+                    degraded_arcs_10: degraded_10,
+                })
+            })?;
+
+        Ok(PipelineReport {
+            pipeline_key,
+            completed: self.cfg.halt_after != Some(Stage::Classify),
+            stages: records,
+            verdict: Some(verdict),
+        })
+    }
+
+    /// Run one stage under the supervision contract: resume from its
+    /// checkpoint when present, otherwise execute `body` on a watchdog-
+    /// supervised worker with retry-with-backoff, fold the worker's
+    /// simulator/arc counters into the calling thread, and checkpoint the
+    /// artifact.
+    fn stage<T, F>(
+        &self,
+        stage: Stage,
+        started: Instant,
+        store: &CheckpointStore,
+        records: &mut Vec<StageRecord>,
+        body: F,
+    ) -> Result<T>
+    where
+        T: Serialize + Deserialize + Send + 'static,
+        F: Fn() -> Result<T> + Send + Sync + 'static,
+    {
+        if let Some(blob) = store.load_blob(stage.name()) {
+            if let Ok(artifact) = serde_json::from_str::<T>(&blob) {
+                records.push(StageRecord {
+                    stage,
+                    from_checkpoint: true,
+                    attempts: 0,
+                    wall_s: 0.0,
+                    dc_solves: 0,
+                    tran_solves: 0,
+                    arc_evals: 0,
+                });
+                return Ok(artifact);
+            }
+            // Artifact from an older schema: recompute and overwrite.
+        }
+
+        let body = Arc::new(body);
+        let stage_start = Instant::now();
+        let (mut dc, mut tran, mut evals) = (0u64, 0u64, 0u64);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let remaining = self
+                .cfg
+                .overall_budget
+                .checked_sub(started.elapsed())
+                .unwrap_or(Duration::ZERO);
+            let wait = self.cfg.stage_budget.min(remaining);
+
+            let (tx, rx) = mpsc::channel();
+            let plan = fault::current_plan();
+            let work = Arc::clone(&body);
+            let label = format!("stage:{}", stage.name());
+            thread::Builder::new()
+                .name(format!("stage-{}", stage.name()))
+                .spawn(move || {
+                    let _guard = plan.map(fault::install_guard);
+                    if fault::is_active() {
+                        fault::set_context(&label);
+                    }
+                    let out = work();
+                    let _ = tx.send((out, fault::take_sim_counts(), counters::take_eval_count()));
+                })
+                .expect("spawn stage worker");
+
+            match rx.recv_timeout(wait) {
+                Ok((out, sims, arc_evals)) => {
+                    fault::add_sim_counts(sims);
+                    counters::add_eval_count(arc_evals);
+                    dc += sims.dc;
+                    tran += sims.tran;
+                    evals += arc_evals;
+                    match out {
+                        Ok(artifact) => {
+                            let payload = serde_json::to_string(&artifact)
+                                .expect("stage artifacts serialize");
+                            store.store_blob(stage.name(), &payload)?;
+                            records.push(StageRecord {
+                                stage,
+                                from_checkpoint: false,
+                                attempts: attempt,
+                                wall_s: stage_start.elapsed().as_secs_f64(),
+                                dc_solves: dc,
+                                tran_solves: tran,
+                                arc_evals: evals,
+                            });
+                            return Ok(artifact);
+                        }
+                        Err(e) => {
+                            if attempt >= self.cfg.max_attempts || !retryable(&e) {
+                                return Err(e);
+                            }
+                            thread::sleep(self.cfg.backoff * (1u32 << (attempt - 1).min(16)));
+                        }
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    // The worker is leaked: it holds no locks, and its
+                    // checkpoint is never written, so the stage reruns on
+                    // the next invocation.
+                    return Err(CoreError::StageTimeout {
+                        stage: stage.name().to_string(),
+                        budget_s: wait.as_secs_f64(),
+                    });
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    panic!("stage {} worker panicked", stage.name());
+                }
+            }
+        }
+    }
+}
+
+/// Whether an error is worth retrying. Coverage shortfalls, configuration
+/// rejections, and timeouts are deterministic — retrying only burns budget.
+fn retryable(e: &CoreError) -> bool {
+    !matches!(
+        e,
+        CoreError::Coverage { .. } | CoreError::Config { .. } | CoreError::StageTimeout { .. }
+    )
+}
+
+/// Rebuild an [`ActivityProfile`] from its checkpointed sorted form.
+fn rebuild_profile(a: &ActivityArtifact) -> ActivityProfile {
+    let mut p = ActivityProfile::with_default(a.default_alpha);
+    for (region, alpha) in &a.regions {
+        p.set_region(region, *alpha);
+    }
+    for (name, per_cycle) in &a.macro_accesses {
+        p.set_macro_access(name, *per_cycle);
+    }
+    p
+}
+
+/// FNV-1a 64-bit digest, 16 hex digits.
+fn fnv64(s: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_are_stable_and_unique() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), Stage::ALL.len());
+        assert_eq!(names[0], "calibrate");
+        assert_eq!(names[7], "classify");
+    }
+
+    #[test]
+    fn pipeline_key_is_deterministic_and_jobs_invariant() {
+        let dir = std::env::temp_dir().join("cryo_supervise_key_test");
+        let mut cfg = crate::FlowConfig::fast(&dir);
+        cfg.fault_plan = None;
+        let mut cfg8 = cfg.clone();
+        cfg8.jobs = 8;
+        let s1 = Supervisor::new(CryoFlow::new(cfg.clone()), SupervisorConfig::default());
+        let s2 = Supervisor::new(CryoFlow::new(cfg), SupervisorConfig::default());
+        let s8 = Supervisor::new(CryoFlow::new(cfg8), SupervisorConfig::default());
+        let k = s1.pipeline_key().unwrap();
+        assert_eq!(k, s2.pipeline_key().unwrap());
+        assert_eq!(k, s8.pipeline_key().unwrap(), "jobs must not shift the key");
+        let sup_cfg = SupervisorConfig {
+            missing_arc_policy: MissingArcPolicy::Fail,
+            ..SupervisorConfig::default()
+        };
+        let s_fail = Supervisor::new(s1.flow().clone(), sup_cfg);
+        assert_ne!(
+            k,
+            s_fail.pipeline_key().unwrap(),
+            "policy participates in the key"
+        );
+    }
+
+    #[test]
+    fn fnv64_matches_reference_vector() {
+        // FNV-1a("a") = 0xaf63dc4c8601ec8c
+        assert_eq!(fnv64("a"), "af63dc4c8601ec8c");
+    }
+
+    #[test]
+    fn retry_policy_spares_deterministic_failures() {
+        assert!(!retryable(&CoreError::Config {
+            var: "CRYO_FAULTS".into(),
+            value: "x".into(),
+            reason: "bad".into(),
+        }));
+        assert!(!retryable(&CoreError::StageTimeout {
+            stage: "sta300".into(),
+            budget_s: 0.1,
+        }));
+        assert!(retryable(&CoreError::Power(
+            cryo_power::PowerError::NonFiniteAccumulation {
+                instance: "u1".into(),
+            }
+        )));
+    }
+
+    #[test]
+    fn rebuilt_profile_round_trips_sorted_views() {
+        let mut p = ActivityProfile::with_default(0.07);
+        p.set_region("alu", 0.5).set_region("ifu", 0.25);
+        p.set_macro_access("l1d", 0.75);
+        let art = ActivityArtifact {
+            default_alpha: p.default_alpha,
+            regions: p.regions_sorted(),
+            macro_accesses: p.macro_accesses_sorted(),
+            cycles_per_item: 41.5,
+        };
+        let rebuilt = rebuild_profile(&art);
+        assert_eq!(rebuilt.regions_sorted(), p.regions_sorted());
+        assert_eq!(rebuilt.macro_accesses_sorted(), p.macro_accesses_sorted());
+        assert_eq!(rebuilt.default_alpha, p.default_alpha);
+    }
+}

@@ -14,6 +14,7 @@ use crate::function::LogicFunction;
 use crate::library::Library;
 use crate::table::Lut2;
 use crate::{LibertyError, Result};
+use cryo_spice::fault;
 
 const TIME_SCALE: f64 = 1e12; // seconds -> ps
 const CAP_SCALE: f64 = 1e15; // farads -> fF
@@ -313,18 +314,38 @@ fn split_head(head: &str) -> Option<(String, String)> {
     Some((name, args))
 }
 
-fn parse_axis(s: &str, scale: f64) -> Vec<f64> {
+/// Parse one comma-separated numeric axis/values list. Unparsable tokens
+/// are a structured [`LibertyError::MalformedTable`] naming the attribute
+/// and the offending token — silently dropping them (the old behavior)
+/// turns a damaged file into a smaller-but-plausible table and moves the
+/// failure downstream to an interpolation that quietly extrapolates.
+fn parse_axis(s: &str, scale: f64, what: &str) -> Result<Vec<f64>> {
     s.trim_matches('"')
         .split(',')
-        .filter_map(|v| v.trim().trim_matches('"').parse::<f64>().ok())
-        .map(|v| v / scale)
+        .map(|v| v.trim().trim_matches('"'))
+        .filter(|v| !v.is_empty())
+        .map(|v| {
+            v.parse::<f64>()
+                .map(|x| x / scale)
+                .map_err(|_| LibertyError::MalformedTable {
+                    reason: format!("{what}: unparsable number `{v}`"),
+                })
+        })
         .collect()
 }
 
 fn parse_table(g: &Group, value_scale: f64) -> Result<Lut2> {
-    let i1 = parse_axis(g.attr("index_1").unwrap_or("0"), TIME_SCALE);
-    let i2 = parse_axis(g.attr("index_2").unwrap_or("0"), CAP_SCALE);
-    let vals = parse_axis(g.attr("values").unwrap_or(""), value_scale);
+    let i1 = parse_axis(g.attr("index_1").unwrap_or("0"), TIME_SCALE, "index_1")?;
+    let i2 = parse_axis(g.attr("index_2").unwrap_or("0"), CAP_SCALE, "index_2")?;
+    let mut vals = parse_axis(g.attr("values").unwrap_or(""), value_scale, "values")?;
+    // Deterministic fault-injection site: a hit simulates a table
+    // truncated on disk (crash mid-write, bad sector). The truncated
+    // values fail `Lut2::new`'s size check, so the caller sees the same
+    // structured `MalformedTable` diagnostic a genuinely damaged file
+    // would produce.
+    if fault::should_corrupt_liberty_ingest() {
+        vals.truncate(vals.len() / 2);
+    }
     Lut2::new(i1, i2, vals)
 }
 
@@ -607,5 +628,40 @@ mod tests {
     fn parser_rejects_garbage_line() {
         let err = parse_library("library (x) {\n  what is this\n}\n").unwrap_err();
         assert!(matches!(err, LibertyError::Parse { .. }));
+    }
+
+    #[test]
+    fn corrupt_table_token_is_a_structured_diagnostic_not_a_silent_drop() {
+        let text = write_library(&sample_library());
+        // Damage one table value the way a bad sector would: replace a
+        // number with junk. The parser must refuse, naming the attribute.
+        let damaged = text.replacen("2.000000", "2.0#!000", 1);
+        assert_ne!(text, damaged, "damage site must exist");
+        let err = parse_library(&damaged).unwrap_err();
+        match err {
+            LibertyError::MalformedTable { reason } => {
+                assert!(reason.contains("unparsable number"), "{reason}");
+            }
+            other => panic!("expected MalformedTable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_ingest_fault_surfaces_as_malformed_table() {
+        let text = write_library(&sample_library());
+        let plan = fault::FaultPlan {
+            liberty_ingest: 1.0,
+            max_injections: Some(1),
+            ..fault::FaultPlan::new(11)
+        };
+        let _g = fault::install_guard(plan);
+        let err = parse_library(&text).unwrap_err();
+        assert!(
+            matches!(err, LibertyError::MalformedTable { .. }),
+            "truncated ingest must be a structured table error, got {err:?}"
+        );
+        assert_eq!(fault::injection_count(), 1);
+        drop(_g);
+        assert!(parse_library(&text).is_ok(), "clean parse once disarmed");
     }
 }

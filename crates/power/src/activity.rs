@@ -272,15 +272,42 @@ impl ActivityProfile {
         *self.region_alpha.get(region).unwrap_or(&self.default_alpha)
     }
 
-    /// Accesses-per-cycle for a macro (by name prefix match).
+    /// Accesses-per-cycle for a macro (by name prefix match). When several
+    /// prefixes match, the longest wins (ties broken lexicographically) so
+    /// the answer never depends on hash-map iteration order.
     #[must_use]
     pub fn macro_accesses(&self, name: &str) -> f64 {
-        for (k, v) in &self.macro_access {
-            if name.starts_with(k.as_str()) {
-                return *v;
-            }
-        }
-        0.0
+        self.macro_access
+            .iter()
+            .filter(|(k, _)| name.starts_with(k.as_str()))
+            .max_by(|(ka, _), (kb, _)| ka.len().cmp(&kb.len()).then_with(|| kb.cmp(ka)))
+            .map_or(0.0, |(_, v)| *v)
+    }
+
+    /// All explicit region activities, sorted by region name. The stable
+    /// order makes the profile checkpointable: serialize these pairs, then
+    /// rebuild with [`ActivityProfile::set_region`].
+    #[must_use]
+    pub fn regions_sorted(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .region_alpha
+            .iter()
+            .map(|(k, a)| (k.clone(), *a))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// All explicit macro access rates, sorted by prefix.
+    #[must_use]
+    pub fn macro_accesses_sorted(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .macro_access
+            .iter()
+            .map(|(k, a)| (k.clone(), *a))
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
     }
 
     /// Scale every explicit region activity by `factor` (calibration knob).
@@ -308,6 +335,34 @@ mod tests {
         assert_eq!(p.alpha("clock"), 2.0);
         assert_eq!(p.macro_accesses("l1d_data"), 0.3);
         assert_eq!(p.macro_accesses("l2_bank0"), 0.0);
+    }
+
+    #[test]
+    fn sorted_views_round_trip_and_prefix_match_is_deterministic() {
+        let mut p = ActivityProfile::with_default(0.1);
+        p.set_region("ifu", 0.3).set_region("alu", 0.4);
+        p.set_macro_access("l1", 0.2).set_macro_access("l1d", 0.5);
+        assert_eq!(
+            p.regions_sorted(),
+            vec![("alu".to_string(), 0.4), ("ifu".to_string(), 0.3)]
+        );
+        assert_eq!(
+            p.macro_accesses_sorted(),
+            vec![("l1".to_string(), 0.2), ("l1d".to_string(), 0.5)]
+        );
+        // Both "l1" and "l1d" prefix-match "l1d_bank0"; the longest wins,
+        // independent of hash-map iteration order.
+        assert_eq!(p.macro_accesses("l1d_bank0"), 0.5);
+        assert_eq!(p.macro_accesses("l1i_bank0"), 0.2);
+        // Rebuilding from the sorted views reproduces the profile.
+        let mut q = ActivityProfile::with_default(p.default_alpha);
+        for (r, a) in p.regions_sorted() {
+            q.set_region(&r, a);
+        }
+        for (m, a) in p.macro_accesses_sorted() {
+            q.set_macro_access(&m, a);
+        }
+        assert_eq!(p, q);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use cryo_device::ModelCard;
 use cryo_liberty::Library;
 use cryo_netlist::design::{Design, LoadRef};
+use cryo_spice::fault;
 
 use crate::activity::{ActivityProfile, ToggleCounts};
 use crate::{PowerError, Result};
@@ -89,7 +90,9 @@ impl PowerReport {
 ///
 /// # Errors
 ///
-/// [`PowerError::UnmappedCell`] for instances missing from the library.
+/// - [`PowerError::UnmappedCell`] for instances missing from the library.
+/// - [`PowerError::NonFiniteAccumulation`] when a contribution goes NaN/∞
+///   (corrupted energy tables, or an injected `power=` fault).
 pub fn analyze_power(
     design: &Design,
     lib: &Library,
@@ -119,10 +122,17 @@ pub fn analyze_power(
         net_load[net] = cap;
     }
 
+    let fault_active = fault::is_active();
     let mut dynamic = 0.0;
     let mut logic_leak = 0.0;
     let mut per_region: HashMap<String, f64> = HashMap::new();
     for inst in design.instances() {
+        // Per-instance injection context: the fault schedule is a function
+        // of the instance, so serial and parallel callers see the same
+        // poisoned contribution (aggregation itself is serial).
+        if fault_active {
+            fault::set_context(&format!("power:{}", inst.name));
+        }
         let cell = lib.cell(&inst.cell).map_err(|_| PowerError::UnmappedCell {
             instance: inst.name.clone(),
             cell: inst.cell.clone(),
@@ -167,8 +177,24 @@ pub fn analyze_power(
             let gating = 0.2 + 0.8 * (alpha * 4.0).min(1.0);
             inst_dyn += cfg.dff_clock_energy_factor * e_clkq * cfg.frequency * gating;
         }
+        if fault_active && fault::should_fault_power_accum() {
+            inst_dyn = f64::NAN;
+        }
+        // Detect poison at the contributing instance — a NaN summed into
+        // the totals would silently wipe out the whole report.
+        if !inst_dyn.is_finite() {
+            if fault_active {
+                fault::set_context("");
+            }
+            return Err(PowerError::NonFiniteAccumulation {
+                instance: inst.name.clone(),
+            });
+        }
         dynamic += inst_dyn;
         *per_region.entry(inst.region.clone()).or_insert(0.0) += inst_dyn;
+    }
+    if fault_active {
+        fault::set_context("");
     }
 
     // SRAM macros: leakage from the device model, access energy from the
@@ -180,6 +206,12 @@ pub fn analyze_power(
         let p_access = accesses * cfg.frequency * m.spec.access_energy(cfg.vdd);
         dynamic += p_access;
         *per_region.entry(m.region.clone()).or_insert(0.0) += p_access;
+    }
+
+    if !(dynamic.is_finite() && logic_leak.is_finite() && sram_leak.is_finite()) {
+        return Err(PowerError::NonFiniteAccumulation {
+            instance: "<total>".to_string(),
+        });
     }
 
     Ok(PowerReport {
@@ -336,6 +368,36 @@ mod tests {
         assert!(r.fits_budget(0.1), "paper: 10 K SoC fits 100 mW");
         assert!(!r.fits_budget(0.05));
         assert!(r.summary().contains("mW"));
+    }
+
+    #[test]
+    fn injected_power_fault_is_detected_not_propagated() {
+        use cryo_spice::fault::FaultPlan;
+        let lib = synth_lib();
+        let d = chain_design();
+        let cfg = PowerConfig::at(&ModelCard::nominal(Polarity::N), 300.0, 1e9);
+        let profile = ActivityProfile::with_default(0.1);
+        let plan = FaultPlan {
+            seed: 3,
+            power_aggregation: 1.0,
+            max_injections: Some(1),
+            ..FaultPlan::default()
+        };
+        {
+            let _g = fault::install_guard(plan);
+            let err = analyze_power(&d, &lib, &cfg, &profile, None).unwrap_err();
+            let PowerError::NonFiniteAccumulation { instance } = &err else {
+                panic!("expected NonFiniteAccumulation, got {err:?}");
+            };
+            assert_eq!(
+                instance, &d.instances()[0].name,
+                "poison is pinned to the contributing instance"
+            );
+            assert_eq!(fault::injection_count(), 1);
+        }
+        // The injector is gone: the same analysis is clean and finite.
+        let report = analyze_power(&d, &lib, &cfg, &profile, None).unwrap();
+        assert!(report.total().is_finite());
     }
 
     #[test]

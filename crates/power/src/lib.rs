@@ -53,6 +53,15 @@ pub enum PowerError {
         /// Provided width.
         got: usize,
     },
+    /// A power contribution went non-finite (NaN/∞) during aggregation —
+    /// corrupted energy tables in the wild, or the fault injector's
+    /// `power=` site in tests. Detected at the contributing instance so
+    /// the poison never reaches the report.
+    NonFiniteAccumulation {
+        /// Instance whose contribution was non-finite (`<total>` when only
+        /// the final sum is implicated).
+        instance: String,
+    },
 }
 
 impl fmt::Display for PowerError {
@@ -66,6 +75,9 @@ impl fmt::Display for PowerError {
             }
             PowerError::VectorWidth { expected, got } => {
                 write!(f, "stimulus width {got} != {expected} primary inputs")
+            }
+            PowerError::NonFiniteAccumulation { instance } => {
+                write!(f, "instance {instance}: non-finite power contribution")
             }
         }
     }

@@ -81,6 +81,15 @@ pub struct FaultPlan {
     /// Probability a cache/checkpoint write is truncated mid-file
     /// (simulates a crash during a non-atomic write).
     pub cache_corruption: f64,
+    /// Probability a Liberty table ingest is truncated/corrupted
+    /// (consulted by `cryo-liberty`'s parser; simulates a damaged `.lib`).
+    pub liberty_ingest: f64,
+    /// Probability an STA timing-arc lookup fails (consulted by
+    /// `cryo-sta`; simulates a missing/garbled arc in the library).
+    pub sta_lookup: f64,
+    /// Probability a per-instance power contribution is poisoned with NaN
+    /// (consulted by `cryo-power`'s aggregation loop).
+    pub power_aggregation: f64,
     /// Restrict injection to contexts whose label contains this substring
     /// (e.g. a cell name). `None` injects everywhere.
     pub scope: Option<String>,
@@ -98,6 +107,9 @@ impl Default for FaultPlan {
             singular_matrix: 0.0,
             nan_device: 0.0,
             cache_corruption: 0.0,
+            liberty_ingest: 0.0,
+            sta_lookup: 0.0,
+            power_aggregation: 0.0,
             scope: None,
             max_injections: None,
         }
@@ -124,7 +136,9 @@ impl FaultPlan {
     ///
     /// Returns `None` when the variable is unset or empty. Unknown keys and
     /// malformed values are ignored (the harness must never abort the flow
-    /// it exists to protect).
+    /// it exists to protect). Supervised entry points should prefer
+    /// [`FaultPlan::from_env_checked`], which surfaces malformed specs as a
+    /// structured config error *before* any stage runs.
     #[must_use]
     pub fn from_env() -> Option<Self> {
         let raw = std::env::var("CRYO_FAULTS").ok()?;
@@ -136,20 +150,85 @@ impl FaultPlan {
             let Some((k, v)) = pair.split_once('=') else {
                 continue;
             };
-            let (k, v) = (k.trim(), v.trim());
-            match k {
-                "seed" => plan.seed = v.parse().unwrap_or(0),
-                "dc" => plan.dc_no_convergence = v.parse().unwrap_or(0.0),
-                "tran" => plan.tran_no_convergence = v.parse().unwrap_or(0.0),
-                "singular" => plan.singular_matrix = v.parse().unwrap_or(0.0),
-                "nan" => plan.nan_device = v.parse().unwrap_or(0.0),
-                "cache" => plan.cache_corruption = v.parse().unwrap_or(0.0),
-                "scope" => plan.scope = Some(v.to_string()),
-                "max" => plan.max_injections = v.parse().ok(),
-                _ => {}
-            }
+            let _ = Self::apply_pair(&mut plan, k.trim(), v.trim());
         }
         Some(plan)
+    }
+
+    /// Strictly parse a `CRYO_FAULTS`-format spec string.
+    ///
+    /// Unlike [`FaultPlan::from_env`], every pair must be well-formed:
+    /// unknown keys, missing `=`, unparsable numbers, and probabilities
+    /// outside `[0, 1]` are all reported with the offending pair quoted.
+    /// An empty/whitespace spec parses to `Ok(None)`.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed pair.
+    pub fn parse_spec(raw: &str) -> std::result::Result<Option<Self>, String> {
+        if raw.trim().is_empty() {
+            return Ok(None);
+        }
+        let mut plan = Self::default();
+        for pair in raw.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let Some((k, v)) = pair.split_once('=') else {
+                return Err(format!("`{pair}` is not a key=value pair"));
+            };
+            Self::apply_pair(&mut plan, k.trim(), v.trim())?;
+        }
+        Ok(Some(plan))
+    }
+
+    /// Strictly parse the `CRYO_FAULTS` environment variable via
+    /// [`FaultPlan::parse_spec`]. `Ok(None)` when unset or empty.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed pair, suitable for wrapping in
+    /// a flow-level config error.
+    pub fn from_env_checked() -> std::result::Result<Option<Self>, String> {
+        match std::env::var("CRYO_FAULTS") {
+            Ok(raw) => Self::parse_spec(&raw),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Apply one `key=value` pair, strictly. Shared by the tolerant and
+    /// checked parsers (the tolerant one discards the error).
+    fn apply_pair(plan: &mut Self, k: &str, v: &str) -> std::result::Result<(), String> {
+        fn prob(k: &str, v: &str) -> std::result::Result<f64, String> {
+            let p: f64 = v
+                .parse()
+                .map_err(|_| format!("`{k}={v}`: not a number"))?;
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("`{k}={v}`: probability outside [0, 1]"));
+            }
+            Ok(p)
+        }
+        match k {
+            "seed" => {
+                plan.seed = v.parse().map_err(|_| format!("`seed={v}`: not a u64"))?;
+            }
+            "dc" => plan.dc_no_convergence = prob(k, v)?,
+            "tran" => plan.tran_no_convergence = prob(k, v)?,
+            "singular" => plan.singular_matrix = prob(k, v)?,
+            "nan" => plan.nan_device = prob(k, v)?,
+            "cache" => plan.cache_corruption = prob(k, v)?,
+            "liberty" => plan.liberty_ingest = prob(k, v)?,
+            "sta" => plan.sta_lookup = prob(k, v)?,
+            "power" => plan.power_aggregation = prob(k, v)?,
+            "scope" => plan.scope = Some(v.to_string()),
+            "max" => {
+                plan.max_injections =
+                    Some(v.parse().map_err(|_| format!("`max={v}`: not a u32"))?);
+            }
+            _ => return Err(format!("unknown key `{k}`")),
+        }
+        Ok(())
     }
 
     /// Whether the plan can inject anything at all.
@@ -160,6 +239,9 @@ impl FaultPlan {
             || self.singular_matrix > 0.0
             || self.nan_device > 0.0
             || self.cache_corruption > 0.0
+            || self.liberty_ingest > 0.0
+            || self.sta_lookup > 0.0
+            || self.power_aggregation > 0.0
     }
 }
 
@@ -343,20 +425,51 @@ pub(crate) fn begin_solve(site: FaultSite) -> Option<SolveFault> {
     })
 }
 
-/// Whether the active plan wants this cache/checkpoint write truncated.
-/// Consulted by `cryo-cells` before committing a file.
-#[must_use]
-pub fn should_corrupt_cache_write() -> bool {
+/// Roll the active injector against a plan-field selector; `false` when
+/// idle. Shared body of the public cross-crate consult sites.
+fn roll_site(select: impl Fn(&FaultPlan) -> f64) -> bool {
     INJECTOR.with(|i| {
         let mut borrow = i.borrow_mut();
         match borrow.as_mut() {
             Some(inj) => {
-                let p = inj.plan.cache_corruption;
+                let p = select(&inj.plan);
                 inj.roll(p)
             }
             None => false,
         }
     })
+}
+
+/// Whether the active plan wants this cache/checkpoint write truncated.
+/// Consulted by `cryo-cells` before committing a file.
+#[must_use]
+pub fn should_corrupt_cache_write() -> bool {
+    roll_site(|p| p.cache_corruption)
+}
+
+/// Whether the active plan wants this Liberty table ingest corrupted.
+/// Consulted by `cryo-liberty` while parsing lookup tables; a hit makes
+/// the parser see a truncated table and report a structured
+/// `MalformedTable` diagnostic.
+#[must_use]
+pub fn should_corrupt_liberty_ingest() -> bool {
+    roll_site(|p| p.liberty_ingest)
+}
+
+/// Whether the active plan wants this STA timing-arc lookup to fail.
+/// Consulted by `cryo-sta` per combinational arc; a hit makes the arc
+/// unusable, exercising the engine's missing-arc degradation policy.
+#[must_use]
+pub fn should_fault_sta_lookup() -> bool {
+    roll_site(|p| p.sta_lookup)
+}
+
+/// Whether the active plan wants this per-instance power contribution
+/// poisoned to NaN. Consulted by `cryo-power`'s aggregation loop; the
+/// aggregator must detect the non-finite total and fail structurally.
+#[must_use]
+pub fn should_fault_power_accum() -> bool {
+    roll_site(|p| p.power_aggregation)
 }
 
 /// Arm or disarm NaN poisoning of device evaluations for the current solve.
@@ -588,6 +701,61 @@ mod tests {
         };
         let _g = install_guard(plan.clone());
         assert_eq!(current_plan(), Some(plan));
+    }
+
+    #[test]
+    fn parse_spec_accepts_the_full_documented_grammar() {
+        let plan = FaultPlan::parse_spec(
+            "seed=42,dc=0.05,tran=0.02,singular=0.01,nan=0.01,cache=0.1,\
+             liberty=0.2,sta=0.3,power=0.4,scope=NAND2x1,max=3",
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(plan.seed, 42);
+        assert!((plan.liberty_ingest - 0.2).abs() < 1e-12);
+        assert!((plan.sta_lookup - 0.3).abs() < 1e-12);
+        assert!((plan.power_aggregation - 0.4).abs() < 1e-12);
+        assert_eq!(plan.scope.as_deref(), Some("NAND2x1"));
+        assert_eq!(plan.max_injections, Some(3));
+        assert!(plan.is_armed());
+        assert_eq!(FaultPlan::parse_spec("  ").unwrap(), None);
+    }
+
+    #[test]
+    fn parse_spec_rejects_malformed_pairs() {
+        for (spec, needle) in [
+            ("dc=banana", "not a number"),
+            ("dc=1.5", "outside [0, 1]"),
+            ("seed=-1", "not a u64"),
+            ("max=lots", "not a u32"),
+            ("bogus=1", "unknown key"),
+            ("justtext", "not a key=value pair"),
+        ] {
+            let err = FaultPlan::parse_spec(spec).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "spec `{spec}` should report `{needle}`, got `{err}`"
+            );
+        }
+    }
+
+    #[test]
+    fn upper_layer_sites_fire_and_honor_scope() {
+        let plan = FaultPlan {
+            liberty_ingest: 1.0,
+            sta_lookup: 1.0,
+            power_aggregation: 1.0,
+            scope: Some("stage:sta".into()),
+            ..FaultPlan::new(5)
+        };
+        let _g = install_guard(plan);
+        set_context("stage:power");
+        assert!(!should_fault_sta_lookup(), "out of scope");
+        set_context("stage:sta");
+        assert!(should_fault_sta_lookup());
+        assert!(should_corrupt_liberty_ingest());
+        assert!(should_fault_power_accum());
+        assert_eq!(injection_count(), 3);
     }
 
     #[test]

@@ -1,0 +1,61 @@
+//! Always-on per-thread counters of NLDM arc evaluations.
+//!
+//! The supervised pipeline proves "a resumed run repeats no STA work" the
+//! same way checkpoint tests prove "no re-simulation" at the SPICE layer:
+//! the engine bumps a per-thread counter for every timing-arc evaluation,
+//! and resume tests assert the counter stays at zero when a stage is
+//! restored from its checkpoint. The take/add pair mirrors
+//! `cryo_spice::fault::{take_sim_counts, add_sim_counts}` so a supervisor
+//! running a stage on a watchdog thread can fold the stage's work back
+//! into its own thread's ledger.
+
+use std::cell::Cell;
+
+thread_local! {
+    static ARC_EVALS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of timing-arc evaluations this thread has performed.
+#[must_use]
+pub fn eval_count() -> u64 {
+    ARC_EVALS.with(Cell::get)
+}
+
+/// Reset this thread's arc-evaluation counter to zero.
+pub fn reset_eval_count() {
+    ARC_EVALS.with(|c| c.set(0));
+}
+
+/// Read *and zero* this thread's arc-evaluation counter.
+#[must_use]
+pub fn take_eval_count() -> u64 {
+    ARC_EVALS.with(|c| c.replace(0))
+}
+
+/// Add externally-accumulated evaluations onto this thread's counter.
+pub fn add_eval_count(extra: u64) {
+    ARC_EVALS.with(|c| c.set(c.get() + extra));
+}
+
+pub(crate) fn count_arc_eval() {
+    ARC_EVALS.with(|c| c.set(c.get() + 1));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_and_add_round_trip() {
+        reset_eval_count();
+        count_arc_eval();
+        count_arc_eval();
+        let taken = take_eval_count();
+        assert_eq!(taken, 2);
+        assert_eq!(eval_count(), 0, "take drains");
+        add_eval_count(taken);
+        add_eval_count(3);
+        assert_eq!(eval_count(), 5);
+        reset_eval_count();
+    }
+}

@@ -22,10 +22,14 @@
 //! Hold analysis runs the dual min-propagation against the hold margins.
 
 mod engine;
+pub mod counters;
 mod report;
 
-pub use engine::{analyze, StaConfig};
-pub use report::{PathStep, TimingReport};
+pub use engine::{analyze, MissingArcPolicy, StaConfig};
+pub use report::{DegradeCause, DegradeKind, DegradeResolution, DegradedArc, PathStep, TimingReport};
+
+/// Alias under the paper's name for the timing outcome of one corner.
+pub type StaReport = TimingReport;
 
 use std::error::Error;
 use std::fmt;
@@ -47,6 +51,16 @@ pub enum StaError {
     },
     /// The design has no timing endpoints.
     NoEndpoints,
+    /// An arc lookup failed (injected fault) and the configured
+    /// [`MissingArcPolicy`] is `Fail`.
+    ArcLookupFault {
+        /// Instance name.
+        instance: String,
+        /// Cell name.
+        cell: String,
+        /// Output pin of the failed arc.
+        pin: String,
+    },
 }
 
 impl fmt::Display for StaError {
@@ -59,6 +73,14 @@ impl fmt::Display for StaError {
                 write!(f, "combinational loop through {net}")
             }
             StaError::NoEndpoints => write!(f, "design has no timing endpoints"),
+            StaError::ArcLookupFault {
+                instance,
+                cell,
+                pin,
+            } => write!(
+                f,
+                "instance {instance}: arc lookup for {cell}/{pin} failed and policy is Fail"
+            ),
         }
     }
 }

@@ -1,7 +1,9 @@
 //! Timing report structures.
 
+use serde::{Deserialize, Serialize};
+
 /// One hop on the critical path.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PathStep {
     /// Instance (or startpoint) name.
     pub instance: String,
@@ -16,7 +18,7 @@ pub struct PathStep {
 }
 
 /// One endpoint's summary line in the multi-path report.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EndpointSummary {
     /// Endpoint name (`<instance>/D`, `<macro>/in`, or `PO <net>`).
     pub endpoint: String,
@@ -28,8 +30,87 @@ pub struct EndpointSummary {
     pub depth: usize,
 }
 
+/// Why an arc could not be timed from real library data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradeCause {
+    /// The instance's cell is absent from the library (e.g. it failed
+    /// characterization and had no derating sibling).
+    MissingCell,
+    /// The cell exists but has no combinational timing arc to the pin.
+    MissingArc,
+    /// The fault injector's `sta_lookup` site fired on this arc.
+    InjectedFault,
+}
+
+/// How a degraded arc's delay was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradeKind {
+    /// Delay borrowed from a drive-strength sibling's matching arc, scaled
+    /// by the drive ratio times `1 + margin`.
+    BorrowedSibling,
+    /// Delay bounded by the slowest combinational arc in the library at
+    /// the same operating point, times a fixed pessimism factor.
+    PessimisticBound,
+}
+
+/// Full resolution record for a degraded arc: the mechanism plus its
+/// parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradeResolution {
+    /// The stand-in mechanism.
+    pub kind: DegradeKind,
+    /// Donor cell when `kind` is [`DegradeKind::BorrowedSibling`].
+    pub donor: Option<String>,
+    /// Pessimism margin applied on top of the drive-ratio scaling
+    /// (0 for bounds).
+    pub margin: f64,
+}
+
+impl DegradeResolution {
+    /// A sibling-borrow resolution.
+    #[must_use]
+    pub fn borrowed(donor: &str, margin: f64) -> Self {
+        Self {
+            kind: DegradeKind::BorrowedSibling,
+            donor: Some(donor.to_string()),
+            margin,
+        }
+    }
+
+    /// A pessimistic-bound resolution.
+    #[must_use]
+    pub fn bound() -> Self {
+        Self {
+            kind: DegradeKind::PessimisticBound,
+            donor: None,
+            margin: 0.0,
+        }
+    }
+}
+
+/// Provenance record for one arc the engine could not time from real
+/// library data. Every entry names the instance, what went missing, and
+/// exactly how the stand-in delay was derived, so a Table 1 produced from
+/// a partially failed characterization is auditable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegradedArc {
+    /// Instance the arc belongs to.
+    pub instance: String,
+    /// Cell the instance maps to (possibly absent from the library).
+    pub cell: String,
+    /// Output pin of the degraded arc (`D` for a borrowed endpoint
+    /// constraint).
+    pub pin: String,
+    /// What went missing.
+    pub cause: DegradeCause,
+    /// How the stand-in delay was produced.
+    pub resolution: DegradeResolution,
+    /// The delay the engine assumed for the arc, seconds.
+    pub assumed_delay: f64,
+}
+
 /// Outcome of a timing run at one corner.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TimingReport {
     /// Library (corner) name.
     pub corner: String,
@@ -53,6 +134,11 @@ pub struct TimingReport {
     pub endpoint: String,
     /// Number of timing endpoints analyzed.
     pub endpoint_count: usize,
+    /// Provenance of every arc timed without real library data (sorted by
+    /// instance then pin; empty for a fully characterized library). A
+    /// non-empty list means the numbers above carry the listed
+    /// pessimistic stand-ins.
+    pub degraded_arcs: Vec<DegradedArc>,
 }
 
 impl TimingReport {
@@ -64,6 +150,12 @@ impl TimingReport {
         } else {
             f64::INFINITY
         }
+    }
+
+    /// Whether any arc was timed from a stand-in instead of library data.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded_arcs.is_empty()
     }
 
     /// Render a PrimeTime-flavoured path report.
@@ -89,6 +181,29 @@ impl TimingReport {
                 step.net
             ));
         }
+        if !self.degraded_arcs.is_empty() {
+            out.push_str(&format!(
+                "  WARNING: {} arc(s) timed from stand-ins:\n",
+                self.degraded_arcs.len()
+            ));
+            for d in &self.degraded_arcs {
+                let how = match (d.resolution.kind, &d.resolution.donor) {
+                    (DegradeKind::BorrowedSibling, Some(donor)) => format!(
+                        "borrowed from {donor} (+{:.0} % margin)",
+                        d.resolution.margin * 100.0
+                    ),
+                    _ => "pessimistic bound".to_string(),
+                };
+                out.push_str(&format!(
+                    "    {}/{} ({}): {:?}, {how}, {:.2} ps\n",
+                    d.instance,
+                    d.pin,
+                    d.cell,
+                    d.cause,
+                    d.assumed_delay * 1e12
+                ));
+            }
+        }
         out
     }
 }
@@ -110,8 +225,10 @@ mod tests {
             critical_path: vec![],
             endpoint: "e".into(),
             endpoint_count: 1,
+            degraded_arcs: vec![],
         };
         assert!((r.fmax() - 1e9).abs() < 1.0);
+        assert!(!r.is_degraded());
     }
 
     #[test]
@@ -138,9 +255,51 @@ mod tests {
             }],
             endpoint: "pipe_ff9/D".into(),
             endpoint_count: 10,
+            degraded_arcs: vec![DegradedArc {
+                instance: "alu_fa7".into(),
+                cell: "FAx1".into(),
+                pin: "Y".into(),
+                cause: DegradeCause::MissingArc,
+                resolution: DegradeResolution::borrowed("FAx2", 0.1),
+                assumed_delay: 22e-12,
+            }],
         };
         let text = r.path_report();
         assert!(text.contains("1.0400 ns"));
         assert!(text.contains("FAx1"));
+        assert!(text.contains("borrowed from FAx2"), "{text}");
+        assert!(r.is_degraded());
+    }
+
+    #[test]
+    fn report_round_trips_through_json_and_tolerates_unknown_fields() {
+        let r = TimingReport {
+            corner: "c10".into(),
+            temperature: 10.0,
+            critical_path_delay: 1.09e-9,
+            worst_paths: vec![],
+            slack_histogram: vec![2, 1],
+            worst_slack: -1.09e-9,
+            worst_hold_slack: 4e-12,
+            critical_path: vec![],
+            endpoint: "pipe_ff1/D".into(),
+            endpoint_count: 3,
+            degraded_arcs: vec![DegradedArc {
+                instance: "u1".into(),
+                cell: "NORx1".into(),
+                pin: "Y".into(),
+                cause: DegradeCause::MissingCell,
+                resolution: DegradeResolution::bound(),
+                assumed_delay: 80e-12,
+            }],
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TimingReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        // Unknown extra fields (from a future writer) are tolerated.
+        let extended = json.replacen('{', "{\"future_field\":42,", 1);
+        assert_ne!(json, extended, "inject site must exist");
+        let fut: TimingReport = serde_json::from_str(&extended).unwrap();
+        assert_eq!(fut, r);
     }
 }

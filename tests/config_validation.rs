@@ -1,0 +1,82 @@
+//! Malformed environment knobs fail structurally at flow start — before a
+//! single solve — naming the variable, the rejected value, and the reason.
+//!
+//! Environment variables are process-global, so this file holds exactly
+//! one `#[test]` that walks every case sequentially; cargo gives each test
+//! binary its own process, keeping the mutations invisible to the rest of
+//! the suite.
+
+use cryo_soc::core::supervise::{validate_env, Supervisor, SupervisorConfig};
+use cryo_soc::core::{CoreError, CryoFlow, FlowConfig};
+
+#[test]
+fn malformed_env_is_rejected_at_flow_start_with_structured_errors() {
+    let set = |k: &str, v: &str| std::env::set_var(k, v);
+    let unset = |k: &str| std::env::remove_var(k);
+
+    // Clean slate: both knobs parse to None.
+    unset("CRYO_FAULTS");
+    unset("CRYO_JOBS");
+    let env = validate_env().expect("unset env is valid");
+    assert!(env.fault_plan.is_none());
+    assert!(env.jobs.is_none());
+
+    // Valid specs parse.
+    set("CRYO_FAULTS", "seed=42,dc=0.05,scope=INVx2,max=3");
+    set("CRYO_JOBS", "4");
+    let env = validate_env().expect("valid env");
+    let plan = env.fault_plan.expect("plan parsed");
+    assert_eq!(plan.seed, 42);
+    assert_eq!(plan.scope.as_deref(), Some("INVx2"));
+    assert_eq!(env.jobs, Some(4));
+
+    // Malformed CRYO_FAULTS: each failure mode names the offending pair.
+    for (spec, needle) in [
+        ("dc=2.5", "outside [0, 1]"),
+        ("dc=abc", "not a number"),
+        ("typo=0.5", "unknown key"),
+        ("justgarbage", "not a key=value pair"),
+        ("seed=-1", "not a u64"),
+    ] {
+        set("CRYO_FAULTS", spec);
+        match validate_env() {
+            Err(CoreError::Config { var, value, reason }) => {
+                assert_eq!(var, "CRYO_FAULTS");
+                assert_eq!(value, spec);
+                assert!(reason.contains(needle), "{spec}: {reason}");
+            }
+            other => panic!("{spec}: expected Config error, got {other:?}"),
+        }
+    }
+    unset("CRYO_FAULTS");
+
+    // Malformed CRYO_JOBS.
+    for bad in ["many", "-2", "1.5"] {
+        set("CRYO_JOBS", bad);
+        match validate_env() {
+            Err(CoreError::Config { var, value, .. }) => {
+                assert_eq!(var, "CRYO_JOBS");
+                assert_eq!(value, bad);
+            }
+            other => panic!("{bad}: expected Config error, got {other:?}"),
+        }
+    }
+
+    // The supervisor refuses to start any stage under a malformed knob:
+    // the error comes back before a checkpoint store even exists.
+    set("CRYO_JOBS", "many");
+    let dir = std::env::temp_dir().join("cryo_config_validation_it");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = FlowConfig::fast(&dir);
+    cfg.fault_plan = None;
+    let sup = Supervisor::new(CryoFlow::new(cfg), SupervisorConfig::default());
+    match sup.run() {
+        Err(CoreError::Config { var, .. }) => assert_eq!(var, "CRYO_JOBS"),
+        other => panic!("expected Config error from run(), got {other:?}"),
+    }
+    assert!(
+        !dir.join("checkpoints").exists(),
+        "no pipeline state may be created under a rejected configuration"
+    );
+    unset("CRYO_JOBS");
+}

@@ -1,0 +1,205 @@
+//! The supervised end-to-end pipeline: checkpoint/resume at every stage
+//! boundary with zero repeated work, deadline budgets as structured
+//! timeouts, degraded-mode signoff that is byte-identical across job
+//! counts, and terminal (non-retried) failure classification.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use cryo_soc::core::supervise::{Stage, Supervisor, SupervisorConfig};
+use cryo_soc::core::{CoreError, CryoFlow, FlowConfig};
+use cryo_soc::spice::{fault, FaultPlan};
+use cryo_soc::sta::counters;
+
+/// A unique scratch cache directory, wiped before use.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cryo_supflow_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn flow_at(dir: &PathBuf, plan: Option<FaultPlan>, jobs: usize) -> CryoFlow {
+    let mut cfg = FlowConfig::fast(dir);
+    cfg.fault_plan = plan;
+    cfg.jobs = jobs;
+    CryoFlow::new(cfg)
+}
+
+fn drain_counters() {
+    let _ = fault::take_sim_counts();
+    let _ = counters::take_eval_count();
+}
+
+#[test]
+fn killed_at_every_stage_boundary_resumes_with_zero_repeated_work() {
+    let dir = scratch("resume");
+    let flow = flow_at(&dir, None, 1);
+
+    // Simulate a kill at each stage boundary in turn: every run halts one
+    // stage later than the last, over the same checkpoint store. Each
+    // stage must execute exactly once across the whole ladder, and the
+    // simulator/arc counters must attribute work only to the fresh stage.
+    for (i, stage) in Stage::ALL.iter().enumerate() {
+        let sup = Supervisor::new(
+            flow.clone(),
+            SupervisorConfig {
+                halt_after: Some(*stage),
+                ..SupervisorConfig::default()
+            },
+        );
+        drain_counters();
+        let rep = sup.run().expect("supervised run");
+        let sims = fault::take_sim_counts();
+        let evals = counters::take_eval_count();
+
+        assert_eq!(rep.stages.len(), i + 1, "halted after {}", stage.name());
+        assert!(!rep.completed);
+        for done in &rep.stages[..i] {
+            assert!(
+                done.from_checkpoint,
+                "{} must resume from its checkpoint when halting after {}",
+                done.stage.name(),
+                stage.name()
+            );
+            assert_eq!(done.attempts, 0);
+            assert_eq!(done.dc_solves + done.tran_solves + done.arc_evals, 0);
+        }
+        let fresh = &rep.stages[i];
+        assert!(!fresh.from_checkpoint, "{} ran fresh", stage.name());
+        assert_eq!(fresh.attempts, 1);
+
+        match stage {
+            Stage::Charlib300 | Stage::Charlib10 => {
+                assert!(sims.tran > 0, "{} simulates", stage.name());
+                assert_eq!(evals, 0);
+            }
+            Stage::Sta300 | Stage::Sta10 => {
+                assert_eq!((sims.dc, sims.tran), (0, 0), "STA must not SPICE");
+                assert!(evals > 0, "{} evaluates arcs", stage.name());
+            }
+            _ => {
+                assert_eq!((sims.dc, sims.tran), (0, 0), "{}", stage.name());
+                assert_eq!(evals, 0, "{}", stage.name());
+            }
+        }
+    }
+
+    // A final unhalted run resumes everything: no stage recomputes, no
+    // SPICE solve or arc evaluation anywhere, and the verdict is present.
+    let sup = Supervisor::new(flow, SupervisorConfig::default());
+    drain_counters();
+    let rep = sup.run().expect("fully resumed run");
+    let sims = fault::take_sim_counts();
+    let evals = counters::take_eval_count();
+    assert!(rep.completed);
+    assert_eq!(rep.stages.len(), Stage::ALL.len());
+    assert!(rep.stages.iter().all(|r| r.from_checkpoint));
+    assert_eq!((sims.dc, sims.tran, evals), (0, 0, 0), "zero repeated work");
+    let verdict = rep.verdict.expect("classify verdict");
+    // Table 1: the cryogenic Vth shift slows the critical path ~4.6 %.
+    assert!(
+        verdict.fmax_10_hz < verdict.fmax_300_hz,
+        "10 K critical path is longer"
+    );
+    assert!(verdict.cryo_fmax_ratio > 0.8 && verdict.cryo_fmax_ratio < 1.0);
+    assert!(verdict.within_decoherence);
+}
+
+#[test]
+fn degraded_signoff_is_byte_identical_across_job_counts() {
+    // Arm STA arc-lookup faults (scoped to the STA stages) so signoff runs
+    // in degraded mode, then prove the whole artifact chain — timing
+    // reports, power, verdict — is byte-identical between the serial and
+    // parallel characterization paths, cold caches both.
+    let plan = FaultPlan {
+        sta_lookup: 0.03,
+        scope: Some("sta:".into()),
+        ..FaultPlan::new(5)
+    };
+    let mut blobs = Vec::new();
+    for jobs in [1usize, 8] {
+        let dir = scratch(&format!("jobs{jobs}"));
+        let sup = Supervisor::new(
+            flow_at(&dir, Some(plan.clone()), jobs),
+            SupervisorConfig::default(),
+        );
+        let rep = sup.run().expect("degraded supervised run");
+        assert!(rep.completed);
+        let verdict = rep.verdict.as_ref().expect("verdict");
+        assert!(
+            verdict.degraded_arcs_300 > 0 && verdict.degraded_arcs_10 > 0,
+            "fault plan must actually degrade signoff (got {}/{})",
+            verdict.degraded_arcs_300,
+            verdict.degraded_arcs_10
+        );
+        // Collect the raw checkpoint payloads — byte identity, not just
+        // value identity.
+        let key = sup.pipeline_key().unwrap();
+        let store = cryo_soc::cells::CheckpointStore::open(&dir, "pipeline", &key).unwrap();
+        let chain: Vec<String> = ["sta300", "sta10", "activity", "power", "classify"]
+            .iter()
+            .map(|s| store.load_blob(s).unwrap_or_else(|| panic!("{s} blob")))
+            .collect();
+        blobs.push(chain);
+    }
+    assert_eq!(blobs[0], blobs[1], "jobs=1 vs jobs=8 signoff diverged");
+    // Provenance is part of the artifact: the checkpointed timing report
+    // names the injected arcs.
+    assert!(blobs[0][0].contains("InjectedFault"));
+}
+
+#[test]
+fn stage_overrun_is_a_structured_timeout_and_leaves_no_checkpoint() {
+    // A 200 ms budget: the calibrate stage (microseconds of hashing) fits,
+    // cold characterization (seconds of SPICE) cannot.
+    let dir = scratch("timeout");
+    let flow = flow_at(&dir, None, 1);
+    let sup = Supervisor::new(
+        flow,
+        SupervisorConfig {
+            stage_budget: Duration::from_millis(200),
+            ..SupervisorConfig::default()
+        },
+    );
+    match sup.run() {
+        Err(CoreError::StageTimeout { stage, budget_s }) => {
+            assert_eq!(stage, "charlib300");
+            assert!(budget_s <= 0.2 + f64::EPSILON);
+        }
+        other => panic!("expected StageTimeout, got {other:?}"),
+    }
+    // Completed stages checkpointed; the timed-out stage left nothing
+    // behind, so it reruns fresh next time.
+    let key = sup.pipeline_key().unwrap();
+    let store = cryo_soc::cells::CheckpointStore::open(&dir, "pipeline", &key).unwrap();
+    assert!(store.load_blob("calibrate").is_some());
+    assert!(store.load_blob("charlib300").is_none());
+}
+
+#[test]
+fn coverage_collapse_is_terminal_and_not_retried() {
+    // Kill every solve: characterization degrades all the way to zero
+    // coverage, which must surface as the structured Coverage error after
+    // exactly one attempt (retrying a deterministic shortfall burns
+    // budget for nothing).
+    let dir = scratch("coverage");
+    let plan = FaultPlan {
+        dc_no_convergence: 1.0,
+        tran_no_convergence: 1.0,
+        ..FaultPlan::new(9)
+    };
+    let started = std::time::Instant::now();
+    let sup = Supervisor::new(flow_at(&dir, Some(plan), 1), SupervisorConfig::default());
+    match sup.run() {
+        Err(CoreError::Coverage {
+            corner, coverage, ..
+        }) => {
+            assert!(corner.contains("300"), "300 K corner fails first");
+            assert!(coverage < 0.95);
+        }
+        other => panic!("expected Coverage, got {other:?}"),
+    }
+    // One attempt, no backoff sleeps: nowhere near the retry ladder's
+    // worst case. (Generous bound — the point is "no retries", not speed.)
+    assert!(started.elapsed() < Duration::from_secs(120));
+}
