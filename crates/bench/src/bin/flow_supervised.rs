@@ -8,6 +8,11 @@
 //!   full configuration with caching under `data/`).
 //! - `--bench` — measure a cold run vs. a fully resumed run in a scratch
 //!   cache and write `BENCH_flow.json` at the repo root.
+//! - `--audit=off|warn|gate` (or `--audit <policy>`) — audit-firewall
+//!   policy; overrides `CRYO_AUDIT` (default `warn`).
+//! - `--audit-report <path>` — dump the machine-readable audit report as
+//!   JSON: the pipeline's accumulated findings/repairs on success, or the
+//!   terminal finding list when the run dies with an audit failure.
 //! - `CRYO_KILL_AFTER_STAGE=<stage>` — checkpoint through `<stage>`, then
 //!   die by SIGKILL (a real crash: no destructors, no flushing), leaving
 //!   the pipeline store behind for the next invocation to resume.
@@ -18,7 +23,36 @@
 use std::time::Instant;
 
 use cryo_core::supervise::{PipelineReport, Stage, Supervisor, SupervisorConfig};
-use cryo_core::{CryoFlow, FlowConfig};
+use cryo_core::{AuditPolicy, CoreError, CryoFlow, FlowConfig};
+use cryo_liberty::AuditReport;
+
+/// Value of `--name=<v>` or `--name <v>`, if present.
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let prefix = format!("{name}=");
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix(&prefix) {
+            return Some(v.to_string());
+        }
+        if a == name {
+            return args.get(i + 1).cloned();
+        }
+    }
+    None
+}
+
+fn write_audit_report(path: &str, audit: &AuditReport) {
+    let json = serde_json::to_string(audit).expect("audit report serializes");
+    std::fs::write(path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write audit report {path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!(
+        "wrote audit report to {path} ({} finding(s), {} repaired)",
+        audit.findings.len(),
+        audit.repaired.len()
+    );
+}
 
 fn stage_by_name(name: &str) -> Stage {
     Stage::ALL
@@ -64,11 +98,19 @@ fn print_ledger(rep: &PipelineReport, wall_s: f64) {
     }
 }
 
-fn run(sup: &Supervisor) -> (PipelineReport, f64) {
+fn run(sup: &Supervisor, audit_report: Option<&str>) -> (PipelineReport, f64) {
     let t = Instant::now();
     match sup.run() {
-        Ok(rep) => (rep, t.elapsed().as_secs_f64()),
+        Ok(rep) => {
+            if let Some(path) = audit_report {
+                write_audit_report(path, &rep.audit);
+            }
+            (rep, t.elapsed().as_secs_f64())
+        }
         Err(e) => {
+            if let (Some(path), CoreError::AuditFailed { report, .. }) = (audit_report, &e) {
+                write_audit_report(path, report);
+            }
             eprintln!("supervised flow failed: {e}");
             std::process::exit(1);
         }
@@ -87,9 +129,9 @@ fn bench(fast: bool) {
         FlowConfig::full(&dir)
     };
     let sup = Supervisor::new(CryoFlow::new(cfg), SupervisorConfig::default());
-    let (cold_rep, cold_s) = run(&sup);
+    let (cold_rep, cold_s) = run(&sup, None);
     print_ledger(&cold_rep, cold_s);
-    let (res_rep, resumed_s) = run(&sup);
+    let (res_rep, resumed_s) = run(&sup, None);
     print_ledger(&res_rep, resumed_s);
     assert!(res_rep.stages.iter().all(|r| r.from_checkpoint));
     let stages: Vec<String> = cold_rep
@@ -122,7 +164,7 @@ fn main() {
     let kill_after = std::env::var("CRYO_KILL_AFTER_STAGE")
         .ok()
         .map(|n| stage_by_name(&n));
-    let cfg = if fast {
+    let mut cfg = if fast {
         FlowConfig::fast("data")
     } else {
         let mut cfg = FlowConfig::full("data");
@@ -130,6 +172,13 @@ fn main() {
         cfg.char_10k.progress = true;
         cfg
     };
+    if let Some(p) = arg_value("--audit") {
+        cfg.audit_policy = AuditPolicy::parse(&p).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    }
+    let audit_report = arg_value("--audit-report");
     let sup = Supervisor::new(
         CryoFlow::new(cfg),
         SupervisorConfig {
@@ -137,8 +186,11 @@ fn main() {
             ..SupervisorConfig::default()
         },
     );
-    let (rep, wall_s) = run(&sup);
+    let (rep, wall_s) = run(&sup, audit_report.as_deref());
     print_ledger(&rep, wall_s);
+    if !rep.audit.is_clean() {
+        println!("audit: {}", rep.audit.summary());
+    }
 
     if let Some(stage) = kill_after {
         // Die the hard way: the checkpoint files on disk are all the next

@@ -173,6 +173,10 @@ pub struct Characterizer {
     nfet: ModelCard,
     pfet: ModelCard,
     cfg: CharConfig,
+    /// Re-characterization generation: 0 for the first pass, bumped by the
+    /// audit firewall's targeted repair pass. Transient `corrupt=` faults
+    /// fire only at generation 0 (see [`cryo_spice::fault::should_corrupt`]).
+    generation: u32,
 }
 
 /// A single measured point of an arc.
@@ -202,7 +206,19 @@ impl Characterizer {
             nfet: nfet.clone(),
             pfet: pfet.clone(),
             cfg,
+            generation: 0,
         }
+    }
+
+    /// Tag this engine as re-characterization generation `generation`
+    /// (0 = the first pass). Transient `corrupt=` faults fire only at
+    /// generation 0, so the audit firewall's targeted repair pass provably
+    /// produces clean cells; `corrupt=sticky` keeps firing across
+    /// generations to model persistent corruption that repair cannot fix.
+    #[must_use]
+    pub fn with_generation(mut self, generation: u32) -> Self {
+        self.generation = generation;
+        self
     }
 
     /// The configuration in use.
@@ -384,7 +400,7 @@ impl Characterizer {
                 .into_iter()
                 .map(|o| o.expect("every cell received an outcome"))
                 .collect(),
-            quarantined_pruned: 0,
+            ..CharReport::default()
         };
         // Canonical order: reports compare equal whenever the per-cell
         // decisions match, however the work was scheduled or requested.
@@ -413,6 +429,7 @@ impl Characterizer {
         let (result, attempts) = self.characterize_cell_recovering(cell);
         match result {
             Ok(c) => {
+                let c = self.apply_corruptions(c);
                 if let Some(store) = checkpoint {
                     if let Err(e) = store.store(&c) {
                         eprintln!("warning: checkpoint write for {} failed: {e}", cell.name);
@@ -489,6 +506,37 @@ impl Characterizer {
                     .expect("every queued cell produced a result")
             })
             .collect()
+    }
+
+    /// Apply any planned `corrupt=` fault injections to a freshly
+    /// characterized cell: plausible-but-wrong values that pass
+    /// construction-time validation and must be caught by the audit
+    /// firewall downstream. Corruption lands *before* the checkpoint
+    /// write, so a corrupted checkpoint faithfully models silent data
+    /// corruption at rest; checkpoint-*restored* cells are never touched,
+    /// so targeted re-characterization after `CheckpointStore::remove`
+    /// repairs the offender while clean cells resume without simulation.
+    fn apply_corruptions(&self, mut cell: Cell) -> Cell {
+        use cryo_spice::fault::CorruptKind;
+        let salt = format!("{}@{}", cell.name, self.cfg.temp as u32);
+        if fault::should_corrupt(CorruptKind::Table, &salt, self.generation) {
+            corrupt_one_delay_entry(&mut cell, &salt);
+        }
+        // Uniformly scaled cold-corner delays: each library still passes
+        // its own per-table audit (positive, finite, monotone), so only
+        // the cross-corner band check can see this one. Gate on the
+        // temperature first so the warm corner never spends fault budget.
+        if self.cfg.temp < 150.0
+            && fault::should_corrupt(CorruptKind::Delay, &salt, self.generation)
+        {
+            for arc in &mut cell.arcs {
+                if matches!(arc.kind, ArcKind::Combinational | ArcKind::ClockToQ) {
+                    arc.cell_rise = arc.cell_rise.scaled(2.5);
+                    arc.cell_fall = arc.cell_fall.scaled(2.5);
+                }
+            }
+        }
+        cell
     }
 
     fn progress_line(&self, done: &AtomicUsize, total: usize, name: &str) {
@@ -1090,6 +1138,41 @@ impl Characterizer {
     }
 }
 
+/// Sign-flip one delay entry of `cell`, picked deterministically from the
+/// installed fault plan. The negative-but-finite value survives [`Lut2`]
+/// construction — the classic silent-data-corruption shape — and is caught
+/// by the audit firewall's `delay_positive` invariant at the exact
+/// `[row, col]` it landed on.
+fn corrupt_one_delay_entry(cell: &mut Cell, salt: &str) {
+    let total: usize = cell
+        .arcs
+        .iter()
+        .filter(|a| matches!(a.kind, ArcKind::Combinational | ArcKind::ClockToQ))
+        .map(|a| a.cell_rise.values().len() + a.cell_fall.values().len())
+        .sum();
+    if total == 0 {
+        return;
+    }
+    let mut pick = fault::corrupt_pick(salt, total);
+    for arc in &mut cell.arcs {
+        if !matches!(arc.kind, ArcKind::Combinational | ArcKind::ClockToQ) {
+            continue;
+        }
+        for t in [&mut arc.cell_rise, &mut arc.cell_fall] {
+            let n = t.values().len();
+            if pick < n {
+                let mut vals = t.values().to_vec();
+                vals[pick] = -vals[pick];
+                if let Ok(flipped) = Lut2::new(t.index1().to_vec(), t.index2().to_vec(), vals) {
+                    *t = flipped;
+                }
+                return;
+            }
+            pick -= n;
+        }
+    }
+}
+
 /// Family prefix of a drive-suffixed cell name: `INVx4` → `INVx`,
 /// `NAND2x1` → `NAND2x`. Cells of the same family at different drive
 /// strengths share this prefix.
@@ -1336,6 +1419,74 @@ mod tests {
         assert_eq!(outcome.status, CellStatus::Failed);
         assert!(outcome.fault.is_some());
         assert!(report.outcome("INVx1").unwrap().in_library());
+    }
+
+    #[test]
+    fn corrupt_table_flips_exactly_one_entry_and_repair_pass_is_clean() {
+        use cryo_spice::FaultPlan;
+        let _g = fault::install_guard(FaultPlan {
+            corrupt_table: 1.0,
+            ..FaultPlan::new(7)
+        });
+        let count_negative = |lib: &Library, name: &str| -> usize {
+            lib.cell(name)
+                .unwrap()
+                .arcs
+                .iter()
+                .flat_map(|a| a.cell_rise.values().iter().chain(a.cell_fall.values()))
+                .filter(|v| **v < 0.0)
+                .count()
+        };
+        let cells = vec![topology::inverter(1)];
+        let (lib, _) = engine().characterize_library_robust("corrupt", &cells, None);
+        assert_eq!(
+            count_negative(&lib, "INVx1"),
+            1,
+            "corrupt=table sign-flips exactly one delay entry"
+        );
+        // Generation 1 models the targeted repair pass: the transient
+        // corruption no longer fires and the cell comes out clean.
+        let (lib2, _) =
+            engine().with_generation(1).characterize_library_robust("repair", &cells, None);
+        assert_eq!(count_negative(&lib2, "INVx1"), 0, "repair pass must be clean");
+    }
+
+    #[test]
+    fn corrupt_delay_scales_only_the_cold_corner() {
+        use cryo_spice::FaultPlan;
+        let plan = FaultPlan {
+            corrupt_delay: 1.0,
+            ..FaultPlan::new(9)
+        };
+        let cells = vec![topology::inverter(1)];
+        let warm = Characterizer::new(
+            &ModelCard::nominal(Polarity::N),
+            &ModelCard::nominal(Polarity::P),
+            CharConfig::fast(300.0),
+        );
+        let cold = Characterizer::new(
+            &ModelCard::nominal(Polarity::N),
+            &ModelCard::nominal(Polarity::P),
+            CharConfig::fast(10.0),
+        );
+        let (clean_cold, _) = cold.characterize_library_robust("clean10", &cells, None);
+        let _g = fault::install_guard(plan);
+        let (lib300, _) = warm.characterize_library_robust("t300", &cells, None);
+        let (lib10, _) = cold.characterize_library_robust("t10", &cells, None);
+        let delay = |lib: &Library| lib.cell("INVx1").unwrap().arcs[0].cell_rise.lookup(5e-12, 0.8e-15);
+        let clean_warm_delay = delay(&lib300);
+        let corrupted = delay(&lib10);
+        let clean = delay(&clean_cold);
+        assert!(
+            (corrupted / clean - 2.5).abs() < 1e-9,
+            "cold delays scaled by 2.5: {corrupted:e} vs {clean:e}"
+        );
+        // The warm corner is untouched — the corruption is only visible
+        // cross-corner, which is exactly what the band audit checks.
+        assert!(
+            corrupted / clean_warm_delay > 2.0,
+            "cross-corner ratio escapes the plausible band"
+        );
     }
 
     #[test]

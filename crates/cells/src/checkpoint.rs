@@ -169,6 +169,15 @@ impl CheckpointStore {
         names
     }
 
+    /// Delete one cell's checkpoint entry. The audit firewall's quarantine
+    /// path uses this for *targeted* re-characterization: evicting only
+    /// the offending cells forces them through a fresh characterization
+    /// while every clean cell still resumes from its checkpoint with zero
+    /// re-simulation.
+    pub fn remove(&self, name: &str) {
+        let _ = fs::remove_file(self.path(name));
+    }
+
     /// Delete every checkpoint entry (called once the whole library is
     /// safely in the library-level cache).
     pub fn clear(&self) {
@@ -343,6 +352,19 @@ mod tests {
         assert_eq!(pruned, 3, "INVx1 trimmed from 5 to 2; NANDx1 untouched");
         assert_eq!(corrupt_count(&store.dir), 3);
         assert_eq!(store.prune_quarantined(2), 0, "idempotent");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remove_evicts_only_the_named_cell() {
+        let (dir, store) = temp_store("remove");
+        store.store(&test_cell("INVx1")).unwrap();
+        store.store(&test_cell("NANDx1")).unwrap();
+        store.remove("INVx1");
+        store.remove("GHOSTx1"); // absent: a no-op, not an error
+        assert!(store.load("INVx1").is_none(), "quarantined cell evicted");
+        assert!(store.load("NANDx1").is_some(), "clean cell untouched");
+        assert_eq!(store.entries(), vec!["NANDx1".to_string()]);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -7,6 +7,7 @@
 //! from — so callers can enforce a coverage floor and operators can see
 //! exactly what degraded.
 
+use cryo_liberty::AuditReport;
 use serde::{Deserialize, Serialize};
 
 /// How a cell ended up in (or out of) the library.
@@ -51,7 +52,7 @@ impl CellOutcome {
 }
 
 /// The full per-cell record of a library characterization run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CharReport {
     /// One outcome per requested cell. The characterization engine returns
     /// reports sorted by cell name (see [`CharReport::sort_by_name`]), so
@@ -63,6 +64,46 @@ pub struct CharReport {
     /// at the end of the run (the newest few per cell are kept as
     /// evidence). Zero when no checkpoint store was in play.
     pub quarantined_pruned: usize,
+    /// Findings from the signoff audit firewall, when one ran over this
+    /// corner. Clean reports omit the field entirely, so clean artifacts
+    /// (cache files, golden snapshots) stay byte-identical to the
+    /// pre-audit serialization.
+    pub audit: AuditReport,
+}
+
+// Hand-written serde impls: the audit field is emitted only when dirty, so
+// a clean report's bytes are exactly the pre-audit serialization (cache
+// files and golden snapshots survive the firewall's introduction), and
+// pre-audit artifacts deserialize with a clean default audit.
+impl Serialize for CharReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("outcomes".to_string(), self.outcomes.to_value()),
+            (
+                "quarantined_pruned".to_string(),
+                self.quarantined_pruned.to_value(),
+            ),
+        ];
+        if !self.audit.is_clean() {
+            fields.push(("audit".to_string(), self.audit.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for CharReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = serde::object_fields(v, "CharReport")?;
+        Ok(Self {
+            outcomes: Deserialize::from_value(obj.get("outcomes"))
+                .map_err(|e| serde::Error::custom(format!("CharReport.outcomes: {e}")))?,
+            quarantined_pruned: Deserialize::from_value(obj.get("quarantined_pruned"))
+                .map_err(|e| serde::Error::custom(format!("CharReport.quarantined_pruned: {e}")))?,
+            audit: Option::<AuditReport>::from_value(obj.get("audit"))
+                .map_err(|e| serde::Error::custom(format!("CharReport.audit: {e}")))?
+                .unwrap_or_default(),
+        })
+    }
 }
 
 impl CharReport {
@@ -214,5 +255,30 @@ mod tests {
         let back: CharReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
         assert_eq!(back.outcome("INVx4").unwrap().derated_from.as_deref(), Some("INVx2"));
+    }
+
+    #[test]
+    fn clean_audit_is_invisible_in_serialization() {
+        // Byte-identity contract: a clean run must serialize exactly as the
+        // pre-audit format did, so cached libraries, checkpoints, and golden
+        // snapshots survive the firewall's introduction unchanged.
+        let mut r = CharReport::default();
+        r.push(outcome("INVx1", CellStatus::Characterized));
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(!json.contains("audit"), "clean audit must be omitted: {json}");
+        let back: CharReport = serde_json::from_str(&json).unwrap();
+        assert!(back.audit.is_clean());
+
+        r.audit.push(cryo_liberty::Finding::new(
+            "charlib300",
+            "INVx1/A->Y/cell_rise[0,0]".into(),
+            "delay_positive",
+            -4e-12,
+            "> 0".into(),
+        ));
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("delay_positive"));
+        let back: CharReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
     }
 }

@@ -5,7 +5,7 @@ use std::path::PathBuf;
 use cryo_cells::{cache, topology, CharConfig, Characterizer, CharReport, CheckpointStore};
 use cryo_device::{ModelCard, Polarity};
 use cryo_hdc::IqEncoder;
-use cryo_liberty::Library;
+use cryo_liberty::{audit_library, AuditReport, Library};
 use cryo_netlist::{build_soc, Design, SocConfig};
 use cryo_power::{analyze_power, ActivityProfile, PowerConfig, PowerReport};
 use cryo_qubit::{Calibration, HdcClassifier, QuantumDevice};
@@ -15,6 +15,7 @@ use cryo_riscv::{PipelineConfig, PipelineModel, RunStats};
 use cryo_spice::{fault, FaultPlan};
 use cryo_sta::{analyze, MissingArcPolicy, StaConfig, TimingReport};
 
+use crate::audit::AuditPolicy;
 use crate::{CoreError, Result};
 
 /// The paper's cooling budget at 10 K, watts (Sec. I-B).
@@ -54,6 +55,11 @@ pub struct FlowConfig {
     /// path. Any value produces byte-identical libraries, so this does not
     /// participate in cache keys.
     pub jobs: usize,
+    /// What the audit firewall does with physical-invariant findings at
+    /// stage boundaries; populated from `CRYO_AUDIT` by the constructors
+    /// (default [`AuditPolicy::Warn`]). Auditing never changes clean
+    /// artifacts, so this does not participate in cache keys.
+    pub audit_policy: AuditPolicy,
 }
 
 impl FlowConfig {
@@ -70,6 +76,7 @@ impl FlowConfig {
             coverage_floor: 0.95,
             fault_plan: FaultPlan::from_env(),
             jobs: 0,
+            audit_policy: AuditPolicy::from_env(),
         }
     }
 
@@ -88,6 +95,7 @@ impl FlowConfig {
             coverage_floor: 0.95,
             fault_plan: FaultPlan::from_env(),
             jobs: 0,
+            audit_policy: AuditPolicy::from_env(),
         }
     }
 }
@@ -185,32 +193,88 @@ impl CryoFlow {
         if self.cfg.jobs != 0 {
             char_cfg.jobs = self.cfg.jobs;
         }
+        let stage = if temp < 150.0 { "charlib10" } else { "charlib300" };
+        let policy = self.cfg.audit_policy;
         let cells = topology::standard_cell_set();
         let tag = cache::cell_set_tag(&cells);
-        let key = cache::cache_key(&self.nfet, &self.pfet, &char_cfg, &tag)?;
-        let name = format!("cryo5_tt_0p70v_{}k", temp as u32);
-        if let Some(lib) = cache::load(&self.cfg.cache_dir, &name, &key) {
-            let mut report = CharReport {
-                outcomes: lib
-                    .cells()
-                    .iter()
-                    .map(|c| cryo_cells::CellOutcome {
-                        name: c.name.clone(),
-                        status: cryo_cells::CellStatus::Cached,
-                        attempts: 0,
-                        fault: None,
-                        derated_from: None,
-                    })
-                    .collect(),
-                quarantined_pruned: 0,
-            };
-            report.sort_by_name();
-            return Ok((lib, report));
-        }
+        // The fault guard goes up before the cards and the cache key are
+        // derived: a `corrupt=vth` plan poisons the effective cards, which
+        // changes the key, so a poisoned run can never read or write the
+        // clean cache entry.
         let _fault_guard = self.cfg.fault_plan.clone().map(fault::install_guard);
+        let (nfet, pfet) = self.effective_cards();
+        let key = cache::cache_key(&nfet, &pfet, &char_cfg, &tag)?;
+        let name = format!("cryo5_tt_0p70v_{}k", temp as u32);
+        let audit_cfg = crate::audit::lib_audit_config(&char_cfg);
+        if let Some(lib) = cache::load(&self.cfg.cache_dir, &name, &key) {
+            // Cached corners are audited too — the cache is exactly where
+            // silent at-rest corruption lives. A dirty cached corner under
+            // Gate is discarded and rebuilt; under Warn it is used as-is.
+            let cache_audit = if policy.is_on() {
+                audit_library(stage, &lib, &audit_cfg)
+            } else {
+                AuditReport::default()
+            };
+            if cache_audit.is_clean() || policy != AuditPolicy::Gate {
+                warn_findings(&name, &cache_audit);
+                let mut report = CharReport {
+                    outcomes: lib
+                        .cells()
+                        .iter()
+                        .map(|c| cryo_cells::CellOutcome {
+                            name: c.name.clone(),
+                            status: cryo_cells::CellStatus::Cached,
+                            attempts: 0,
+                            fault: None,
+                            derated_from: None,
+                        })
+                        .collect(),
+                    audit: cache_audit,
+                    ..CharReport::default()
+                };
+                report.sort_by_name();
+                return Ok((lib, report));
+            }
+            eprintln!(
+                "warning: cached {name} failed its audit ({}); re-characterizing",
+                cache_audit.summary()
+            );
+        }
         let checkpoint = CheckpointStore::open(&self.cfg.cache_dir, &name, &key)?;
-        let engine = Characterizer::new(&self.nfet, &self.pfet, char_cfg);
-        let (lib, report) = engine.characterize_library_robust(&name, &cells, Some(&checkpoint));
+        let engine = Characterizer::new(&nfet, &pfet, char_cfg.clone());
+        let (mut lib, mut report) =
+            engine.characterize_library_robust(&name, &cells, Some(&checkpoint));
+        if policy.is_on() {
+            let mut audit_rep = audit_library(stage, &lib, &audit_cfg);
+            if !audit_rep.is_clean() && policy == AuditPolicy::Gate {
+                // Quarantine only the offending cells and re-characterize
+                // just those; every clean cell resumes from its checkpoint
+                // with zero re-simulation. Generation 1 tells the fault
+                // injector's transient corrupt= sites not to fire again.
+                let offenders = audit_rep.offending_cells();
+                for cell in &offenders {
+                    checkpoint.remove(cell);
+                }
+                let repair = Characterizer::new(&nfet, &pfet, char_cfg.clone()).with_generation(1);
+                let (lib2, report2) =
+                    repair.characterize_library_robust(&name, &cells, Some(&checkpoint));
+                let recheck = audit_library(stage, &lib2, &audit_cfg);
+                if !recheck.is_clean() {
+                    return Err(CoreError::AuditFailed {
+                        stage: stage.to_string(),
+                        report: recheck,
+                    });
+                }
+                lib = lib2;
+                report = report2;
+                audit_rep = AuditReport {
+                    findings: Vec::new(),
+                    repaired: offenders,
+                };
+            }
+            warn_findings(&name, &audit_rep);
+            report.audit = audit_rep;
+        }
         let expected: Vec<&str> = cells.iter().map(|c| c.name.as_str()).collect();
         let coverage = lib.coverage(&expected);
         if coverage < self.cfg.coverage_floor {
@@ -221,10 +285,13 @@ impl CryoFlow {
                 missing: lib.missing_cells(&expected),
             });
         }
-        // Only fully covered corners are promoted to the library-level
-        // cache; partial corners keep their checkpoints so the missing
-        // cells are retried on the next run.
-        if report.failed().is_empty() && report.derated().is_empty() {
+        // Only fully covered, audit-clean corners are promoted to the
+        // library-level cache; partial corners keep their checkpoints so
+        // the missing cells are retried on the next run.
+        if report.failed().is_empty()
+            && report.derated().is_empty()
+            && report.audit.findings.is_empty()
+        {
             cache::store(&self.cfg.cache_dir, &name, &key, &lib)?;
             checkpoint.clear();
         } else {
@@ -242,6 +309,71 @@ impl CryoFlow {
                 );
             }
         }
+        Ok((lib, report))
+    }
+
+    /// The model cards after the fault injector's `corrupt=vth` site: a
+    /// plausible-but-wrong sign flip on the cryogenic Vth shift parameter.
+    /// Both the cache key and the characterizer are built from these, so a
+    /// poisoned card can never pollute the clean cache; the device audit at
+    /// the calibrate stage is what catches the flip (a negative `tvth`
+    /// claims Vth *drops* when cooled — physically backwards for FinFETs).
+    /// Only fires while a fault plan is installed, so clean flows see the
+    /// calibrated cards unchanged.
+    #[must_use]
+    pub fn effective_cards(&self) -> (ModelCard, ModelCard) {
+        let mut nfet = self.nfet.clone();
+        let mut pfet = self.pfet.clone();
+        if fault::should_corrupt(fault::CorruptKind::Vth, "modelcard", 0) {
+            nfet.tvth = -nfet.tvth;
+            pfet.tvth = -pfet.tvth;
+        }
+        (nfet, pfet)
+    }
+
+    /// Targeted re-characterization for the supervisor's cross-corner
+    /// repair: seed the checkpoint store from `current`'s clean cells,
+    /// evict `offenders`, and re-run at generation 1 so only the offending
+    /// cells are re-simulated. Returns the repaired library and the
+    /// characterization report of the repair pass (clean cells `Resumed`).
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint/cache I/O failures.
+    pub fn repair_library(
+        &self,
+        temp: f64,
+        current: &Library,
+        offenders: &[String],
+    ) -> Result<(Library, CharReport)> {
+        let mut char_cfg = if temp < 150.0 {
+            self.cfg.char_10k.clone()
+        } else {
+            self.cfg.char_300k.clone()
+        };
+        if self.cfg.jobs != 0 {
+            char_cfg.jobs = self.cfg.jobs;
+        }
+        let cells = topology::standard_cell_set();
+        let tag = cache::cell_set_tag(&cells);
+        let _fault_guard = self.cfg.fault_plan.clone().map(fault::install_guard);
+        let (nfet, pfet) = self.effective_cards();
+        let key = cache::cache_key(&nfet, &pfet, &char_cfg, &tag)?;
+        let name = format!("cryo5_tt_0p70v_{}k", temp as u32);
+        // A repaired corner must not be served from the (possibly dirty)
+        // library-level cache, so the repair works on checkpoints alone.
+        let _ = std::fs::remove_file(cache::cache_path(&self.cfg.cache_dir, &name, &key));
+        let checkpoint = CheckpointStore::open(&self.cfg.cache_dir, &name, &key)?;
+        for cell in current.cells() {
+            if !offenders.contains(&cell.name) {
+                checkpoint.store(cell)?;
+            }
+        }
+        for off in offenders {
+            checkpoint.remove(off);
+        }
+        let engine = Characterizer::new(&nfet, &pfet, char_cfg).with_generation(1);
+        let (lib, report) = engine.characterize_library_robust(&name, &cells, Some(&checkpoint));
         Ok((lib, report))
     }
 
@@ -499,6 +631,16 @@ impl CryoFlow {
 
 /// Rounds used for steady-state workload timing.
 pub const WORKLOAD_ROUNDS: u64 = 4;
+
+/// Print audit findings as warnings (Warn policy, or repaired Gate runs).
+fn warn_findings(name: &str, audit: &AuditReport) {
+    for f in &audit.findings {
+        eprintln!("warning: audit {name}: {f}");
+    }
+    for cell in &audit.repaired {
+        eprintln!("warning: audit {name}: {cell} repaired by targeted re-characterization");
+    }
+}
 
 #[cfg(test)]
 mod tests {

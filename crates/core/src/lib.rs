@@ -17,10 +17,12 @@
 //!   serializable result structs with the paper's reference values
 //!   embedded, so every regeneration binary prints paper-vs-measured.
 
+pub mod audit;
 pub mod experiments;
 pub mod flow;
 pub mod supervise;
 
+pub use audit::AuditPolicy;
 pub use flow::{CryoFlow, FlowConfig, Workload};
 pub use supervise::{PipelineReport, Stage, StageRecord, Supervisor, SupervisorConfig};
 
@@ -71,6 +73,14 @@ pub enum CoreError {
         /// Why it was rejected.
         reason: String,
     },
+    /// The audit firewall found physical-invariant violations that survived
+    /// (or had no) targeted repair, under [`AuditPolicy::Gate`].
+    AuditFailed {
+        /// Stage whose boundary audit failed (see [`supervise::Stage::name`]).
+        stage: String,
+        /// The full finding list, each naming the exact entity and invariant.
+        report: cryo_liberty::AuditReport,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -101,6 +111,14 @@ impl fmt::Display for CoreError {
             CoreError::Config { var, value, reason } => {
                 write!(f, "invalid {var}={value:?}: {reason}")
             }
+            CoreError::AuditFailed { stage, report } => {
+                write!(
+                    f,
+                    "audit firewall: stage {stage} has {} unrepaired finding(s): {}",
+                    report.findings.len(),
+                    report.summary()
+                )
+            }
         }
     }
 }
@@ -117,7 +135,8 @@ impl Error for CoreError {
             CoreError::Qubit(e) => Some(e),
             CoreError::Coverage { .. }
             | CoreError::StageTimeout { .. }
-            | CoreError::Config { .. } => None,
+            | CoreError::Config { .. }
+            | CoreError::AuditFailed { .. } => None,
         }
     }
 }

@@ -32,12 +32,13 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use cryo_cells::{cache, topology, CharReport, CheckpointStore};
-use cryo_liberty::Library;
+use cryo_liberty::{audit_cross_corner, audit_library, AuditReport, Library};
 use cryo_power::{ActivityProfile, PowerReport};
 use cryo_spice::{fault, FaultPlan};
-use cryo_sta::{counters, MissingArcPolicy, TimingReport};
+use cryo_sta::{audit_timing, counters, MissingArcPolicy, TimingReport};
 use serde::{Deserialize, Serialize};
 
+use crate::audit::{self, AuditPolicy};
 use crate::flow::{CryoFlow, Workload, COOLING_BUDGET_10K, DECOHERENCE_TIME, FIG7_CLOCK};
 use crate::{CoreError, Result};
 
@@ -282,7 +283,7 @@ pub struct StageRecord {
 }
 
 /// Outcome of a supervised pipeline run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PipelineReport {
     /// Checkpoint-namespace key derived from every run-relevant input.
     pub pipeline_key: String,
@@ -292,6 +293,49 @@ pub struct PipelineReport {
     pub stages: Vec<StageRecord>,
     /// The final verdict; `None` unless the Classify stage ran.
     pub verdict: Option<ClassifyArtifact>,
+    /// Accumulated audit outcome across every stage boundary: `Warn`-mode
+    /// findings plus cells repaired by targeted re-characterization. Empty
+    /// on a clean run (and omitted from serialization, so clean pipeline
+    /// reports stay byte-identical to the pre-audit schema).
+    pub audit: AuditReport,
+}
+
+// The vendored serde derive cannot skip a field conditionally, and a clean
+// run's report must serialize without the audit key, so both impls are
+// written by hand (same pattern as `CharReport`/`TimingReport`).
+impl Serialize for PipelineReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("pipeline_key".to_string(), self.pipeline_key.to_value()),
+            ("completed".to_string(), self.completed.to_value()),
+            ("stages".to_string(), self.stages.to_value()),
+            ("verdict".to_string(), self.verdict.to_value()),
+        ];
+        if !self.audit.is_clean() {
+            fields.push(("audit".to_string(), self.audit.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for PipelineReport {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let obj = serde::object_fields(v, "PipelineReport")?;
+        fn field<T: Deserialize>(
+            obj: &serde::Value,
+            name: &str,
+        ) -> std::result::Result<T, serde::Error> {
+            Deserialize::from_value(obj.get(name))
+                .map_err(|e| serde::Error::custom(format!("PipelineReport.{name}: {e}")))
+        }
+        Ok(Self {
+            pipeline_key: field(obj, "pipeline_key")?,
+            completed: field(obj, "completed")?,
+            stages: field(obj, "stages")?,
+            verdict: field(obj, "verdict")?,
+            audit: field::<Option<AuditReport>>(obj, "audit")?.unwrap_or_default(),
+        })
+    }
 }
 
 /// Validated environment configuration (satellite of the supervision
@@ -303,9 +347,11 @@ pub struct EnvConfig {
     pub fault_plan: Option<FaultPlan>,
     /// Parsed `CRYO_JOBS` override, if set.
     pub jobs: Option<usize>,
+    /// Parsed `CRYO_AUDIT` policy (default when unset).
+    pub audit_policy: AuditPolicy,
 }
 
-/// Strictly validate `CRYO_FAULTS` and `CRYO_JOBS`.
+/// Strictly validate `CRYO_FAULTS`, `CRYO_JOBS`, and `CRYO_AUDIT`.
 ///
 /// # Errors
 ///
@@ -322,7 +368,16 @@ pub fn validate_env() -> Result<EnvConfig> {
         value: std::env::var("CRYO_JOBS").unwrap_or_default(),
         reason,
     })?;
-    Ok(EnvConfig { fault_plan, jobs })
+    let audit_policy = AuditPolicy::from_env_checked().map_err(|reason| CoreError::Config {
+        var: "CRYO_AUDIT".into(),
+        value: std::env::var("CRYO_AUDIT").unwrap_or_default(),
+        reason,
+    })?;
+    Ok(EnvConfig {
+        fault_plan,
+        jobs,
+        audit_policy,
+    })
 }
 
 // ----------------------------------------------------------------------
@@ -419,13 +474,16 @@ impl Supervisor {
         let store = self.open_store()?;
         let started = Instant::now();
         let mut records: Vec<StageRecord> = Vec::new();
+        let mut pipeline_audit = AuditReport::default();
+        let audit_policy = fcfg.audit_policy;
 
         let halted = |stage: Stage| self.cfg.halt_after == Some(stage);
-        let partial = |records: Vec<StageRecord>| PipelineReport {
+        let partial = |records: Vec<StageRecord>, audit: AuditReport| PipelineReport {
             pipeline_key: pipeline_key.clone(),
             completed: false,
             stages: records,
             verdict: None,
+            audit,
         };
 
         // Calibrate ----------------------------------------------------
@@ -442,8 +500,17 @@ impl Supervisor {
                     jobs,
                 })
             })?;
+        if audit_policy.is_on() {
+            // The device audit runs on the cards every downstream stage
+            // will actually consume — a `corrupt=vth` poison is caught
+            // here, before a single SPICE run spends time on it. There is
+            // no repair path for a bad card: under Gate this is terminal.
+            let (nfet, pfet) = self.flow.effective_cards();
+            let cards = audit::audit_model_cards(Stage::Calibrate.name(), &nfet, &pfet);
+            self.settle(Stage::Calibrate, cards, audit_policy, &mut pipeline_audit)?;
+        }
         if halted(Stage::Calibrate) {
-            return Ok(partial(records));
+            return Ok(partial(records, pipeline_audit));
         }
 
         // Characterization ---------------------------------------------
@@ -458,8 +525,13 @@ impl Supervisor {
                     mean_delay,
                 })
             })?;
+        let char300 = if audit_policy.is_on() {
+            self.audit_charlib(Stage::Charlib300, char300, None, &store, &mut pipeline_audit)?
+        } else {
+            char300
+        };
         if halted(Stage::Charlib300) {
-            return Ok(partial(records));
+            return Ok(partial(records, pipeline_audit));
         }
 
         let flow = self.flow.clone();
@@ -473,8 +545,22 @@ impl Supervisor {
                     mean_delay,
                 })
             })?;
+        let char10 = if audit_policy.is_on() {
+            // The cold corner additionally audits against the warm one:
+            // a uniform delay scaling passes every per-library invariant
+            // but lands outside the physical cross-corner band.
+            self.audit_charlib(
+                Stage::Charlib10,
+                char10,
+                Some(&char300.lib),
+                &store,
+                &mut pipeline_audit,
+            )?
+        } else {
+            char10
+        };
         if halted(Stage::Charlib10) {
-            return Ok(partial(records));
+            return Ok(partial(records, pipeline_audit));
         }
 
         // STA per corner ------------------------------------------------
@@ -482,24 +568,34 @@ impl Supervisor {
         let lib = char300.lib.clone();
         let mean300 = char300.mean_delay;
         let policy = self.cfg.missing_arc_policy;
-        let sta300: TimingReport =
+        let mut sta300: TimingReport =
             self.stage(Stage::Sta300, started, &store, &mut records, move || {
                 let design = flow.soc();
                 flow.timing_with_policy(&design, &lib, mean300, policy)
             })?;
+        if audit_policy.is_on() {
+            let found = audit_timing(Stage::Sta300.name(), &sta300);
+            sta300.audit = found.clone();
+            self.settle(Stage::Sta300, found, audit_policy, &mut pipeline_audit)?;
+        }
         if halted(Stage::Sta300) {
-            return Ok(partial(records));
+            return Ok(partial(records, pipeline_audit));
         }
 
         let flow = self.flow.clone();
         let lib = char10.lib.clone();
-        let sta10: TimingReport =
+        let mut sta10: TimingReport =
             self.stage(Stage::Sta10, started, &store, &mut records, move || {
                 let design = flow.soc();
                 flow.timing_with_policy(&design, &lib, mean300, policy)
             })?;
+        if audit_policy.is_on() {
+            let found = audit_timing(Stage::Sta10.name(), &sta10);
+            sta10.audit = found.clone();
+            self.settle(Stage::Sta10, found, audit_policy, &mut pipeline_audit)?;
+        }
         if halted(Stage::Sta10) {
-            return Ok(partial(records));
+            return Ok(partial(records, pipeline_audit));
         }
 
         // Activity ------------------------------------------------------
@@ -516,8 +612,12 @@ impl Supervisor {
                     cycles_per_item: run.cycles_per_item,
                 })
             })?;
+        if audit_policy.is_on() {
+            let found = audit::audit_activity(Stage::Activity.name(), &act);
+            self.settle(Stage::Activity, found, audit_policy, &mut pipeline_audit)?;
+        }
         if halted(Stage::Activity) {
-            return Ok(partial(records));
+            return Ok(partial(records, pipeline_audit));
         }
 
         // Power ---------------------------------------------------------
@@ -540,8 +640,13 @@ impl Supervisor {
                     p10: PowerCorner::from_report(&p10),
                 })
             })?;
+        if audit_policy.is_on() {
+            let mut found = audit::audit_power_corner(Stage::Power.name(), &pow.p300);
+            found.merge(audit::audit_power_corner(Stage::Power.name(), &pow.p10));
+            self.settle(Stage::Power, found, audit_policy, &mut pipeline_audit)?;
+        }
         if halted(Stage::Power) {
-            return Ok(partial(records));
+            return Ok(partial(records, pipeline_audit));
         }
 
         // Classify ------------------------------------------------------
@@ -567,13 +672,115 @@ impl Supervisor {
                     degraded_arcs_10: degraded_10,
                 })
             })?;
+        if audit_policy.is_on() {
+            let found = audit::audit_classify(Stage::Classify.name(), &verdict);
+            self.settle(Stage::Classify, found, audit_policy, &mut pipeline_audit)?;
+        }
 
         Ok(PipelineReport {
             pipeline_key,
             completed: self.cfg.halt_after != Some(Stage::Classify),
             stages: records,
             verdict: Some(verdict),
+            audit: pipeline_audit,
         })
+    }
+
+    /// Dispose of one stage's audit outcome: warn on every finding, fail
+    /// the run under [`AuditPolicy::Gate`] when open findings remain, and
+    /// fold the rest into the pipeline-level report.
+    fn settle(
+        &self,
+        stage: Stage,
+        found: AuditReport,
+        policy: AuditPolicy,
+        pipeline_audit: &mut AuditReport,
+    ) -> Result<()> {
+        if found.is_clean() {
+            return Ok(());
+        }
+        for f in &found.findings {
+            eprintln!("warning: audit {}: {f}", stage.name());
+        }
+        if policy == AuditPolicy::Gate && !found.findings.is_empty() {
+            return Err(CoreError::AuditFailed {
+                stage: stage.name().to_string(),
+                report: found,
+            });
+        }
+        pipeline_audit.merge(found);
+        Ok(())
+    }
+
+    /// Audit a characterization artifact at its stage boundary — this
+    /// covers checkpoint-resumed artifacts that bypassed the flow-level
+    /// audit — including the cross-corner band against `warm` for the
+    /// cold corner. Under [`AuditPolicy::Gate`], violations quarantine
+    /// only the offending cells and trigger targeted re-characterization
+    /// (clean cells resume from checkpoints, zero re-simulation); the
+    /// repaired artifact overwrites the stage checkpoint so later resumes
+    /// see the clean library. Violations that survive repair are terminal.
+    fn audit_charlib(
+        &self,
+        stage: Stage,
+        art: CharArtifact,
+        warm: Option<&Library>,
+        store: &CheckpointStore,
+        pipeline_audit: &mut AuditReport,
+    ) -> Result<CharArtifact> {
+        let fcfg = self.flow.config();
+        let (temp, char_cfg) = if stage == Stage::Charlib10 {
+            (10.0, &fcfg.char_10k)
+        } else {
+            (300.0, &fcfg.char_300k)
+        };
+        let audit_cfg = audit::lib_audit_config(char_cfg);
+        let run_audit = |lib: &Library| {
+            let mut a = audit_library(stage.name(), lib, &audit_cfg);
+            if let Some(w) = warm {
+                a.merge(audit_cross_corner(stage.name(), w, lib, &audit_cfg));
+            }
+            a
+        };
+        // Repairs already performed at the flow level ride along.
+        pipeline_audit.merge(AuditReport {
+            findings: Vec::new(),
+            repaired: art.report.audit.repaired.clone(),
+        });
+        let found = run_audit(&art.lib);
+        if found.is_clean() {
+            return Ok(art);
+        }
+        for f in &found.findings {
+            eprintln!("warning: audit {}: {f}", stage.name());
+        }
+        if fcfg.audit_policy != AuditPolicy::Gate {
+            pipeline_audit.merge(found);
+            return Ok(art);
+        }
+        let offenders = found.offending_cells();
+        let (lib, mut report) = self.flow.repair_library(temp, &art.lib, &offenders)?;
+        let recheck = run_audit(&lib);
+        if !recheck.is_clean() {
+            return Err(CoreError::AuditFailed {
+                stage: stage.name().to_string(),
+                report: recheck,
+            });
+        }
+        report.audit = AuditReport {
+            findings: Vec::new(),
+            repaired: offenders,
+        };
+        pipeline_audit.merge(report.audit.clone());
+        let mean_delay = lib.stats().mean_delay;
+        let art = CharArtifact {
+            lib,
+            report,
+            mean_delay,
+        };
+        let payload = serde_json::to_string(&art).expect("stage artifacts serialize");
+        store.store_blob(stage.name(), &payload)?;
+        Ok(art)
     }
 
     /// Run one stage under the supervision contract: resume from its
@@ -687,11 +894,15 @@ impl Supervisor {
 }
 
 /// Whether an error is worth retrying. Coverage shortfalls, configuration
-/// rejections, and timeouts are deterministic — retrying only burns budget.
+/// rejections, timeouts, and post-repair audit failures are deterministic —
+/// retrying only burns budget.
 fn retryable(e: &CoreError) -> bool {
     !matches!(
         e,
-        CoreError::Coverage { .. } | CoreError::Config { .. } | CoreError::StageTimeout { .. }
+        CoreError::Coverage { .. }
+            | CoreError::Config { .. }
+            | CoreError::StageTimeout { .. }
+            | CoreError::AuditFailed { .. }
     )
 }
 

@@ -1,0 +1,158 @@
+//! Cryogenic-physics audits on calibrated model cards.
+//!
+//! The device layer of the signoff firewall: a calibrated card must
+//! reproduce the cryogenic signatures the whole paper rests on — the
+//! threshold voltage *increases* and the subthreshold swing *tightens*
+//! from 300 K to 10 K — and its mobility/velocity-saturation parameters
+//! must sit inside the calibrated range. A card that violates these
+//! produces libraries that look plausible and are silently wrong, which
+//! is exactly what the audit exists to catch before characterization
+//! spends hours on it.
+//!
+//! This crate sits below `cryo-liberty`, so findings use a local mirror
+//! type; `cryo-core` converts them into the stack-wide audit report.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{DeviceMetrics, IvCurve};
+use crate::model::FinFet;
+use crate::params::ModelCard;
+
+/// One device-invariant violation (stage attribution happens in core).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceFinding {
+    /// Offending entity: `nfet`, `pfet`, or `<flavour>/<param>`.
+    pub entity: String,
+    /// Invariant that failed.
+    pub invariant: String,
+    /// Observed value, rendered as text so NaN/∞ survive JSON.
+    pub observed: String,
+    /// The bound the observation violated.
+    pub bound: String,
+}
+
+impl DeviceFinding {
+    fn new(entity: String, invariant: &str, observed: f64, bound: String) -> Self {
+        Self {
+            entity,
+            invariant: invariant.to_string(),
+            observed: format!("{observed:e}"),
+            bound,
+        }
+    }
+}
+
+/// Constant-current criterion used for the audit's Vth extraction,
+/// amperes per device (the same criterion the Fig. 3 reproduction uses).
+const ICRIT: f64 = 300e-9;
+
+/// One audited parameter: name, accessor, and its calibrated `[lo, hi]`.
+type ParamBound = (&'static str, fn(&ModelCard) -> f64, f64, f64);
+
+/// Calibrated ranges for the parameters corruption plausibly perturbs.
+/// Wide enough for any honest calibration outcome, tight enough that a
+/// sign flip or decade-scale poison lands outside.
+const PARAM_BOUNDS: &[ParamBound] = &[
+    ("u0", |c: &ModelCard| c.u0, 1e-3, 5e-2),
+    ("vsat", |c: &ModelCard| c.vsat, 2e4, 3e5),
+    ("ute", |c: &ModelCard| c.ute, -3.0, 0.0),
+    ("tvth", |c: &ModelCard| c.tvth, 0.0, 0.4),
+];
+
+/// Audit one card: parameter bounds plus the 300 K → 10 K figure-of-merit
+/// shifts. `flavour` labels the entity (`nfet`/`pfet`). Pure model
+/// evaluation — no circuit simulation, so the audit costs microseconds.
+#[must_use]
+pub fn audit_card(flavour: &str, card: &ModelCard) -> Vec<DeviceFinding> {
+    let mut out = Vec::new();
+    for (name, get, lo, hi) in PARAM_BOUNDS {
+        let v = get(card);
+        if !v.is_finite() || v < *lo || v > *hi {
+            out.push(DeviceFinding::new(
+                format!("{flavour}/{name}"),
+                "param_in_calibrated_bounds",
+                v,
+                format!("[{lo:e}, {hi:e}]"),
+            ));
+        }
+    }
+
+    let sweep = |temp: f64| {
+        let dev = FinFet::new(card, temp, 1);
+        IvCurve::sweep(&dev, 0.75, 0.75, 150)
+    };
+    let (c300, c10) = (sweep(300.0), sweep(10.0));
+    let m300 = DeviceMetrics::extract(&c300, ICRIT);
+    let m10 = DeviceMetrics::extract(&c10, ICRIT);
+    let (Ok(m300), Ok(m10)) = (m300, m10) else {
+        out.push(DeviceFinding::new(
+            flavour.to_string(),
+            "metrics_extractable",
+            f64::NAN,
+            "Vth/SS extractable at both corners".to_string(),
+        ));
+        return out;
+    };
+    // `partial_cmp` keeps NaN metrics on the flagged side.
+    if m10.vth.partial_cmp(&m300.vth) != Some(std::cmp::Ordering::Greater) {
+        out.push(DeviceFinding::new(
+            flavour.to_string(),
+            "vth_increases_cold",
+            m10.vth,
+            format!("> {:e} (300 K Vth)", m300.vth),
+        ));
+    }
+    if m10.ss_mv_dec.partial_cmp(&m300.ss_mv_dec) != Some(std::cmp::Ordering::Less) {
+        out.push(DeviceFinding::new(
+            flavour.to_string(),
+            "ss_decreases_cold",
+            m10.ss_mv_dec,
+            format!("< {:e} mV/dec (300 K SS)", m300.ss_mv_dec),
+        ));
+    }
+    out
+}
+
+/// Audit the n/p card pair a characterization run is about to consume.
+#[must_use]
+pub fn audit_cards(nfet: &ModelCard, pfet: &ModelCard) -> Vec<DeviceFinding> {
+    let mut out = audit_card("nfet", nfet);
+    out.extend(audit_card("pfet", pfet));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Polarity;
+
+    #[test]
+    fn nominal_cards_are_clean() {
+        let findings = audit_cards(
+            &ModelCard::nominal(Polarity::N),
+            &ModelCard::nominal(Polarity::P),
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn poisoned_tvth_fails_both_the_bound_and_the_cold_shift() {
+        let mut card = ModelCard::nominal(Polarity::N);
+        card.tvth = -card.tvth; // plausible magnitude, wrong physics
+        let findings = audit_card("nfet", &card);
+        assert!(findings
+            .iter()
+            .any(|f| f.invariant == "param_in_calibrated_bounds" && f.entity == "nfet/tvth"));
+        assert!(findings.iter().any(|f| f.invariant == "vth_increases_cold"));
+    }
+
+    #[test]
+    fn decade_scale_mobility_poison_is_out_of_bounds() {
+        let mut card = ModelCard::nominal(Polarity::P);
+        card.u0 *= 100.0;
+        let findings = audit_card("pfet", &card);
+        assert!(findings
+            .iter()
+            .any(|f| f.invariant == "param_in_calibrated_bounds" && f.entity == "pfet/u0"));
+    }
+}

@@ -35,6 +35,7 @@
 //! assert!(ion_ratio > 0.5 && ion_ratio < 2.0);
 //! ```
 
+pub mod audit;
 pub mod calibrate;
 pub mod metrics;
 pub mod model;
@@ -44,6 +45,7 @@ pub mod params;
 pub mod silicon;
 pub mod thermal;
 
+pub use audit::{audit_cards, DeviceFinding};
 pub use calibrate::{CalibrationReport, Calibrator};
 pub use metrics::{DeviceMetrics, IvCurve, IvDataset};
 pub use model::FinFet;

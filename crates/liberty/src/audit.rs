@@ -1,0 +1,504 @@
+//! Physical-invariant audits over NLDM libraries.
+//!
+//! The signoff firewall's library layer: every invariant a trustworthy
+//! corner must satisfy — finite tables, positive delays and slews, delay
+//! monotone non-decreasing in load, fully populated characterization
+//! grids, and the cross-corner rule that a cell's 10 K delay stays within
+//! a configurable band of its 300 K delay. Violations become structured
+//! [`Finding`]s that name the exact entity (cell, arc, table, row,
+//! column), the invariant, and the observed value against its bound —
+//! the difference between "the run completed" and "the numbers can be
+//! trusted".
+//!
+//! The types here are shared across the stack: `cryo-cells`, `cryo-sta`,
+//! `cryo-power`, and `cryo-core` all report through [`AuditReport`], so
+//! one machine-readable artifact covers the whole pipeline.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::{ArcKind, Cell, TimingArc};
+use crate::library::Library;
+use crate::table::Lut2;
+
+/// One invariant violation, attributed to the smallest entity that owns it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Pipeline stage whose audit produced the finding (`charlib300`,
+    /// `sta10`, ...).
+    pub stage: String,
+    /// Offending entity, most-specific-first path:
+    /// `<cell>`, `<cell>/<related>-><pin>/<table>`, or
+    /// `<cell>/<related>-><pin>/<table>[<row>,<col>]`.
+    pub entity: String,
+    /// Invariant that failed (`finite`, `delay_positive`,
+    /// `delay_monotone_load`, `grid_populated`, `cross_corner_band`, ...).
+    pub invariant: String,
+    /// Observed value, rendered as text so NaN/∞ survive JSON.
+    pub observed: String,
+    /// The bound the observation violated.
+    pub bound: String,
+}
+
+impl Finding {
+    /// Build a finding; `observed` is rendered with enough precision to
+    /// reproduce the violation.
+    #[must_use]
+    pub fn new(stage: &str, entity: String, invariant: &str, observed: f64, bound: String) -> Self {
+        Self {
+            stage: stage.to_string(),
+            entity,
+            invariant: invariant.to_string(),
+            observed: format!("{observed:e}"),
+            bound,
+        }
+    }
+
+    /// The cell that owns the entity (leading path component).
+    #[must_use]
+    pub fn cell(&self) -> &str {
+        self.entity.split('/').next().unwrap_or(&self.entity)
+    }
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{}] {}: {} violated (observed {}, bound {})",
+            self.stage, self.entity, self.invariant, self.observed, self.bound
+        )
+    }
+}
+
+/// Machine-readable audit outcome, embedded in `CharReport`/`TimingReport`
+/// and the supervised pipeline report so CI and golden tests can assert
+/// "zero findings" on clean runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// Open violations (post-repair for gated runs).
+    pub findings: Vec<Finding>,
+    /// Cells whose violations were repaired by targeted
+    /// re-characterization (Gate mode).
+    pub repaired: Vec<String>,
+}
+
+impl AuditReport {
+    /// True when the report carries no findings and no repairs — the state
+    /// a clean run must serialize as (the field is omitted entirely, so
+    /// clean artifacts stay byte-identical to the pre-audit pipeline).
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.repaired.is_empty()
+    }
+
+    /// Append a finding.
+    pub fn push(&mut self, finding: Finding) {
+        self.findings.push(finding);
+    }
+
+    /// Fold another report into this one.
+    pub fn merge(&mut self, other: AuditReport) {
+        self.findings.extend(other.findings);
+        self.repaired.extend(other.repaired);
+    }
+
+    /// Distinct offending cells in first-seen order — the quarantine set
+    /// for targeted re-characterization.
+    #[must_use]
+    pub fn offending_cells(&self) -> Vec<String> {
+        let mut cells: Vec<String> = Vec::new();
+        for f in &self.findings {
+            let c = f.cell().to_string();
+            if !cells.contains(&c) {
+                cells.push(c);
+            }
+        }
+        cells
+    }
+
+    /// One-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} finding(s), {} cell(s) repaired",
+            self.findings.len(),
+            self.repaired.len()
+        )
+    }
+}
+
+/// Tunable bounds for the library audits.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Relative slack tolerated before a delay decrease across adjacent
+    /// loads counts as non-monotone (characterized tables carry measurement
+    /// noise; a signoff tool must not cry wolf over half a femtosecond).
+    pub monotone_rel_tol: f64,
+    /// Expected `(slew_points, load_points)` grid for propagation arcs;
+    /// `None` skips the shape check (used for hand-built test libraries).
+    pub expected_grid: Option<(usize, usize)>,
+    /// Allowed band for `mean_delay(10 K) / mean_delay(300 K)` per cell.
+    pub cross_corner_band: (f64, f64),
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self {
+            monotone_rel_tol: 0.02,
+            expected_grid: None,
+            cross_corner_band: (0.5, 2.0),
+        }
+    }
+}
+
+/// What a table's values are allowed to look like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TableRole {
+    /// Propagation delay: finite, positive, monotone in load.
+    Delay,
+    /// Output transition: finite, positive.
+    Transition,
+    /// Setup/hold margin: finite (legitimately negative sometimes).
+    Constraint,
+    /// Switching energy: finite.
+    Energy,
+}
+
+fn entity_for(cell: &str, arc: &TimingArc, table: &str) -> String {
+    format!("{cell}/{}->{}/{table}", arc.related_pin, arc.pin)
+}
+
+/// Audit one table under `role`, appending findings to `out`.
+fn audit_table(
+    stage: &str,
+    entity: &str,
+    t: &Lut2,
+    role: TableRole,
+    cfg: &AuditConfig,
+    expect_grid: bool,
+    out: &mut AuditReport,
+) {
+    let (n1, n2) = (t.index1().len(), t.index2().len());
+    // Degenerate shapes can only arrive through serde (the constructor
+    // rejects them) — exactly the silent-corruption path the audit exists
+    // to catch.
+    if t.values().is_empty() || t.values().len() != n1 * n2 || n1 == 0 || n2 == 0 {
+        out.push(Finding::new(
+            stage,
+            entity.to_string(),
+            "grid_populated",
+            t.values().len() as f64,
+            format!("{n1}x{n2} values"),
+        ));
+        return;
+    }
+    if expect_grid {
+        if let Some((es, el)) = cfg.expected_grid {
+            if (n1, n2) != (es, el) {
+                out.push(Finding::new(
+                    stage,
+                    entity.to_string(),
+                    "grid_populated",
+                    (n1 * n2) as f64,
+                    format!("{es}x{el} grid"),
+                ));
+            }
+        }
+    }
+    for r in 0..n1 {
+        for c in 0..n2 {
+            let v = t.values()[r * n2 + c];
+            if !v.is_finite() {
+                out.push(Finding::new(
+                    stage,
+                    format!("{entity}[{r},{c}]"),
+                    "finite",
+                    v,
+                    "finite".to_string(),
+                ));
+                continue;
+            }
+            match role {
+                TableRole::Delay if v <= 0.0 => out.push(Finding::new(
+                    stage,
+                    format!("{entity}[{r},{c}]"),
+                    "delay_positive",
+                    v,
+                    "> 0".to_string(),
+                )),
+                TableRole::Transition if v <= 0.0 => out.push(Finding::new(
+                    stage,
+                    format!("{entity}[{r},{c}]"),
+                    "slew_positive",
+                    v,
+                    "> 0".to_string(),
+                )),
+                _ => {}
+            }
+        }
+    }
+    // Delay monotone non-decreasing in load: more capacitance can never
+    // make a gate faster. The offending entry is the one that *dropped*
+    // (right element of the violating pair).
+    if role == TableRole::Delay && n2 > 1 {
+        for r in 0..n1 {
+            for c in 1..n2 {
+                let prev = t.values()[r * n2 + c - 1];
+                let v = t.values()[r * n2 + c];
+                if !(prev.is_finite() && v.is_finite()) {
+                    continue;
+                }
+                if v < prev * (1.0 - cfg.monotone_rel_tol) {
+                    out.push(Finding::new(
+                        stage,
+                        format!("{entity}[{r},{c}]"),
+                        "delay_monotone_load",
+                        v,
+                        format!(">= {:e} (load-monotone)", prev * (1.0 - cfg.monotone_rel_tol)),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Audit every table of one cell.
+#[must_use]
+pub fn audit_cell(stage: &str, cell: &Cell, cfg: &AuditConfig) -> AuditReport {
+    let mut out = AuditReport::default();
+    for arc in &cell.arcs {
+        let (delay_role, expect_grid) = match arc.kind {
+            ArcKind::Combinational | ArcKind::ClockToQ => (TableRole::Delay, true),
+            ArcKind::Setup | ArcKind::Hold => (TableRole::Constraint, false),
+        };
+        for (name, t, role) in [
+            ("cell_rise", &arc.cell_rise, delay_role),
+            ("cell_fall", &arc.cell_fall, delay_role),
+            ("rise_transition", &arc.rise_transition, TableRole::Transition),
+            ("fall_transition", &arc.fall_transition, TableRole::Transition),
+        ] {
+            // Constraint arcs leave their transition tables unused; only
+            // finiteness matters there.
+            let role = if delay_role == TableRole::Constraint {
+                TableRole::Constraint
+            } else {
+                role
+            };
+            audit_table(
+                stage,
+                &entity_for(&cell.name, arc, name),
+                t,
+                role,
+                cfg,
+                expect_grid && role == TableRole::Delay,
+                &mut out,
+            );
+        }
+    }
+    for pa in &cell.power_arcs {
+        for (name, t) in [("rise_energy", &pa.rise_energy), ("fall_energy", &pa.fall_energy)] {
+            let entity = format!("{}/{}->{}/{name}", cell.name, pa.related_pin, pa.pin);
+            audit_table(stage, &entity, t, TableRole::Energy, cfg, false, &mut out);
+        }
+    }
+    for (state, w) in &cell.leakage_states {
+        if !w.is_finite() || *w < 0.0 {
+            out.push(Finding::new(
+                stage,
+                format!("{}/leakage[{state}]", cell.name),
+                "leakage_nonneg",
+                *w,
+                ">= 0, finite".to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// Audit every cell of a library.
+#[must_use]
+pub fn audit_library(stage: &str, lib: &Library, cfg: &AuditConfig) -> AuditReport {
+    let mut out = AuditReport::default();
+    for cell in lib.cells() {
+        out.merge(audit_cell(stage, cell, cfg));
+    }
+    out
+}
+
+/// Mean propagation delay of a cell (across all combinational/clk→Q arc
+/// tables), or `None` for arc-less cells (ties).
+#[must_use]
+pub fn mean_cell_delay(cell: &Cell) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for arc in &cell.arcs {
+        if !matches!(arc.kind, ArcKind::Combinational | ArcKind::ClockToQ) {
+            continue;
+        }
+        for t in [&arc.cell_rise, &arc.cell_fall] {
+            if !t.values().is_empty() {
+                sum += t.mean();
+                n += 1;
+            }
+        }
+    }
+    if n == 0 {
+        None
+    } else {
+        Some(sum / n as f64)
+    }
+}
+
+/// Cross-corner audit: each cell's cold/warm mean-delay ratio must sit in
+/// `cfg.cross_corner_band`. A 10 K library dramatically slower (or faster)
+/// than its 300 K sibling is corrupt even if each corner looks
+/// self-consistent — this is the paper's trustworthy-delta requirement.
+#[must_use]
+pub fn audit_cross_corner(
+    stage: &str,
+    warm: &Library,
+    cold: &Library,
+    cfg: &AuditConfig,
+) -> AuditReport {
+    let mut out = AuditReport::default();
+    let (lo, hi) = cfg.cross_corner_band;
+    for cell in cold.cells() {
+        let Ok(warm_cell) = warm.cell(&cell.name) else {
+            continue;
+        };
+        let (Some(d_cold), Some(d_warm)) = (mean_cell_delay(cell), mean_cell_delay(warm_cell))
+        else {
+            continue;
+        };
+        if d_warm <= 0.0 {
+            continue; // warm corner is broken; its own audit reports that
+        }
+        let ratio = d_cold / d_warm;
+        if !ratio.is_finite() || ratio < lo || ratio > hi {
+            out.push(Finding::new(
+                stage,
+                cell.name.clone(),
+                "cross_corner_band",
+                ratio,
+                format!("[{lo}, {hi}] x 300 K delay"),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Pin, TimingSense};
+    use crate::function::LogicFunction;
+
+    fn grid_table(base: f64) -> Lut2 {
+        // Strictly increasing in both axes: base + slew + load terms.
+        let s = [1e-12, 2e-12, 3e-12];
+        let l = [1e-15, 2e-15, 3e-15];
+        let mut vals = Vec::new();
+        for si in s {
+            for li in l {
+                vals.push(base + 2.0 * si + 3e3 * li);
+            }
+        }
+        Lut2::new(s.to_vec(), l.to_vec(), vals).unwrap()
+    }
+
+    fn cell_with(rise: Lut2) -> Cell {
+        let f = LogicFunction::from_eval(&["A"], |b| b & 1 == 0);
+        Cell {
+            name: "INVx1".into(),
+            area: 0.05,
+            pins: vec![Pin::input("A", 1e-15), Pin::output("Y", f)],
+            arcs: vec![TimingArc {
+                related_pin: "A".into(),
+                pin: "Y".into(),
+                kind: ArcKind::Combinational,
+                sense: TimingSense::NegativeUnate,
+                cell_rise: rise,
+                cell_fall: grid_table(1e-12),
+                rise_transition: grid_table(0.5e-12),
+                fall_transition: grid_table(0.5e-12),
+            }],
+            power_arcs: vec![],
+            leakage_states: vec![(0, 1e-9)],
+            ff: None,
+            drive: 1,
+        }
+    }
+
+    #[test]
+    fn clean_cell_has_no_findings() {
+        let rep = audit_cell("t", &cell_with(grid_table(1e-12)), &AuditConfig::default());
+        assert!(rep.is_clean(), "{:?}", rep.findings);
+    }
+
+    #[test]
+    fn sign_flip_is_flagged_with_exact_coordinates() {
+        let t = grid_table(1e-12);
+        let mut vals = t.values().to_vec();
+        vals[4] = -vals[4]; // row 1, col 1
+        let bad = Lut2::new(t.index1().to_vec(), t.index2().to_vec(), vals).unwrap();
+        let rep = audit_cell("t", &cell_with(bad), &AuditConfig::default());
+        assert!(rep
+            .findings
+            .iter()
+            .any(|f| f.invariant == "delay_positive" && f.entity.ends_with("cell_rise[1,1]")));
+        assert_eq!(rep.offending_cells(), vec!["INVx1".to_string()]);
+    }
+
+    #[test]
+    fn monotone_drop_names_the_dropped_entry() {
+        let t = grid_table(1e-12);
+        let mut vals = t.values().to_vec();
+        vals[5] = vals[3] * 0.5; // row 1, col 2 drops below col 1
+        let bad = Lut2::new(t.index1().to_vec(), t.index2().to_vec(), vals).unwrap();
+        let rep = audit_cell("t", &cell_with(bad), &AuditConfig::default());
+        let mono: Vec<_> = rep
+            .findings
+            .iter()
+            .filter(|f| f.invariant == "delay_monotone_load")
+            .collect();
+        assert_eq!(mono.len(), 1);
+        assert!(mono[0].entity.ends_with("cell_rise[1,2]"), "{}", mono[0].entity);
+    }
+
+    #[test]
+    fn degenerate_deserialized_table_is_flagged() {
+        // serde bypasses Lut2::new — an empty table can only arrive that way.
+        let empty: Lut2 =
+            serde_json::from_str(r#"{"index1":[],"index2":[],"values":[]}"#).unwrap();
+        let rep = audit_cell("t", &cell_with(empty), &AuditConfig::default());
+        assert!(rep.findings.iter().any(|f| f.invariant == "grid_populated"));
+    }
+
+    #[test]
+    fn cross_corner_band_catches_a_slow_cold_cell() {
+        let mut warm = Library::new("w", 300.0, 0.7);
+        let mut cold = Library::new("c", 10.0, 0.7);
+        warm.add_cell(cell_with(grid_table(1e-12)));
+        let mut slow = cell_with(grid_table(1e-12));
+        for arc in &mut slow.arcs {
+            arc.cell_rise = arc.cell_rise.scaled(3.0);
+            arc.cell_fall = arc.cell_fall.scaled(3.0);
+        }
+        cold.add_cell(slow);
+        let rep = audit_cross_corner("x", &warm, &cold, &AuditConfig::default());
+        assert_eq!(rep.findings.len(), 1);
+        assert_eq!(rep.findings[0].invariant, "cross_corner_band");
+        assert_eq!(rep.findings[0].cell(), "INVx1");
+    }
+
+    #[test]
+    fn report_serde_round_trips_with_nan_observations() {
+        let mut rep = AuditReport::default();
+        rep.push(Finding::new("s", "C/x->y/t[0,0]".into(), "finite", f64::NAN, "finite".into()));
+        let json = serde_json::to_string(&rep).unwrap();
+        let back: AuditReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(rep, back);
+        assert!(!back.is_clean());
+        assert_eq!(back.findings[0].cell(), "C");
+    }
+}

@@ -18,15 +18,23 @@
 //!   cell lookup and the delay statistics behind the paper's Fig. 5.
 //! - `format` (module) — a Liberty-flavoured writer and parser that round-trips
 //!   every model this crate can represent.
+//! - [`audit`] — the signoff firewall's library invariants: finite tables,
+//!   positive delays/slews, load-monotone delays, populated grids, and the
+//!   cross-corner delay band, reported as structured [`Finding`]s.
 //!
 //! All internal units are SI: seconds, farads, volts, watts, joules.
 
+pub mod audit;
 pub mod cell;
 pub mod format;
 pub mod function;
 pub mod library;
 pub mod table;
 
+pub use audit::{
+    audit_cell, audit_cross_corner, audit_library, mean_cell_delay, AuditConfig, AuditReport,
+    Finding,
+};
 pub use cell::{ArcKind, Cell, FfSpec, Pin, PinDirection, PowerArc, TimingArc, TimingSense};
 pub use function::LogicFunction;
 pub use library::{DelayHistogram, Library, LibraryStats};

@@ -124,8 +124,45 @@ impl Library {
         }
     }
 
-    /// Fraction of `expected` cell names this library actually contains,
-    /// in `[0, 1]`. An empty expectation counts as full coverage.
+    /// Whether a cell's stored tables are unusable: present but empty,
+    /// shape-inconsistent, or non-finite. Such cells can only arrive
+    /// through deserialization (the `Lut2` constructor rejects them) or a
+    /// truncated ingest, and counting them as "covered" would let a
+    /// degenerate library sail through coverage enforcement. Arc-less
+    /// cells (ties) are legitimately table-free and are not degenerate.
+    fn cell_is_degenerate(cell: &Cell) -> bool {
+        cell.arcs.iter().any(|arc| {
+            [
+                &arc.cell_rise,
+                &arc.cell_fall,
+                &arc.rise_transition,
+                &arc.fall_transition,
+            ]
+            .into_iter()
+            .any(|t| {
+                t.values().is_empty()
+                    || t.values().len() != t.index1().len() * t.index2().len()
+                    || t.values().iter().any(|v| !v.is_finite())
+            })
+        })
+    }
+
+    /// The expected cells that are present but carry degenerate tables, in
+    /// input order.
+    #[must_use]
+    pub fn degenerate_cells<S: AsRef<str>>(&self, expected: &[S]) -> Vec<String> {
+        expected
+            .iter()
+            .map(AsRef::as_ref)
+            .filter(|n| self.cell(n).is_ok_and(Self::cell_is_degenerate))
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Fraction of `expected` cell names this library actually contains
+    /// with usable tables, in `[0, 1]`. Cells whose tables are present but
+    /// empty/degenerate do not count. An empty expectation counts as full
+    /// coverage.
     #[must_use]
     pub fn coverage<S: AsRef<str>>(&self, expected: &[S]) -> f64 {
         if expected.is_empty() {
@@ -133,7 +170,10 @@ impl Library {
         }
         let present = expected
             .iter()
-            .filter(|n| self.index.contains_key(n.as_ref()))
+            .filter(|n| {
+                self.cell(n.as_ref())
+                    .is_ok_and(|c| !Self::cell_is_degenerate(c))
+            })
             .count();
         present as f64 / expected.len() as f64
     }
@@ -150,20 +190,23 @@ impl Library {
     }
 
     /// Check that coverage of `expected` meets `floor` (a fraction in
-    /// `[0, 1]`).
+    /// `[0, 1]`). Cells with degenerate tables count against coverage and
+    /// are reported alongside the truly missing ones.
     ///
     /// # Errors
     ///
-    /// [`LibertyError::IncompleteLibrary`] naming the missing cells when
-    /// coverage falls below the floor.
+    /// [`LibertyError::IncompleteLibrary`] naming the missing and
+    /// degenerate cells when coverage falls below the floor.
     pub fn validate_coverage<S: AsRef<str>>(&self, expected: &[S], floor: f64) -> Result<()> {
         let coverage = self.coverage(expected);
         if coverage < floor {
+            let mut missing = self.missing_cells(expected);
+            missing.extend(self.degenerate_cells(expected));
             return Err(LibertyError::IncompleteLibrary {
                 name: self.name.clone(),
                 coverage,
                 floor,
-                missing: self.missing_cells(expected),
+                missing,
             });
         }
         Ok(())
@@ -335,6 +378,38 @@ mod tests {
         }
         let none: [&str; 0] = [];
         assert!((l.coverage(&none) - 1.0).abs() < 1e-12, "vacuous coverage");
+    }
+
+    #[test]
+    fn degenerate_tables_count_against_coverage() {
+        let mut l = lib();
+        // An empty table can only arrive through serde, which bypasses the
+        // Lut2 constructor — exactly what a truncated ingest produces.
+        let empty: Lut2 =
+            serde_json::from_str(r#"{"index1":[],"index2":[],"values":[]}"#).unwrap();
+        let mut hollow = cell_with_delay("NANDx1", 4e-12);
+        hollow.arcs[0].cell_rise = empty;
+        l.add_cell(hollow);
+        let expected = ["INVx1", "INVx2", "NANDx1"];
+        assert!(
+            (l.coverage(&expected) - 2.0 / 3.0).abs() < 1e-12,
+            "present-but-degenerate must not count as covered"
+        );
+        assert_eq!(l.degenerate_cells(&expected), vec!["NANDx1"]);
+        // The plain presence check still sees it, so the degenerate cell is
+        // reported through validate_coverage, not missing_cells.
+        assert!(l.missing_cells(&expected).is_empty());
+        match l.validate_coverage(&expected, 0.95).unwrap_err() {
+            LibertyError::IncompleteLibrary { missing, .. } => {
+                assert_eq!(missing, vec!["NANDx1"]);
+            }
+            other => panic!("wrong error: {other}"),
+        }
+        // Tie-style cells with no arcs are not degenerate.
+        let mut tie = cell_with_delay("TIEHI", 1e-12);
+        tie.arcs.clear();
+        l.add_cell(tie);
+        assert!((l.coverage(&["TIEHI"]) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Physical-invariant audits over power reports.
+//!
+//! The signoff firewall's power layer: every component of a
+//! [`PowerReport`] must be non-negative and finite, and the per-region
+//! dynamic breakdown must sum back to the headline dynamic number —
+//! every instance and macro contribution is accumulated into both, so
+//! any disagreement means a total was silently corrupted after
+//! accumulation.
+
+use cryo_liberty::{AuditReport, Finding};
+
+use crate::analysis::PowerReport;
+
+/// Relative tolerance for the breakdown-sum check (floating-point
+/// accumulation order differs between the total and the region map).
+const REL_TOL: f64 = 1e-9;
+
+/// Audit one corner's power report. `stage` names the pipeline stage for
+/// attribution (`power`).
+#[must_use]
+pub fn audit_power(stage: &str, r: &PowerReport) -> AuditReport {
+    let mut report = AuditReport::default();
+    for (name, value) in [
+        ("dynamic_w", r.dynamic_w),
+        ("logic_leakage_w", r.logic_leakage_w),
+        ("sram_leakage_w", r.sram_leakage_w),
+    ] {
+        if !(value.is_finite() && value >= 0.0) {
+            report.push(Finding::new(
+                stage,
+                format!("{}/{name}", r.corner),
+                "power_component_nonneg",
+                value,
+                ">= 0 and finite".into(),
+            ));
+        }
+    }
+    for (region, &value) in &r.per_region_dynamic {
+        if !(value.is_finite() && value >= 0.0) {
+            report.push(Finding::new(
+                stage,
+                format!("{}/region/{region}", r.corner),
+                "power_component_nonneg",
+                value,
+                ">= 0 and finite".into(),
+            ));
+        }
+    }
+    let regions: f64 = r.per_region_dynamic.values().sum();
+    if r.dynamic_w.is_finite()
+        && regions.is_finite()
+        && (regions - r.dynamic_w).abs() > 1e-15 + REL_TOL * r.dynamic_w.abs().max(regions.abs())
+    {
+        report.push(Finding::new(
+            stage,
+            r.corner.clone(),
+            "power_breakdown_sums",
+            regions,
+            format!("= dynamic total {:e}", r.dynamic_w),
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn clean_report() -> PowerReport {
+        PowerReport {
+            corner: "c10".into(),
+            dynamic_w: 0.057,
+            logic_leakage_w: 1.2e-6,
+            sram_leakage_w: 3.4e-6,
+            per_region_dynamic: HashMap::from([
+                ("core".to_string(), 0.05),
+                ("uncore".to_string(), 0.007),
+            ]),
+        }
+    }
+
+    #[test]
+    fn clean_report_audits_clean() {
+        assert!(audit_power("power", &clean_report()).is_clean());
+    }
+
+    #[test]
+    fn negative_component_and_broken_breakdown_are_flagged() {
+        let mut r = clean_report();
+        r.logic_leakage_w = -1e-6;
+        r.dynamic_w = 0.08; // no longer the region sum
+        let a = audit_power("power", &r);
+        let inv: Vec<&str> = a.findings.iter().map(|f| f.invariant.as_str()).collect();
+        assert!(inv.contains(&"power_component_nonneg"));
+        assert!(inv.contains(&"power_breakdown_sums"));
+        let neg = a
+            .findings
+            .iter()
+            .find(|f| f.invariant == "power_component_nonneg")
+            .unwrap();
+        assert_eq!(neg.entity, "c10/logic_leakage_w");
+    }
+
+    #[test]
+    fn nan_component_is_flagged_not_propagated() {
+        let mut r = clean_report();
+        r.sram_leakage_w = f64::NAN;
+        let a = audit_power("power", &r);
+        assert_eq!(a.findings.len(), 1, "{:?}", a.findings);
+        assert_eq!(a.findings[0].invariant, "power_component_nonneg");
+        assert!(a.findings[0].observed.contains("NaN"));
+    }
+}

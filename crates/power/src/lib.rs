@@ -20,10 +20,12 @@
 
 pub mod activity;
 pub mod analysis;
+pub mod audit;
 pub mod thermal;
 
 pub use activity::{simulate_toggles, ActivityProfile, ToggleCounts};
 pub use analysis::{analyze_power, PowerConfig, PowerReport};
+pub use audit::audit_power;
 pub use thermal::ThermalModel;
 
 use std::error::Error;

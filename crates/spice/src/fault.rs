@@ -90,6 +90,24 @@ pub struct FaultPlan {
     /// Probability a per-instance power contribution is poisoned with NaN
     /// (consulted by `cryo-power`'s aggregation loop).
     pub power_aggregation: f64,
+    /// Probability a characterized cell has one delay-table entry
+    /// bit-flipped (sign flip: a negative but finite delay — plausible
+    /// enough to survive construction, wrong enough to kill a chip).
+    /// Spec key: `corrupt=table[:p]`.
+    pub corrupt_table: f64,
+    /// Probability a cold-corner cell's delay tables are silently scaled
+    /// (uniformly, preserving shape and monotonicity — only the
+    /// cross-corner audit can see it). Spec key: `corrupt=delay[:p]`.
+    pub corrupt_delay: f64,
+    /// Probability the cryogenic Vth-shift coefficient is sign-flipped at
+    /// a model-card use site, producing a card whose threshold *drops*
+    /// when cold. Spec key: `corrupt=vth[:p]`.
+    pub corrupt_vth: f64,
+    /// When true, `corrupt=` faults persist across re-characterization
+    /// generations (quarantine repair cannot clean them, so a gated run
+    /// must fail structurally). Default: corruption is transient and a
+    /// generation-1 repair runs clean. Spec key: `corrupt=sticky`.
+    pub corrupt_sticky: bool,
     /// Restrict injection to contexts whose label contains this substring
     /// (e.g. a cell name). `None` injects everywhere.
     pub scope: Option<String>,
@@ -110,6 +128,10 @@ impl Default for FaultPlan {
             liberty_ingest: 0.0,
             sta_lookup: 0.0,
             power_aggregation: 0.0,
+            corrupt_table: 0.0,
+            corrupt_delay: 0.0,
+            corrupt_vth: 0.0,
+            corrupt_sticky: false,
             scope: None,
             max_injections: None,
         }
@@ -221,6 +243,26 @@ impl FaultPlan {
             "liberty" => plan.liberty_ingest = prob(k, v)?,
             "sta" => plan.sta_lookup = prob(k, v)?,
             "power" => plan.power_aggregation = prob(k, v)?,
+            "corrupt" => {
+                // `corrupt=<kind>[:<p>]` with kinds table/delay/vth, plus
+                // the bare flag `corrupt=sticky`. Unlike the crash faults,
+                // these produce plausible-but-wrong *values*.
+                let (kind, p) = match v.split_once(':') {
+                    Some((kind, p)) => (kind, prob(k, p)?),
+                    None => (v, 1.0),
+                };
+                match kind {
+                    "table" => plan.corrupt_table = p,
+                    "delay" => plan.corrupt_delay = p,
+                    "vth" => plan.corrupt_vth = p,
+                    "sticky" => plan.corrupt_sticky = true,
+                    other => {
+                        return Err(format!(
+                            "`corrupt={other}`: unknown kind (expected table/delay/vth/sticky)"
+                        ))
+                    }
+                }
+            }
             "scope" => plan.scope = Some(v.to_string()),
             "max" => {
                 plan.max_injections =
@@ -242,6 +284,9 @@ impl FaultPlan {
             || self.liberty_ingest > 0.0
             || self.sta_lookup > 0.0
             || self.power_aggregation > 0.0
+            || self.corrupt_table > 0.0
+            || self.corrupt_delay > 0.0
+            || self.corrupt_vth > 0.0
     }
 }
 
@@ -470,6 +515,103 @@ pub fn should_fault_sta_lookup() -> bool {
 #[must_use]
 pub fn should_fault_power_accum() -> bool {
     roll_site(|p| p.power_aggregation)
+}
+
+// ----------------------------------------------------------------------
+// Silent-corruption sites (`corrupt=` family)
+// ----------------------------------------------------------------------
+
+/// Which value-corruption family a site consults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// Bit-flip one delay-table entry (sign flip).
+    Table,
+    /// Uniformly scale a cold-corner cell's delays.
+    Delay,
+    /// Sign-flip the cryogenic Vth-shift coefficient.
+    Vth,
+}
+
+impl CorruptKind {
+    fn label(self) -> &'static str {
+        match self {
+            CorruptKind::Table => "table",
+            CorruptKind::Delay => "delay",
+            CorruptKind::Vth => "vth",
+        }
+    }
+}
+
+/// One splitmix64 output for an arbitrary state word, mapped to `[0, 1)`.
+fn splitmix64_unit(state: u64) -> f64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Whether the active plan wants this entity's values silently corrupted.
+///
+/// `salt` identifies the entity (e.g. `NAND2x1@10`), and `generation`
+/// counts re-characterization passes: generation > 0 runs clean unless
+/// the plan is `corrupt=sticky`, which is how the quarantine-repair round
+/// trip is provable — transient corruption repairs, sticky corruption
+/// must surface as a structured audit failure.
+///
+/// Unlike the crash-fault sites, the draw comes from a *stateless* stream
+/// keyed on `seed ⊕ fnv("corrupt:<kind>:<salt>")` and never advances the
+/// injector's sequential rng: corrupting a value must not perturb the
+/// fault schedule of every site that follows, or the byte-identity
+/// contracts (jobs 1 vs N, serial vs parallel) would silently break.
+/// Scope and the per-context injection budget still apply.
+#[must_use]
+pub fn should_corrupt(kind: CorruptKind, salt: &str, generation: u32) -> bool {
+    INJECTOR.with(|i| {
+        let mut borrow = i.borrow_mut();
+        let Some(inj) = borrow.as_mut() else {
+            return false;
+        };
+        let p = match kind {
+            CorruptKind::Table => inj.plan.corrupt_table,
+            CorruptKind::Delay => inj.plan.corrupt_delay,
+            CorruptKind::Vth => inj.plan.corrupt_vth,
+        };
+        if p <= 0.0 || !inj.in_scope() || !inj.budget_left() {
+            return false;
+        }
+        if generation > 0 && !inj.plan.corrupt_sticky {
+            return false;
+        }
+        let key = format!("corrupt:{}:{salt}", kind.label());
+        if splitmix64_unit(inj.plan.seed ^ fnv1a(key.as_bytes())) < p {
+            inj.fired += 1;
+            inj.context_fired += 1;
+            true
+        } else {
+            false
+        }
+    })
+}
+
+/// Deterministically pick an index in `[0, n)` for a corruption site —
+/// which table entry to flip, which arc to scale. Stateless (same salted
+/// stream as [`should_corrupt`]); returns 0 when no injector is active or
+/// `n` is 0/1.
+#[must_use]
+pub fn corrupt_pick(salt: &str, n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
+    INJECTOR.with(|i| {
+        let borrow = i.borrow();
+        let Some(inj) = borrow.as_ref() else {
+            return 0;
+        };
+        let key = format!("pick:{salt}");
+        let u = splitmix64_unit(inj.plan.seed ^ fnv1a(key.as_bytes()));
+        ((u * n as f64) as usize).min(n - 1)
+    })
 }
 
 /// Arm or disarm NaN poisoning of device evaluations for the current solve.
@@ -756,6 +898,119 @@ mod tests {
         assert!(should_corrupt_liberty_ingest());
         assert!(should_fault_power_accum());
         assert_eq!(injection_count(), 3);
+    }
+
+    #[test]
+    fn parse_spec_accepts_the_corrupt_family() {
+        let plan = FaultPlan::parse_spec("seed=7,corrupt=table,corrupt=delay:0.25,corrupt=vth:0.5")
+            .unwrap()
+            .unwrap();
+        assert!((plan.corrupt_table - 1.0).abs() < 1e-12, "bare kind means p=1");
+        assert!((plan.corrupt_delay - 0.25).abs() < 1e-12);
+        assert!((plan.corrupt_vth - 0.5).abs() < 1e-12);
+        assert!(!plan.corrupt_sticky);
+        assert!(plan.is_armed());
+        let sticky = FaultPlan::parse_spec("corrupt=table,corrupt=sticky")
+            .unwrap()
+            .unwrap();
+        assert!(sticky.corrupt_sticky);
+        let err = FaultPlan::parse_spec("corrupt=everything").unwrap_err();
+        assert!(err.contains("unknown kind"), "{err}");
+        let err = FaultPlan::parse_spec("corrupt=table:2.0").unwrap_err();
+        assert!(err.contains("outside [0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_draws_are_stateless_and_salted() {
+        let plan = FaultPlan {
+            corrupt_table: 0.5,
+            dc_no_convergence: 0.5,
+            ..FaultPlan::new(11)
+        };
+        // The crash-fault stream must be identical whether or not corrupt
+        // sites were consulted in between: corruption is a parallel salted
+        // stream, not part of the sequential draw order.
+        let crash_draws = |consult_corrupt: bool| -> Vec<bool> {
+            let _g = install_guard(plan.clone());
+            (0..16)
+                .map(|i| {
+                    if consult_corrupt {
+                        let _ = should_corrupt(CorruptKind::Table, &format!("CELL{i}@10"), 0);
+                    }
+                    begin_solve(FaultSite::DcSolve).is_some()
+                })
+                .collect()
+        };
+        assert_eq!(crash_draws(false), crash_draws(true));
+        // Per-salt decisions are deterministic and not all equal.
+        let decide = |salt: &str| {
+            let _g = install_guard(plan.clone());
+            should_corrupt(CorruptKind::Table, salt, 0)
+        };
+        let picks: Vec<bool> = (0..32).map(|i| decide(&format!("CELL{i}@10"))).collect();
+        assert_eq!(
+            picks,
+            (0..32)
+                .map(|i| decide(&format!("CELL{i}@10")))
+                .collect::<Vec<_>>()
+        );
+        assert!(picks.iter().any(|&x| x) && picks.iter().any(|&x| !x));
+    }
+
+    #[test]
+    fn corruption_is_transient_unless_sticky() {
+        let mut plan = FaultPlan {
+            corrupt_vth: 1.0,
+            ..FaultPlan::new(2)
+        };
+        {
+            let _g = install_guard(plan.clone());
+            assert!(should_corrupt(CorruptKind::Vth, "nfet", 0));
+            assert!(
+                !should_corrupt(CorruptKind::Vth, "nfet", 1),
+                "generation 1 (repair) runs clean by default"
+            );
+        }
+        plan.corrupt_sticky = true;
+        let _g = install_guard(plan);
+        assert!(should_corrupt(CorruptKind::Vth, "nfet", 0));
+        assert!(
+            should_corrupt(CorruptKind::Vth, "nfet", 1),
+            "sticky corruption survives repair"
+        );
+    }
+
+    #[test]
+    fn corrupt_sites_honor_scope_and_budget() {
+        let plan = FaultPlan {
+            corrupt_table: 1.0,
+            scope: Some("NAND".into()),
+            max_injections: Some(1),
+            ..FaultPlan::new(4)
+        };
+        let _g = install_guard(plan);
+        set_context("INVx1");
+        assert!(!should_corrupt(CorruptKind::Table, "INVx1@300", 0));
+        set_context("NAND2x1");
+        assert!(should_corrupt(CorruptKind::Table, "NAND2x1@300", 0));
+        assert!(
+            !should_corrupt(CorruptKind::Table, "NAND2x1@300", 0),
+            "per-context budget applies to corrupt sites too"
+        );
+    }
+
+    #[test]
+    fn corrupt_pick_is_deterministic_and_in_range() {
+        assert_eq!(corrupt_pick("x", 9), 0, "idle injector picks 0");
+        let _g = install_guard(FaultPlan::new(21));
+        let a = corrupt_pick("NAND2x1@10/arc0", 49);
+        let b = corrupt_pick("NAND2x1@10/arc0", 49);
+        assert_eq!(a, b);
+        assert!(a < 49);
+        assert_eq!(corrupt_pick("anything", 1), 0);
+        let distinct: std::collections::HashSet<usize> =
+            (0..16).map(|i| corrupt_pick(&format!("s{i}"), 49)).collect();
+        assert!(distinct.len() > 4, "salts spread across the range");
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! # Ok::<(), cryo_spice::SpiceError>(())
 //! ```
 
+pub mod audit;
 pub mod circuit;
 pub mod dc;
 pub mod fault;
@@ -43,6 +44,7 @@ pub mod source;
 pub mod tran;
 pub mod wave;
 
+pub use audit::SimFinding;
 pub use circuit::{Circuit, ElementKind, NodeId, GROUND};
 pub use dc::{dc_operating_point, dc_operating_point_with, DcSolution};
 pub use fault::{FaultPlan, SimCounts};

@@ -732,6 +732,7 @@ pub fn analyze(design: &Design, lib: &Library, cfg: &StaConfig) -> Result<Timing
         endpoint,
         endpoint_count: endpoints.len(),
         degraded_arcs,
+        audit: Default::default(),
     })
 }
 #[cfg(test)]

@@ -21,10 +21,12 @@
 //!
 //! Hold analysis runs the dual min-propagation against the hold margins.
 
+pub mod audit;
 mod engine;
 pub mod counters;
 mod report;
 
+pub use audit::audit_timing;
 pub use engine::{analyze, MissingArcPolicy, StaConfig};
 pub use report::{DegradeCause, DegradeKind, DegradeResolution, DegradedArc, PathStep, TimingReport};
 

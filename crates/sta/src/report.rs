@@ -1,5 +1,6 @@
 //! Timing report structures.
 
+use cryo_liberty::AuditReport;
 use serde::{Deserialize, Serialize};
 
 /// One hop on the critical path.
@@ -110,7 +111,7 @@ pub struct DegradedArc {
 }
 
 /// Outcome of a timing run at one corner.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TimingReport {
     /// Library (corner) name.
     pub corner: String,
@@ -139,6 +140,70 @@ pub struct TimingReport {
     /// non-empty list means the numbers above carry the listed
     /// pessimistic stand-ins.
     pub degraded_arcs: Vec<DegradedArc>,
+    /// Findings from the signoff audit firewall, when one ran over this
+    /// corner. Clean reports omit the field when serialized, so clean
+    /// artifacts (pipeline stage blobs, golden snapshots) stay
+    /// byte-identical to the pre-audit serialization.
+    pub audit: AuditReport,
+}
+
+// Hand-written serde impls: the audit field is emitted only when dirty
+// (the vendored serde derive has no `skip_serializing_if`), keeping clean
+// runs byte-identical to the pre-audit format and letting pre-audit
+// artifacts deserialize with a clean default audit.
+impl Serialize for TimingReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("corner".to_string(), self.corner.to_value()),
+            ("temperature".to_string(), self.temperature.to_value()),
+            (
+                "critical_path_delay".to_string(),
+                self.critical_path_delay.to_value(),
+            ),
+            ("worst_paths".to_string(), self.worst_paths.to_value()),
+            (
+                "slack_histogram".to_string(),
+                self.slack_histogram.to_value(),
+            ),
+            ("worst_slack".to_string(), self.worst_slack.to_value()),
+            (
+                "worst_hold_slack".to_string(),
+                self.worst_hold_slack.to_value(),
+            ),
+            ("critical_path".to_string(), self.critical_path.to_value()),
+            ("endpoint".to_string(), self.endpoint.to_value()),
+            ("endpoint_count".to_string(), self.endpoint_count.to_value()),
+            ("degraded_arcs".to_string(), self.degraded_arcs.to_value()),
+        ];
+        if !self.audit.is_clean() {
+            fields.push(("audit".to_string(), self.audit.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for TimingReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let obj = serde::object_fields(v, "TimingReport")?;
+        fn field<T: Deserialize>(obj: &serde::Value, name: &str) -> Result<T, serde::Error> {
+            T::from_value(obj.get(name))
+                .map_err(|e| serde::Error::custom(format!("TimingReport.{name}: {e}")))
+        }
+        Ok(Self {
+            corner: field(obj, "corner")?,
+            temperature: field(obj, "temperature")?,
+            critical_path_delay: field(obj, "critical_path_delay")?,
+            worst_paths: field(obj, "worst_paths")?,
+            slack_histogram: field(obj, "slack_histogram")?,
+            worst_slack: field(obj, "worst_slack")?,
+            worst_hold_slack: field(obj, "worst_hold_slack")?,
+            critical_path: field(obj, "critical_path")?,
+            endpoint: field(obj, "endpoint")?,
+            endpoint_count: field(obj, "endpoint_count")?,
+            degraded_arcs: field(obj, "degraded_arcs")?,
+            audit: field::<Option<AuditReport>>(obj, "audit")?.unwrap_or_default(),
+        })
+    }
 }
 
 impl TimingReport {
@@ -226,6 +291,7 @@ mod tests {
             endpoint: "e".into(),
             endpoint_count: 1,
             degraded_arcs: vec![],
+            audit: Default::default(),
         };
         assert!((r.fmax() - 1e9).abs() < 1.0);
         assert!(!r.is_degraded());
@@ -263,6 +329,7 @@ mod tests {
                 resolution: DegradeResolution::borrowed("FAx2", 0.1),
                 assumed_delay: 22e-12,
             }],
+            audit: Default::default(),
         };
         let text = r.path_report();
         assert!(text.contains("1.0400 ns"));
@@ -292,6 +359,7 @@ mod tests {
                 resolution: DegradeResolution::bound(),
                 assumed_delay: 80e-12,
             }],
+            audit: Default::default(),
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: TimingReport = serde_json::from_str(&json).unwrap();
