@@ -1,0 +1,127 @@
+//! Learned-surrogate inference vs. SPICE characterization of the same
+//! cold corner: the surrogate's headline number. The warm (300 K) corner
+//! is characterized once as setup; the bench then times (a) full SPICE
+//! characterization of the 10 K corner and (b) surrogate prediction of
+//! that corner from the warm anchor with an already-trained model, and
+//! records the measured means and their ratio in `BENCH_surrogate.json`
+//! at the repo root (full mode only — the CI smoke's 2-cell numbers are
+//! not representative).
+//!
+//! The vendored criterion stub ignores harness CLI flags, so `--test`
+//! (CI's bench smoke) is handled here: it shrinks the cell set and sample
+//! count to keep the smoke run fast while still driving both paths.
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cryo_cells::{topology, CharConfig, Characterizer};
+use cryo_device::{CornerScalars, ModelCard, Polarity};
+use cryo_surrogate::TrainConfig;
+
+/// CI smoke mode (`cargo bench -p cryo-bench -- --test`).
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn mean_s(acc: &RefCell<(Duration, u32)>) -> f64 {
+    let (total, n) = *acc.borrow();
+    total.as_secs_f64() / f64::from(n.max(1))
+}
+
+fn bench_surrogate(c: &mut Criterion) {
+    let smoke = smoke_mode();
+    let mut g = c.benchmark_group("surrogate");
+    let take = if smoke { 2 } else { 12 };
+    let cells: Vec<_> = topology::standard_cell_set()
+        .into_iter()
+        .take(take)
+        .collect();
+    let nc = ModelCard::nominal(Polarity::N);
+    let pc = ModelCard::nominal(Polarity::P);
+    let cfg300 = CharConfig::fast(300.0);
+    let cfg10 = CharConfig::fast(10.0);
+
+    // Setup (untimed): the warm anchor every prediction starts from.
+    let warm_engine = Characterizer::new(&nc, &pc, cfg300.clone());
+    let (warm, _) = warm_engine.characterize_library_robust("bench_warm", &cells, None);
+
+    // (a) The baseline being displaced: SPICE-characterize the cold corner.
+    let cold_engine = Characterizer::new(&nc, &pc, cfg10.clone());
+    let spice = RefCell::new((Duration::ZERO, 0u32));
+    g.sample_size(if smoke { 1 } else { 3 });
+    g.bench_function(&format!("spice_cold_{}cells", cells.len()), |b| {
+        b.iter(|| {
+            let t = Instant::now();
+            let out = cold_engine.characterize_library_robust("bench_cold", &cells, None);
+            let mut s = spice.borrow_mut();
+            s.0 += t.elapsed();
+            s.1 += 1;
+            out
+        })
+    });
+
+    // Setup (untimed, measured once for the record): train the transfer
+    // model on the cold corner as probe ground truth.
+    let cold_engine = Characterizer::new(&nc, &pc, cfg10.clone());
+    let (cold, _) = cold_engine.characterize_library_robust("bench_cold", &cells, None);
+    let warm_sc = CornerScalars::at(&nc, &pc, cfg300.vdd, 300.0);
+    let cold_sc = CornerScalars::at(&nc, &pc, cfg10.vdd, 10.0);
+    let train_t = Instant::now();
+    let (surrogate, _, dataset) = cryo_surrogate::fit(
+        &warm,
+        &cold,
+        warm_sc,
+        cold_sc,
+        &TrainConfig::default(),
+        None,
+    );
+    let train_s = train_t.elapsed().as_secs_f64();
+    let (residual, _) = surrogate.residuals(&dataset);
+
+    // (b) The surrogate path: predict the full corner from the warm anchor.
+    let predict = RefCell::new((Duration::ZERO, 0u32));
+    g.sample_size(if smoke { 2 } else { 20 });
+    g.bench_function(&format!("predict_cold_{}cells", cells.len()), |b| {
+        b.iter(|| {
+            let t = Instant::now();
+            let out = surrogate.predict_library(&warm, "bench_pred", residual);
+            let mut s = predict.borrow_mut();
+            s.0 += t.elapsed();
+            s.1 += 1;
+            out
+        })
+    });
+    g.finish();
+
+    let spice_s = mean_s(&spice);
+    let predict_s = mean_s(&predict);
+    let speedup = spice_s / predict_s.max(1e-12);
+    println!(
+        "surrogate: spice {spice_s:.3} s, predict {predict_s:.6} s, train {train_s:.3} s \
+         => predict {speedup:.0}x faster than SPICE"
+    );
+    if !smoke {
+        let json = format!(
+            "{{\n  \"bench\": \"surrogate\",\n  \"description\": \"Cold-corner (10 K) library \
+             for a {n}-cell prefix of the standard set (fast 3x3 grid): full SPICE \
+             characterization vs. surrogate prediction from the characterized 300 K corner \
+             with an already-trained model, via `cargo bench -p cryo-bench --bench \
+             surrogate`. Training itself (train_s, one-time per corner pair) amortizes \
+             across every corner predicted from the same warm anchor.\",\n  \
+             \"cells\": {n},\n  \"spice_cold_s\": {spice_s:.6},\n  \
+             \"surrogate_train_s\": {train_s:.6},\n  \
+             \"surrogate_predict_s\": {predict_s:.6},\n  \
+             \"predict_speedup_over_spice\": {speedup:.0}\n}}\n",
+            n = cells.len(),
+        );
+        // Benches run with cwd = the package dir; anchor to the repo root.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_surrogate.json");
+        std::fs::write(path, json).expect("write BENCH_surrogate.json");
+        eprintln!("wrote BENCH_surrogate.json (predict {speedup:.0}x faster than SPICE)");
+    }
+}
+
+criterion_group!(benches, bench_surrogate);
+criterion_main!(benches);

@@ -13,6 +13,13 @@
 //! - `--audit-report <path>` — dump the machine-readable audit report as
 //!   JSON: the pipeline's accumulated findings/repairs on success, or the
 //!   terminal finding list when the run dies with an audit failure.
+//! - `--surrogate[=<spec>]` (or `--surrogate <spec>`) — predict the cold
+//!   corner with the learned surrogate instead of SPICE-characterizing it;
+//!   bare `--surrogate` means `predict:0.75`, otherwise `<spec>` is any
+//!   `CRYO_SURROGATE` value (`off` or `predict:<max_rel_err>`).
+//! - `--surrogate-report <path>` — dump the surrogate summary (model hash,
+//!   residual stats, per-cell fallback decisions) as JSON after a
+//!   successful predicted run.
 //! - `CRYO_KILL_AFTER_STAGE=<stage>` — checkpoint through `<stage>`, then
 //!   die by SIGKILL (a real crash: no destructors, no flushing), leaving
 //!   the pipeline store behind for the next invocation to resume.
@@ -22,8 +29,9 @@
 
 use std::time::Instant;
 
+use cryo_cells::SurrogateSummary;
 use cryo_core::supervise::{PipelineReport, Stage, Supervisor, SupervisorConfig};
-use cryo_core::{AuditPolicy, CoreError, CryoFlow, FlowConfig};
+use cryo_core::{AuditPolicy, CoreError, CryoFlow, FlowConfig, SurrogatePolicy};
 use cryo_liberty::AuditReport;
 
 /// Value of `--name=<v>` or `--name <v>`, if present.
@@ -52,6 +60,41 @@ fn write_audit_report(path: &str, audit: &AuditReport) {
         audit.findings.len(),
         audit.repaired.len()
     );
+}
+
+/// `--surrogate[=<spec>]` / `--surrogate <spec>`; a bare flag means
+/// `predict:0.75`. Returns `None` when the flag is absent.
+fn surrogate_spec() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    let mut spec = None;
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--surrogate=") {
+            spec = Some(v.to_string());
+        } else if a == "--surrogate" {
+            spec = Some(match args.get(i + 1) {
+                Some(v) if !v.starts_with("--") => v.clone(),
+                _ => "predict:0.75".to_string(),
+            });
+        }
+    }
+    spec
+}
+
+fn write_surrogate_report(path: &str, summary: Option<&SurrogateSummary>) {
+    let json = serde_json::to_string(&summary.cloned()).expect("surrogate summary serializes");
+    std::fs::write(path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write surrogate report {path}: {e}");
+        std::process::exit(2);
+    });
+    match summary {
+        Some(s) => eprintln!(
+            "wrote surrogate report to {path} (model {}, {} predicted, {} fallback(s))",
+            s.model_hash,
+            s.predicted,
+            s.fallbacks.len()
+        ),
+        None => eprintln!("wrote surrogate report to {path} (surrogate off: null)"),
+    }
 }
 
 fn stage_by_name(name: &str) -> Stage {
@@ -98,12 +141,19 @@ fn print_ledger(rep: &PipelineReport, wall_s: f64) {
     }
 }
 
-fn run(sup: &Supervisor, audit_report: Option<&str>) -> (PipelineReport, f64) {
+fn run(
+    sup: &Supervisor,
+    audit_report: Option<&str>,
+    surrogate_report: Option<&str>,
+) -> (PipelineReport, f64) {
     let t = Instant::now();
     match sup.run() {
         Ok(rep) => {
             if let Some(path) = audit_report {
                 write_audit_report(path, &rep.audit);
+            }
+            if let Some(path) = surrogate_report {
+                write_surrogate_report(path, rep.surrogate.as_ref());
             }
             (rep, t.elapsed().as_secs_f64())
         }
@@ -129,9 +179,9 @@ fn bench(fast: bool) {
         FlowConfig::full(&dir)
     };
     let sup = Supervisor::new(CryoFlow::new(cfg), SupervisorConfig::default());
-    let (cold_rep, cold_s) = run(&sup, None);
+    let (cold_rep, cold_s) = run(&sup, None, None);
     print_ledger(&cold_rep, cold_s);
-    let (res_rep, resumed_s) = run(&sup, None);
+    let (res_rep, resumed_s) = run(&sup, None, None);
     print_ledger(&res_rep, resumed_s);
     assert!(res_rep.stages.iter().all(|r| r.from_checkpoint));
     let stages: Vec<String> = cold_rep
@@ -178,7 +228,14 @@ fn main() {
             std::process::exit(2);
         });
     }
+    if let Some(spec) = surrogate_spec() {
+        cfg.surrogate_policy = SurrogatePolicy::parse(&spec).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    }
     let audit_report = arg_value("--audit-report");
+    let surrogate_report = arg_value("--surrogate-report");
     let sup = Supervisor::new(
         CryoFlow::new(cfg),
         SupervisorConfig {
@@ -186,10 +243,20 @@ fn main() {
             ..SupervisorConfig::default()
         },
     );
-    let (rep, wall_s) = run(&sup, audit_report.as_deref());
+    let (rep, wall_s) = run(&sup, audit_report.as_deref(), surrogate_report.as_deref());
     print_ledger(&rep, wall_s);
     if !rep.audit.is_clean() {
         println!("audit: {}", rep.audit.summary());
+    }
+    if let Some(s) = &rep.surrogate {
+        println!(
+            "surrogate: model {}, {} cell(s) predicted, {} SPICE fallback(s){}{}",
+            s.model_hash,
+            s.predicted,
+            s.fallbacks.len(),
+            if s.fallbacks.is_empty() { "" } else { ": " },
+            s.fallbacks.join(", ")
+        );
     }
 
     if let Some(stage) = kill_after {

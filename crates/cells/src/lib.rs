@@ -55,7 +55,7 @@ pub mod topology;
 
 pub use charlib::{CharConfig, Characterizer, RecoveryLevel};
 pub use checkpoint::CheckpointStore;
-pub use report::{CellOutcome, CellStatus, CharReport};
+pub use report::{CellOutcome, CellStatus, CharReport, SurrogateSummary};
 pub use topology::{CellNetlist, Mos};
 
 use std::error::Error;

@@ -7,7 +7,7 @@
 //! from — so callers can enforce a coverage floor and operators can see
 //! exactly what degraded.
 
-use cryo_liberty::AuditReport;
+use cryo_liberty::{AuditReport, ResidualStats};
 use serde::{Deserialize, Serialize};
 
 /// How a cell ended up in (or out of) the library.
@@ -25,6 +25,27 @@ pub enum CellStatus {
     /// Characterization exhausted the retry ladder and no sibling could
     /// stand in; the cell is absent from the library.
     Failed,
+    /// The cell's tables were emitted by a trained surrogate model instead
+    /// of SPICE (see `cryo-surrogate`); zero simulations were spent on it.
+    Predicted,
+}
+
+/// Summary of a surrogate-predicted corner, carried on the [`CharReport`]
+/// the prediction stands in for. Present only when a surrogate actually
+/// ran, and serialized only then, so SPICE-characterized reports stay
+/// byte-identical to the pre-surrogate schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateSummary {
+    /// FNV-64 digest of the trained model's exact weight bit patterns.
+    pub model_hash: String,
+    /// Held-out residual statistics of the model.
+    pub residual: ResidualStats,
+    /// Cells whose tables came from the model.
+    pub predicted: usize,
+    /// Cells the surrogate could not be trusted on (held-out residual or
+    /// audit finding out of bound) that fell back to per-cell SPICE
+    /// re-characterization, in name order.
+    pub fallbacks: Vec<String>,
 }
 
 /// Per-cell characterization outcome.
@@ -69,6 +90,10 @@ pub struct CharReport {
     /// (cache files, golden snapshots) stay byte-identical to the
     /// pre-audit serialization.
     pub audit: AuditReport,
+    /// Surrogate-prediction summary, when this corner's tables came from a
+    /// trained model rather than SPICE. `None` (and omitted from the
+    /// serialization) for every characterized corner.
+    pub surrogate: Option<SurrogateSummary>,
 }
 
 // Hand-written serde impls: the audit field is emitted only when dirty, so
@@ -87,6 +112,9 @@ impl Serialize for CharReport {
         if !self.audit.is_clean() {
             fields.push(("audit".to_string(), self.audit.to_value()));
         }
+        if let Some(s) = &self.surrogate {
+            fields.push(("surrogate".to_string(), s.to_value()));
+        }
         serde::Value::Object(fields)
     }
 }
@@ -102,6 +130,8 @@ impl Deserialize for CharReport {
             audit: Option::<AuditReport>::from_value(obj.get("audit"))
                 .map_err(|e| serde::Error::custom(format!("CharReport.audit: {e}")))?
                 .unwrap_or_default(),
+            surrogate: Option::<SurrogateSummary>::from_value(obj.get("surrogate"))
+                .map_err(|e| serde::Error::custom(format!("CharReport.surrogate: {e}")))?,
         })
     }
 }
@@ -184,6 +214,7 @@ impl CharReport {
             (CellStatus::Characterized, "characterized"),
             (CellStatus::Resumed, "resumed"),
             (CellStatus::Cached, "cached"),
+            (CellStatus::Predicted, "predicted"),
             (CellStatus::Derated, "derated"),
             (CellStatus::Failed, "failed"),
         ] {
@@ -280,5 +311,36 @@ mod tests {
         assert!(json.contains("delay_positive"));
         let back: CharReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn absent_surrogate_is_invisible_in_serialization() {
+        // Same byte-identity contract as the audit field: reports from
+        // SPICE-characterized corners must serialize exactly as before the
+        // surrogate subsystem existed.
+        let mut r = CharReport::default();
+        r.push(outcome("INVx1", CellStatus::Characterized));
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(!json.contains("surrogate"), "absent summary must be omitted: {json}");
+        let back: CharReport = serde_json::from_str(&json).unwrap();
+        assert!(back.surrogate.is_none());
+
+        r.outcomes[0].status = CellStatus::Predicted;
+        r.surrogate = Some(SurrogateSummary {
+            model_hash: "af63dc4c8601ec8c".into(),
+            residual: ResidualStats {
+                n_train: 960,
+                n_holdout: 240,
+                mean_abs_rel_err: 0.02,
+                max_abs_rel_err: 0.11,
+            },
+            predicted: 1,
+            fallbacks: vec!["NANDx1".into()],
+        });
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("model_hash"));
+        let back: CharReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        assert!(back.summary().contains("1 predicted"));
     }
 }

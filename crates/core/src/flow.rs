@@ -16,6 +16,7 @@ use cryo_spice::{fault, FaultPlan};
 use cryo_sta::{analyze, MissingArcPolicy, StaConfig, TimingReport};
 
 use crate::audit::AuditPolicy;
+use crate::surrogate::SurrogatePolicy;
 use crate::{CoreError, Result};
 
 /// The paper's cooling budget at 10 K, watts (Sec. I-B).
@@ -60,6 +61,14 @@ pub struct FlowConfig {
     /// (default [`AuditPolicy::Warn`]). Auditing never changes clean
     /// artifacts, so this does not participate in cache keys.
     pub audit_policy: AuditPolicy,
+    /// Whether the cold corner is predicted by the learned surrogate
+    /// instead of SPICE-characterized; populated from `CRYO_SURROGATE` by
+    /// the constructors (default [`SurrogatePolicy::Off`]). Predicted
+    /// libraries are never promoted to the SPICE cache and the surrogate's
+    /// own stores are namespaced, so this does not participate in cache
+    /// keys — SPICE artifacts are byte-identical with the surrogate on or
+    /// off.
+    pub surrogate_policy: SurrogatePolicy,
 }
 
 impl FlowConfig {
@@ -77,6 +86,7 @@ impl FlowConfig {
             fault_plan: FaultPlan::from_env(),
             jobs: 0,
             audit_policy: AuditPolicy::from_env(),
+            surrogate_policy: SurrogatePolicy::from_env(),
         }
     }
 
@@ -96,6 +106,7 @@ impl FlowConfig {
             fault_plan: FaultPlan::from_env(),
             jobs: 0,
             audit_policy: AuditPolicy::from_env(),
+            surrogate_policy: SurrogatePolicy::from_env(),
         }
     }
 }

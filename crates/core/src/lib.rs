@@ -21,10 +21,12 @@ pub mod audit;
 pub mod experiments;
 pub mod flow;
 pub mod supervise;
+pub mod surrogate;
 
 pub use audit::AuditPolicy;
 pub use flow::{CryoFlow, FlowConfig, Workload};
 pub use supervise::{PipelineReport, Stage, StageRecord, Supervisor, SupervisorConfig};
+pub use surrogate::SurrogatePolicy;
 
 use std::error::Error;
 use std::fmt;

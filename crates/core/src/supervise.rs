@@ -31,7 +31,7 @@ use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use cryo_cells::{cache, topology, CharReport, CheckpointStore};
+use cryo_cells::{cache, topology, CharReport, CheckpointStore, SurrogateSummary};
 use cryo_liberty::{audit_cross_corner, audit_library, AuditReport, Library};
 use cryo_power::{ActivityProfile, PowerReport};
 use cryo_spice::{fault, FaultPlan};
@@ -40,6 +40,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::audit::{self, AuditPolicy};
 use crate::flow::{CryoFlow, Workload, COOLING_BUDGET_10K, DECOHERENCE_TIME, FIG7_CLOCK};
+use crate::surrogate::SurrogatePolicy;
 use crate::{CoreError, Result};
 
 // ----------------------------------------------------------------------
@@ -298,6 +299,10 @@ pub struct PipelineReport {
     /// on a clean run (and omitted from serialization, so clean pipeline
     /// reports stay byte-identical to the pre-audit schema).
     pub audit: AuditReport,
+    /// Surrogate-prediction summary lifted from the cold corner's
+    /// characterization report when the run predicted that corner; `None`
+    /// (and omitted from serialization) under [`SurrogatePolicy::Off`].
+    pub surrogate: Option<SurrogateSummary>,
 }
 
 // The vendored serde derive cannot skip a field conditionally, and a clean
@@ -313,6 +318,9 @@ impl Serialize for PipelineReport {
         ];
         if !self.audit.is_clean() {
             fields.push(("audit".to_string(), self.audit.to_value()));
+        }
+        if let Some(s) = &self.surrogate {
+            fields.push(("surrogate".to_string(), s.to_value()));
         }
         serde::Value::Object(fields)
     }
@@ -334,6 +342,7 @@ impl Deserialize for PipelineReport {
             stages: field(obj, "stages")?,
             verdict: field(obj, "verdict")?,
             audit: field::<Option<AuditReport>>(obj, "audit")?.unwrap_or_default(),
+            surrogate: field::<Option<SurrogateSummary>>(obj, "surrogate")?,
         })
     }
 }
@@ -349,9 +358,12 @@ pub struct EnvConfig {
     pub jobs: Option<usize>,
     /// Parsed `CRYO_AUDIT` policy (default when unset).
     pub audit_policy: AuditPolicy,
+    /// Parsed `CRYO_SURROGATE` policy (default when unset).
+    pub surrogate_policy: SurrogatePolicy,
 }
 
-/// Strictly validate `CRYO_FAULTS`, `CRYO_JOBS`, and `CRYO_AUDIT`.
+/// Strictly validate `CRYO_FAULTS`, `CRYO_JOBS`, `CRYO_AUDIT`, and
+/// `CRYO_SURROGATE`.
 ///
 /// # Errors
 ///
@@ -373,10 +385,17 @@ pub fn validate_env() -> Result<EnvConfig> {
         value: std::env::var("CRYO_AUDIT").unwrap_or_default(),
         reason,
     })?;
+    let surrogate_policy =
+        SurrogatePolicy::from_env_checked().map_err(|reason| CoreError::Config {
+            var: "CRYO_SURROGATE".into(),
+            value: std::env::var("CRYO_SURROGATE").unwrap_or_default(),
+            reason,
+        })?;
     Ok(EnvConfig {
         fault_plan,
         jobs,
         audit_policy,
+        surrogate_policy,
     })
 }
 
@@ -478,12 +497,15 @@ impl Supervisor {
         let audit_policy = fcfg.audit_policy;
 
         let halted = |stage: Stage| self.cfg.halt_after == Some(stage);
-        let partial = |records: Vec<StageRecord>, audit: AuditReport| PipelineReport {
+        let partial = |records: Vec<StageRecord>,
+                       audit: AuditReport,
+                       surrogate: Option<SurrogateSummary>| PipelineReport {
             pipeline_key: pipeline_key.clone(),
             completed: false,
             stages: records,
             verdict: None,
             audit,
+            surrogate,
         };
 
         // Calibrate ----------------------------------------------------
@@ -510,7 +532,7 @@ impl Supervisor {
             self.settle(Stage::Calibrate, cards, audit_policy, &mut pipeline_audit)?;
         }
         if halted(Stage::Calibrate) {
-            return Ok(partial(records, pipeline_audit));
+            return Ok(partial(records, pipeline_audit, None));
         }
 
         // Characterization ---------------------------------------------
@@ -531,24 +553,51 @@ impl Supervisor {
             char300
         };
         if halted(Stage::Charlib300) {
-            return Ok(partial(records, pipeline_audit));
+            return Ok(partial(records, pipeline_audit, None));
         }
 
         let flow = self.flow.clone();
-        let char10: CharArtifact =
-            self.stage(Stage::Charlib10, started, &store, &mut records, move || {
-                let (lib, report) = flow.library_with_report(10.0)?;
-                let mean_delay = lib.stats().mean_delay;
-                Ok(CharArtifact {
-                    lib,
-                    report,
-                    mean_delay,
-                })
-            })?;
-        let char10 = if audit_policy.is_on() {
+        let char10: CharArtifact = match fcfg.surrogate_policy {
+            SurrogatePolicy::PredictWithFallback { max_rel_err } => {
+                // Predicted corner: distinct checkpoint blob so it can
+                // never be resumed as (or clobber) a SPICE artifact.
+                let warm = char300.lib.clone();
+                self.stage_blob(
+                    Stage::Charlib10,
+                    "charlib10_sur",
+                    started,
+                    &store,
+                    &mut records,
+                    move || {
+                        let (lib, report) =
+                            flow.surrogate_library_with_report(10.0, &warm, max_rel_err)?;
+                        let mean_delay = lib.stats().mean_delay;
+                        Ok(CharArtifact {
+                            lib,
+                            report,
+                            mean_delay,
+                        })
+                    },
+                )?
+            }
+            SurrogatePolicy::Off => {
+                self.stage(Stage::Charlib10, started, &store, &mut records, move || {
+                    let (lib, report) = flow.library_with_report(10.0)?;
+                    let mean_delay = lib.stats().mean_delay;
+                    Ok(CharArtifact {
+                        lib,
+                        report,
+                        mean_delay,
+                    })
+                })?
+            }
+        };
+        let char10 = if audit_policy.is_on() || char10.report.surrogate.is_some() {
             // The cold corner additionally audits against the warm one:
             // a uniform delay scaling passes every per-library invariant
-            // but lands outside the physical cross-corner band.
+            // but lands outside the physical cross-corner band. A
+            // predicted corner is re-audited even with `CRYO_AUDIT` off —
+            // predictions are untrusted by construction.
             self.audit_charlib(
                 Stage::Charlib10,
                 char10,
@@ -560,7 +609,11 @@ impl Supervisor {
             char10
         };
         if halted(Stage::Charlib10) {
-            return Ok(partial(records, pipeline_audit));
+            return Ok(partial(
+                records,
+                pipeline_audit,
+                char10.report.surrogate.clone(),
+            ));
         }
 
         // STA per corner ------------------------------------------------
@@ -579,7 +632,11 @@ impl Supervisor {
             self.settle(Stage::Sta300, found, audit_policy, &mut pipeline_audit)?;
         }
         if halted(Stage::Sta300) {
-            return Ok(partial(records, pipeline_audit));
+            return Ok(partial(
+                records,
+                pipeline_audit,
+                char10.report.surrogate.clone(),
+            ));
         }
 
         let flow = self.flow.clone();
@@ -595,7 +652,11 @@ impl Supervisor {
             self.settle(Stage::Sta10, found, audit_policy, &mut pipeline_audit)?;
         }
         if halted(Stage::Sta10) {
-            return Ok(partial(records, pipeline_audit));
+            return Ok(partial(
+                records,
+                pipeline_audit,
+                char10.report.surrogate.clone(),
+            ));
         }
 
         // Activity ------------------------------------------------------
@@ -617,7 +678,11 @@ impl Supervisor {
             self.settle(Stage::Activity, found, audit_policy, &mut pipeline_audit)?;
         }
         if halted(Stage::Activity) {
-            return Ok(partial(records, pipeline_audit));
+            return Ok(partial(
+                records,
+                pipeline_audit,
+                char10.report.surrogate.clone(),
+            ));
         }
 
         // Power ---------------------------------------------------------
@@ -646,7 +711,11 @@ impl Supervisor {
             self.settle(Stage::Power, found, audit_policy, &mut pipeline_audit)?;
         }
         if halted(Stage::Power) {
-            return Ok(partial(records, pipeline_audit));
+            return Ok(partial(
+                records,
+                pipeline_audit,
+                char10.report.surrogate.clone(),
+            ));
         }
 
         // Classify ------------------------------------------------------
@@ -683,6 +752,7 @@ impl Supervisor {
             stages: records,
             verdict: Some(verdict),
             audit: pipeline_audit,
+            surrogate: char10.report.surrogate.clone(),
         })
     }
 
@@ -720,6 +790,13 @@ impl Supervisor {
     /// (clean cells resume from checkpoints, zero re-simulation); the
     /// repaired artifact overwrites the stage checkpoint so later resumes
     /// see the clean library. Violations that survive repair are terminal.
+    ///
+    /// A **predicted** artifact (one carrying a surrogate summary) always
+    /// gates, whatever the audit policy: a dirty resumed prediction is
+    /// repaired by re-running the surrogate stage — its internal
+    /// audit-gated fallback re-characterizes exactly the distrusted cells
+    /// — rather than by [`CryoFlow::repair_library`], which would seed
+    /// predicted tables into the SPICE checkpoint namespace.
     fn audit_charlib(
         &self,
         stage: Stage,
@@ -733,6 +810,12 @@ impl Supervisor {
             (10.0, &fcfg.char_10k)
         } else {
             (300.0, &fcfg.char_300k)
+        };
+        let predicted = art.report.surrogate.is_some();
+        let blob_name = if predicted {
+            "charlib10_sur"
+        } else {
+            stage.name()
         };
         let audit_cfg = audit::lib_audit_config(char_cfg);
         let run_audit = |lib: &Library| {
@@ -754,12 +837,32 @@ impl Supervisor {
         for f in &found.findings {
             eprintln!("warning: audit {}: {f}", stage.name());
         }
-        if fcfg.audit_policy != AuditPolicy::Gate {
+        if fcfg.audit_policy != AuditPolicy::Gate && !predicted {
             pipeline_audit.merge(found);
             return Ok(art);
         }
         let offenders = found.offending_cells();
-        let (lib, mut report) = self.flow.repair_library(temp, &art.lib, &offenders)?;
+        let (lib, mut report) = if predicted {
+            let SurrogatePolicy::PredictWithFallback { max_rel_err } = fcfg.surrogate_policy
+            else {
+                // A predicted artifact resumed with the surrogate now
+                // off: there is no repair path that would not launder
+                // predictions into SPICE artifacts. Terminal.
+                return Err(CoreError::AuditFailed {
+                    stage: stage.name().to_string(),
+                    report: found,
+                });
+            };
+            let Some(w) = warm else {
+                return Err(CoreError::AuditFailed {
+                    stage: stage.name().to_string(),
+                    report: found,
+                });
+            };
+            self.flow.surrogate_library_with_report(temp, w, max_rel_err)?
+        } else {
+            self.flow.repair_library(temp, &art.lib, &offenders)?
+        };
         let recheck = run_audit(&lib);
         if !recheck.is_clean() {
             return Err(CoreError::AuditFailed {
@@ -779,7 +882,7 @@ impl Supervisor {
             mean_delay,
         };
         let payload = serde_json::to_string(&art).expect("stage artifacts serialize");
-        store.store_blob(stage.name(), &payload)?;
+        store.store_blob(blob_name, &payload)?;
         Ok(art)
     }
 
@@ -800,7 +903,27 @@ impl Supervisor {
         T: Serialize + Deserialize + Send + 'static,
         F: Fn() -> Result<T> + Send + Sync + 'static,
     {
-        if let Some(blob) = store.load_blob(stage.name()) {
+        self.stage_blob(stage, stage.name(), started, store, records, body)
+    }
+
+    /// [`Supervisor::stage`] with an explicit checkpoint-blob name, so
+    /// variants of a stage (the surrogate-predicted cold corner vs the
+    /// SPICE one) keep distinct resume artifacts and can never
+    /// cross-contaminate each other.
+    fn stage_blob<T, F>(
+        &self,
+        stage: Stage,
+        blob_name: &str,
+        started: Instant,
+        store: &CheckpointStore,
+        records: &mut Vec<StageRecord>,
+        body: F,
+    ) -> Result<T>
+    where
+        T: Serialize + Deserialize + Send + 'static,
+        F: Fn() -> Result<T> + Send + Sync + 'static,
+    {
+        if let Some(blob) = store.load_blob(blob_name) {
             if let Ok(artifact) = serde_json::from_str::<T>(&blob) {
                 records.push(StageRecord {
                     stage,
@@ -856,7 +979,7 @@ impl Supervisor {
                         Ok(artifact) => {
                             let payload = serde_json::to_string(&artifact)
                                 .expect("stage artifacts serialize");
-                            store.store_blob(stage.name(), &payload)?;
+                            store.store_blob(blob_name, &payload)?;
                             records.push(StageRecord {
                                 stage,
                                 from_checkpoint: false,

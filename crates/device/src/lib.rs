@@ -47,7 +47,7 @@ pub mod thermal;
 
 pub use audit::{audit_cards, DeviceFinding};
 pub use calibrate::{CalibrationReport, Calibrator};
-pub use metrics::{DeviceMetrics, IvCurve, IvDataset};
+pub use metrics::{CornerScalars, DeviceMetrics, IvCurve, IvDataset};
 pub use model::FinFet;
 pub use montecarlo::{mismatch_run, MismatchResult, VariationModel};
 pub use params::{ModelCard, Polarity};

@@ -162,6 +162,56 @@ impl IvDataset {
     }
 }
 
+/// Model-card scalars evaluated directly at one `(VDD, T)` operating
+/// corner — the device-layer feature vector the library surrogate trains
+/// on. Unlike [`DeviceMetrics`] these come straight from the compact model
+/// (no sweep, no extraction), so building them is microseconds and they are
+/// available for corners no SPICE run has ever visited.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CornerScalars {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// Temperature, kelvin.
+    pub temp: f64,
+    /// n-FinFET temperature-adjusted threshold voltage, volts.
+    pub vth_n: f64,
+    /// p-FinFET temperature-adjusted threshold voltage (magnitude), volts.
+    pub vth_p: f64,
+    /// n-FinFET subthreshold ideality factor at `|Vds| = VDD`.
+    pub nfactor_n: f64,
+    /// p-FinFET subthreshold ideality factor at `|Vds| = VDD`.
+    pub nfactor_p: f64,
+    /// n-FinFET on-current magnitude per fin at `Vgs = Vds = VDD`, amperes.
+    pub ion_n: f64,
+    /// p-FinFET on-current magnitude per fin, amperes.
+    pub ion_p: f64,
+    /// n-FinFET off-current magnitude per fin at `Vgs = 0, Vds = VDD`, amperes.
+    pub ioff_n: f64,
+    /// p-FinFET off-current magnitude per fin, amperes.
+    pub ioff_p: f64,
+}
+
+impl CornerScalars {
+    /// Evaluate both polarities of a card pair at `(vdd, temp)`.
+    #[must_use]
+    pub fn at(nfet: &crate::params::ModelCard, pfet: &crate::params::ModelCard, vdd: f64, temp: f64) -> Self {
+        let n = FinFet::new(nfet, temp, 1);
+        let p = FinFet::new(pfet, temp, 1);
+        CornerScalars {
+            vdd,
+            temp,
+            vth_n: n.vth(),
+            vth_p: p.vth(),
+            nfactor_n: n.nfactor(vdd),
+            nfactor_p: p.nfactor(vdd),
+            ion_n: n.ids(vdd, vdd).abs(),
+            ion_p: p.ids(-vdd, -vdd).abs(),
+            ioff_n: n.ids(0.0, vdd).abs(),
+            ioff_p: p.ids(0.0, -vdd).abs(),
+        }
+    }
+}
+
 /// Classic device figures of merit extracted from a linear + saturation curve
 /// pair.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -29,6 +29,7 @@ pub mod cell;
 pub mod format;
 pub mod function;
 pub mod library;
+pub mod provenance;
 pub mod table;
 
 pub use audit::{
@@ -38,6 +39,7 @@ pub use audit::{
 pub use cell::{ArcKind, Cell, FfSpec, Pin, PinDirection, PowerArc, TimingArc, TimingSense};
 pub use function::LogicFunction;
 pub use library::{DelayHistogram, Library, LibraryStats};
+pub use provenance::{Provenance, ResidualStats};
 pub use table::Lut2;
 
 use std::error::Error;

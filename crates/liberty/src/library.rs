@@ -5,11 +5,12 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 
 use crate::cell::{ArcKind, Cell};
+use crate::provenance::Provenance;
 use crate::{LibertyError, Result};
 
 /// A characterized library corner: a set of cells at one (temperature,
 /// voltage) operating condition.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Library {
     /// Library name, e.g. `cryo5_tt_0p70v_10k`.
     pub name: String,
@@ -17,9 +18,52 @@ pub struct Library {
     pub temperature: f64,
     /// Supply voltage, volts.
     pub vdd: f64,
+    /// Where the tables came from: SPICE (the default) or a trained
+    /// surrogate. Characterized corners omit the field on serialization,
+    /// so pre-surrogate caches and golden snapshots stay byte-identical.
+    pub provenance: Provenance,
     cells: Vec<Cell>,
-    #[serde(skip)]
     index: HashMap<String, usize>,
+}
+
+// Hand-written serde: the derive emitted `name, temperature, vdd, cells`
+// (index skipped), and that exact field order and set must survive for
+// Characterized corners — the disk cache and every golden snapshot hash
+// those bytes. Predicted corners append a `provenance` object.
+impl Serialize for Library {
+    fn to_value(&self) -> serde::Value {
+        let mut fields = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("temperature".to_string(), self.temperature.to_value()),
+            ("vdd".to_string(), self.vdd.to_value()),
+            ("cells".to_string(), self.cells.to_value()),
+        ];
+        if self.provenance.is_predicted() {
+            fields.push(("provenance".to_string(), self.provenance.to_value()));
+        }
+        serde::Value::Object(fields)
+    }
+}
+
+impl Deserialize for Library {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        let obj = serde::object_fields(v, "Library")?;
+        fn field<T: Deserialize>(
+            obj: &serde::Value,
+            name: &str,
+        ) -> std::result::Result<T, serde::Error> {
+            Deserialize::from_value(obj.get(name))
+                .map_err(|e| serde::Error::custom(format!("Library.{name}: {e}")))
+        }
+        Ok(Self {
+            name: field(obj, "name")?,
+            temperature: field(obj, "temperature")?,
+            vdd: field(obj, "vdd")?,
+            provenance: field(obj, "provenance")?,
+            cells: field(obj, "cells")?,
+            index: HashMap::new(),
+        })
+    }
 }
 
 impl Library {
@@ -30,6 +74,7 @@ impl Library {
             name: name.to_string(),
             temperature,
             vdd,
+            provenance: Provenance::default(),
             cells: Vec::new(),
             index: HashMap::new(),
         }
@@ -420,5 +465,40 @@ mod tests {
         back.reindex();
         assert!(back.cell("INVx2").is_ok());
         assert_eq!(back.len(), 2);
+    }
+
+    #[test]
+    fn characterized_provenance_is_invisible_in_serialization() {
+        // Byte-identity contract: a SPICE-characterized corner must
+        // serialize exactly as the pre-surrogate format did, so cache
+        // files and golden snapshots survive the field's introduction.
+        let l = lib();
+        let json = serde_json::to_string(&l).unwrap();
+        assert!(
+            !json.contains("provenance"),
+            "characterized corners must omit provenance: {json}"
+        );
+        let back: Library = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.provenance, Provenance::Characterized);
+    }
+
+    #[test]
+    fn predicted_provenance_round_trips() {
+        let mut l = lib();
+        l.provenance = Provenance::Predicted {
+            model_hash: "0123456789abcdef".into(),
+            residual: crate::provenance::ResidualStats {
+                n_train: 100,
+                n_holdout: 25,
+                mean_abs_rel_err: 0.02,
+                max_abs_rel_err: 0.09,
+            },
+        };
+        let json = serde_json::to_string(&l).unwrap();
+        assert!(json.contains("model_hash"));
+        let mut back: Library = serde_json::from_str(&json).unwrap();
+        back.reindex();
+        assert_eq!(back.provenance, l.provenance);
+        assert_eq!(back.len(), l.len());
     }
 }

@@ -1,0 +1,129 @@
+//! Library provenance: where a corner's numbers came from.
+//!
+//! A [`crate::Library`] has always meant "SPICE characterized this". The
+//! learned-surrogate subsystem (`cryo-surrogate`) introduces corners whose
+//! tables were *predicted* by a trained model, and anything downstream —
+//! the audit firewall, signoff reports, cache policies — must be able to
+//! tell the two apart. [`Provenance`] records that distinction on the
+//! library itself, together with the model hash and held-out residual
+//! statistics that bound how much the predicted numbers can be trusted.
+
+use serde::{Deserialize, Serialize};
+
+/// Held-out prediction-error statistics of a trained surrogate, measured in
+/// the linear (delay/slew/energy) domain as `|predicted - actual| /
+/// max(|actual|, ε)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResidualStats {
+    /// Training samples the model was fitted on.
+    pub n_train: usize,
+    /// Held-out samples the residuals were measured on.
+    pub n_holdout: usize,
+    /// Mean absolute relative error over the holdout set.
+    pub mean_abs_rel_err: f64,
+    /// Worst absolute relative error over the holdout set.
+    pub max_abs_rel_err: f64,
+}
+
+impl Default for ResidualStats {
+    fn default() -> Self {
+        ResidualStats {
+            n_train: 0,
+            n_holdout: 0,
+            mean_abs_rel_err: 0.0,
+            max_abs_rel_err: 0.0,
+        }
+    }
+}
+
+/// How a library corner's tables were produced.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Provenance {
+    /// Every table came from SPICE characterization — the historical (and
+    /// default) meaning of a `Library`. Serializes as nothing at all, so
+    /// pre-surrogate artifacts are byte-identical and round-trip.
+    #[default]
+    Characterized,
+    /// The tables were emitted by a trained surrogate model.
+    Predicted {
+        /// FNV-64 digest of the trained model's exact weight bit patterns.
+        model_hash: String,
+        /// Held-out residual statistics of that model.
+        residual: ResidualStats,
+    },
+}
+
+impl Provenance {
+    /// Whether this is a predicted (surrogate-emitted) corner.
+    #[must_use]
+    pub fn is_predicted(&self) -> bool {
+        matches!(self, Provenance::Predicted { .. })
+    }
+}
+
+// The vendored serde derive only handles unit-variant enums, and
+// `Characterized` must serialize as an *absent* field (see `Library`'s
+// hand-written impls), so both impls are written out.
+impl Serialize for Provenance {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            Provenance::Characterized => serde::Value::Null,
+            Provenance::Predicted {
+                model_hash,
+                residual,
+            } => serde::Value::Object(vec![
+                ("model_hash".to_string(), model_hash.to_value()),
+                ("residual".to_string(), residual.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for Provenance {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        match v {
+            serde::Value::Null => Ok(Provenance::Characterized),
+            serde::Value::Object(_) => Ok(Provenance::Predicted {
+                model_hash: Deserialize::from_value(v.get("model_hash"))
+                    .map_err(|e| serde::Error::custom(format!("Provenance.model_hash: {e}")))?,
+                residual: Deserialize::from_value(v.get("residual"))
+                    .map_err(|e| serde::Error::custom(format!("Provenance.residual: {e}")))?,
+            }),
+            other => Err(serde::Error::custom(format!(
+                "expected null or object for Provenance, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn characterized_serializes_as_null_and_round_trips() {
+        let p = Provenance::Characterized;
+        assert_eq!(p.to_value(), serde::Value::Null);
+        let back = Provenance::from_value(&serde::Value::Null).unwrap();
+        assert_eq!(back, p);
+        assert!(!p.is_predicted());
+    }
+
+    #[test]
+    fn predicted_round_trips_with_stats() {
+        let p = Provenance::Predicted {
+            model_hash: "deadbeefdeadbeef".into(),
+            residual: ResidualStats {
+                n_train: 1200,
+                n_holdout: 300,
+                mean_abs_rel_err: 0.031,
+                max_abs_rel_err: 0.18,
+            },
+        };
+        let v = p.to_value();
+        let back = Provenance::from_value(&v).unwrap();
+        assert_eq!(back, p);
+        assert!(back.is_predicted());
+    }
+}

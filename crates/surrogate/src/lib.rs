@@ -1,0 +1,72 @@
+#![warn(missing_docs)]
+//! Learned library prediction: train on SPICE-characterized corners, infer
+//! new (VDD, T) corners, and let an audit-gated fallback catch what the
+//! model gets wrong.
+//!
+//! Characterizing one corner of the standard-cell library costs thousands
+//! of SPICE transients. This crate replaces most of them with a learned
+//! *transfer*: SPICE-characterize a small probe set (the drive-1 cells) at
+//! the target corner, train a small MLP on how each table entry moved
+//! relative to an already-characterized warm corner, then predict every
+//! remaining cell's tables from its warm anchor — orders of magnitude
+//! faster than simulating them (see `benches/surrogate.rs`).
+//!
+//! The pipeline, mirroring the paper's intelligent-methods theme of
+//! ML-assisted test generation with verification backstops:
+//!
+//! 1. [`features`] — build a per-table-entry dataset from the warm library,
+//!    the cold probe library, cell topology descriptors, and
+//!    [`cryo_device::CornerScalars`] model-card physics.
+//! 2. [`mlp`] — train a hand-rolled `[features, 16, 8, 1]` network with
+//!    seeded minibatch SGD. Training is byte-deterministic (own
+//!    [`det`] transcendentals, splitmix64 shuffles) and checkpoints every
+//!    epoch, so a killed run resumes with zero repeated epochs and a
+//!    bit-identical final model.
+//! 3. [`predict`] — emit a full [`cryo_liberty::Library`] tagged
+//!    [`cryo_liberty::Provenance::Predicted`], with delay tables
+//!    load-monotone by construction and leakage scaled by device physics.
+//!
+//! Trust is never assumed: the flow layer (`cryo-core`) runs every
+//! predicted library through the signoff audit firewall, and any cell whose
+//! held-out residual or audit finding exceeds the configured bound is
+//! individually re-characterized with SPICE — the same quarantine-repair
+//! path the firewall uses for corrupted characterizations.
+
+pub mod det;
+pub mod features;
+pub mod mlp;
+pub mod predict;
+
+pub use features::{ArcSample, CellDescriptor, Dataset, Edge, Normalizer, TableKind};
+pub use mlp::{fnv64, train, Mlp, Rng, TrainConfig, TrainOutcome, MODEL_BLOB};
+pub use predict::Surrogate;
+
+use cryo_cells::CheckpointStore;
+use cryo_device::CornerScalars;
+use cryo_liberty::Library;
+
+/// End-to-end fit: build the dataset from the two libraries, fit the
+/// feature normalizer, train (resuming from `store` when possible), and
+/// return the ready-to-serve [`Surrogate`] with its training outcome and
+/// the dataset (for residual accounting).
+#[must_use]
+pub fn fit(
+    warm: &Library,
+    cold_probe: &Library,
+    warm_sc: CornerScalars,
+    cold_sc: CornerScalars,
+    cfg: &TrainConfig,
+    store: Option<&CheckpointStore>,
+) -> (Surrogate, TrainOutcome, Dataset) {
+    let dataset = Dataset::build(warm, cold_probe, &warm_sc, &cold_sc);
+    let norm = Normalizer::fit(dataset.samples.iter().map(|s| &s.features));
+    let train_split = dataset.train_split();
+    let outcome = train(&train_split, &norm, cfg, &dataset.content_hash(), store);
+    let surrogate = Surrogate {
+        model: outcome.model.clone(),
+        norm,
+        warm_sc,
+        cold_sc,
+    };
+    (surrogate, outcome, dataset)
+}

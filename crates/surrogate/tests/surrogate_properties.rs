@@ -1,0 +1,131 @@
+//! Property-based pins on the surrogate's two load-bearing guarantees:
+//! the feature normalizer is an exact affine round-trip (inference applies
+//! the same map training saw), and predicted delay tables are monotone in
+//! load *whatever* the model weights say — the audit firewall's
+//! `delay_monotone_load` invariant holds by construction, not by luck.
+
+use proptest::prelude::*;
+
+use cryo_device::CornerScalars;
+use cryo_liberty::{ArcKind, Cell, LogicFunction, Lut2, Pin, TimingArc, TimingSense};
+use cryo_surrogate::features::N_FEATURES;
+use cryo_surrogate::{Mlp, Normalizer, Rng, Surrogate};
+
+fn corner(vdd: f64, temp: f64, vth_shift: f64) -> CornerScalars {
+    CornerScalars {
+        vdd,
+        temp,
+        vth_n: 0.25 + vth_shift,
+        vth_p: -0.25 - vth_shift,
+        nfactor_n: 1.2,
+        nfactor_p: 1.25,
+        ion_n: 1.1e-4,
+        ion_p: 8.2e-5,
+        ioff_n: 3e-9,
+        ioff_p: 5e-9,
+    }
+}
+
+fn surrogate_from_seed(seed: u64, hidden: usize, vth_shift: f64) -> Surrogate {
+    let mut rng = Rng::new(seed);
+    Surrogate {
+        model: Mlp::init(&[N_FEATURES, hidden, 1], &mut rng),
+        norm: Normalizer {
+            lo: vec![-2.0; N_FEATURES],
+            hi: vec![2.0; N_FEATURES],
+        },
+        warm_sc: corner(0.70, 300.0, 0.0),
+        cold_sc: corner(0.60, 10.0, vth_shift),
+    }
+}
+
+fn cell_with_delays(n1: usize, n2: usize, base: f64, jitter: &[f64]) -> Cell {
+    let index1: Vec<f64> = (0..n1).map(|i| 1e-12 * (i + 1) as f64).collect();
+    let index2: Vec<f64> = (0..n2).map(|i| 1e-15 * (i + 1) as f64).collect();
+    let mut values = Vec::with_capacity(n1 * n2);
+    for r in 0..n1 {
+        for c in 0..n2 {
+            // Monotone warm table with bounded per-entry jitter on top.
+            values.push(base * (1.0 + 0.3 * r as f64 + 0.5 * c as f64) + jitter[r * n2 + c]);
+        }
+    }
+    let t = Lut2::new(index1, index2, values).unwrap();
+    let f = LogicFunction::from_eval(&["A"], |b| b & 1 == 0);
+    Cell {
+        name: "INVx1".into(),
+        area: 0.05,
+        pins: vec![Pin::input("A", 1e-15), Pin::output("Y", f)],
+        arcs: vec![TimingArc {
+            related_pin: "A".into(),
+            pin: "Y".into(),
+            kind: ArcKind::Combinational,
+            sense: TimingSense::NegativeUnate,
+            cell_rise: t.clone(),
+            cell_fall: t.clone(),
+            rise_transition: t.clone(),
+            fall_transition: t,
+        }],
+        power_arcs: vec![],
+        leakage_states: vec![(0, 1e-9)],
+        ff: None,
+        drive: 1,
+    }
+}
+
+proptest! {
+    /// Normalize/denormalize is an exact round-trip on the fitted range,
+    /// for arbitrary (finite, spread-out) feature columns.
+    #[test]
+    fn normalizer_round_trips(
+        lo_seed in -1e3f64..1e3,
+        span in 1e-6f64..1e6,
+        frac in proptest::collection::vec(0.0f64..1.0, N_FEATURES),
+    ) {
+        let lo = vec![lo_seed; N_FEATURES];
+        let hi = vec![lo_seed + span; N_FEATURES];
+        let row: Vec<f64> = frac.iter().map(|f| lo_seed + f * span).collect();
+        let n = Normalizer { lo, hi };
+        let z = n.normalize(&row);
+        for &v in &z {
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "normalized out of range: {v}");
+        }
+        let back = n.denormalize(&z);
+        for (a, b) in back.iter().zip(&row) {
+            prop_assert!((a - b).abs() <= 1e-9 * span.max(1.0), "round trip drifted: {a} vs {b}");
+        }
+    }
+
+    /// Whatever the (random, untrained) weights and whatever bounded jitter
+    /// the warm table carries, every predicted delay table is monotone
+    /// non-decreasing along the load axis.
+    #[test]
+    fn predicted_delay_tables_stay_load_monotone(
+        seed in 0u64..1_000,
+        hidden in 2usize..12,
+        n1 in 2usize..5,
+        n2 in 2usize..5,
+        base in 1e-13f64..1e-11,
+        vth_shift in 0.0f64..0.3,
+        jitter_frac in proptest::collection::vec(-0.4f64..0.4, 16),
+    ) {
+        let jitter: Vec<f64> = jitter_frac.iter().map(|j| j * base).collect();
+        let cell = cell_with_delays(n1, n2, base, &jitter);
+        let sur = surrogate_from_seed(seed, hidden, vth_shift);
+        let pred = sur.predict_cell(&cell);
+        for arc in &pred.arcs {
+            for (tag, t) in [("cell_rise", &arc.cell_rise), ("cell_fall", &arc.cell_fall)] {
+                for (r, row) in t.values().chunks(t.index2().len()).enumerate() {
+                    for w in row.windows(2) {
+                        prop_assert!(
+                            w[1] >= w[0],
+                            "{tag} row {r} not monotone under seed {seed}: {row:?}"
+                        );
+                    }
+                }
+                for &v in t.values() {
+                    prop_assert!(v.is_finite() && v > 0.0, "{tag} must stay positive finite");
+                }
+            }
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`riscv`] | RV64IMFD simulator, assembler, pipeline + cache timing |
 //! | [`qubit`] | qubit readout model, calibration, decoherence budgets |
 //! | [`hdc`] | hyperdimensional computing primitives |
+//! | [`surrogate`] | learned library prediction: train on SPICE corners, infer new (VDD, T) |
 //! | [`core`] | the end-to-end exploration flow + experiment drivers |
 //!
 //! # Quickstart
@@ -41,3 +42,4 @@ pub use cryo_qubit as qubit;
 pub use cryo_riscv as riscv;
 pub use cryo_spice as spice;
 pub use cryo_sta as sta;
+pub use cryo_surrogate as surrogate;

@@ -7,7 +7,7 @@
 //! the suite.
 
 use cryo_soc::core::supervise::{validate_env, Supervisor, SupervisorConfig};
-use cryo_soc::core::{CoreError, CryoFlow, FlowConfig};
+use cryo_soc::core::{CoreError, CryoFlow, FlowConfig, SurrogatePolicy};
 
 #[test]
 fn malformed_env_is_rejected_at_flow_start_with_structured_errors() {
@@ -61,6 +61,37 @@ fn malformed_env_is_rejected_at_flow_start_with_structured_errors() {
             other => panic!("{bad}: expected Config error, got {other:?}"),
         }
     }
+
+    // Malformed CRYO_SURROGATE: garbage names the variable and the reason;
+    // a valid spec round-trips into the parsed policy.
+    unset("CRYO_JOBS");
+    for (bad, needle) in [
+        ("on", "unknown surrogate policy"),
+        ("predict:", "bad max_rel_err"),
+        ("predict:zero", "bad max_rel_err"),
+        ("predict:-0.5", "finite and > 0"),
+        ("predict:inf", "finite and > 0"),
+        ("predict:nan", "finite and > 0"),
+    ] {
+        set("CRYO_SURROGATE", bad);
+        match validate_env() {
+            Err(CoreError::Config { var, value, reason }) => {
+                assert_eq!(var, "CRYO_SURROGATE");
+                assert_eq!(value, bad);
+                assert!(reason.contains(needle), "{bad}: {reason}");
+            }
+            other => panic!("{bad}: expected Config error, got {other:?}"),
+        }
+    }
+    set("CRYO_SURROGATE", "predict:0.4");
+    let env = validate_env().expect("valid surrogate spec");
+    assert_eq!(
+        env.surrogate_policy,
+        SurrogatePolicy::PredictWithFallback { max_rel_err: 0.4 }
+    );
+    unset("CRYO_SURROGATE");
+    let env = validate_env().expect("unset surrogate is valid");
+    assert_eq!(env.surrogate_policy, SurrogatePolicy::Off);
 
     // The supervisor refuses to start any stage under a malformed knob:
     // the error comes back before a checkpoint store even exists.
