@@ -43,6 +43,34 @@ pub fn cell_set_tag(cells: &[crate::topology::CellNetlist]) -> String {
     format!("set{}_{:08x}", names.len(), fnv1a(blob.as_bytes()) as u32)
 }
 
+/// Canonical library name for a PVT corner, e.g. `cryo5_tt_0p70v_300k` or
+/// `cryo5_ss_0p65v_4p2k`.
+///
+/// This centralizes the name format every cache and checkpoint namespace
+/// hangs off. For the historical tt / 0.70 V corners it reproduces the
+/// previously hardcoded `cryo5_tt_0p70v_{temp}k` strings byte for byte, so
+/// existing cache files stay valid. Voltages are rendered to the millivolt
+/// and temperatures to 0.1 K (`4p2k`), which is exactly the resolution the
+/// corner-spec validator admits — two distinct admissible corners can
+/// never collide on a name.
+#[must_use]
+pub fn corner_lib_name(process: &str, vdd: f64, temp: f64) -> String {
+    let mv = (vdd * 1000.0).round() as i64;
+    let (volts, rem) = (mv / 1000, mv % 1000);
+    let vstr = if rem % 10 == 0 {
+        format!("{volts}p{:02}", rem / 10)
+    } else {
+        format!("{volts}p{rem:03}")
+    };
+    let dk = (temp * 10.0).round() as i64;
+    let tstr = if dk % 10 == 0 {
+        format!("{}", dk / 10)
+    } else {
+        format!("{}p{}", dk / 10, dk % 10)
+    };
+    format!("cryo5_{process}_{vstr}v_{tstr}k")
+}
+
 /// Compute the cache key for a characterization run.
 ///
 /// Only the fields that change the characterization *results* participate
@@ -231,6 +259,26 @@ mod tests {
             cache_key(&n, &p, &base, "std").unwrap(),
             cache_key(&n, &p, &tweaked, "std").unwrap(),
             "retry budget must not invalidate existing caches"
+        );
+    }
+
+    #[test]
+    fn corner_lib_name_matches_legacy_and_separates_corners() {
+        // Byte-compatibility with the names the flow hardcoded pre-farm.
+        assert_eq!(corner_lib_name("tt", 0.70, 300.0), "cryo5_tt_0p70v_300k");
+        assert_eq!(corner_lib_name("tt", 0.70, 10.0), "cryo5_tt_0p70v_10k");
+        // Fractional corners get a `p` separator instead of truncating.
+        assert_eq!(corner_lib_name("ss", 0.65, 4.2), "cryo5_ss_0p65v_4p2k");
+        assert_eq!(corner_lib_name("ff", 0.725, 77.0), "cryo5_ff_0p725v_77k");
+        assert_ne!(
+            corner_lib_name("tt", 0.70, 4.2),
+            corner_lib_name("tt", 0.70, 4.0),
+            "0.1 K resolution must separate names"
+        );
+        assert_ne!(
+            corner_lib_name("tt", 0.701, 10.0),
+            corner_lib_name("tt", 0.70, 10.0),
+            "millivolt resolution must separate names"
         );
     }
 

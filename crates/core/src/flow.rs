@@ -3,7 +3,7 @@
 use std::path::PathBuf;
 
 use cryo_cells::{cache, topology, CharConfig, Characterizer, CharReport, CheckpointStore};
-use cryo_device::{ModelCard, Polarity};
+use cryo_device::{corner_die, ModelCard, Polarity, VariationModel};
 use cryo_hdc::IqEncoder;
 use cryo_liberty::{audit_library, AuditReport, Library};
 use cryo_netlist::{build_soc, Design, SocConfig};
@@ -16,6 +16,7 @@ use cryo_spice::{fault, FaultPlan};
 use cryo_sta::{analyze, MissingArcPolicy, StaConfig, TimingReport};
 
 use crate::audit::AuditPolicy;
+use crate::corners::{Corner, Process};
 use crate::surrogate::SurrogatePolicy;
 use crate::{CoreError, Result};
 
@@ -196,28 +197,37 @@ impl CryoFlow {
     /// [`CoreError::Coverage`] when the achieved coverage falls below
     /// `FlowConfig::coverage_floor`; cache I/O failures otherwise.
     pub fn library_with_report(&self, temp: f64) -> Result<(Library, CharReport)> {
-        let mut char_cfg = if temp < 150.0 {
-            self.cfg.char_10k.clone()
-        } else {
-            self.cfg.char_300k.clone()
-        };
-        if self.cfg.jobs != 0 {
-            char_cfg.jobs = self.cfg.jobs;
-        }
+        let char_cfg = self.base_char_cfg(temp);
         let stage = if temp < 150.0 { "charlib10" } else { "charlib300" };
-        let policy = self.cfg.audit_policy;
-        let cells = topology::standard_cell_set();
-        let tag = cache::cell_set_tag(&cells);
         // The fault guard goes up before the cards and the cache key are
         // derived: a `corrupt=vth` plan poisons the effective cards, which
         // changes the key, so a poisoned run can never read or write the
         // clean cache entry.
         let _fault_guard = self.cfg.fault_plan.clone().map(fault::install_guard);
         let (nfet, pfet) = self.effective_cards();
-        let key = cache::cache_key(&nfet, &pfet, &char_cfg, &tag)?;
         let name = format!("cryo5_tt_0p70v_{}k", temp as u32);
-        let audit_cfg = crate::audit::lib_audit_config(&char_cfg);
-        if let Some(lib) = cache::load(&self.cfg.cache_dir, &name, &key) {
+        self.characterize_corner(&name, stage, &char_cfg, &nfet, &pfet)
+    }
+
+    /// Characterize (or load from cache) one named corner from explicit
+    /// model cards — the shared engine behind [`CryoFlow::library_with_report`]
+    /// and the farm's [`CryoFlow::corner_library_with_report`]. Callers
+    /// install the fault guard *before* deriving the cards so a poisoned
+    /// card set changes the cache key here.
+    fn characterize_corner(
+        &self,
+        name: &str,
+        stage: &str,
+        char_cfg: &CharConfig,
+        nfet: &ModelCard,
+        pfet: &ModelCard,
+    ) -> Result<(Library, CharReport)> {
+        let policy = self.cfg.audit_policy;
+        let cells = topology::standard_cell_set();
+        let tag = cache::cell_set_tag(&cells);
+        let key = cache::cache_key(nfet, pfet, char_cfg, &tag)?;
+        let audit_cfg = crate::audit::lib_audit_config(char_cfg);
+        if let Some(lib) = cache::load(&self.cfg.cache_dir, name, &key) {
             // Cached corners are audited too — the cache is exactly where
             // silent at-rest corruption lives. A dirty cached corner under
             // Gate is discarded and rebuilt; under Warn it is used as-is.
@@ -227,7 +237,7 @@ impl CryoFlow {
                 AuditReport::default()
             };
             if cache_audit.is_clean() || policy != AuditPolicy::Gate {
-                warn_findings(&name, &cache_audit);
+                warn_findings(name, &cache_audit);
                 let mut report = CharReport {
                     outcomes: lib
                         .cells()
@@ -251,10 +261,10 @@ impl CryoFlow {
                 cache_audit.summary()
             );
         }
-        let checkpoint = CheckpointStore::open(&self.cfg.cache_dir, &name, &key)?;
-        let engine = Characterizer::new(&nfet, &pfet, char_cfg.clone());
+        let checkpoint = CheckpointStore::open(&self.cfg.cache_dir, name, &key)?;
+        let engine = Characterizer::new(nfet, pfet, char_cfg.clone());
         let (mut lib, mut report) =
-            engine.characterize_library_robust(&name, &cells, Some(&checkpoint));
+            engine.characterize_library_robust(name, &cells, Some(&checkpoint));
         if policy.is_on() {
             let mut audit_rep = audit_library(stage, &lib, &audit_cfg);
             if !audit_rep.is_clean() && policy == AuditPolicy::Gate {
@@ -266,9 +276,9 @@ impl CryoFlow {
                 for cell in &offenders {
                     checkpoint.remove(cell);
                 }
-                let repair = Characterizer::new(&nfet, &pfet, char_cfg.clone()).with_generation(1);
+                let repair = Characterizer::new(nfet, pfet, char_cfg.clone()).with_generation(1);
                 let (lib2, report2) =
-                    repair.characterize_library_robust(&name, &cells, Some(&checkpoint));
+                    repair.characterize_library_robust(name, &cells, Some(&checkpoint));
                 let recheck = audit_library(stage, &lib2, &audit_cfg);
                 if !recheck.is_clean() {
                     return Err(CoreError::AuditFailed {
@@ -283,14 +293,14 @@ impl CryoFlow {
                     repaired: offenders,
                 };
             }
-            warn_findings(&name, &audit_rep);
+            warn_findings(name, &audit_rep);
             report.audit = audit_rep;
         }
         let expected: Vec<&str> = cells.iter().map(|c| c.name.as_str()).collect();
         let coverage = lib.coverage(&expected);
         if coverage < self.cfg.coverage_floor {
             return Err(CoreError::Coverage {
-                corner: name,
+                corner: name.to_string(),
                 coverage,
                 floor: self.cfg.coverage_floor,
                 missing: lib.missing_cells(&expected),
@@ -303,7 +313,7 @@ impl CryoFlow {
             && report.derated().is_empty()
             && report.audit.findings.is_empty()
         {
-            cache::store(&self.cfg.cache_dir, &name, &key, &lib)?;
+            cache::store(&self.cfg.cache_dir, name, &key, &lib)?;
             checkpoint.clear();
         } else {
             eprintln!("warning: {name} degraded — {}", report.summary());
@@ -342,6 +352,89 @@ impl CryoFlow {
         (nfet, pfet)
     }
 
+    /// The legacy two-point characterization grid for `temp`, with the
+    /// flow-level `jobs` override applied.
+    fn base_char_cfg(&self, temp: f64) -> CharConfig {
+        let mut char_cfg = if temp < 150.0 {
+            self.cfg.char_10k.clone()
+        } else {
+            self.cfg.char_300k.clone()
+        };
+        if self.cfg.jobs != 0 {
+            char_cfg.jobs = self.cfg.jobs;
+        }
+        char_cfg
+    }
+
+    /// The characterization grid for a farm corner: the nearest legacy
+    /// grid (the 10 K one below 150 K, the 300 K one above) re-pointed at
+    /// the corner's exact temperature and supply. For the legacy corners
+    /// themselves this is byte-identical to [`CryoFlow::base_char_cfg`],
+    /// so the farm reuses every cache and checkpoint the two-point flow
+    /// already built.
+    #[must_use]
+    pub fn corner_char_cfg(&self, corner: &Corner) -> CharConfig {
+        let mut char_cfg = self.base_char_cfg(corner.temp);
+        char_cfg.temp = corner.temp;
+        char_cfg.vdd = corner.vdd;
+        char_cfg
+    }
+
+    /// The pure (fault-free) model cards for a process corner: the
+    /// calibrated nominal pair pushed to its deterministic ±3-sigma
+    /// extreme by [`corner_die`] (`tt` returns the calibrated cards bit
+    /// for bit). No fault site is consulted here — the farm manifest key
+    /// is derived from these, so the key is identical with injection on
+    /// or off.
+    #[must_use]
+    pub fn process_cards(&self, process: Process) -> (ModelCard, ModelCard) {
+        let var = VariationModel::default();
+        let sign = process.sigma_sign();
+        (
+            corner_die(&self.nfet, &var, sign),
+            corner_die(&self.pfet, &var, sign),
+        )
+    }
+
+    /// [`CryoFlow::effective_cards`] generalized to a farm corner: the
+    /// process cards for `corner`, after the injector's corner-scoped
+    /// `corrupt=vth` site. The site's salt *and* fault context are
+    /// `corner:<name>`, so a plan like
+    /// `corrupt=vth:1.0,scope=corner:ss_0p65v_77k` poisons exactly one
+    /// corner of the farm; the draw is stateless, so repeated calls agree
+    /// and parallel/serial runs stay byte-identical. Poisoned cards
+    /// change the cache key, so a poisoned corner can never pollute a
+    /// clean cache entry.
+    #[must_use]
+    pub fn corner_cards(&self, corner: &Corner) -> (ModelCard, ModelCard) {
+        let (mut nfet, mut pfet) = self.process_cards(corner.process);
+        if fault::is_active() {
+            let label = format!("corner:{}", corner.name());
+            fault::set_context(&label);
+            if fault::should_corrupt(fault::CorruptKind::Vth, &label, 0) {
+                nfet.tvth = -nfet.tvth;
+                pfet.tvth = -pfet.tvth;
+            }
+            fault::set_context("");
+        }
+        (nfet, pfet)
+    }
+
+    /// [`CryoFlow::library_with_report`] for an arbitrary farm corner:
+    /// same engine (cache → checkpointed robust characterization →
+    /// audit-gated repair → coverage floor), with the corner's own cache
+    /// key, library name, and `corner:<name>` stage label.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CryoFlow::library_with_report`].
+    pub fn corner_library_with_report(&self, corner: &Corner) -> Result<(Library, CharReport)> {
+        let char_cfg = self.corner_char_cfg(corner);
+        let _fault_guard = self.cfg.fault_plan.clone().map(fault::install_guard);
+        let (nfet, pfet) = self.corner_cards(corner);
+        self.characterize_corner(&corner.lib_name(), &corner.name(), &char_cfg, &nfet, &pfet)
+    }
+
     /// Targeted re-characterization for the supervisor's cross-corner
     /// repair: seed the checkpoint store from `current`'s clean cells,
     /// evict `offenders`, and re-run at generation 1 so only the offending
@@ -357,24 +450,46 @@ impl CryoFlow {
         current: &Library,
         offenders: &[String],
     ) -> Result<(Library, CharReport)> {
-        let mut char_cfg = if temp < 150.0 {
-            self.cfg.char_10k.clone()
-        } else {
-            self.cfg.char_300k.clone()
-        };
-        if self.cfg.jobs != 0 {
-            char_cfg.jobs = self.cfg.jobs;
-        }
-        let cells = topology::standard_cell_set();
-        let tag = cache::cell_set_tag(&cells);
+        let char_cfg = self.base_char_cfg(temp);
         let _fault_guard = self.cfg.fault_plan.clone().map(fault::install_guard);
         let (nfet, pfet) = self.effective_cards();
-        let key = cache::cache_key(&nfet, &pfet, &char_cfg, &tag)?;
         let name = format!("cryo5_tt_0p70v_{}k", temp as u32);
+        self.repair_corner(&name, &char_cfg, &nfet, &pfet, current, offenders)
+    }
+
+    /// [`CryoFlow::repair_library`] for an arbitrary farm corner.
+    ///
+    /// # Errors
+    ///
+    /// Checkpoint/cache I/O failures.
+    pub fn corner_repair_library(
+        &self,
+        corner: &Corner,
+        current: &Library,
+        offenders: &[String],
+    ) -> Result<(Library, CharReport)> {
+        let char_cfg = self.corner_char_cfg(corner);
+        let _fault_guard = self.cfg.fault_plan.clone().map(fault::install_guard);
+        let (nfet, pfet) = self.corner_cards(corner);
+        self.repair_corner(&corner.lib_name(), &char_cfg, &nfet, &pfet, current, offenders)
+    }
+
+    fn repair_corner(
+        &self,
+        name: &str,
+        char_cfg: &CharConfig,
+        nfet: &ModelCard,
+        pfet: &ModelCard,
+        current: &Library,
+        offenders: &[String],
+    ) -> Result<(Library, CharReport)> {
+        let cells = topology::standard_cell_set();
+        let tag = cache::cell_set_tag(&cells);
+        let key = cache::cache_key(nfet, pfet, char_cfg, &tag)?;
         // A repaired corner must not be served from the (possibly dirty)
         // library-level cache, so the repair works on checkpoints alone.
-        let _ = std::fs::remove_file(cache::cache_path(&self.cfg.cache_dir, &name, &key));
-        let checkpoint = CheckpointStore::open(&self.cfg.cache_dir, &name, &key)?;
+        let _ = std::fs::remove_file(cache::cache_path(&self.cfg.cache_dir, name, &key));
+        let checkpoint = CheckpointStore::open(&self.cfg.cache_dir, name, &key)?;
         for cell in current.cells() {
             if !offenders.contains(&cell.name) {
                 checkpoint.store(cell)?;
@@ -383,8 +498,8 @@ impl CryoFlow {
         for off in offenders {
             checkpoint.remove(off);
         }
-        let engine = Characterizer::new(&nfet, &pfet, char_cfg).with_generation(1);
-        let (lib, report) = engine.characterize_library_robust(&name, &cells, Some(&checkpoint));
+        let engine = Characterizer::new(nfet, pfet, char_cfg.clone()).with_generation(1);
+        let (lib, report) = engine.characterize_library_robust(name, &cells, Some(&checkpoint));
         Ok((lib, report))
     }
 

@@ -18,12 +18,17 @@
 //!   embedded, so every regeneration binary prints paper-vs-measured.
 
 pub mod audit;
+pub mod corners;
 pub mod experiments;
 pub mod flow;
 pub mod supervise;
 pub mod surrogate;
 
 pub use audit::AuditPolicy;
+pub use corners::{
+    Corner, CornerFarm, CornerOutcome, CornerProvenance, CornerRecord, CornerSpec, FarmConfig,
+    FarmManifest, FarmReport, FarmRun, Process,
+};
 pub use flow::{CryoFlow, FlowConfig, Workload};
 pub use supervise::{PipelineReport, Stage, StageRecord, Supervisor, SupervisorConfig};
 pub use surrogate::SurrogatePolicy;
@@ -83,6 +88,17 @@ pub enum CoreError {
         /// The full finding list, each naming the exact entity and invariant.
         report: cryo_liberty::AuditReport,
     },
+    /// The corner farm completed but too few corners signed off.
+    FarmCoverage {
+        /// Corners that signed (SPICE, predicted, or derated).
+        signed: usize,
+        /// Total corners in the farm.
+        total: usize,
+        /// Configured minimum signed fraction in `[0, 1]`.
+        floor: f64,
+        /// Names of the corners that did not sign.
+        failed: Vec<String>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -121,6 +137,17 @@ impl fmt::Display for CoreError {
                     report.summary()
                 )
             }
+            CoreError::FarmCoverage {
+                signed,
+                total,
+                floor,
+                failed,
+            } => write!(
+                f,
+                "corner farm signed {signed}/{total} corners (floor {:.1} %); unsigned: {}",
+                floor * 100.0,
+                failed.join(", ")
+            ),
         }
     }
 }
@@ -138,7 +165,8 @@ impl Error for CoreError {
             CoreError::Coverage { .. }
             | CoreError::StageTimeout { .. }
             | CoreError::Config { .. }
-            | CoreError::AuditFailed { .. } => None,
+            | CoreError::AuditFailed { .. }
+            | CoreError::FarmCoverage { .. } => None,
         }
     }
 }

@@ -360,10 +360,12 @@ pub struct EnvConfig {
     pub audit_policy: AuditPolicy,
     /// Parsed `CRYO_SURROGATE` policy (default when unset).
     pub surrogate_policy: SurrogatePolicy,
+    /// Parsed `CRYO_CORNERS` spec, if set.
+    pub corner_spec: Option<crate::corners::CornerSpec>,
 }
 
-/// Strictly validate `CRYO_FAULTS`, `CRYO_JOBS`, `CRYO_AUDIT`, and
-/// `CRYO_SURROGATE`.
+/// Strictly validate `CRYO_FAULTS`, `CRYO_JOBS`, `CRYO_AUDIT`,
+/// `CRYO_SURROGATE`, and `CRYO_CORNERS`.
 ///
 /// # Errors
 ///
@@ -391,11 +393,18 @@ pub fn validate_env() -> Result<EnvConfig> {
             value: std::env::var("CRYO_SURROGATE").unwrap_or_default(),
             reason,
         })?;
+    let corner_spec =
+        crate::corners::CornerSpec::from_env_checked().map_err(|reason| CoreError::Config {
+            var: "CRYO_CORNERS".into(),
+            value: std::env::var("CRYO_CORNERS").unwrap_or_default(),
+            reason,
+        })?;
     Ok(EnvConfig {
         fault_plan,
         jobs,
         audit_policy,
         surrogate_policy,
+        corner_spec,
     })
 }
 
@@ -1018,14 +1027,16 @@ impl Supervisor {
 
 /// Whether an error is worth retrying. Coverage shortfalls, configuration
 /// rejections, timeouts, and post-repair audit failures are deterministic —
-/// retrying only burns budget.
-fn retryable(e: &CoreError) -> bool {
+/// retrying only burns budget. Shared with the corner farm, whose signoff
+/// shortfall is equally deterministic.
+pub(crate) fn retryable(e: &CoreError) -> bool {
     !matches!(
         e,
         CoreError::Coverage { .. }
             | CoreError::Config { .. }
             | CoreError::StageTimeout { .. }
             | CoreError::AuditFailed { .. }
+            | CoreError::FarmCoverage { .. }
     )
 }
 

@@ -11,7 +11,8 @@
 //! provably never re-simulating a cell the surrogate got right.
 
 use cryo_cells::{
-    cache, topology, CellStatus, CharReport, CheckpointStore, Characterizer, SurrogateSummary,
+    cache, topology, CellStatus, CharConfig, CharReport, CheckpointStore, Characterizer,
+    SurrogateSummary,
 };
 use cryo_device::CornerScalars;
 use cryo_liberty::{audit_cross_corner, audit_library, Library, Provenance};
@@ -146,18 +147,68 @@ impl CryoFlow {
         } else {
             "charlib300_sur"
         };
-        let cells = topology::standard_cell_set();
-        let probes: Vec<_> = cells.iter().filter(|c| c.drive == 1).cloned().collect();
         let _fault_guard = cfg.fault_plan.clone().map(fault::install_guard);
         let (nfet, pfet) = self.effective_cards();
-        let probe_tag = cache::cell_set_tag(&probes);
-        let key = cache::cache_key(&nfet, &pfet, &char_cfg, &probe_tag)?;
         let name = format!("cryo5_tt_0p70v_{}k", temp as u32);
+        self.surrogate_corner(&name, stage, &char_cfg, temp, &nfet, &pfet, warm, max_rel_err)
+    }
+
+    /// [`CryoFlow::surrogate_library_with_report`] for an arbitrary farm
+    /// corner: predict the corner's library from its group's SPICE anchor,
+    /// with the same always-on audit and per-cell fallback. Stage label is
+    /// `<corner>_sur` and every store is keyed by the corner's own cards
+    /// and grid, so farm predictions never collide with each other or with
+    /// the legacy two-point flow.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CryoFlow::surrogate_library_with_report`].
+    pub fn corner_surrogate_library_with_report(
+        &self,
+        corner: &crate::corners::Corner,
+        warm: &Library,
+        max_rel_err: f64,
+    ) -> Result<(Library, CharReport)> {
+        let char_cfg = self.corner_char_cfg(corner);
+        let _fault_guard = self.config().fault_plan.clone().map(fault::install_guard);
+        let (nfet, pfet) = self.corner_cards(corner);
+        self.surrogate_corner(
+            &corner.lib_name(),
+            &format!("{}_sur", corner.name()),
+            &char_cfg,
+            corner.temp,
+            &nfet,
+            &pfet,
+            warm,
+            max_rel_err,
+        )
+    }
+
+    /// The shared predict-audit-fallback engine behind both surrogate
+    /// entry points. Callers install the fault guard before deriving the
+    /// cards, mirroring the characterization path.
+    #[allow(clippy::too_many_arguments)]
+    fn surrogate_corner(
+        &self,
+        name: &str,
+        stage: &str,
+        char_cfg: &CharConfig,
+        temp: f64,
+        nfet: &cryo_device::ModelCard,
+        pfet: &cryo_device::ModelCard,
+        warm: &Library,
+        max_rel_err: f64,
+    ) -> Result<(Library, CharReport)> {
+        let cfg = self.config();
+        let cells = topology::standard_cell_set();
+        let probes: Vec<_> = cells.iter().filter(|c| c.drive == 1).cloned().collect();
+        let probe_tag = cache::cell_set_tag(&probes);
+        let key = cache::cache_key(nfet, pfet, char_cfg, &probe_tag)?;
 
         // 1. Ground-truth probes at the target corner.
         let probe_store =
             CheckpointStore::open(&cfg.cache_dir, &format!("{name}_surprobe"), &key)?;
-        let engine = Characterizer::new(&nfet, &pfet, char_cfg.clone());
+        let engine = Characterizer::new(nfet, pfet, char_cfg.clone());
         let (probe_lib, _probe_report) = engine.characterize_library_robust(
             &format!("{name}_surprobe"),
             &probes,
@@ -165,8 +216,8 @@ impl CryoFlow {
         );
 
         // 2. Train (or resume training) the transfer model.
-        let warm_sc = CornerScalars::at(&nfet, &pfet, warm.vdd, warm.temperature);
-        let cold_sc = CornerScalars::at(&nfet, &pfet, char_cfg.vdd, temp);
+        let warm_sc = CornerScalars::at(nfet, pfet, warm.vdd, warm.temperature);
+        let cold_sc = CornerScalars::at(nfet, pfet, char_cfg.vdd, temp);
         let train_cfg = TrainConfig::default();
         let model_store = CheckpointStore::open(
             &cfg.cache_dir,
@@ -184,8 +235,8 @@ impl CryoFlow {
         let (residual, per_cell) = surrogate.residuals(&dataset);
 
         // 3. Predict and audit.
-        let predicted = surrogate.predict_library(warm, &name, residual);
-        let audit_cfg = crate::audit::lib_audit_config(&char_cfg);
+        let predicted = surrogate.predict_library(warm, name, residual);
+        let audit_cfg = crate::audit::lib_audit_config(char_cfg);
         let mut audit = audit_library(stage, &predicted, &audit_cfg);
         audit.merge(audit_cross_corner(stage, warm, &predicted, &audit_cfg));
 
@@ -211,9 +262,9 @@ impl CryoFlow {
             for off in &fallbacks {
                 fb_store.remove(off);
             }
-            let repair = Characterizer::new(&nfet, &pfet, char_cfg.clone()).with_generation(1);
+            let repair = Characterizer::new(nfet, pfet, char_cfg.clone()).with_generation(1);
             let (lib2, report2) =
-                repair.characterize_library_robust(&name, &cells, Some(&fb_store));
+                repair.characterize_library_robust(name, &cells, Some(&fb_store));
             let mut recheck = audit_library(stage, &lib2, &audit_cfg);
             recheck.merge(audit_cross_corner(stage, warm, &lib2, &audit_cfg));
             if !recheck.is_clean() {
@@ -270,7 +321,7 @@ impl CryoFlow {
         let coverage = lib.coverage(&expected);
         if coverage < cfg.coverage_floor {
             return Err(CoreError::Coverage {
-                corner: name,
+                corner: name.to_string(),
                 coverage,
                 floor: cfg.coverage_floor,
                 missing: lib.missing_cells(&expected),

@@ -1,0 +1,105 @@
+//! Property-based tests on the corner-farm specification layer: a spec
+//! string describes a *set* of corners, so everything downstream — the
+//! canonical corner list, the spec digest, the farm's checkpoint key —
+//! must be invariant under how the set was spelled.
+
+use proptest::prelude::*;
+
+use cryo_core::corners::{Corner, CornerFarm, CornerSpec, FarmConfig, Process};
+use cryo_core::{CryoFlow, FlowConfig};
+
+/// On-grid temperatures inside the calibrated range.
+fn temp_values() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(4.2),
+        Just(10.0),
+        Just(50.0),
+        Just(77.0),
+        Just(120.3),
+        Just(200.0),
+        Just(300.0),
+        Just(350.5),
+    ]
+}
+
+/// On-grid supplies inside the accepted range.
+fn vdd_values() -> impl Strategy<Value = f64> {
+    prop_oneof![Just(0.55), Just(0.60), Just(0.65), Just(0.70), Just(0.80)]
+}
+
+fn process_values() -> impl Strategy<Value = Process> {
+    prop_oneof![Just(Process::Tt), Just(Process::Ss), Just(Process::Ff)]
+}
+
+/// A random spec: 1–4 temperatures, 1–2 supplies, 1–3 processes, drawn
+/// with repetition and in arbitrary order — `corners()` must canonicalize.
+fn specs() -> impl Strategy<Value = CornerSpec> {
+    (
+        collection::vec(temp_values(), 1..5),
+        collection::vec(vdd_values(), 1..3),
+        collection::vec(process_values(), 1..4),
+    )
+        .prop_map(|(temps, vdds, procs)| CornerSpec { temps, vdds, procs })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// spec → spec_string → parse is the identity on the corner set.
+    #[test]
+    fn spec_string_round_trips(spec in specs()) {
+        let reparsed = CornerSpec::parse(&spec.spec_string())
+            .expect("canonical spec strings parse");
+        prop_assert_eq!(reparsed.corners(), spec.corners());
+        prop_assert_eq!(reparsed.spec_string(), spec.spec_string());
+    }
+
+    /// normalize() is idempotent, and corners() is already canonical:
+    /// deduplicated, group-contiguous, warmest-first within each group.
+    #[test]
+    fn corner_list_is_canonical(spec in specs()) {
+        let mut once = spec.clone();
+        once.normalize();
+        let mut twice = once.clone();
+        twice.normalize();
+        prop_assert_eq!(&once, &twice);
+
+        let corners = spec.corners();
+        let names: Vec<String> = corners.iter().map(Corner::name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), names.len(), "no duplicate corners");
+        // Within each (process, vdd) group, temperatures strictly descend,
+        // so the first corner of every group is its warmest — the anchor.
+        for w in corners.windows(2) {
+            if w[0].process == w[1].process && (w[0].vdd - w[1].vdd).abs() < 0.5e-3 {
+                prop_assert!(w[0].temp > w[1].temp);
+            }
+        }
+    }
+
+    /// Shuffling the axes of the input spec moves neither the canonical
+    /// digest nor the farm's checkpoint key: a resumed farm finds its
+    /// namespace no matter how the operator spelled the corner set.
+    #[test]
+    fn digest_and_farm_key_ignore_spelling(spec in specs(), seed in 0u64..1000) {
+        let mut shuffled = spec.clone();
+        let n = shuffled.temps.len();
+        shuffled.temps.rotate_left(seed as usize % n);
+        shuffled.temps.reverse();
+        shuffled.vdds.reverse();
+        shuffled.procs.reverse();
+        prop_assert_eq!(shuffled.canonical_digest(), spec.canonical_digest());
+
+        let dir = std::env::temp_dir().join("cryo_corner_props");
+        let mut cfg = FlowConfig::fast(&dir);
+        cfg.fault_plan = None;
+        let a = CornerFarm::new(CryoFlow::new(cfg.clone()), FarmConfig::new(spec));
+        let b = CornerFarm::new(CryoFlow::new(cfg), FarmConfig::new(shuffled));
+        prop_assert_eq!(
+            a.farm_key().expect("farm key"),
+            b.farm_key().expect("farm key")
+        );
+    }
+}

@@ -49,7 +49,7 @@ pub use audit::{audit_cards, DeviceFinding};
 pub use calibrate::{CalibrationReport, Calibrator};
 pub use metrics::{CornerScalars, DeviceMetrics, IvCurve, IvDataset};
 pub use model::FinFet;
-pub use montecarlo::{mismatch_run, MismatchResult, VariationModel};
+pub use montecarlo::{corner_die, mismatch_run, MismatchResult, VariationModel};
 pub use params::{ModelCard, Polarity};
 pub use silicon::VirtualWafer;
 

@@ -96,6 +96,31 @@ pub fn sample_die(nominal: &ModelCard, variation: &VariationModel, rng: &mut Std
     card
 }
 
+/// Deterministic process-corner card: the die sitting `sign` relative
+/// 3-sigma units from nominal on every speed-relevant parameter, with the
+/// signs arranged so `sign = +1` is the slow (ss) corner — higher
+/// threshold, lower mobility, higher series resistance, larger cryogenic
+/// Vth shift — and `sign = -1` the fast (ff) corner. `sign = 0` returns
+/// the nominal (tt) card unchanged, bit for bit. The band-tail parameter
+/// `t0` is left nominal: its effect on speed is not monotone, so it has
+/// no meaningful "slow" direction.
+///
+/// This is the corner-farm counterpart of [`sample_die`]: the same spread
+/// model, evaluated at its deterministic extremes instead of sampled.
+#[must_use]
+pub fn corner_die(nominal: &ModelCard, variation: &VariationModel, sign: f64) -> ModelCard {
+    let mut card = nominal.clone();
+    if sign == 0.0 {
+        return card;
+    }
+    card.vth0 *= 1.0 + sign * variation.sigma_vth0;
+    card.u0 *= 1.0 - sign * variation.sigma_u0;
+    card.rsw *= 1.0 + sign * variation.sigma_rsw;
+    card.rdw *= 1.0 + sign * variation.sigma_rsw;
+    card.tvth *= 1.0 + sign * variation.sigma_tvth;
+    card
+}
+
 /// Monte-Carlo result at one temperature.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MismatchResult {
@@ -180,6 +205,44 @@ mod tests {
             r10.vth.sigma * 1e3
         );
         assert!(r10.vth.mean > r300.vth.mean, "Vth itself rises");
+    }
+
+    #[test]
+    fn process_corners_order_the_on_current() {
+        let nominal = ModelCard::nominal(Polarity::N);
+        let var = VariationModel::default();
+        let ss = corner_die(&nominal, &var, 1.0);
+        let tt = corner_die(&nominal, &var, 0.0);
+        let ff = corner_die(&nominal, &var, -1.0);
+        assert_eq!(tt, nominal, "tt is the nominal card, bit for bit");
+        let ion = |card: &ModelCard| {
+            let dev = FinFet::new(card, 300.0, 1);
+            let s = card.polarity.sign();
+            dev.ids(s * 0.7, s * 0.7).abs()
+        };
+        assert!(
+            ion(&ss) < ion(&tt) && ion(&tt) < ion(&ff),
+            "ss slower than tt slower than ff: {:.3e} / {:.3e} / {:.3e}",
+            ion(&ss),
+            ion(&tt),
+            ion(&ff)
+        );
+        assert!(ss.vth0 > tt.vth0 && ff.vth0 < tt.vth0);
+        assert!(ss.tvth > tt.tvth, "slow silicon shifts harder when cooled");
+        assert_eq!(ss, corner_die(&nominal, &var, 1.0), "deterministic");
+    }
+
+    #[test]
+    fn corner_cards_stay_inside_calibrated_audit_bounds() {
+        // The farm characterizes ss/ff cards through the same audit
+        // firewall as tt; a ±3-sigma corner must not trip it.
+        let var = VariationModel::default();
+        for sign in [1.0, -1.0] {
+            let n = corner_die(&ModelCard::nominal(Polarity::N), &var, sign);
+            let p = corner_die(&ModelCard::nominal(Polarity::P), &var, sign);
+            let findings = crate::audit::audit_cards(&n, &p);
+            assert!(findings.is_empty(), "sign {sign}: {findings:?}");
+        }
     }
 
     #[test]

@@ -387,6 +387,63 @@ pub fn audit_cross_corner(
     out
 }
 
+/// Pick the anchor nearest to `lib` in log-temperature distance (delay
+/// physics scale multiplicatively with temperature, so 4 K vs 10 K is a
+/// bigger step than 250 K vs 300 K even though the kelvin gap says
+/// otherwise). Anchors at a different supply voltage are only considered
+/// when no same-VDD anchor exists — a VDD step moves delays far more than
+/// any temperature step in the calibrated range. Returns `None` for an
+/// empty anchor list; ties break toward the warmer anchor.
+#[must_use]
+pub fn nearest_anchor<'a>(lib: &Library, anchors: &[&'a Library]) -> Option<&'a Library> {
+    let same_vdd: Vec<&&Library> = anchors
+        .iter()
+        .filter(|a| (a.vdd - lib.vdd).abs() < 5e-4)
+        .collect();
+    let pool: Vec<&&Library> = if same_vdd.is_empty() {
+        anchors.iter().collect()
+    } else {
+        same_vdd
+    };
+    let dist = |a: &Library| {
+        if a.temperature > 0.0 && lib.temperature > 0.0 {
+            (a.temperature / lib.temperature).ln().abs()
+        } else {
+            f64::INFINITY
+        }
+    };
+    pool.into_iter()
+        .min_by(|a, b| {
+            dist(a)
+                .partial_cmp(&dist(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(
+                    b.temperature
+                        .partial_cmp(&a.temperature)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+        })
+        .copied()
+}
+
+/// [`audit_cross_corner`] generalized from the historical hardcoded
+/// 300 K-vs-10 K pair to an arbitrary corner list: `lib` is compared
+/// against its [`nearest_anchor`] among `anchors`. An empty anchor list
+/// audits clean — the first corner of a farm has nothing to compare
+/// against, which is exactly why farms SPICE-anchor it.
+#[must_use]
+pub fn audit_cross_corner_nearest(
+    stage: &str,
+    lib: &Library,
+    anchors: &[&Library],
+    cfg: &AuditConfig,
+) -> AuditReport {
+    match nearest_anchor(lib, anchors) {
+        Some(anchor) => audit_cross_corner(stage, anchor, lib, cfg),
+        None => AuditReport::default(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,6 +546,58 @@ mod tests {
         assert_eq!(rep.findings.len(), 1);
         assert_eq!(rep.findings[0].invariant, "cross_corner_band");
         assert_eq!(rep.findings[0].cell(), "INVx1");
+    }
+
+    #[test]
+    fn nearest_anchor_prefers_log_distance_and_same_vdd() {
+        let l300 = Library::new("w300", 300.0, 0.7);
+        let l77 = Library::new("w77", 77.0, 0.7);
+        let l300_lo = Library::new("w300lo", 300.0, 0.65);
+        let mut cold = Library::new("c", 10.0, 0.7);
+        cold.add_cell(cell_with(grid_table(1e-12)));
+        // 10 K is nearer 77 K than 300 K in log distance.
+        let got = nearest_anchor(&cold, &[&l300, &l77]).unwrap();
+        assert_eq!(got.name, "w77");
+        // Linear distance would pick 77 K for a 200 K library too; log
+        // distance correctly picks 300 K (ratio 1.5 vs 2.6).
+        let warmish = Library::new("m", 200.0, 0.7);
+        assert_eq!(nearest_anchor(&warmish, &[&l300, &l77]).unwrap().name, "w300");
+        // A same-VDD anchor beats a nearer-in-T anchor at another VDD.
+        let mid = Library::new("m2", 250.0, 0.7);
+        assert_eq!(
+            nearest_anchor(&mid, &[&l300_lo, &l77]).unwrap().name,
+            "w77"
+        );
+        assert!(nearest_anchor(&cold, &[]).is_none());
+    }
+
+    #[test]
+    fn nearest_anchor_audit_generalizes_the_pair() {
+        let mut w300 = Library::new("w300", 300.0, 0.7);
+        w300.add_cell(cell_with(grid_table(1e-12)));
+        let mut w77 = Library::new("w77", 77.0, 0.7);
+        let mut fast77 = cell_with(grid_table(1e-12));
+        for arc in &mut fast77.arcs {
+            arc.cell_rise = arc.cell_rise.scaled(0.9);
+            arc.cell_fall = arc.cell_fall.scaled(0.9);
+        }
+        w77.add_cell(fast77);
+        // A 10 K corner 3x slower than its nearest (77 K) anchor is caught
+        // even though the 300 K comparison alone would also pass 0.9*3 = 2.7
+        // — the point is the anchor choice, not the band.
+        let mut cold = Library::new("c", 10.0, 0.7);
+        let mut slow = cell_with(grid_table(1e-12));
+        for arc in &mut slow.arcs {
+            arc.cell_rise = arc.cell_rise.scaled(2.7);
+            arc.cell_fall = arc.cell_fall.scaled(2.7);
+        }
+        cold.add_cell(slow);
+        let rep =
+            audit_cross_corner_nearest("x", &cold, &[&w300, &w77], &AuditConfig::default());
+        assert_eq!(rep.findings.len(), 1);
+        assert_eq!(rep.findings[0].invariant, "cross_corner_band");
+        // With no anchors the audit is clean by definition.
+        assert!(audit_cross_corner_nearest("x", &cold, &[], &AuditConfig::default()).is_clean());
     }
 
     #[test]

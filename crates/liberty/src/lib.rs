@@ -33,8 +33,8 @@ pub mod provenance;
 pub mod table;
 
 pub use audit::{
-    audit_cell, audit_cross_corner, audit_library, mean_cell_delay, AuditConfig, AuditReport,
-    Finding,
+    audit_cell, audit_cross_corner, audit_cross_corner_nearest, audit_library, mean_cell_delay,
+    nearest_anchor, AuditConfig, AuditReport, Finding,
 };
 pub use cell::{ArcKind, Cell, FfSpec, Pin, PinDirection, PowerArc, TimingArc, TimingSense};
 pub use function::LogicFunction;

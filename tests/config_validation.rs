@@ -93,6 +93,62 @@ fn malformed_env_is_rejected_at_flow_start_with_structured_errors() {
     let env = validate_env().expect("unset surrogate is valid");
     assert_eq!(env.surrogate_policy, SurrogatePolicy::Off);
 
+    // Malformed CRYO_CORNERS: empty sweeps, duplicates, and temperatures
+    // outside the calibrated range are all structural rejections; a valid
+    // spec parses into the canonical (normalized) corner set.
+    for (bad, needle) in [
+        ("", "empty corner spec"),
+        ("V=0.7", "missing T axis"),
+        ("T=", "empty value"),
+        ("T=300,300", "duplicate temperature"),
+        ("T=300;T=77", "duplicate T axis"),
+        ("T=1.0", "outside the calibrated range"),
+        ("T=500", "outside the calibrated range"),
+        ("T=300;V=0.7005", "not on the 1 mV grid"),
+        ("T=300;P=fs", "unknown process corner"),
+    ] {
+        set("CRYO_CORNERS", bad);
+        match validate_env() {
+            Err(CoreError::Config { var, value, reason }) => {
+                assert_eq!(var, "CRYO_CORNERS");
+                assert_eq!(value, bad);
+                assert!(reason.contains(needle), "{bad}: {reason}");
+            }
+            other => panic!("{bad}: expected Config error, got {other:?}"),
+        }
+    }
+    set("CRYO_CORNERS", "T=10,300,77;P=ss,tt");
+    let env = validate_env().expect("valid corner spec");
+    let spec = env.corner_spec.expect("spec parsed");
+    assert_eq!(spec.spec_string(), "T=300,77,10;V=0.7;P=tt,ss");
+    assert_eq!(spec.corners().len(), 6);
+    unset("CRYO_CORNERS");
+    let env = validate_env().expect("unset corners is valid");
+    assert!(env.corner_spec.is_none());
+
+    // A malformed corner spec also stops the farm before any state exists.
+    set("CRYO_CORNERS", "T=999");
+    {
+        use cryo_soc::core::corners::{CornerFarm, CornerSpec, FarmConfig};
+        let dir = std::env::temp_dir().join("cryo_config_validation_farm");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = FlowConfig::fast(&dir);
+        cfg.fault_plan = None;
+        let farm = CornerFarm::new(
+            CryoFlow::new(cfg),
+            FarmConfig::new(CornerSpec::parse("T=300").unwrap()),
+        );
+        match farm.run() {
+            Err(CoreError::Config { var, .. }) => assert_eq!(var, "CRYO_CORNERS"),
+            other => panic!("expected Config error from farm run(), got {other:?}"),
+        }
+        assert!(
+            !dir.join("checkpoints").exists(),
+            "no farm state may be created under a rejected configuration"
+        );
+    }
+    unset("CRYO_CORNERS");
+
     // The supervisor refuses to start any stage under a malformed knob:
     // the error comes back before a checkpoint store even exists.
     set("CRYO_JOBS", "many");
