@@ -13,6 +13,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use cryo_cells::{topology, CharConfig, Characterizer};
 use cryo_device::{ModelCard, Polarity};
+use cryo_spice::{kernel_override_guard, warmstart_override_guard, KernelKind};
 
 /// CI smoke mode (`cargo bench -p cryo-bench -- --test`).
 fn smoke_mode() -> bool {
@@ -43,7 +44,55 @@ fn bench_charlib(c: &mut Criterion) {
             b.iter(|| engine.characterize_library_robust("bench", &cells, None))
         });
     }
+    // Kernel comparison, serial so the ratio is the solver's alone: the
+    // seed path (dense LU, no warm starts) against the default path
+    // (structural sparse kernel + DC operating-point memo). Results are
+    // byte-identical by contract — tests/parallel_determinism.rs proves it
+    // — so this ratio is pure speedup.
+    for (label, kernel, warm) in [
+        ("dense_cold", KernelKind::Dense, false),
+        ("sparse_warm", KernelKind::Sparse, true),
+    ] {
+        let _k = kernel_override_guard(kernel);
+        let _w = warmstart_override_guard(warm);
+        let mut cfg = CharConfig::fast(300.0);
+        cfg.jobs = 1;
+        let engine = Characterizer::new(&nc, &pc, cfg);
+        g.bench_function(&format!("{}cells_{label}", cells.len()), |b| {
+            b.iter(|| engine.characterize_library_robust("bench", &cells, None))
+        });
+    }
     g.finish();
+
+    // CI regression gate (smoke mode): the default kernel must not be
+    // slower than the dense baseline on the 12-cell prefix. One sample per
+    // leg, and a 15% grace band so scheduler jitter can't flake the gate —
+    // a real regression (the sparse path currently wins by well over that)
+    // still trips it.
+    if smoke {
+        let cells: Vec<_> = topology::standard_cell_set()
+            .into_iter()
+            .take(12)
+            .collect();
+        let run = |kernel: KernelKind, warm: bool| {
+            let _k = kernel_override_guard(kernel);
+            let _w = warmstart_override_guard(warm);
+            let mut cfg = CharConfig::fast(300.0);
+            cfg.jobs = 1;
+            let engine = Characterizer::new(&nc, &pc, cfg);
+            let start = std::time::Instant::now();
+            std::hint::black_box(engine.characterize_library_robust("gate", &cells, None));
+            start.elapsed().as_secs_f64()
+        };
+        let dense = run(KernelKind::Dense, false);
+        let sparse = run(KernelKind::Sparse, true);
+        println!("bench charlib/gate: dense_cold {dense:.3}s, sparse_warm {sparse:.3}s");
+        assert!(
+            sparse <= dense * 1.15,
+            "kernel regression: sparse_warm {sparse:.3}s vs dense_cold {dense:.3}s on the \
+             12-cell prefix"
+        );
+    }
 }
 
 criterion_group!(benches, bench_charlib);

@@ -1,0 +1,110 @@
+//! SPICE kernel microbench: the dense LU baseline against the structural
+//! sparse kernel on the analyses characterization actually runs.
+//!
+//! Three comparisons, each `dense` vs `sparse`:
+//!
+//! - `dc_chain`: Newton DC operating point of a 6-stage FinFET chain (the
+//!   gmin ladder plus polish — symbolic analysis amortizes across rungs).
+//! - `tran_chain`: 120-step transient of the same chain (the symbolic
+//!   analysis amortizes across every timestep and Newton iteration).
+//! - `lu_band`: raw factor+solve of a banded MNA-shaped system via the
+//!   fill-reducing `CsrMatrix` engine against the dense in-place solver
+//!   (the only comparison here that is 1e-12, not bitwise).
+//!
+//! Warm starts are forced off so the numbers isolate the kernel itself;
+//! the memo's effect shows up in the `charlib` bench. Measured results are
+//! recorded in `BENCH_charlib.json` at the repo root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cryo_device::{FinFet, ModelCard, Polarity};
+use cryo_spice::solver::{solve_in_place, Matrix};
+use cryo_spice::{
+    dc_operating_point, kernel_override_guard, transient, warmstart_override_guard, Circuit,
+    CsrMatrix, KernelKind, Source, TranConfig, GROUND,
+};
+
+/// CI smoke mode (`cargo bench -p cryo-bench -- --test`).
+fn smoke_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// A 6-stage inverter chain at 300 K: 14 unknowns, the matrix shape the
+/// characterization grid solves thousands of times.
+fn chain() -> Circuit {
+    let nc = ModelCard::nominal(Polarity::N);
+    let pc = ModelCard::nominal(Polarity::P);
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let inn = c.node("in");
+    c.vsource("VDD", vdd, GROUND, Source::dc(0.7));
+    c.vsource("VIN", inn, GROUND, Source::ramp(0.0, 0.7, 20e-12, 10e-12));
+    let mut prev = inn;
+    for i in 0..6 {
+        let out = c.node(&format!("s{i}"));
+        c.finfet(&format!("MN{i}"), out, prev, GROUND, FinFet::new(&nc, 300.0, 2));
+        c.finfet(&format!("MP{i}"), out, prev, vdd, FinFet::new(&pc, 300.0, 3));
+        prev = out;
+    }
+    c.capacitor("CL", prev, GROUND, 2e-15);
+    c
+}
+
+/// Banded MNA-shaped system: strong diagonal, two sub/super-diagonals with
+/// holes — the sparsity class the structural kernel targets.
+fn band_system(n: usize) -> (Matrix, Vec<(usize, usize, f64)>, Vec<f64>) {
+    let mut entries = Vec::new();
+    for i in 0..n {
+        entries.push((i, i, 4.0 + (i % 7) as f64 * 0.25));
+        for d in 1..=2usize {
+            if i + d < n && (i + d) % 3 != 0 {
+                entries.push((i, i + d, -0.5 - (d as f64) * 0.1));
+                entries.push((i + d, i, -0.4));
+            }
+        }
+    }
+    let mut m = Matrix::zeros(n);
+    for &(r, c, v) in &entries {
+        m.set(r, c, m.get(r, c) + v);
+    }
+    let rhs: Vec<f64> = (0..n).map(|i| ((i % 5) as f64) - 2.0).collect();
+    (m, entries, rhs)
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let smoke = smoke_mode();
+    let mut g = c.benchmark_group("kernel");
+    g.sample_size(if smoke { 2 } else { 50 });
+    let ckt = chain();
+    let steps = if smoke { 20 } else { 120 };
+    for kernel in [KernelKind::Dense, KernelKind::Sparse] {
+        let _k = kernel_override_guard(kernel);
+        let _w = warmstart_override_guard(false);
+        g.bench_function(&format!("dc_chain_{}", kernel.as_str()), |b| {
+            b.iter(|| dc_operating_point(&ckt).expect("chain solves"))
+        });
+        g.bench_function(&format!("tran_chain_{}", kernel.as_str()), |b| {
+            b.iter(|| transient(&ckt, &TranConfig::with_steps(200e-12, steps)).expect("tran runs"))
+        });
+    }
+    let n = if smoke { 24 } else { 96 };
+    let (dense, entries, rhs) = band_system(n);
+    g.bench_function(&format!("lu_band{n}_dense"), |b| {
+        b.iter(|| {
+            let mut m = dense.clone();
+            let mut x = rhs.clone();
+            solve_in_place(&mut m, &mut x).expect("well-conditioned");
+            x
+        })
+    });
+    g.bench_function(&format!("lu_band{n}_sparse"), |b| {
+        b.iter(|| {
+            let csr = CsrMatrix::from_triplets(n, &entries);
+            csr.solve(&rhs).expect("well-conditioned")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -15,7 +15,7 @@ use cryo_liberty::{
 };
 use cryo_spice::dc::dc_operating_point_with;
 use cryo_spice::fault::SimCounts;
-use cryo_spice::{fault, transient, Circuit, Source, TranConfig, GROUND};
+use cryo_spice::{fault, sparse, transient, Circuit, Source, TranConfig, GROUND};
 
 use crate::checkpoint::CheckpointStore;
 use crate::report::{CellOutcome, CellStatus, CharReport};
@@ -421,6 +421,10 @@ impl Characterizer {
     /// per-worker determinism contract of the parallel scheduler.
     fn process_cell(&self, cell: &CellNetlist, checkpoint: Option<&CheckpointStore>) -> CellWork {
         fault::set_context(&cell.name);
+        // Clear the kernel's warm-start memo at the cell boundary: a cell's
+        // solves must not depend on which cells ran before it on this
+        // thread, or jobs-1 and jobs-N runs could diverge.
+        sparse::reset_solve_context();
         if let Some(store) = checkpoint {
             if let Some(restored) = store.load(&cell.name) {
                 return CellWork::Restored(restored);
@@ -466,20 +470,28 @@ impl Characterizer {
             return works;
         }
         let plan = fault::current_plan();
+        // Workers inherit the spawning thread's kernel and warm-start
+        // selection (which may come from a per-thread override rather than
+        // the environment — differential tests rely on this).
+        let kernel = sparse::current_kernel();
+        let warmstart = sparse::warmstart_enabled();
         let queue = sched::WorkSet::new(0..cells.len(), jobs);
         let slots: Vec<Mutex<Option<CellWork>>> =
             (0..cells.len()).map(|_| Mutex::new(None)).collect();
         let (agg_dc, agg_tran) = (AtomicU64::new(0), AtomicU64::new(0));
+        let agg_kernel = Mutex::new(sparse::KernelStats::default());
         std::thread::scope(|s| {
             for w in 0..jobs {
                 let handle = queue.worker(w);
                 let (slots, plan, done) = (&slots, &plan, &done);
-                let (agg_dc, agg_tran) = (&agg_dc, &agg_tran);
+                let (agg_dc, agg_tran, agg_kernel) = (&agg_dc, &agg_tran, &agg_kernel);
                 s.spawn(move || {
                     // Each worker gets a private injector seeded from the
                     // shared plan; per-cell reseeding in `process_cell`
                     // makes the streams identical to the serial path's.
                     let _guard = plan.clone().map(fault::install_guard);
+                    let _kernel = sparse::kernel_override_guard(kernel);
+                    let _warm = sparse::warmstart_override_guard(warmstart);
                     while let Some(i) = handle.find_task() {
                         self.progress_line(done, cells.len(), &cells[i].name);
                         let work = self.process_cell(&cells[i], checkpoint);
@@ -488,6 +500,13 @@ impl Characterizer {
                     let counts = fault::take_sim_counts();
                     agg_dc.fetch_add(counts.dc, Ordering::Relaxed);
                     agg_tran.fetch_add(counts.tran, Ordering::Relaxed);
+                    let kstats = sparse::take_kernel_stats();
+                    let mut agg = agg_kernel.lock().expect("kernel stat slot poisoned");
+                    agg.newton_iters += kstats.newton_iters;
+                    agg.lu_fast += kstats.lu_fast;
+                    agg.lu_bootstrap += kstats.lu_bootstrap;
+                    agg.dc_memo_hits += kstats.dc_memo_hits;
+                    agg.dc_memo_stores += kstats.dc_memo_stores;
                 });
             }
         });
@@ -498,6 +517,7 @@ impl Characterizer {
             dc: agg_dc.into_inner(),
             tran: agg_tran.into_inner(),
         });
+        sparse::add_kernel_stats(agg_kernel.into_inner().expect("kernel stat slot poisoned"));
         slots
             .into_iter()
             .map(|slot| {

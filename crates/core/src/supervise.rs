@@ -362,10 +362,16 @@ pub struct EnvConfig {
     pub surrogate_policy: SurrogatePolicy,
     /// Parsed `CRYO_CORNERS` spec, if set.
     pub corner_spec: Option<crate::corners::CornerSpec>,
+    /// Parsed `CRYO_KERNEL` selection, if set (both kernels are
+    /// byte-identical; the knob exists for differential testing and
+    /// excluded from every cache key).
+    pub kernel: Option<cryo_spice::KernelKind>,
+    /// Parsed `CRYO_WARMSTART` selection, if set.
+    pub warmstart: Option<bool>,
 }
 
 /// Strictly validate `CRYO_FAULTS`, `CRYO_JOBS`, `CRYO_AUDIT`,
-/// `CRYO_SURROGATE`, and `CRYO_CORNERS`.
+/// `CRYO_SURROGATE`, `CRYO_CORNERS`, `CRYO_KERNEL`, and `CRYO_WARMSTART`.
 ///
 /// # Errors
 ///
@@ -399,12 +405,25 @@ pub fn validate_env() -> Result<EnvConfig> {
             value: std::env::var("CRYO_CORNERS").unwrap_or_default(),
             reason,
         })?;
+    let kernel = cryo_spice::kernel_from_env_checked().map_err(|reason| CoreError::Config {
+        var: "CRYO_KERNEL".into(),
+        value: std::env::var("CRYO_KERNEL").unwrap_or_default(),
+        reason,
+    })?;
+    let warmstart =
+        cryo_spice::warmstart_from_env_checked().map_err(|reason| CoreError::Config {
+            var: "CRYO_WARMSTART".into(),
+            value: std::env::var("CRYO_WARMSTART").unwrap_or_default(),
+            reason,
+        })?;
     Ok(EnvConfig {
         fault_plan,
         jobs,
         audit_policy,
         surrogate_policy,
         corner_spec,
+        kernel,
+        warmstart,
     })
 }
 

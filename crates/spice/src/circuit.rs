@@ -209,6 +209,26 @@ impl Circuit {
         (self.node_count() - 1) + self.n_branches
     }
 
+    /// Human-readable name of MNA unknown `idx`: the node name for voltage
+    /// unknowns, `I(<source>)` for branch-current unknowns. Used to label
+    /// singular-matrix failures with the offending circuit quantity.
+    #[must_use]
+    pub fn unknown_name(&self, idx: usize) -> String {
+        let nn = self.node_count() - 1;
+        if idx < nn {
+            return self.node_names[idx + 1].clone();
+        }
+        let branch = idx - nn;
+        for e in &self.elements {
+            if let ElementKind::VSource { branch: b, .. } = &e.kind {
+                if *b == branch {
+                    return format!("I({})", e.name);
+                }
+            }
+        }
+        format!("branch{branch}")
+    }
+
     /// Largest `last_event` time across all sources (transient window hint).
     #[must_use]
     pub fn last_source_event(&self) -> f64 {

@@ -9,6 +9,7 @@
 use crate::circuit::{Circuit, ElementKind, NodeId, GROUND};
 use crate::fault::{self, FaultSite, SolveFault};
 use crate::solver::Matrix;
+use crate::sparse::{self, KernelKind, SparseLu, Workspace};
 use crate::{Result, SpiceError};
 
 /// Voltage convergence tolerance, volts.
@@ -29,11 +30,17 @@ pub(crate) struct CapCompanion {
     pub hist: Vec<f64>,
 }
 
-/// Assemble the linearized MNA system at the trial solution `x`.
+/// Assemble the linearized MNA system at the trial solution `x` into
+/// `ws.mat`/`ws.rhs`.
 ///
 /// `x` holds node voltages for nodes `1..n` followed by source branch
 /// currents. The produced system solves directly for the next trial vector.
-#[allow(clippy::too_many_arguments)] // MNA assembly genuinely takes the full solver state
+///
+/// Device-model evaluation is batched: all FET bias points are gathered
+/// into the workspace's flat SoA buffers and evaluated in one contiguous
+/// pass before any stamping. The model functions are pure and the stamps
+/// are applied in the original element order, so the results are
+/// bit-identical to interleaved evaluation.
 pub(crate) fn assemble(
     ckt: &Circuit,
     x: &[f64],
@@ -41,10 +48,11 @@ pub(crate) fn assemble(
     gmin: f64,
     src_scale: f64,
     caps: Option<&CapCompanion>,
-    mat: &mut Matrix,
-    rhs: &mut [f64],
+    ws: &mut Workspace,
 ) {
     let nn = ckt.node_count() - 1; // unknown node voltages
+    let mat = &mut ws.mat;
+    let rhs = &mut ws.rhs;
     mat.clear();
     rhs.fill(0.0);
     let v_of = |node: NodeId, x: &[f64]| -> f64 {
@@ -54,12 +62,44 @@ pub(crate) fn assemble(
             x[node - 1]
         }
     };
+    // Batched device evaluation, pass 1: gather bias points.
+    ws.fet_vgs.clear();
+    ws.fet_vds.clear();
+    for el in ckt.elements() {
+        if let ElementKind::Fet { d, g, s, .. } = &el.kind {
+            ws.fet_vgs.push(v_of(*g, x) - v_of(*s, x));
+            ws.fet_vds.push(v_of(*d, x) - v_of(*s, x));
+        }
+    }
+    // Pass 2: evaluate every model in one sweep over the SoA buffers.
+    // Clamps are applied at stamp time; the NaN poison is a persistent
+    // per-solve flag, so checking it here preserves the element-order
+    // semantics of the interleaved path.
+    ws.fet_ids.clear();
+    ws.fet_gm.clear();
+    ws.fet_gds.clear();
+    let mut fi = 0usize;
+    for el in ckt.elements() {
+        if let ElementKind::Fet { dev, .. } = &el.kind {
+            let (vgs, vds) = (ws.fet_vgs[fi], ws.fet_vds[fi]);
+            ws.fet_ids.push(if fault::nan_poisoned() {
+                f64::NAN
+            } else {
+                dev.ids(vgs, vds)
+            });
+            ws.fet_gm.push(dev.gm(vgs, vds));
+            ws.fet_gds.push(dev.gds(vgs, vds));
+            fi += 1;
+        }
+    }
     // gmin from every node to ground keeps the matrix non-singular for
     // floating nodes and aids Newton convergence.
     for i in 0..nn {
         mat.add(i, i, gmin);
     }
+    // Pass 3: stamp in element order.
     let mut cap_idx = 0usize;
+    let mut fet_idx = 0usize;
     for el in ckt.elements() {
         match &el.kind {
             ElementKind::Resistor { a, b, ohms } => {
@@ -97,17 +137,13 @@ pub(crate) fn assemble(
                 }
                 rhs[row] = source.value(time) * src_scale;
             }
-            ElementKind::Fet { d, g, s, dev } => {
-                let vgs = v_of(*g, x) - v_of(*s, x);
-                let vds = v_of(*d, x) - v_of(*s, x);
-                let ids = if fault::nan_poisoned() {
-                    f64::NAN
-                } else {
-                    dev.ids(vgs, vds)
-                };
-                let gm = dev.gm(vgs, vds);
-                let gds = dev.gds(vgs, vds).max(1e-12);
-                let gm = gm.max(0.0);
+            ElementKind::Fet { d, g, s, .. } => {
+                let vgs = ws.fet_vgs[fet_idx];
+                let vds = ws.fet_vds[fet_idx];
+                let ids = ws.fet_ids[fet_idx];
+                let gm = ws.fet_gm[fet_idx].max(0.0);
+                let gds = ws.fet_gds[fet_idx].max(1e-12);
+                fet_idx += 1;
                 // Norton equivalent: I = Ieq + gm·vgs + gds·vds.
                 let ieq = ids - gm * vgs - gds * vds;
                 // KCL: current ids flows d -> s.
@@ -153,8 +189,26 @@ fn stamp_vccs(mat: &mut Matrix, op: NodeId, om: NodeId, cp: NodeId, cm: NodeId, 
     }
 }
 
+/// Attach the circuit unknown's name to a bare singular-matrix error so
+/// characterization logs can point at the offending node.
+fn name_singular(ckt: &Circuit, e: SpiceError) -> SpiceError {
+    match e {
+        SpiceError::SingularMatrix { column, node: None } => SpiceError::SingularMatrix {
+            column,
+            node: Some(ckt.unknown_name(column)),
+        },
+        other => other,
+    }
+}
+
 /// Newton iteration at a fixed time point; returns the converged unknown
 /// vector.
+///
+/// When `slu` is provided, factorizations go through the sparse kernel's
+/// symbolic-reuse path (bit-identical to dense by construction); the caller
+/// owns the [`SparseLu`] so its analysis persists across Newton calls of
+/// the same circuit (gmin ladder rungs, transient timesteps).
+#[allow(clippy::too_many_arguments)] // the solver state plus the kernel handle
 pub(crate) fn newton(
     ckt: &Circuit,
     x0: &[f64],
@@ -163,51 +217,72 @@ pub(crate) fn newton(
     src_scale: f64,
     caps: Option<&CapCompanion>,
     analysis: &'static str,
+    mut slu: Option<&mut SparseLu>,
 ) -> Result<Vec<f64>> {
     let n = ckt.unknowns();
     let nn = ckt.node_count() - 1;
-    let mut x = x0.to_vec();
-    let mut mat = Matrix::zeros(n);
-    let mut rhs = vec![0.0; n];
-    let mut worst = f64::INFINITY;
-    for iter in 0..MAX_ITERS {
-        // Progressively tighter damping breaks limit cycles on circuits
-        // with weakly-defined internal nodes (stacked off-transistors).
-        let clamp = match iter {
-            0..=80 => DV_CLAMP,
-            81..=160 => 0.05,
-            _ => 0.01,
-        };
-        assemble(ckt, &x, time, gmin, src_scale, caps, &mut mat, &mut rhs);
-        let perm = mat.lu_factor()?;
-        mat.lu_solve(&perm, &mut rhs);
-        // rhs now holds the next trial vector. A NaN/inf here means a device
-        // model blew up; report that as its own error rather than iterating
-        // on poison until the budget runs out.
-        if rhs.iter().any(|v| !v.is_finite()) {
-            return Err(SpiceError::NonFinite { analysis, time });
-        }
-        worst = 0.0;
-        for i in 0..n {
-            let mut delta = rhs[i] - x[i];
-            if i < nn {
-                delta = delta.clamp(-clamp, clamp);
-                worst = worst.max(delta.abs());
-            } else {
-                // Branch currents converge with the voltages; track them with
-                // a looser relative criterion.
-                worst = worst.max(delta.abs().min(1.0) * (ITOL / VTOL) * 1e-3);
+    sparse::with_ws(n, |ws| {
+        let mut x = x0.to_vec();
+        let mut worst = f64::INFINITY;
+        let mut iters = 0u64;
+        let outcome = 'newton: {
+            for iter in 0..MAX_ITERS {
+                // Progressively tighter damping breaks limit cycles on circuits
+                // with weakly-defined internal nodes (stacked off-transistors).
+                let clamp = match iter {
+                    0..=80 => DV_CLAMP,
+                    81..=160 => 0.05,
+                    _ => 0.01,
+                };
+                iters += 1;
+                assemble(ckt, &x, time, gmin, src_scale, caps, ws);
+                match slu.as_mut() {
+                    Some(lu) => {
+                        let (mat, saved) = (&mut ws.mat, &mut ws.saved);
+                        if let Err(e) = lu.factor(mat, saved) {
+                            break 'newton Err(name_singular(ckt, e));
+                        }
+                        lu.solve(&ws.mat, &mut ws.rhs);
+                    }
+                    None => {
+                        let perm = match ws.mat.lu_factor() {
+                            Ok(p) => p,
+                            Err(e) => break 'newton Err(name_singular(ckt, e)),
+                        };
+                        ws.mat.lu_solve(&perm, &mut ws.rhs);
+                    }
+                }
+                // rhs now holds the next trial vector. A NaN/inf here means a
+                // device model blew up; report that as its own error rather
+                // than iterating on poison until the budget runs out.
+                if ws.rhs.iter().any(|v| !v.is_finite()) {
+                    break 'newton Err(SpiceError::NonFinite { analysis, time });
+                }
+                worst = 0.0;
+                for i in 0..n {
+                    let mut delta = ws.rhs[i] - x[i];
+                    if i < nn {
+                        delta = delta.clamp(-clamp, clamp);
+                        worst = worst.max(delta.abs());
+                    } else {
+                        // Branch currents converge with the voltages; track
+                        // them with a looser relative criterion.
+                        worst = worst.max(delta.abs().min(1.0) * (ITOL / VTOL) * 1e-3);
+                    }
+                    x[i] += delta;
+                }
+                if worst < VTOL {
+                    break 'newton Ok(x);
+                }
             }
-            x[i] += delta;
-        }
-        if worst < VTOL {
-            return Ok(x);
-        }
-    }
-    Err(SpiceError::NoConvergence {
-        analysis,
-        time,
-        residual: worst,
+            Err(SpiceError::NoConvergence {
+                analysis,
+                time,
+                residual: worst,
+            })
+        };
+        sparse::bump_stats(|s| s.newton_iters += iters);
+        outcome
     })
 }
 
@@ -275,22 +350,61 @@ pub fn dc_operating_point_with(ckt: &Circuit, gmin0: f64) -> Result<DcSolution> 
         Some(f) => return Err(fault::injected_error(f, "dc")),
         None => None,
     };
+    // Warm start: all load/slew grid points of an arc share the same DC
+    // operating point (capacitors don't stamp in DC), so a converged vector
+    // keyed on the exact DC-relevant netlist bits can be reused verbatim.
+    // The solve counter and fault-site roll above run *unconditionally*, so
+    // a memo hit consumes exactly the same fault-injection stream and sim
+    // counts as a cold solve — warm starts are invisible to everything but
+    // wall time and [`crate::KernelStats`]. Poisoned solves bypass the memo
+    // entirely (they must fail the same way every time).
+    let memo_key = if _poison.is_none() && sparse::warmstart_enabled() {
+        let key = sparse::dc_memo_key(ckt, gmin0);
+        if let Some(x) = sparse::dc_memo_get(&key) {
+            return Ok(DcSolution {
+                n_nodes: ckt.node_count(),
+                x,
+            });
+        }
+        Some(key)
+    } else {
+        None
+    };
+    let mut slu = match sparse::current_kernel() {
+        KernelKind::Sparse => Some(SparseLu::for_circuit(ckt, false)),
+        KernelKind::Dense => None,
+    };
+    let x = dc_solve_ladder(ckt, gmin0, &mut slu)?;
+    if let Some(key) = memo_key {
+        sparse::dc_memo_put(key, x.clone());
+    }
+    Ok(DcSolution {
+        n_nodes: ckt.node_count(),
+        x,
+    })
+}
+
+/// The Newton continuation ladder: plain solve, then gmin stepping, then
+/// source stepping. One [`SparseLu`] (when the sparse kernel is active)
+/// carries its symbolic analysis across every rung.
+fn dc_solve_ladder(
+    ckt: &Circuit,
+    gmin0: f64,
+    slu: &mut Option<SparseLu>,
+) -> Result<Vec<f64>> {
     let n = ckt.unknowns();
     let x0 = vec![0.0; n];
 
     // 1. Plain Newton with the starting gmin.
-    if let Ok(x) = newton(ckt, &x0, 0.0, gmin0, 1.0, None, "dc") {
-        return Ok(DcSolution {
-            n_nodes: ckt.node_count(),
-            x,
-        });
+    if let Ok(x) = newton(ckt, &x0, 0.0, gmin0, 1.0, None, "dc", slu.as_mut()) {
+        return Ok(x);
     }
     // 2. gmin stepping: relax then tighten (never below the caller's floor).
     let mut x = x0.clone();
     let mut ok = true;
     for exp in [3, 5, 7, 9, 12] {
         let gmin = 10f64.powi(-exp).max(gmin0);
-        match newton(ckt, &x, 0.0, gmin, 1.0, None, "dc") {
+        match newton(ckt, &x, 0.0, gmin, 1.0, None, "dc", slu.as_mut()) {
             Ok(next) => x = next,
             Err(_) => {
                 ok = false;
@@ -299,23 +413,16 @@ pub fn dc_operating_point_with(ckt: &Circuit, gmin0: f64) -> Result<DcSolution> 
         }
     }
     if ok {
-        return Ok(DcSolution {
-            n_nodes: ckt.node_count(),
-            x,
-        });
+        return Ok(x);
     }
     // 3. Source stepping at moderate gmin.
     let mut x = x0;
     for step in 1..=20 {
         let scale = step as f64 / 20.0;
-        x = newton(ckt, &x, 0.0, 1e-9_f64.max(gmin0), scale, None, "dc")?;
+        x = newton(ckt, &x, 0.0, 1e-9_f64.max(gmin0), scale, None, "dc", slu.as_mut())?;
     }
     // Final polish at full sources and the caller's gmin floor.
-    let x = newton(ckt, &x, 0.0, gmin0, 1.0, None, "dc")?;
-    Ok(DcSolution {
-        n_nodes: ckt.node_count(),
-        x,
-    })
+    newton(ckt, &x, 0.0, gmin0, 1.0, None, "dc", slu.as_mut())
 }
 
 #[cfg(test)]

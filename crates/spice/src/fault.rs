@@ -648,7 +648,10 @@ pub(crate) fn injected_error(fault: SolveFault, analysis: &'static str) -> Spice
             time: 0.0,
             residual: f64::INFINITY,
         },
-        SolveFault::Singular => SpiceError::SingularMatrix { column: 0 },
+        SolveFault::Singular => SpiceError::SingularMatrix {
+            column: 0,
+            node: None,
+        },
         // NanDevice is not an immediate error — callers arm the poison and
         // let the solver detect the non-finite evaluation — but a fallback
         // mapping keeps the match total.

@@ -14,8 +14,12 @@
 //!   slew measurement, and supply-energy integration — the measurements the
 //!   standard-cell characterization flow needs.
 //!
-//! The engine is deliberately dense-matrix: characterization circuits have a
-//! few dozen nodes, where a pivoting dense LU beats any sparse machinery.
+//! Two interchangeable linear-algebra kernels back the Newton solves: the
+//! original dense LU and a structural kernel ([`sparse`]) that analyzes the
+//! circuit's stamp pattern once and reuses the symbolic factorization across
+//! Newton iterations and timesteps. They are bit-identical by construction
+//! (`CRYO_KERNEL=dense|sparse` selects one, and is excluded from every cache
+//! key); see `crates/spice/tests/kernel_equivalence.rs`.
 //!
 //! # Example
 //!
@@ -41,6 +45,7 @@ pub mod dc;
 pub mod fault;
 pub mod solver;
 pub mod source;
+pub mod sparse;
 pub mod tran;
 pub mod wave;
 
@@ -49,6 +54,13 @@ pub use circuit::{Circuit, ElementKind, NodeId, GROUND};
 pub use dc::{dc_operating_point, dc_operating_point_with, DcSolution};
 pub use fault::{FaultPlan, SimCounts};
 pub use source::Source;
+pub use sparse::{
+    add_kernel_stats, current_kernel, kernel_from_env_checked, kernel_override_guard,
+    kernel_stats, parse_kernel_spec, parse_warmstart_spec, reset_kernel_stats,
+    reset_solve_context, take_kernel_stats, warmstart_enabled, warmstart_from_env_checked,
+    warmstart_override_guard, CsrMatrix, KernelKind, KernelOverrideGuard, KernelStats,
+    WarmstartOverrideGuard,
+};
 pub use tran::{transient, TranConfig, TranResult};
 pub use wave::Waveform;
 
@@ -71,6 +83,9 @@ pub enum SpiceError {
     SingularMatrix {
         /// Pivot column at which elimination broke down.
         column: usize,
+        /// Name of the circuit unknown (node voltage or source branch
+        /// current) behind that column, when the solve context knows it.
+        node: Option<String>,
     },
     /// The circuit references a node that was never registered.
     UnknownNode {
@@ -100,9 +115,13 @@ impl fmt::Display for SpiceError {
                 f,
                 "{analysis} analysis failed to converge at t = {time:.3e} s (residual {residual:.3e} V)"
             ),
-            SpiceError::SingularMatrix { column } => {
-                write!(f, "singular MNA matrix at column {column}")
-            }
+            SpiceError::SingularMatrix { column, node } => match node {
+                Some(name) => write!(
+                    f,
+                    "singular MNA matrix at column {column} (unknown \"{name}\")"
+                ),
+                None => write!(f, "singular MNA matrix at column {column}"),
+            },
             SpiceError::UnknownNode { node } => write!(f, "unknown node id {node}"),
             SpiceError::EmptyCircuit => write!(f, "circuit contains no elements"),
             SpiceError::NonFinite { analysis, time } => write!(

@@ -1,12 +1,14 @@
 //! Dense linear algebra: LU factorization with partial pivoting.
 //!
-//! Characterization circuits stay below ~100 unknowns, where a cache-friendly
-//! dense LU is both simpler and faster than sparse alternatives.
+//! Characterization circuits stay below ~100 unknowns, where cache-friendly
+//! dense storage wins; the sparse kernel (`crate::sparse`) keeps values in
+//! this same row-major layout and reuses these routines for its bootstrap
+//! factorizations, so the two kernels share every floating-point operation.
 
 use crate::{Result, SpiceError};
 
 /// A dense square matrix stored row-major.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Matrix {
     n: usize,
     data: Vec<f64>,
@@ -52,6 +54,41 @@ impl Matrix {
         self.data.fill(0.0);
     }
 
+    /// Copy all values from an equally-sized matrix, keeping the allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when dimensions differ.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        assert_eq!(self.n, other.n, "copy_from dimension mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
+    /// Physically swap rows `a` and `b`.
+    pub fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        let n = self.n;
+        for c in 0..n {
+            self.data.swap(a * n + c, b * n + c);
+        }
+    }
+
+    /// Raw row-major storage (read-only).
+    #[inline]
+    #[must_use]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Raw row-major storage (mutable) — used by the sparse kernel's
+    /// structural elimination.
+    #[inline]
+    pub(crate) fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Factor in place into LU form with partial pivoting.
     ///
     /// Returns the pivot permutation.
@@ -60,8 +97,25 @@ impl Matrix {
     ///
     /// [`SpiceError::SingularMatrix`] if a pivot column has no usable entry.
     pub fn lu_factor(&mut self) -> Result<Vec<usize>> {
+        let pivots = self.lu_factor_recording()?;
+        let mut perm: Vec<usize> = (0..self.n).collect();
+        for (k, &p) in pivots.iter().enumerate() {
+            perm.swap(k, p);
+        }
+        Ok(perm)
+    }
+
+    /// Factor in place, returning the raw pivot choice of every step (the
+    /// row index selected in the partially-swapped working matrix) instead
+    /// of the composed permutation. The sparse kernel records this sequence
+    /// during its bootstrap and verifies it on later refactorizations.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::SingularMatrix`] if a pivot column has no usable entry.
+    pub(crate) fn lu_factor_recording(&mut self) -> Result<Vec<usize>> {
         let n = self.n;
-        let mut perm: Vec<usize> = (0..n).collect();
+        let mut pivots = Vec::with_capacity(n);
         for k in 0..n {
             // Partial pivot: largest magnitude in column k at or below row k.
             let mut p = k;
@@ -74,16 +128,13 @@ impl Matrix {
                 }
             }
             if max < 1e-300 {
-                return Err(SpiceError::SingularMatrix { column: k });
+                return Err(SpiceError::SingularMatrix {
+                    column: k,
+                    node: None,
+                });
             }
-            if p != k {
-                perm.swap(k, p);
-                for c in 0..n {
-                    let t = self.get(k, c);
-                    self.set(k, c, self.get(p, c));
-                    self.set(p, c, t);
-                }
-            }
+            pivots.push(p);
+            self.swap_rows(k, p);
             let pivot = self.get(k, k);
             for r in (k + 1)..n {
                 let factor = self.get(r, k) / pivot;
@@ -96,15 +147,24 @@ impl Matrix {
                 }
             }
         }
-        Ok(perm)
+        Ok(pivots)
     }
 
     /// Solve `L·U·x = P·b` after [`Matrix::lu_factor`]. `b` is permuted and
     /// overwritten with the solution.
     pub fn lu_solve(&self, perm: &[usize], b: &mut [f64]) {
+        let mut scratch = Vec::with_capacity(self.n);
+        self.lu_solve_with(perm, b, &mut scratch);
+    }
+
+    /// [`Matrix::lu_solve`] with caller-provided scratch, avoiding the
+    /// per-solve allocation on the Newton hot path.
+    pub fn lu_solve_with(&self, perm: &[usize], b: &mut [f64], scratch: &mut Vec<f64>) {
         let n = self.n;
         // Apply permutation.
-        let mut x: Vec<f64> = perm.iter().map(|&p| b[p]).collect();
+        scratch.clear();
+        scratch.extend(perm.iter().map(|&p| b[p]));
+        let x = scratch;
         // Forward substitution (L has implicit unit diagonal).
         for r in 1..n {
             let mut acc = x[r];
@@ -121,7 +181,7 @@ impl Matrix {
             }
             x[r] = acc / self.get(r, r);
         }
-        b.copy_from_slice(&x);
+        b.copy_from_slice(x);
     }
 }
 

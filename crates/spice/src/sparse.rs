@@ -1,0 +1,1339 @@
+//! Sparse incremental solve kernel with symbolic-factorization reuse.
+//!
+//! The characterization flow solves the *same* MNA structure thousands of
+//! times: every Newton iteration of every timestep of every NLDM grid point
+//! re-assembles a matrix whose sparsity pattern is fixed by the circuit
+//! topology. This module exploits that in three layers, every one of which
+//! preserves the dense kernel's results **bit for bit**:
+//!
+//! 1. **Structural factorization reuse** ([`SparseLu`]). The stamp pattern
+//!    is analyzed once per circuit; numeric refactorization then touches
+//!    only structural non-zeros (original entries plus fill-in under the
+//!    recorded pivot sequence) and skips the dense kernel's work on
+//!    positions that are identically `+0.0`. Values are kept in the dense
+//!    row-major [`Matrix`] so every surviving floating-point operation is
+//!    the *same* operation, on the same values, in the same order as the
+//!    dense kernel — see the bit-exactness argument below.
+//! 2. **Warm-started DC operating points** (the thread-local DC memo). All
+//!    49 slew/load grid points of an NLDM arc share one DC operating point
+//!    (capacitors do not stamp in DC and the stimulus ramp starts after
+//!    `t = 0`), so the memo keyed on the *exact* bits of the DC-relevant
+//!    netlist returns the previously converged vector instead of re-running
+//!    the Newton ladder. A deterministic solver returns identical bits for
+//!    identical inputs, so a hit is indistinguishable from a re-solve.
+//! 3. **Batched device evaluation**: `dc::assemble` gathers all FET bias
+//!    points into a flat SoA buffer ([`Workspace`]) and evaluates them in
+//!    one pass before stamping in element order.
+//!
+//! # Why the fast path is bit-exact
+//!
+//! The dense kernel's elimination at step `k` does, for every row `r > k`:
+//! `factor = A[r][k] / pivot` (stored), then — only when `factor != 0.0` —
+//! `A[r][c] -= factor * A[k][c]` for `c > k`. Two observations make
+//! structural skipping exact:
+//!
+//! * An assembled MNA matrix contains no `-0.0`: the matrix is cleared to
+//!   `+0.0` and IEEE-754 addition in round-to-nearest never produces `-0.0`
+//!   from a `+0.0` accumulator (`+0.0 + -0.0 = +0.0`). The elimination
+//!   update `x - f·y` likewise cannot produce `-0.0` in the active
+//!   submatrix (equal operands subtract to `+0.0`).
+//! * Therefore every structurally-zero position holds exactly `+0.0`, and
+//!   (a) a skipped update column `c` has `A[k][c] = +0.0`, so the dense
+//!   kernel computes `x - f·(+0.0) = x` bitwise — skipping it changes
+//!   nothing; (b) a skipped row has `A[r][k] = +0.0`, so the dense kernel
+//!   computes `factor = ±0.0`, stores it, and skips the row update itself
+//!   (`factor != 0.0` is false) — the only trace is a `±0.0` in the strictly
+//!   lower triangle, which the factorization never reads again; (c) pivot
+//!   search uses a strict `>` comparison, so a `+0.0` at a structurally-zero
+//!   position can never win over the recorded candidate scan, and an
+//!   all-zero column classifies as [`SpiceError::SingularMatrix`] at the
+//!   same column either way.
+//!
+//! The pivot sequence is *verified*, not assumed: each fast refactorization
+//! replays the dense argmax over the structural candidate rows and falls
+//! back to a full dense factorization (recording the new sequence and
+//! re-running symbolic analysis) the moment the values would have made the
+//! dense kernel pivot differently. After such a bootstrap the solve also
+//! runs through the dense substitution once, so the `±0.0` factor stores
+//! the dense kernel leaves at structurally-zero positions are consumed
+//! exactly as the dense kernel would.
+//!
+//! # Kernel selection
+//!
+//! `CRYO_KERNEL=dense|sparse` (default `sparse`) picks the kernel
+//! process-wide; [`kernel_override_guard`] overrides it per thread for
+//! differential tests. The selection is excluded from every cache and
+//! checkpoint key — both kernels produce byte-identical artifacts, which
+//! `tests/kernel_golden.rs` and `crates/spice/tests/kernel_equivalence.rs`
+//! enforce. `CRYO_WARMSTART=on|off` (default `on`) controls the DC memo
+//! the same way. A general compressed-storage engine with fill-reducing
+//! ordering ([`CsrMatrix`]) backs the differential proptests; it trades
+//! bit-identity for a reordered (lower-fill) elimination and therefore
+//! agrees with the dense kernel to rounding (1e-12 relative), not bytes —
+//! the production path never uses it.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::circuit::{Circuit, ElementKind, NodeId, GROUND};
+use crate::solver::Matrix;
+use crate::{Result, SpiceError};
+
+// ----------------------------------------------------------------------
+// Kernel selection and warm-start switches
+// ----------------------------------------------------------------------
+
+/// Which linear-algebra kernel backs Newton solves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Row-major dense LU with partial pivoting (the original path).
+    Dense,
+    /// Structural factorization with symbolic reuse; bit-identical to
+    /// [`KernelKind::Dense`].
+    Sparse,
+}
+
+impl KernelKind {
+    /// Canonical spelling, matching the `CRYO_KERNEL` values.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelKind::Dense => "dense",
+            KernelKind::Sparse => "sparse",
+        }
+    }
+}
+
+/// Parse a `CRYO_KERNEL` value.
+///
+/// # Errors
+///
+/// Returns a human-readable description for anything but `dense`/`sparse`.
+pub fn parse_kernel_spec(raw: &str) -> std::result::Result<KernelKind, String> {
+    match raw.trim() {
+        "dense" => Ok(KernelKind::Dense),
+        "sparse" => Ok(KernelKind::Sparse),
+        other => Err(format!(
+            "CRYO_KERNEL must be \"dense\" or \"sparse\", got \"{other}\""
+        )),
+    }
+}
+
+/// Read and validate `CRYO_KERNEL` from the environment.
+///
+/// `Ok(None)` when unset.
+///
+/// # Errors
+///
+/// Propagates [`parse_kernel_spec`] failures (flow startup turns these into
+/// a structured config error instead of silently defaulting).
+pub fn kernel_from_env_checked() -> std::result::Result<Option<KernelKind>, String> {
+    match std::env::var("CRYO_KERNEL") {
+        Ok(raw) => parse_kernel_spec(&raw).map(Some),
+        Err(_) => Ok(None),
+    }
+}
+
+/// Parse a `CRYO_WARMSTART` value (`on` / `off`).
+///
+/// # Errors
+///
+/// Returns a description for anything else.
+pub fn parse_warmstart_spec(raw: &str) -> std::result::Result<bool, String> {
+    match raw.trim() {
+        "on" => Ok(true),
+        "off" => Ok(false),
+        other => Err(format!(
+            "CRYO_WARMSTART must be \"on\" or \"off\", got \"{other}\""
+        )),
+    }
+}
+
+/// Read and validate `CRYO_WARMSTART` from the environment (`Ok(None)` when
+/// unset).
+///
+/// # Errors
+///
+/// Propagates [`parse_warmstart_spec`] failures.
+pub fn warmstart_from_env_checked() -> std::result::Result<Option<bool>, String> {
+    match std::env::var("CRYO_WARMSTART") {
+        Ok(raw) => parse_warmstart_spec(&raw).map(Some),
+        Err(_) => Ok(None),
+    }
+}
+
+thread_local! {
+    static KERNEL_OVERRIDE: Cell<Option<KernelKind>> = const { Cell::new(None) };
+    static WARMSTART_OVERRIDE: Cell<Option<bool>> = const { Cell::new(None) };
+    static STATS: Cell<KernelStats> = const { Cell::new(KernelStats::ZERO) };
+    static DC_MEMO: RefCell<HashMap<String, Vec<f64>>> = RefCell::new(HashMap::new());
+}
+
+/// The kernel active on this thread: per-thread override, else
+/// `CRYO_KERNEL`, else [`KernelKind::Sparse`].
+///
+/// An invalid environment value falls back to the default here; flow
+/// entry points validate strictly via [`kernel_from_env_checked`].
+#[must_use]
+pub fn current_kernel() -> KernelKind {
+    if let Some(k) = KERNEL_OVERRIDE.with(Cell::get) {
+        return k;
+    }
+    match std::env::var("CRYO_KERNEL") {
+        Ok(raw) => parse_kernel_spec(&raw).unwrap_or(KernelKind::Sparse),
+        Err(_) => KernelKind::Sparse,
+    }
+}
+
+/// Whether DC warm starts (the operating-point memo) are enabled on this
+/// thread: per-thread override, else `CRYO_WARMSTART`, else on.
+#[must_use]
+pub fn warmstart_enabled() -> bool {
+    if let Some(w) = WARMSTART_OVERRIDE.with(Cell::get) {
+        return w;
+    }
+    match std::env::var("CRYO_WARMSTART") {
+        Ok(raw) => parse_warmstart_spec(&raw).unwrap_or(true),
+        Err(_) => true,
+    }
+}
+
+/// RAII guard restoring the previous per-thread kernel override on drop.
+pub struct KernelOverrideGuard {
+    prev: Option<KernelKind>,
+}
+
+impl Drop for KernelOverrideGuard {
+    fn drop(&mut self) {
+        KERNEL_OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Force `kernel` for this thread until the guard drops. Worker threads of
+/// the parallel characterization scheduler inherit the spawning thread's
+/// kernel through this, mirroring fault-plan inheritance.
+#[must_use]
+pub fn kernel_override_guard(kernel: KernelKind) -> KernelOverrideGuard {
+    let prev = KERNEL_OVERRIDE.with(|c| c.replace(Some(kernel)));
+    KernelOverrideGuard { prev }
+}
+
+/// RAII guard restoring the previous per-thread warm-start override on drop.
+pub struct WarmstartOverrideGuard {
+    prev: Option<bool>,
+}
+
+impl Drop for WarmstartOverrideGuard {
+    fn drop(&mut self) {
+        WARMSTART_OVERRIDE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Force warm starts on or off for this thread until the guard drops.
+#[must_use]
+pub fn warmstart_override_guard(enabled: bool) -> WarmstartOverrideGuard {
+    let prev = WARMSTART_OVERRIDE.with(|c| c.replace(Some(enabled)));
+    WarmstartOverrideGuard { prev }
+}
+
+// ----------------------------------------------------------------------
+// Kernel work counters
+// ----------------------------------------------------------------------
+
+/// Always-on per-thread counters of kernel work, separate from
+/// [`crate::SimCounts`] (which counts *solves* and participates in
+/// checkpoint accounting; these count the work *within* solves and exist to
+/// prove that symbolic reuse and warm starts actually skip work).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Newton iterations executed (each assembles and factors once).
+    pub newton_iters: u64,
+    /// Numeric refactorizations that reused the symbolic analysis.
+    pub lu_fast: u64,
+    /// Full dense factorizations: first factor of a circuit, or pivot
+    /// drift on the fast path.
+    pub lu_bootstrap: u64,
+    /// DC operating points served from the warm-start memo.
+    pub dc_memo_hits: u64,
+    /// Converged DC operating points stored into the memo.
+    pub dc_memo_stores: u64,
+}
+
+impl KernelStats {
+    const ZERO: KernelStats = KernelStats {
+        newton_iters: 0,
+        lu_fast: 0,
+        lu_bootstrap: 0,
+        dc_memo_hits: 0,
+        dc_memo_stores: 0,
+    };
+}
+
+/// This thread's accumulated kernel counters.
+#[must_use]
+pub fn kernel_stats() -> KernelStats {
+    STATS.with(Cell::get)
+}
+
+/// Zero this thread's kernel counters.
+pub fn reset_kernel_stats() {
+    STATS.with(|s| s.set(KernelStats::ZERO));
+}
+
+/// Read and zero this thread's kernel counters (worker threads hand their
+/// counts to the spawning thread with this, like `take_sim_counts`).
+#[must_use]
+pub fn take_kernel_stats() -> KernelStats {
+    STATS.with(|s| s.replace(KernelStats::ZERO))
+}
+
+/// Fold counters taken from another thread into this one's.
+pub fn add_kernel_stats(extra: KernelStats) {
+    STATS.with(|s| {
+        let mut cur = s.get();
+        cur.newton_iters += extra.newton_iters;
+        cur.lu_fast += extra.lu_fast;
+        cur.lu_bootstrap += extra.lu_bootstrap;
+        cur.dc_memo_hits += extra.dc_memo_hits;
+        cur.dc_memo_stores += extra.dc_memo_stores;
+        s.set(cur);
+    });
+}
+
+pub(crate) fn bump_stats(f: impl FnOnce(&mut KernelStats)) {
+    STATS.with(|s| {
+        let mut cur = s.get();
+        f(&mut cur);
+        s.set(cur);
+    });
+}
+
+// ----------------------------------------------------------------------
+// DC operating-point memo (warm starts)
+// ----------------------------------------------------------------------
+
+/// Reset the per-thread solve context: clears the DC warm-start memo.
+///
+/// The characterization flow calls this at every cell boundary so a cell's
+/// results can never depend on which cells (if any) ran before it on the
+/// same worker thread — the determinism contract that keeps jobs-1 and
+/// jobs-N runs byte-identical.
+pub fn reset_solve_context() {
+    DC_MEMO.with(|m| m.borrow_mut().clear());
+}
+
+/// Exact-bits memo key for a DC operating point.
+///
+/// Everything the DC solve consumes is folded in at full precision:
+/// topology, element values as `f64` bits, source values *at `t = 0`*, the
+/// unknown layout, and the solver's gmin. Capacitances are deliberately
+/// excluded — capacitors do not stamp in DC analysis — which is exactly why
+/// all load/slew grid points of an arc share one entry. Element names are
+/// excluded (they cannot affect the solution).
+pub(crate) fn dc_memo_key(ckt: &Circuit, gmin: f64) -> String {
+    let mut key = String::with_capacity(256);
+    let _ = write!(
+        key,
+        "n{},b{},g{:016x};",
+        ckt.node_count(),
+        ckt.branch_count(),
+        gmin.to_bits()
+    );
+    for el in ckt.elements() {
+        match &el.kind {
+            ElementKind::Resistor { a, b, ohms } => {
+                let _ = write!(key, "R{a},{b},{:016x};", ohms.to_bits());
+            }
+            // DC never stamps capacitors: the value is irrelevant, but the
+            // element still occupies a slot in the companion bookkeeping,
+            // so keep the terminals for structural fidelity.
+            ElementKind::Capacitor { a, b, .. } => {
+                let _ = write!(key, "C{a},{b};");
+            }
+            ElementKind::VSource {
+                pos,
+                neg,
+                source,
+                branch,
+            } => {
+                let _ = write!(
+                    key,
+                    "V{pos},{neg},{branch},{:016x};",
+                    source.value(0.0).to_bits()
+                );
+            }
+            // Debug for f64 prints the shortest representation that
+            // round-trips, so the card, temperature and fin count are
+            // captured exactly.
+            ElementKind::Fet { d, g, s, dev } => {
+                let _ = write!(key, "F{d},{g},{s},{dev:?};");
+            }
+        }
+    }
+    key
+}
+
+pub(crate) fn dc_memo_get(key: &str) -> Option<Vec<f64>> {
+    let hit = DC_MEMO.with(|m| m.borrow().get(key).cloned());
+    if hit.is_some() {
+        bump_stats(|s| s.dc_memo_hits += 1);
+    }
+    hit
+}
+
+pub(crate) fn dc_memo_put(key: String, x: Vec<f64>) {
+    bump_stats(|s| s.dc_memo_stores += 1);
+    DC_MEMO.with(|m| {
+        m.borrow_mut().insert(key, x);
+    });
+}
+
+// ----------------------------------------------------------------------
+// Structural pattern
+// ----------------------------------------------------------------------
+
+/// Row-major bitset matrix: one bit per potential structural non-zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct BitPattern {
+    n: usize,
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl BitPattern {
+    pub(crate) fn new(n: usize) -> Self {
+        let words = n.div_ceil(64);
+        Self {
+            n,
+            words,
+            bits: vec![0; n * words],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn set(&mut self, r: usize, c: usize) {
+        self.bits[r * self.words + (c >> 6)] |= 1u64 << (c & 63);
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, r: usize, c: usize) -> bool {
+        self.bits[r * self.words + (c >> 6)] & (1u64 << (c & 63)) != 0
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for w in 0..self.words {
+            self.bits.swap(a * self.words + w, b * self.words + w);
+        }
+    }
+
+    /// `row[dst] |= row[src] & {columns > k}` — the fill-in step.
+    fn or_row_above(&mut self, dst: usize, src: usize, k: usize) {
+        let first = (k + 1) >> 6;
+        for w in first..self.words {
+            let mut m = self.bits[src * self.words + w];
+            if w == first {
+                let lo = (k + 1) & 63;
+                m &= u64::MAX << lo;
+            }
+            self.bits[dst * self.words + w] |= m;
+        }
+    }
+}
+
+/// The stamp pattern `dc::assemble` touches for `ckt`: a superset of the
+/// numeric non-zeros (stamped positions whose values cancel or are zero are
+/// still structural, which is always safe — structural skipping is only
+/// applied to positions assembly *never* writes).
+pub(crate) fn stamp_pattern(ckt: &Circuit, with_caps: bool) -> BitPattern {
+    let nn = ckt.node_count() - 1;
+    let n = ckt.unknowns();
+    let mut p = BitPattern::new(n);
+    // gmin shunts on every node diagonal.
+    for i in 0..nn {
+        p.set(i, i);
+    }
+    let two_terminal = |a: NodeId, b: NodeId, p: &mut BitPattern| {
+        if a != GROUND {
+            p.set(a - 1, a - 1);
+        }
+        if b != GROUND {
+            p.set(b - 1, b - 1);
+        }
+        if a != GROUND && b != GROUND {
+            p.set(a - 1, b - 1);
+            p.set(b - 1, a - 1);
+        }
+    };
+    for el in ckt.elements() {
+        match &el.kind {
+            ElementKind::Resistor { a, b, .. } => two_terminal(*a, *b, &mut p),
+            ElementKind::Capacitor { a, b, .. } => {
+                if with_caps {
+                    two_terminal(*a, *b, &mut p);
+                }
+            }
+            ElementKind::VSource {
+                pos, neg, branch, ..
+            } => {
+                let row = nn + branch;
+                if *pos != GROUND {
+                    p.set(*pos - 1, row);
+                    p.set(row, *pos - 1);
+                }
+                if *neg != GROUND {
+                    p.set(*neg - 1, row);
+                    p.set(row, *neg - 1);
+                }
+            }
+            ElementKind::Fet { d, g, s, .. } => {
+                // VCCS stamp: rows d/s, controlling columns g/s.
+                for (node, _) in [(*d, 1.0), (*s, -1.0)] {
+                    if node == GROUND {
+                        continue;
+                    }
+                    if *g != GROUND {
+                        p.set(node - 1, *g - 1);
+                    }
+                    if *s != GROUND {
+                        p.set(node - 1, *s - 1);
+                    }
+                }
+                // Output conductance between drain and source.
+                two_terminal(*d, *s, &mut p);
+            }
+        }
+    }
+    p
+}
+
+// ----------------------------------------------------------------------
+// Bit-exact structural LU with symbolic reuse
+// ----------------------------------------------------------------------
+
+enum FastOutcome {
+    Done,
+    Drift,
+    Singular(usize),
+}
+
+/// Structural LU mirror of [`Matrix::lu_factor`].
+///
+/// Holds the circuit's stamp pattern, the pivot sequence recorded by the
+/// last full (dense) factorization, and the per-step structural work lists
+/// derived from both. `factor` verifies the recorded pivots against the
+/// current values and re-bootstraps on drift, so its output is always
+/// bit-identical to what the dense kernel would have produced.
+pub(crate) struct SparseLu {
+    n: usize,
+    base: BitPattern,
+    pivots: Vec<u32>,
+    ready: bool,
+    /// Rows `r > k` structural in column `k` *before* the step-`k` swap
+    /// (the dense pivot-search candidates), ascending.
+    scan: Vec<Vec<u32>>,
+    /// Rows `r > k` structural in column `k` *after* the swap (the rows the
+    /// dense kernel actually updates), ascending.
+    elim: Vec<Vec<u32>>,
+    /// Columns `c > k` structural in pivot row `k` after the swap,
+    /// including fill-in, ascending.
+    urow: Vec<Vec<u32>>,
+    /// Final factored structure per row: strict lower columns (L) and
+    /// strict upper columns (U), ascending — drives the structural solve.
+    lrow: Vec<Vec<u32>>,
+    urow_solve: Vec<Vec<u32>>,
+    perm: Vec<usize>,
+    /// Whether the most recent `factor` went through the dense bootstrap
+    /// (in which case the solve also takes the dense path once, consuming
+    /// the `±0.0` stores dense factorization leaves in skipped L slots).
+    last_bootstrap: bool,
+    /// Scratch for solves.
+    scratch: Vec<f64>,
+}
+
+impl SparseLu {
+    pub(crate) fn for_circuit(ckt: &Circuit, with_caps: bool) -> Self {
+        Self::from_pattern(stamp_pattern(ckt, with_caps))
+    }
+
+    pub(crate) fn from_pattern(base: BitPattern) -> Self {
+        let n = base.n;
+        Self {
+            n,
+            base,
+            pivots: Vec::new(),
+            ready: false,
+            scan: Vec::new(),
+            elim: Vec::new(),
+            urow: Vec::new(),
+            lrow: Vec::new(),
+            urow_solve: Vec::new(),
+            perm: (0..n).collect(),
+            last_bootstrap: false,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Factor `mat` in place, bit-identically to [`Matrix::lu_factor`].
+    ///
+    /// `saved` is caller-provided scratch for the pristine matrix (restored
+    /// on pivot drift before the dense bootstrap re-runs).
+    pub(crate) fn factor(&mut self, mat: &mut Matrix, saved: &mut Matrix) -> Result<()> {
+        if self.ready {
+            saved.copy_from(mat);
+            match self.try_fast(mat) {
+                FastOutcome::Done => {
+                    bump_stats(|s| s.lu_fast += 1);
+                    self.last_bootstrap = false;
+                    return Ok(());
+                }
+                FastOutcome::Singular(column) => {
+                    return Err(SpiceError::SingularMatrix { column, node: None });
+                }
+                FastOutcome::Drift => mat.copy_from(saved),
+            }
+        }
+        self.bootstrap(mat)
+    }
+
+    /// Solve using the most recent factorization (matches
+    /// [`Matrix::lu_solve`] output bitwise).
+    pub(crate) fn solve(&mut self, mat: &Matrix, b: &mut [f64]) {
+        if self.last_bootstrap {
+            let mut scratch = std::mem::take(&mut self.scratch);
+            mat.lu_solve_with(&self.perm, b, &mut scratch);
+            self.scratch = scratch;
+            return;
+        }
+        let n = self.n;
+        self.scratch.clear();
+        self.scratch.extend(self.perm.iter().map(|&p| b[p]));
+        let x = &mut self.scratch;
+        let data = mat.data();
+        // Forward substitution (unit lower diagonal), structural columns
+        // in the same ascending order the dense loop visits them.
+        for r in 1..n {
+            let row = &data[r * n..(r + 1) * n];
+            let mut acc = x[r];
+            for &c in &self.lrow[r] {
+                acc -= row[c as usize] * x[c as usize];
+            }
+            x[r] = acc;
+        }
+        // Back substitution.
+        for r in (0..n).rev() {
+            let row = &data[r * n..(r + 1) * n];
+            let mut acc = x[r];
+            for &c in &self.urow_solve[r] {
+                acc -= row[c as usize] * x[c as usize];
+            }
+            x[r] = acc / row[r];
+        }
+        b.copy_from_slice(x);
+    }
+
+    /// One structural refactorization under the recorded pivot sequence.
+    fn try_fast(&mut self, mat: &mut Matrix) -> FastOutcome {
+        let n = self.n;
+        for k in 0..n {
+            // Replay the dense pivot search over the structural candidates.
+            // Structurally-zero candidates hold exactly +0.0 and cannot win
+            // the strict comparison, so the argmax (first-max-wins) and the
+            // singularity classification match the dense scan.
+            let mut p = k;
+            let mut max = mat.get(k, k).abs();
+            for &r in &self.scan[k] {
+                let v = mat.get(r as usize, k).abs();
+                if v > max {
+                    max = v;
+                    p = r as usize;
+                }
+            }
+            if max < 1e-300 {
+                return FastOutcome::Singular(k);
+            }
+            if p != self.pivots[k] as usize {
+                return FastOutcome::Drift;
+            }
+            mat.swap_rows(k, p);
+            let pivot = mat.get(k, k);
+            let data = mat.data_mut();
+            let (krow, tail) = data.split_at_mut((k + 1) * n);
+            let krow = &krow[k * n..];
+            for &r in &self.elim[k] {
+                let r = r as usize;
+                let row = &mut tail[(r - k - 1) * n..(r - k) * n];
+                let factor = row[k] / pivot;
+                row[k] = factor;
+                if factor != 0.0 {
+                    for &c in &self.urow[k] {
+                        let c = c as usize;
+                        row[c] -= factor * krow[c];
+                    }
+                }
+            }
+        }
+        FastOutcome::Done
+    }
+
+    /// Full dense factorization with pivot recording, then symbolic
+    /// re-analysis under the new sequence.
+    fn bootstrap(&mut self, mat: &mut Matrix) -> Result<()> {
+        bump_stats(|s| s.lu_bootstrap += 1);
+        self.pivots = mat
+            .lu_factor_recording()
+            .inspect_err(|_| {
+                // A failed bootstrap leaves no valid symbolic state.
+                self.ready = false;
+            })?
+            .iter()
+            .map(|&p| p as u32)
+            .collect();
+        self.analyze();
+        self.ready = true;
+        self.last_bootstrap = true;
+        Ok(())
+    }
+
+    /// Symbolic elimination of the stamp pattern under the recorded pivot
+    /// sequence: computes candidate scans, update lists, fill-in, and the
+    /// final L/U structure.
+    fn analyze(&mut self) {
+        let n = self.n;
+        let mut b = self.base.clone();
+        self.scan = vec![Vec::new(); n];
+        self.elim = vec![Vec::new(); n];
+        self.urow = vec![Vec::new(); n];
+        self.perm = (0..n).collect();
+        for k in 0..n {
+            for r in (k + 1)..n {
+                if b.get(r, k) {
+                    self.scan[k].push(r as u32);
+                }
+            }
+            let p = self.pivots[k] as usize;
+            if p != k {
+                b.swap_rows(k, p);
+                self.perm.swap(k, p);
+            }
+            for r in (k + 1)..n {
+                if b.get(r, k) {
+                    self.elim[k].push(r as u32);
+                }
+            }
+            for c in (k + 1)..n {
+                if b.get(k, c) {
+                    self.urow[k].push(c as u32);
+                }
+            }
+            for i in 0..self.elim[k].len() {
+                let r = self.elim[k][i] as usize;
+                b.or_row_above(r, k, k);
+            }
+        }
+        self.lrow = vec![Vec::new(); n];
+        self.urow_solve = vec![Vec::new(); n];
+        for r in 0..n {
+            for c in 0..r {
+                if b.get(r, c) {
+                    self.lrow[r].push(c as u32);
+                }
+            }
+            for c in (r + 1)..n {
+                if b.get(r, c) {
+                    self.urow_solve[r].push(c as u32);
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Per-thread solve workspace
+// ----------------------------------------------------------------------
+
+/// Reusable buffers for Newton solves: the MNA matrix, its pristine copy
+/// (for pivot-drift recovery), the right-hand side, and the flat SoA
+/// buffers for batched FET evaluation.
+#[derive(Default)]
+pub(crate) struct Workspace {
+    pub mat: Matrix,
+    pub saved: Matrix,
+    pub rhs: Vec<f64>,
+    pub fet_vgs: Vec<f64>,
+    pub fet_vds: Vec<f64>,
+    pub fet_ids: Vec<f64>,
+    pub fet_gm: Vec<f64>,
+    pub fet_gds: Vec<f64>,
+}
+
+impl Workspace {
+    fn prepare(&mut self, n: usize) {
+        if self.mat.dim() != n {
+            self.mat = Matrix::zeros(n);
+            self.saved = Matrix::zeros(n);
+        }
+        self.rhs.resize(n, 0.0);
+    }
+}
+
+thread_local! {
+    static WORKSPACES: RefCell<Vec<Workspace>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with a pooled workspace sized for `n` unknowns. Nested
+/// acquisitions (a DC solve inside a transient) draw distinct workspaces.
+pub(crate) fn with_ws<R>(n: usize, f: impl FnOnce(&mut Workspace) -> R) -> R {
+    let mut ws = WORKSPACES
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default();
+    ws.prepare(n);
+    let out = f(&mut ws);
+    WORKSPACES.with(|p| p.borrow_mut().push(ws));
+    out
+}
+
+// ----------------------------------------------------------------------
+// General compressed-storage engine (differential-test surface)
+// ----------------------------------------------------------------------
+
+/// Compressed sparse row matrix with a fill-reducing solve.
+///
+/// This is the general-purpose face of the sparse kernel: CSR storage, a
+/// greedy minimum-degree column preorder on the symmetrized pattern, and a
+/// left-looking LU with row partial pivoting. Reordering changes the
+/// summation order, so results agree with the dense kernel to rounding
+/// (the differential proptests assert 1e-12 relative), *not* bitwise —
+/// which is why the characterization path uses [`SparseLu`] instead. The
+/// proptests in `crates/spice/tests/kernel_equivalence.rs` exercise both.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    cols: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from triplets; duplicate positions accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an index is out of range.
+    #[must_use]
+    pub fn from_triplets(n: usize, entries: &[(usize, usize, f64)]) -> Self {
+        let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for &(r, c, v) in entries {
+            assert!(r < n && c < n, "triplet ({r},{c}) out of range for n={n}");
+            rows[r].push((c, v));
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut cols = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for row in &mut rows {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut last: Option<usize> = None;
+            for &(c, v) in row.iter() {
+                if last == Some(c) {
+                    *vals.last_mut().expect("entry exists") += v;
+                } else {
+                    cols.push(c as u32);
+                    vals.push(v);
+                    last = Some(c);
+                }
+            }
+            row_ptr.push(cols.len());
+        }
+        Self {
+            n,
+            row_ptr,
+            cols,
+            vals,
+        }
+    }
+
+    /// Build from a dense matrix, keeping exact non-zeros.
+    #[must_use]
+    pub fn from_dense(m: &Matrix) -> Self {
+        let n = m.dim();
+        let mut entries = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                let v = m.get(r, c);
+                if v != 0.0 {
+                    entries.push((r, c, v));
+                }
+            }
+        }
+        Self::from_triplets(n, &entries)
+    }
+
+    /// Matrix dimension.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Stored non-zero count.
+    #[must_use]
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// `y = A·x` (for residual checks in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x` has the wrong length.
+    #[must_use]
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for r in 0..self.n {
+            let mut acc = 0.0;
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.vals[i] * x[self.cols[i] as usize];
+            }
+            y[r] = acc;
+        }
+        y
+    }
+
+    /// Greedy minimum-degree ordering on the symmetrized pattern.
+    fn min_degree_order(&self) -> Vec<usize> {
+        let n = self.n;
+        let words = n.div_ceil(64);
+        // Adjacency bitsets of A + Aᵀ (including self).
+        let mut adj = vec![0u64; n * words];
+        for r in 0..n {
+            adj[r * words + (r >> 6)] |= 1 << (r & 63);
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.cols[i] as usize;
+                adj[r * words + (c >> 6)] |= 1 << (c & 63);
+                adj[c * words + (r >> 6)] |= 1 << (r & 63);
+            }
+        }
+        let mut alive = vec![true; n];
+        let mut order = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Lowest degree, ties to the lowest index, for determinism.
+            let mut best = usize::MAX;
+            let mut best_deg = usize::MAX;
+            for v in 0..n {
+                if !alive[v] {
+                    continue;
+                }
+                let deg: u32 = adj[v * words..(v + 1) * words]
+                    .iter()
+                    .map(|w| w.count_ones())
+                    .sum();
+                if (deg as usize) < best_deg {
+                    best_deg = deg as usize;
+                    best = v;
+                }
+            }
+            order.push(best);
+            alive[best] = false;
+            // Eliminate: neighbors of `best` become a clique.
+            let vrow: Vec<u64> = adj[best * words..(best + 1) * words].to_vec();
+            for u in 0..n {
+                if !alive[u] {
+                    continue;
+                }
+                if vrow[u >> 6] & (1 << (u & 63)) != 0 {
+                    for w in 0..words {
+                        adj[u * words + w] |= vrow[w];
+                    }
+                    adj[u * words + (best >> 6)] &= !(1 << (best & 63));
+                }
+            }
+        }
+        order
+    }
+
+    /// Solve `A·x = b` via min-degree-ordered left-looking LU with row
+    /// partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::SingularMatrix`] (naming the original column) when a
+    /// pivot column has no entry above the dense kernel's `1e-300` floor.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b` has the wrong length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        assert_eq!(b.len(), self.n);
+        let n = self.n;
+        let order = self.min_degree_order();
+        // Column-oriented access to A.
+        let mut col_entries: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for r in 0..n {
+            for i in self.row_ptr[r]..self.row_ptr[r + 1] {
+                col_entries[self.cols[i] as usize].push((r, self.vals[i]));
+            }
+        }
+        // L columns as (original_row, value); U columns as (step, value).
+        let mut lcols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+        let mut ucols: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+        let mut udiag = Vec::with_capacity(n);
+        let mut pivrow = Vec::with_capacity(n);
+        let mut row_step = vec![usize::MAX; n];
+        let mut x = vec![0.0; n];
+        let mut touched = Vec::with_capacity(n);
+        for (k, &j) in order.iter().enumerate() {
+            // Scatter A(:, j).
+            for &(r, v) in &col_entries[j] {
+                if x[r] == 0.0 {
+                    touched.push(r);
+                }
+                x[r] += v;
+            }
+            // Apply previous pivot columns in elimination order.
+            let mut ucol = Vec::new();
+            for t in 0..k {
+                let u = x[pivrow[t]];
+                if u != 0.0 {
+                    ucol.push((t, u));
+                    for &(r, lv) in &lcols[t] {
+                        if x[r] == 0.0 {
+                            touched.push(r);
+                        }
+                        x[r] -= lv * u;
+                    }
+                }
+            }
+            // Row pivot: largest magnitude among rows not yet eliminated.
+            let mut prow = usize::MAX;
+            let mut max = 0.0f64;
+            for &r in &touched {
+                if row_step[r] == usize::MAX {
+                    let v = x[r].abs();
+                    if v > max || (prow == usize::MAX && v >= max) {
+                        max = v;
+                        prow = r;
+                    }
+                }
+            }
+            if prow == usize::MAX || max < 1e-300 {
+                for &r in &touched {
+                    x[r] = 0.0;
+                }
+                return Err(SpiceError::SingularMatrix {
+                    column: j,
+                    node: None,
+                });
+            }
+            let piv = x[prow];
+            let mut lcol = Vec::new();
+            for &r in &touched {
+                if row_step[r] == usize::MAX && r != prow && x[r] != 0.0 {
+                    lcol.push((r, x[r] / piv));
+                }
+            }
+            lcol.sort_unstable_by_key(|&(r, _)| r);
+            for &r in &touched {
+                x[r] = 0.0;
+            }
+            touched.clear();
+            row_step[prow] = k;
+            pivrow.push(prow);
+            udiag.push(piv);
+            lcols.push(lcol);
+            ucols.push(ucol);
+        }
+        // Forward: z = L⁻¹ P b, in step space.
+        let mut z: Vec<f64> = pivrow.iter().map(|&r| b[r]).collect();
+        // L columns store original rows; translate through row_step.
+        for t in 0..n {
+            let zt = z[t];
+            if zt != 0.0 {
+                for &(r, lv) in &lcols[t] {
+                    z[row_step[r]] -= lv * zt;
+                }
+            }
+        }
+        // Backward: U x' = z (column-oriented), then undo the column order.
+        let mut xs = vec![0.0; n];
+        for k in (0..n).rev() {
+            let xk = z[k] / udiag[k];
+            xs[k] = xk;
+            if xk != 0.0 {
+                for &(t, u) in &ucols[k] {
+                    z[t] -= u * xk;
+                }
+            }
+        }
+        let mut out = vec![0.0; n];
+        for (k, &j) in order.iter().enumerate() {
+            out[j] = xs[k];
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::Source;
+
+    fn lcg(seed: &mut u64) -> f64 {
+        *seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*seed >> 33) as f64 / f64::from(1u32 << 31)) - 1.0
+    }
+
+    /// Random banded system: sparse factor+solve must equal dense bitwise.
+    #[test]
+    fn structural_lu_matches_dense_bitwise() {
+        for n in [1usize, 2, 3, 7, 16, 33] {
+            let mut seed = 0xD00D ^ n as u64;
+            let mut pat = BitPattern::new(n);
+            let mut proto = Matrix::zeros(n);
+            for r in 0..n {
+                for c in 0..n {
+                    if r == c {
+                        pat.set(r, c);
+                        proto.set(r, c, 3.0 + lcg(&mut seed).abs());
+                    } else if (r as i64 - c as i64).abs() <= 2 && lcg(&mut seed) > 0.2 {
+                        pat.set(r, c);
+                        proto.set(r, c, lcg(&mut seed));
+                    }
+                }
+            }
+            let mut lu = SparseLu::from_pattern(pat);
+            let mut saved = Matrix::zeros(n);
+            // Multiple refactorizations: first bootstraps, later ones take
+            // the fast path; perturb values without changing pivot winners.
+            for round in 0..4 {
+                let mut dense = proto.clone();
+                for r in 0..n {
+                    let d = dense.get(r, r);
+                    dense.set(r, r, d + round as f64 * 1e-3);
+                }
+                let mut sparse = dense.clone();
+                let perm = dense.lu_factor().unwrap();
+                let mut bd: Vec<f64> = (0..n).map(|i| 0.25 * i as f64 - 1.0).collect();
+                let mut bs = bd.clone();
+                dense.lu_solve(&perm, &mut bd);
+                lu.factor(&mut sparse, &mut saved).unwrap();
+                lu.solve(&sparse, &mut bs);
+                for r in 0..n {
+                    for c in 0..n {
+                        assert_eq!(
+                            dense.get(r, c).to_bits(),
+                            sparse.get(r, c).to_bits(),
+                            "factor mismatch n={n} round={round} at ({r},{c})"
+                        );
+                    }
+                }
+                for i in 0..n {
+                    assert_eq!(
+                        bd[i].to_bits(),
+                        bs[i].to_bits(),
+                        "solve mismatch n={n} round={round} at {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Values that force different pivot winners between refactorizations
+    /// must still produce dense-identical results (via drift + bootstrap).
+    #[test]
+    fn pivot_drift_recovers_bitwise() {
+        let n = 4;
+        let mut pat = BitPattern::new(n);
+        for r in 0..n {
+            for c in 0..n {
+                pat.set(r, c);
+            }
+        }
+        let mut lu = SparseLu::from_pattern(pat);
+        let mut saved = Matrix::zeros(n);
+        let mut seed = 77u64;
+        for round in 0..6 {
+            let mut dense = Matrix::zeros(n);
+            for r in 0..n {
+                for c in 0..n {
+                    // Swing the dominant column entry around so the pivot
+                    // row changes between rounds.
+                    let v = lcg(&mut seed) + if (r + round) % n == c { 5.0 } else { 0.0 };
+                    dense.set(r, c, v);
+                }
+            }
+            let mut sparse = dense.clone();
+            let perm = dense.lu_factor().unwrap();
+            let mut bd = vec![1.0, -2.0, 0.5, 3.0];
+            let mut bs = bd.clone();
+            dense.lu_solve(&perm, &mut bd);
+            lu.factor(&mut sparse, &mut saved).unwrap();
+            lu.solve(&sparse, &mut bs);
+            for i in 0..n * n {
+                assert_eq!(
+                    dense.data()[i].to_bits(),
+                    sparse.data()[i].to_bits(),
+                    "round {round} flat index {i}"
+                );
+            }
+            assert_eq!(bd, bs, "round {round}");
+        }
+    }
+
+    #[test]
+    fn singular_classification_matches_dense() {
+        // Column 1 is a duplicate of column 0 -> singular at column 1.
+        let n = 3;
+        let mut pat = BitPattern::new(n);
+        let mut m = Matrix::zeros(n);
+        for (r, c, v) in [
+            (0, 0, 1.0),
+            (0, 1, 1.0),
+            (1, 0, 2.0),
+            (1, 1, 2.0),
+            (2, 2, 1.0),
+            (0, 2, 0.5),
+        ] {
+            pat.set(r, c);
+            m.set(r, c, v);
+        }
+        let mut dense = m.clone();
+        let dense_err = dense.lu_factor().unwrap_err();
+        let mut lu = SparseLu::from_pattern(pat);
+        let mut saved = Matrix::zeros(n);
+        let mut sparse = m.clone();
+        // Bootstrap sees the singularity.
+        let err = lu.factor(&mut sparse, &mut saved).unwrap_err();
+        assert_eq!(err, dense_err);
+        // A later fast-path attempt (after a successful factor) must also
+        // classify identically: make it factorable, then singular again.
+        let mut ok = m.clone();
+        ok.set(1, 1, 7.0);
+        let mut lu2 = SparseLu::from_pattern(stamp_like(&ok));
+        lu2.factor(&mut ok.clone(), &mut saved).unwrap();
+        let mut sing = m.clone();
+        let err2 = lu2.factor(&mut sing, &mut saved).unwrap_err();
+        assert_eq!(err2, dense_err);
+        fn stamp_like(m: &Matrix) -> BitPattern {
+            let n = m.dim();
+            let mut p = BitPattern::new(n);
+            for r in 0..n {
+                for c in 0..n {
+                    // The pattern is positional, not value-based: include
+                    // every stamped slot of the 3x3 example.
+                    if m.get(r, c) != 0.0 || (r, c) == (1, 1) {
+                        p.set(r, c);
+                    }
+                }
+            }
+            p
+        }
+    }
+
+    #[test]
+    fn csr_solver_matches_dense_to_rounding() {
+        let mut seed = 0xBEEF;
+        for n in [2usize, 5, 12, 28] {
+            let mut dense = Matrix::zeros(n);
+            let mut trips = Vec::new();
+            for r in 0..n {
+                for c in 0..n {
+                    if r == c || ((r as i64 - c as i64).abs() <= 3 && lcg(&mut seed) > 0.4) {
+                        let v = if r == c {
+                            4.0 + lcg(&mut seed).abs()
+                        } else {
+                            lcg(&mut seed)
+                        };
+                        dense.set(r, c, v);
+                        trips.push((r, c, v));
+                    }
+                }
+            }
+            let csr = CsrMatrix::from_triplets(n, &trips);
+            let b: Vec<f64> = (0..n).map(|_| lcg(&mut seed)).collect();
+            let x = csr.solve(&b).unwrap();
+            let mut xd = b.clone();
+            crate::solver::solve_in_place(&mut dense.clone(), &mut xd).unwrap();
+            for i in 0..n {
+                let scale = xd[i].abs().max(1.0);
+                assert!(
+                    (x[i] - xd[i]).abs() <= 1e-12 * scale,
+                    "n={n} i={i}: {} vs {}",
+                    x[i],
+                    xd[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn csr_singular_reports_column() {
+        let csr = CsrMatrix::from_triplets(2, &[(0, 0, 1.0), (1, 0, 2.0)]);
+        let err = csr.solve(&[1.0, 1.0]).unwrap_err();
+        assert!(matches!(err, SpiceError::SingularMatrix { .. }));
+    }
+
+    #[test]
+    fn kernel_spec_parsing() {
+        assert_eq!(parse_kernel_spec("dense").unwrap(), KernelKind::Dense);
+        assert_eq!(parse_kernel_spec(" sparse ").unwrap(), KernelKind::Sparse);
+        assert!(parse_kernel_spec("fast").is_err());
+        assert!(parse_warmstart_spec("on").unwrap());
+        assert!(!parse_warmstart_spec("off").unwrap());
+        assert!(parse_warmstart_spec("1").is_err());
+    }
+
+    #[test]
+    fn override_guards_nest_and_restore() {
+        let outer = kernel_override_guard(KernelKind::Dense);
+        assert_eq!(current_kernel(), KernelKind::Dense);
+        {
+            let _inner = kernel_override_guard(KernelKind::Sparse);
+            assert_eq!(current_kernel(), KernelKind::Sparse);
+        }
+        assert_eq!(current_kernel(), KernelKind::Dense);
+        drop(outer);
+        let _w = warmstart_override_guard(false);
+        assert!(!warmstart_enabled());
+    }
+
+    #[test]
+    fn dc_memo_key_separates_dc_relevant_changes() {
+        let build = |r: f64, cap: f64, v0: f64| {
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            let b = c.node("b");
+            c.vsource("V1", a, GROUND, Source::ramp(v0, 1.0, 20e-12, 10e-12));
+            c.resistor("R1", a, b, r);
+            c.capacitor("C1", b, GROUND, cap);
+            c
+        };
+        let base = dc_memo_key(&build(1e3, 1e-15, 0.5), 1e-12);
+        // Capacitance is DC-irrelevant: same key.
+        assert_eq!(base, dc_memo_key(&build(1e3, 9e-15, 0.5), 1e-12));
+        // Resistance, t=0 source value and gmin are DC-relevant.
+        assert_ne!(base, dc_memo_key(&build(2e3, 1e-15, 0.5), 1e-12));
+        assert_ne!(base, dc_memo_key(&build(1e3, 1e-15, 0.25), 1e-12));
+        assert_ne!(base, dc_memo_key(&build(1e3, 1e-15, 0.5), 1e-9));
+    }
+
+    #[test]
+    fn stats_take_and_add_round_trip() {
+        reset_kernel_stats();
+        bump_stats(|s| {
+            s.newton_iters += 3;
+            s.lu_fast += 2;
+        });
+        let taken = take_kernel_stats();
+        assert_eq!(taken.newton_iters, 3);
+        assert_eq!(kernel_stats(), KernelStats::ZERO);
+        add_kernel_stats(taken);
+        assert_eq!(kernel_stats().lu_fast, 2);
+        reset_kernel_stats();
+    }
+}

@@ -9,6 +9,7 @@
 use crate::circuit::{Circuit, ElementKind, NodeId, GROUND};
 use crate::dc::{dc_operating_point_with, newton, CapCompanion};
 use crate::fault::{self, FaultSite, SolveFault};
+use crate::sparse::{self, KernelKind, SparseLu};
 use crate::wave::Waveform;
 use crate::{Result, SpiceError};
 
@@ -54,8 +55,10 @@ impl TranConfig {
 #[derive(Debug, Clone)]
 pub struct TranResult {
     times: Vec<f64>,
-    /// Row-major: `solution[step][unknown]`.
-    solution: Vec<Vec<f64>>,
+    /// Flat row-major storage: unknown `u` at step `k` lives at
+    /// `k * n_unknowns + u` (one allocation instead of one per step).
+    solution: Vec<f64>,
+    n_unknowns: usize,
     n_nodes: usize,
 }
 
@@ -71,7 +74,7 @@ impl TranResult {
     pub fn voltage(&self, node: NodeId) -> Waveform {
         let v = self
             .solution
-            .iter()
+            .chunks_exact(self.n_unknowns)
             .map(|x| if node == GROUND { 0.0 } else { x[node - 1] })
             .collect();
         Waveform::new(self.times.clone(), v)
@@ -83,7 +86,7 @@ impl TranResult {
     pub fn source_current(&self, branch: usize) -> Waveform {
         let i = self
             .solution
-            .iter()
+            .chunks_exact(self.n_unknowns)
             .map(|x| x[self.n_nodes - 1 + branch])
             .collect();
         Waveform::new(self.times.clone(), i)
@@ -92,7 +95,7 @@ impl TranResult {
     /// Final solution vector (for chaining analyses).
     #[must_use]
     pub fn final_state(&self) -> &[f64] {
-        self.solution.last().expect("transient stores >= 1 point")
+        &self.solution[self.solution.len() - self.n_unknowns..]
     }
 }
 
@@ -134,11 +137,19 @@ pub fn transient(ckt: &Circuit, cfg: &TranConfig) -> Result<TranResult> {
     // Trapezoidal history: start from DC (capacitor currents are zero).
     let mut i_prev: Vec<f64> = vec![0.0; caps_meta.len()];
 
+    // One symbolic analysis (capacitor stamps included) serves every Newton
+    // iteration of every timestep of this run.
+    let mut slu = match sparse::current_kernel() {
+        KernelKind::Sparse => Some(SparseLu::for_circuit(ckt, true)),
+        KernelKind::Dense => None,
+    };
+
+    let n_unknowns = ckt.unknowns();
     let steps = (cfg.tstop / cfg.dt).round() as usize;
     let mut times = Vec::with_capacity(steps + 1);
-    let mut solution = Vec::with_capacity(steps + 1);
+    let mut solution = Vec::with_capacity((steps + 1) * n_unknowns);
     times.push(0.0);
-    solution.push(x.clone());
+    solution.extend_from_slice(&x);
 
     // One trapezoidal step from `t_prev` to `t`; on Newton failure the
     // step is split into shrinking substeps (sharp regenerative edges in
@@ -153,6 +164,7 @@ pub fn transient(ckt: &Circuit, cfg: &TranConfig) -> Result<TranResult> {
         t: f64,
         gmin: f64,
         depth: usize,
+        slu: &mut Option<SparseLu>,
     ) -> Result<()> {
         let v_of = |node: NodeId, x: &[f64]| -> f64 {
             if node == GROUND {
@@ -168,15 +180,12 @@ pub fn transient(ckt: &Circuit, cfg: &TranConfig) -> Result<TranResult> {
             .enumerate()
             .map(|(i, &(a, b, _))| geq[i] * (v_of(a, x) - v_of(b, x)) + i_prev[i])
             .collect();
-        let companion = CapCompanion {
-            geq: geq.clone(),
-            hist,
-        };
-        match newton(ckt, x, t, gmin, 1.0, Some(&companion), "tran") {
+        let companion = CapCompanion { geq, hist };
+        match newton(ckt, x, t, gmin, 1.0, Some(&companion), "tran", slu.as_mut()) {
             Ok(next) => {
                 for (i, &(a, b, _)) in caps_meta.iter().enumerate() {
                     let v_new = v_of(a, &next) - v_of(b, &next);
-                    i_prev[i] = geq[i] * v_new - companion.hist[i];
+                    i_prev[i] = companion.geq[i] * v_new - companion.hist[i];
                 }
                 *x = next;
                 Ok(())
@@ -186,8 +195,8 @@ pub fn transient(ckt: &Circuit, cfg: &TranConfig) -> Result<TranResult> {
                     return Err(e);
                 }
                 let mid = 0.5 * (t_prev + t);
-                advance(ckt, caps_meta, x, i_prev, t_prev, mid, gmin, depth + 1)?;
-                advance(ckt, caps_meta, x, i_prev, mid, t, gmin, depth + 1)
+                advance(ckt, caps_meta, x, i_prev, t_prev, mid, gmin, depth + 1, slu)?;
+                advance(ckt, caps_meta, x, i_prev, mid, t, gmin, depth + 1, slu)
             }
         }
     }
@@ -195,14 +204,17 @@ pub fn transient(ckt: &Circuit, cfg: &TranConfig) -> Result<TranResult> {
     for k in 1..=steps {
         let t = k as f64 * cfg.dt;
         let t_prev = (k - 1) as f64 * cfg.dt;
-        advance(ckt, &caps_meta, &mut x, &mut i_prev, t_prev, t, cfg.gmin, 0)?;
+        advance(
+            ckt, &caps_meta, &mut x, &mut i_prev, t_prev, t, cfg.gmin, 0, &mut slu,
+        )?;
         times.push(t);
-        solution.push(x.clone());
+        solution.extend_from_slice(&x);
     }
 
     Ok(TranResult {
         times,
         solution,
+        n_unknowns,
         n_nodes: ckt.node_count(),
     })
 }

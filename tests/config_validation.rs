@@ -62,6 +62,46 @@ fn malformed_env_is_rejected_at_flow_start_with_structured_errors() {
         }
     }
 
+    // Malformed CRYO_KERNEL / CRYO_WARMSTART: the kernel selector and the
+    // warm-start switch are pure throughput knobs (results are byte-identical
+    // either way), but typos still fail structurally rather than silently
+    // falling back to the default.
+    unset("CRYO_JOBS");
+    for bad in ["fast", "Dense", "sparse,dense", "1"] {
+        set("CRYO_KERNEL", bad);
+        match validate_env() {
+            Err(CoreError::Config { var, value, reason }) => {
+                assert_eq!(var, "CRYO_KERNEL");
+                assert_eq!(value, bad);
+                assert!(reason.contains("dense"), "{bad}: {reason}");
+            }
+            other => panic!("{bad}: expected Config error, got {other:?}"),
+        }
+    }
+    set("CRYO_KERNEL", "dense");
+    let env = validate_env().expect("valid kernel spec");
+    assert_eq!(env.kernel, Some(cryo_soc::spice::KernelKind::Dense));
+    unset("CRYO_KERNEL");
+    let env = validate_env().expect("unset kernel is valid");
+    assert!(env.kernel.is_none());
+    for bad in ["true", "On", "0", "yes"] {
+        set("CRYO_WARMSTART", bad);
+        match validate_env() {
+            Err(CoreError::Config { var, value, reason }) => {
+                assert_eq!(var, "CRYO_WARMSTART");
+                assert_eq!(value, bad);
+                assert!(reason.contains("on"), "{bad}: {reason}");
+            }
+            other => panic!("{bad}: expected Config error, got {other:?}"),
+        }
+    }
+    set("CRYO_WARMSTART", "off");
+    let env = validate_env().expect("valid warm-start spec");
+    assert_eq!(env.warmstart, Some(false));
+    unset("CRYO_WARMSTART");
+    let env = validate_env().expect("unset warm-start is valid");
+    assert!(env.warmstart.is_none());
+
     // Malformed CRYO_SURROGATE: garbage names the variable and the reason;
     // a valid spec round-trips into the parsed policy.
     unset("CRYO_JOBS");

@@ -209,6 +209,107 @@ fn checkpoint_store_tolerates_concurrent_per_cell_writers() {
 }
 
 #[test]
+fn kernel_and_jobs_matrix_is_byte_identical() {
+    // The SPICE kernel selector is the same kind of knob as `jobs`: pure
+    // throughput. All four corners of {dense, sparse} x {1, 8} must
+    // serialize the library to identical bytes and produce identical
+    // structured reports.
+    use cryo_soc::spice::{kernel_override_guard, KernelKind};
+    let cells = cell_set();
+    let mut runs = Vec::new();
+    for kernel in [KernelKind::Dense, KernelKind::Sparse] {
+        for jobs in [1usize, 8] {
+            let _g = kernel_override_guard(kernel);
+            let (lib, rep) = engine(jobs).characterize_library_robust("corner", &cells, None);
+            runs.push((kernel, jobs, serde_json::to_string(&lib).unwrap(), rep));
+        }
+    }
+    let (_, _, bytes0, rep0) = &runs[0];
+    for (kernel, jobs, bytes, rep) in &runs[1..] {
+        assert_eq!(
+            bytes0, bytes,
+            "kernel={kernel:?} jobs={jobs} changed the library bytes"
+        );
+        assert_eq!(
+            rep0, rep,
+            "kernel={kernel:?} jobs={jobs} changed the report"
+        );
+    }
+}
+
+#[test]
+fn warm_start_memo_is_invisible_under_mid_grid_faults() {
+    // Convergence faults firing partway through a cell's slew/load grid are
+    // the dangerous case for warm starts: a fault must consume the same
+    // fault-RNG roll whether the solve that follows is served from the memo
+    // or computed cold, or the two paths drift apart on the *next* grid
+    // point. The injection budget lets victims recover mid-grid, so faults
+    // land between successful (memoizable) solves.
+    use cryo_soc::spice::warmstart_override_guard;
+    let plan = FaultPlan {
+        dc_no_convergence: 0.2,
+        max_injections: Some(2),
+        ..FaultPlan::new(11)
+    };
+    let cells = cell_set();
+    let run = |warm: bool, jobs: usize| {
+        let _w = warmstart_override_guard(warm);
+        let _g = fault::install_guard(plan.clone());
+        engine(jobs).characterize_library_robust("warmfault", &cells, None)
+    };
+    let (lib_cold, rep_cold) = run(false, 1);
+    let (lib_warm, rep_warm) = run(true, 1);
+    let (lib_warm8, rep_warm8) = run(true, 8);
+    let cold = serde_json::to_string(&lib_cold).unwrap();
+    assert_eq!(
+        cold,
+        serde_json::to_string(&lib_warm).unwrap(),
+        "warm starts changed faulted-run bytes"
+    );
+    assert_eq!(
+        cold,
+        serde_json::to_string(&lib_warm8).unwrap(),
+        "warm starts changed faulted-run bytes at jobs=8"
+    );
+    assert_eq!(rep_cold, rep_warm);
+    assert_eq!(rep_cold, rep_warm8);
+}
+
+#[test]
+fn warm_starts_reduce_work_without_changing_bytes() {
+    // The memo must actually pay: on a clean run the kernel counters have
+    // to show grid points served from the memo and a strictly smaller
+    // Newton-iteration total — while the library bytes stay untouched.
+    use cryo_soc::spice::{reset_kernel_stats, take_kernel_stats, warmstart_override_guard};
+    let cells = cell_set();
+    let run = |warm: bool| {
+        let _w = warmstart_override_guard(warm);
+        reset_kernel_stats();
+        let out = engine(1).characterize_library_robust("corner", &cells, None);
+        (out, take_kernel_stats())
+    };
+    let ((lib_cold, rep_cold), stats_cold) = run(false);
+    let ((lib_warm, rep_warm), stats_warm) = run(true);
+    assert_eq!(
+        serde_json::to_string(&lib_cold).unwrap(),
+        serde_json::to_string(&lib_warm).unwrap(),
+        "the memo altered results"
+    );
+    assert_eq!(rep_cold, rep_warm);
+    assert_eq!(stats_cold.dc_memo_hits, 0, "memo disabled yet hit");
+    assert!(
+        stats_warm.dc_memo_hits > 0,
+        "no grid point was served from the memo: {stats_warm:?}"
+    );
+    assert!(
+        stats_warm.newton_iters < stats_cold.newton_iters,
+        "warm starts did not reduce Newton work: warm {} vs cold {}",
+        stats_warm.newton_iters,
+        stats_cold.newton_iters
+    );
+}
+
+#[test]
 fn concurrent_faulted_runs_on_separate_threads_stay_isolated() {
     // Regression for the latent cross-test race: the injector is
     // thread-local and guard-scoped, so two simultaneous characterizations
